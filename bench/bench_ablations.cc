@@ -1,0 +1,131 @@
+// E8 — ablations of the design choices DESIGN.md calls out:
+//   * leaves vs immediate children for structural similarity (Section 6's
+//     central argument);
+//   * categorization pruning on/off (Section 5.2);
+//   * leaf-count pruning on/off (Section 6);
+//   * lazy vs eager expansion of duplicated subtrees (Section 8.4);
+//   * optional-leaf discounting on/off (Section 8.4);
+//   * leaf-pair self-feedback on/off (Figure 3 taken literally vs the
+//     rationale-driven default).
+//
+// Reports both mapping quality on the paper datasets and wall time on a
+// synthetic pair.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/synthetic.h"
+#include "thesaurus/default_thesaurus.h"
+#include "util/strings.h"
+
+namespace cupid {
+namespace {
+
+struct Variant {
+  const char* name;
+  CupidConfig config;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> out;
+  out.push_back({"default", CupidConfig{}});
+  {
+    CupidConfig c;
+    c.tree_match.max_leaf_depth = 1;
+    out.push_back({"children-not-leaves", c});
+  }
+  {
+    CupidConfig c;
+    c.linguistic.use_categories = false;
+    out.push_back({"no-categorization", c});
+  }
+  {
+    CupidConfig c;
+    c.tree_match.leaf_count_ratio = 0.0;
+    out.push_back({"no-leafcount-pruning", c});
+  }
+  {
+    CupidConfig c;
+    c.tree_match.lazy_expansion = true;
+    out.push_back({"lazy-expansion", c});
+  }
+  {
+    CupidConfig c;
+    c.tree_match.optional_discount = false;
+    out.push_back({"no-optional-discount", c});
+  }
+  {
+    CupidConfig c;
+    c.tree_match.leaf_pair_feedback = true;
+    out.push_back({"leaf-self-feedback", c});
+  }
+  {
+    CupidConfig c;
+    c.tree_match.skip_leaves_threshold = 0.9;
+    out.push_back({"skip-leaf-scans", c});
+  }
+  return out;
+}
+
+void QualityReport() {
+  std::printf("=== E8: ablations — mapping quality ===\n\n");
+  struct Case {
+    const char* name;
+    Dataset dataset;
+    Thesaurus thesaurus;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"Fig2", Fig2Dataset(), DefaultThesaurus()});
+  cases.push_back(
+      {"CIDX-Excel", std::move(*CidxExcelDataset()), CidxExcelThesaurus()});
+  cases.push_back(
+      {"RDB-Star", std::move(*RdbStarDataset()), RdbStarThesaurus()});
+
+  TableReport t({"variant", "Fig2 F1", "CIDX-Excel F1", "RDB-Star F1"});
+  for (const Variant& v : Variants()) {
+    std::vector<std::string> row{v.name};
+    for (const Case& c : cases) {
+      CupidMatcher m(&c.thesaurus, v.config);
+      auto r = m.Match(c.dataset.source, c.dataset.target);
+      if (!r.ok()) {
+        row.push_back("ERR");
+        continue;
+      }
+      MatchQuality q = Evaluate(r->leaf_mapping, c.dataset.gold);
+      row.push_back(StringFormat("%.2f", q.f1()));
+    }
+    t.AddRow(std::move(row));
+  }
+  std::printf("%s\n", t.Render().c_str());
+}
+
+void BM_Ablation(benchmark::State& state) {
+  const Variant v = Variants()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(v.name);
+  SyntheticOptions opt;
+  opt.num_elements = 120;
+  opt.seed = 5;
+  SyntheticPair p = GenerateSyntheticPair(opt);
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th, v.config);
+  for (auto _ : state) {
+    auto r = m.Match(p.source, p.target);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Ablation)->DenseRange(0, 7);
+
+}  // namespace
+}  // namespace cupid
+
+int main(int argc, char** argv) {
+  cupid::QualityReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

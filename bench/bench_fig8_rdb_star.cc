@@ -1,0 +1,116 @@
+// E4 — Figure 8 of the paper: mapping the RDB relational schema to the Star
+// warehouse schema, exercising referential constraints as join views
+// (Section 8.3). No relevant thesaurus entries exist for this pair
+// (Section 9.2).
+
+#include <cstdio>
+
+#include "baselines/artemis.h"
+#include "baselines/dike.h"
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+int Run() {
+  std::printf("=== E4: Figure 8 — RDB vs Star warehouse schema ===\n\n");
+  auto dr = RdbStarDataset();
+  if (!dr.ok()) {
+    std::printf("ERROR: %s\n", dr.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& d = *dr;
+  Thesaurus th = RdbStarThesaurus();
+
+  // The experiment harness relaxes the leaf-count ratio slightly (2.5) so
+  // the 20-leaf Orders x OrderDetails join is comparable against the 9-leaf
+  // SALES table; the paper only suggests "say within a factor of 2".
+  CupidConfig cfg;
+  cfg.tree_match.leaf_count_ratio = 2.5;
+  CupidMatcher matcher(&th, cfg);
+  auto r = matcher.Match(d.source, d.target);
+  if (!r.ok()) {
+    std::printf("ERROR: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  TableReport t({"Section 9.2 claim (Cupid)", "holds"});
+  t.AddRow({"join(Orders,OrderDetails) best target = SALES",
+            YesNo(r->BestTargetFor("RDB.OrderDetails_Orders_fk") ==
+                  "Star.SALES")});
+  t.AddRow({"Products columns matched",
+            YesNo(r->leaf_mapping.ContainsPair("RDB.Products.ProductName",
+                                               "Star.PRODUCTS.ProductName"))});
+  t.AddRow({"Customers columns matched",
+            YesNo(r->leaf_mapping.ContainsPair("RDB.Customers.CustomerID",
+                                               "Star.CUSTOMERS.CustomerID"))});
+  t.AddRow(
+      {"Geography built from Territories+Region",
+       YesNo(r->leaf_mapping.ContainsPair(
+                 "RDB.Territories.TerritoryDescription",
+                 "Star.GEOGRAPHY.TerritoryDescription") &&
+             r->leaf_mapping.ContainsPair("RDB.Region.RegionDescription",
+                                          "Star.GEOGRAPHY.RegionDescription"))});
+  bool all_postal = true;
+  for (const char* target :
+       {"Star.CUSTOMERS.PostalCode", "Star.GEOGRAPHY.PostalCode",
+        "Star.SALES.PostalCode"}) {
+    all_postal &= r->leaf_mapping.ContainsPair("RDB.Customers.PostalCode",
+                                               target);
+  }
+  t.AddRow({"all 3 Star PostalCodes <- Customers.PostalCode",
+            YesNo(all_postal)});
+  t.AddRow({"CustomerName not matched to Contact*Name (no synonym)",
+            YesNo(!r->leaf_mapping.ContainsPair(
+                      "RDB.Customers.ContactFirstName",
+                      "Star.CUSTOMERS.CustomerName") &&
+                  !r->leaf_mapping.ContainsPair(
+                      "RDB.Customers.ContactLastName",
+                      "Star.CUSTOMERS.CustomerName"))});
+  t.AddRow({"TerritoryRegion join beats Territories alone for GEOGRAPHY",
+            YesNo(r->WsimByPath("RDB.TerritoryRegion_Territories_fk",
+                                "Star.GEOGRAPHY") >
+                  r->WsimByPath("RDB.Territories", "Star.GEOGRAPHY"))});
+  std::printf("%s\n", t.Render().c_str());
+
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  std::printf("Cupid column mapping quality: %s\n\n", FormatQuality(q).c_str());
+
+  // Baselines, as characterized in Section 9.2.
+  auto dike = DikeMatch(d.source, d.target, Lspd{});
+  if (dike.ok()) {
+    TableReport bd({"DIKE (no LSPD)", "merged"});
+    bd.AddRow({"Products ~ PRODUCTS",
+               YesNo(dike->Merged("Products", "PRODUCTS"))});
+    bd.AddRow({"Region ~ GEOGRAPHY-side RegionID",
+               YesNo(dike->Merged("RegionID", "RegionID"))});
+    bd.AddRow({"Customers ~ CUSTOMERS",
+               YesNo(dike->Merged("Customers", "CUSTOMERS"))});
+    std::printf("%s\n", bd.Render().c_str());
+  }
+
+  auto momis = ArtemisMatch(d.source, d.target, Thesaurus{});
+  if (momis.ok()) {
+    TableReport bm({"MOMIS-ARTEMIS (exact names only)", "result"});
+    bm.AddRow({"Products clustered",
+               YesNo(momis->Clustered("RDB.Products", "Star.PRODUCTS"))});
+    bm.AddRow({"Customers clustered",
+               YesNo(momis->Clustered("RDB.Customers", "Star.CUSTOMERS"))});
+    bm.AddRow({"StateOrProvince-State fused (paper: not matched)",
+               YesNo(momis->Fused("RDB.Customers.StateOrProvince",
+                                  "Star.CUSTOMERS.State"))});
+    bm.AddRow({"Sales clustered with Orders (paper: not clustered)",
+               YesNo(momis->Clustered("RDB.Orders", "Star.SALES"))});
+    std::printf("%s\n", bm.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cupid
+
+int main() { return cupid::Run(); }

@@ -1,0 +1,114 @@
+// E5 — Section 9.3, conclusion 3: linguistic similarity alone, applied to
+// complete path names (so that context-duplicated attributes are
+// distinguishable at all), versus the full Cupid pipeline.
+//
+// Paper's observations to reproduce in shape:
+//  * CIDX-Excel: only 2 correct attribute pairs went undetected, but there
+//    were as many as 7 false positives;
+//  * RDB-Star: only 68% of the correct mappings were detected (paths carry
+//    just table and column names).
+
+#include <cstdio>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "linguistic/linguistic_matcher.h"
+#include "thesaurus/default_thesaurus.h"
+#include "tree/tree_builder.h"
+#include "util/strings.h"
+
+namespace cupid {
+namespace {
+
+/// Leaf mapping computed from the linguistic similarity of full path names
+/// only — no structural phase.
+Result<Mapping> PathNameLinguisticMapping(const Schema& source,
+                                          const Schema& target,
+                                          const Thesaurus& th,
+                                          double th_accept) {
+  LinguisticMatcher lm(&th, {});
+  CUPID_ASSIGN_OR_RETURN(SchemaTree st, BuildSchemaTree(source));
+  CUPID_ASSIGN_OR_RETURN(SchemaTree tt, BuildSchemaTree(target));
+
+  Mapping out;
+  out.source_schema = source.name();
+  out.target_schema = target.name();
+  for (TreeNodeId t = 0; t < tt.num_nodes(); ++t) {
+    if (!tt.IsLeaf(t)) continue;
+    TreeNodeId best = kNoTreeNode;
+    double best_sim = 0.0;
+    for (TreeNodeId s = 0; s < st.num_nodes(); ++s) {
+      if (!st.IsLeaf(s)) continue;
+      double sim = lm.NameSimilarity(st.PathName(s), tt.PathName(t));
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = s;
+      }
+    }
+    if (best != kNoTreeNode && best_sim >= th_accept) {
+      MappingElement e;
+      e.source = best;
+      e.target = t;
+      e.source_path = st.PathName(best);
+      e.target_path = tt.PathName(t);
+      e.lsim = e.wsim = best_sim;
+      out.elements.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+void Report(const char* name, const Dataset& d, const Thesaurus& th) {
+  auto ling = PathNameLinguisticMapping(d.source, d.target, th, 0.5);
+  if (!ling.ok()) {
+    std::printf("ERROR: %s\n", ling.status().ToString().c_str());
+    return;
+  }
+  MatchQuality lq = Evaluate(*ling, d.gold);
+
+  CupidMatcher matcher(&th);
+  auto full = matcher.Match(d.source, d.target);
+  MatchQuality fq;
+  if (full.ok()) fq = Evaluate(full->leaf_mapping, d.gold);
+
+  TableReport t({"pipeline", "P", "R", "F1", "fp", "fn"});
+  t.AddRow({"linguistic only (path names)",
+            StringFormat("%.2f", lq.precision()),
+            StringFormat("%.2f", lq.recall()), StringFormat("%.2f", lq.f1()),
+            StringFormat("%d", lq.false_positives),
+            StringFormat("%d", lq.false_negatives)});
+  t.AddRow({"full Cupid (linguistic + structural)",
+            StringFormat("%.2f", fq.precision()),
+            StringFormat("%.2f", fq.recall()), StringFormat("%.2f", fq.f1()),
+            StringFormat("%d", fq.false_positives),
+            StringFormat("%d", fq.false_negatives)});
+  std::printf("%s:\n%s\n", name, t.Render().c_str());
+}
+
+int Run() {
+  std::printf(
+      "=== E5: linguistic-only matching on path names (Sec 9.3 #3) ===\n\n");
+  auto cidx = CidxExcelDataset();
+  if (!cidx.ok()) {
+    std::printf("ERROR: %s\n", cidx.status().ToString().c_str());
+    return 1;
+  }
+  Thesaurus cidx_th = CidxExcelThesaurus();
+  Report("CIDX-Excel (paper: 2 missed, 7 false positives)", *cidx, cidx_th);
+
+  auto rdb = RdbStarDataset();
+  if (!rdb.ok()) {
+    std::printf("ERROR: %s\n", rdb.status().ToString().c_str());
+    return 1;
+  }
+  Thesaurus rdb_th = RdbStarThesaurus();
+  Report("RDB-Star (paper: 68% of correct mappings detected)", *rdb, rdb_th);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cupid
+
+int main() { return cupid::Run(); }

@@ -1,0 +1,90 @@
+// E7 — scalability sweep (the paper's Section 10 lists "scalability
+// analysis and testing" as necessary future work; this bench provides it).
+//
+// google-benchmark over synthetic schema pairs of growing size, measuring
+// the full match pipeline and its phases.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cupid_matcher.h"
+#include "eval/synthetic.h"
+#include "linguistic/linguistic_matcher.h"
+#include "structural/tree_match.h"
+#include "thesaurus/default_thesaurus.h"
+#include "tree/tree_builder.h"
+
+namespace cupid {
+namespace {
+
+SyntheticPair MakePair(int64_t elements) {
+  SyntheticOptions opt;
+  opt.num_elements = static_cast<int>(elements);
+  opt.seed = 1234;
+  return GenerateSyntheticPair(opt);
+}
+
+void BM_FullMatch(benchmark::State& state) {
+  SyntheticPair p = MakePair(state.range(0));
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  for (auto _ : state) {
+    auto r = m.Match(p.source, p.target);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["elements"] =
+      static_cast<double>(p.source.num_elements() + p.target.num_elements());
+}
+BENCHMARK(BM_FullMatch)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_LinguisticPhase(benchmark::State& state) {
+  SyntheticPair p = MakePair(state.range(0));
+  Thesaurus th = DefaultThesaurus();
+  LinguisticMatcher lm(&th, {});
+  for (auto _ : state) {
+    auto r = lm.Match(p.source, p.target);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LinguisticPhase)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+
+void BM_StructuralPhase(benchmark::State& state) {
+  SyntheticPair p = MakePair(state.range(0));
+  Thesaurus th = DefaultThesaurus();
+  LinguisticMatcher lm(&th, {});
+  auto lres = lm.Match(p.source, p.target);
+  auto t1 = BuildSchemaTree(p.source).ValueOrDie();
+  auto t2 = BuildSchemaTree(p.target).ValueOrDie();
+  TypeCompatibilityTable types = TypeCompatibilityTable::Default();
+  for (auto _ : state) {
+    auto r = TreeMatch(t1, t2, lres->lsim, types, {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StructuralPhase)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+
+void BM_TreeBuild(benchmark::State& state) {
+  SyntheticOptions opt;
+  opt.num_elements = static_cast<int>(state.range(0));
+  opt.seed = 99;
+  Schema s = GenerateSyntheticSchema(opt);
+  for (auto _ : state) {
+    auto t = BuildSchemaTree(s);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+}  // namespace
+}  // namespace cupid
+
+BENCHMARK_MAIN();

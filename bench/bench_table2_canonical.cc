@@ -1,0 +1,138 @@
+// E2 — Table 2 of the paper: six canonical examples compared across Cupid,
+// DIKE and MOMIS/ARTEMIS. Regenerates the Y/N matrix.
+//
+// Verdict rules mirror Section 9.1:
+//  * Cupid — Y when the leaf mapping covers the gold with full recall;
+//  * DIKE  — Y when the expected element pairs merge; linguistic input
+//    (LSPD) is supplied for the rows the paper footnotes ("LSPD entries
+//    have to be added"), i.e. test 3;
+//  * MOMIS — Y when the classes cluster AND the attributes fuse; dictionary
+//    senses are supplied where the paper says the user chose them (rows 3
+//    and 4).
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/artemis.h"
+#include "baselines/dike.h"
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+bool CupidVerdict(const Dataset& d) {
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  if (!r.ok()) return false;
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  return q.recall() == 1.0 && q.precision() == 1.0;
+}
+
+bool DikeVerdict(int test, const Dataset& d) {
+  Lspd lspd;
+  if (test == 3) {
+    // The paper's footnote (a): LSPD entries added for renamed elements.
+    lspd.Add("CustomerNumber", "CustomerNumberId", 1.0);
+    lspd.Add("Name", "CustomerName", 1.0);
+    lspd.Add("Address", "StreetAddress", 1.0);
+    lspd.Add("Telephone", "TelephoneNumber", 1.0);
+  }
+  auto r = DikeMatch(d.source, d.target, lspd);
+  if (!r.ok()) return false;
+  // DIKE is correct when every gold target is covered by a DISTINCT merge:
+  // each element merges at most once, so when two contexts need the same
+  // shared source element (test 6), the single available merge cannot cover
+  // both — context qualification is not part of DIKE's output.
+  std::map<std::pair<std::string, std::string>, int> available;
+  for (const DikePair& p : r->merged) {
+    ++available[{p.first_name, p.second_name}];
+  }
+  for (const auto& [target, sources] : d.gold.alternatives()) {
+    std::string target_name = target.substr(target.rfind('.') + 1);
+    bool covered = false;
+    for (const std::string& src : sources) {
+      std::string source_name = src.substr(src.rfind('.') + 1);
+      auto it = available.find({source_name, target_name});
+      if (it != available.end() && it->second > 0) {
+        --it->second;  // consume the merge
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool ArtemisVerdict(int test, const Dataset& d) {
+  Thesaurus dict;
+  if (test == 3) {
+    // Footnote (b): per-pair synonym entries from the user.
+    dict.AddSynonym("CustomerNumber", "CustomerNumberId", 1.0);
+    dict.AddSynonym("Name", "CustomerName", 1.0);
+    dict.AddSynonym("Address", "StreetAddress", 1.0);
+    dict.AddSynonym("Telephone", "TelephoneNumber", 1.0);
+  }
+  if (test == 4) {
+    dict.AddHypernym("customer", "person", 0.8);  // WordNet sense
+  }
+  auto r = ArtemisMatch(d.source, d.target, dict);
+  if (!r.ok()) return false;
+  // MOMIS is correct when every gold attribute pair is fused within some
+  // cluster; fusion paths are "<schema>.<class>.<attr>".
+  int needed = 0, found = 0;
+  for (const auto& [target, sources] : d.gold.alternatives()) {
+    ++needed;
+    for (const std::string& src : sources) {
+      // Class-level fusion paths drop intermediate nesting; try the direct
+      // interpretation "<schema>.<class>.<attr>" of both paths.
+      if (r->Fused(src, target)) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return found == needed;
+}
+
+int Run() {
+  std::printf("=== E2: Table 2 — canonical examples x {Cupid, DIKE, MOMIS} ===\n\n");
+  const char* descriptions[] = {
+      "1 Identical schemas",
+      "2 Same names, different data types",
+      "3 Same types, names with prefix/suffix",
+      "4 Different class names",
+      "5 Different nesting (nested vs flat)",
+      "6 Type substitution / context dependent",
+  };
+  const char* paper[] = {"Y/Y/Y", "Y/Y/Y", "Y/Ya/Yb", "Y/Y/Y", "Y/Y/N",
+                         "Y/N/N"};
+
+  TableReport t({"Description", "Cupid", "DIKE", "MOMIS-ARTEMIS", "paper"});
+  for (int test = 1; test <= 6; ++test) {
+    auto dr = CanonicalExample(test);
+    if (!dr.ok()) {
+      std::printf("ERROR: %s\n", dr.status().ToString().c_str());
+      return 1;
+    }
+    const Dataset& d = *dr;
+    t.AddRow({descriptions[test - 1], YesNo(CupidVerdict(d)),
+              YesNo(DikeVerdict(test, d)), YesNo(ArtemisVerdict(test, d)),
+              paper[test - 1]});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "a - LSPD entries added for renamed elements (paper footnote)\n"
+      "b - synonym senses chosen/added by the user (paper footnote)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cupid
+
+int main() { return cupid::Run(); }

@@ -1,0 +1,149 @@
+// E3 — Table 3 / Figure 7 of the paper: the CIDX vs Excel purchase-order
+// mapping compared across Cupid, DIKE and MOMIS/ARTEMIS.
+//
+// Auxiliary inputs follow Section 9.2 exactly:
+//  * Cupid — thesaurus with 4 abbreviations (UOM, PO, Qty, Num) and 2
+//    synonym entries (Invoice~Bill, Ship~Deliver);
+//  * DIKE  — LSPD entries "similar to the linguistic similarity
+//    coefficients computed by Cupid" (we derive them from Cupid's lsim);
+//  * MOMIS — the best word sense per element, modeled by a dictionary with
+//    the same two synonym relationships.
+
+#include <cstdio>
+
+#include "baselines/artemis.h"
+#include "baselines/dike.h"
+#include "baselines/er_conversion.h"
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "linguistic/linguistic_matcher.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+/// LSPD derived from Cupid's linguistic phase, as the paper describes.
+Lspd LspdFromCupidLsim(const Schema& s1, const Schema& s2,
+                       const Thesaurus& th) {
+  LinguisticMatcher lm(&th, {});
+  auto lres = lm.Match(s1, s2);
+  Lspd lspd;
+  if (!lres.ok()) return lspd;
+  for (ElementId a = 0; a < s1.num_elements(); ++a) {
+    for (ElementId b = 0; b < s2.num_elements(); ++b) {
+      float v = lres->lsim(a, b);
+      if (v > 0.4f && s1.element(a).name != s2.element(b).name) {
+        lspd.Add(s1.element(a).name, s2.element(b).name, v);
+      }
+    }
+  }
+  return lspd;
+}
+
+int Run() {
+  std::printf("=== E3: Table 3 — CIDX vs Excel element mappings ===\n\n");
+  auto dr = CidxExcelDataset();
+  if (!dr.ok()) {
+    std::printf("ERROR: %s\n", dr.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& d = *dr;
+
+  // --- Cupid ----------------------------------------------------------
+  Thesaurus cupid_th = CidxExcelThesaurus();
+  CupidMatcher matcher(&cupid_th);
+  auto cupid_r = matcher.Match(d.source, d.target);
+  if (!cupid_r.ok()) {
+    std::printf("ERROR: %s\n", cupid_r.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- DIKE -------------------------------------------------------------
+  // The paper remodeled the XML schemas as ER before running DIKE
+  // (Section 9.2 describes two modeling choices; we use the alternative
+  // one, where the address/contact holders become entities).
+  auto er_source =
+      ConvertToEr(d.source, ErModelingChoice::kLeafContainersAsEntities);
+  auto er_target =
+      ConvertToEr(d.target, ErModelingChoice::kLeafContainersAsEntities);
+  Lspd lspd = LspdFromCupidLsim(d.source, d.target, cupid_th);
+  Result<DikeResult> dike_r =
+      er_source.ok() && er_target.ok()
+          ? DikeMatch(*er_source, *er_target, lspd)
+          : Result<DikeResult>(Status::Internal("ER conversion failed"));
+
+  // --- MOMIS ------------------------------------------------------------
+  Thesaurus momis_dict;
+  momis_dict.AddSynonym("POBillTo", "InvoiceTo", 1.0);
+  momis_dict.AddSynonym("POShipTo", "DeliverTo", 1.0);
+  momis_dict.AddSynonym("POHeader", "Header", 1.0);
+  momis_dict.AddSynonym("POLines", "Items", 1.0);
+  auto momis_r = ArtemisMatch(d.source, d.target, momis_dict);
+
+  struct Row {
+    const char* label;
+    const char* cupid_src;
+    const char* cupid_tgt;
+    const char* dike_a;
+    const char* dike_b;
+    const char* momis_a;  // "<schema>.<class>" labels
+    const char* momis_b;
+  };
+  const Row rows[] = {
+      {"POHeader -> Header", "PO.POHeader", "PurchaseOrder.Header",
+       "POHeader", "Header", "PO.POHeader", "PurchaseOrder.Header"},
+      {"Item -> Item", "PO.POLines.Item", "PurchaseOrder.Items.Item", "Item",
+       "Item", "PO.Item", "PurchaseOrder.Item"},
+      {"POLines -> Items", "PO.POLines", "PurchaseOrder.Items", "POLines",
+       "Items", "PO.POLines", "PurchaseOrder.Items"},
+      {"POBillTo -> InvoiceTo", "PO.POBillTo", "PurchaseOrder.InvoiceTo",
+       "POBillTo", "InvoiceTo", "PO.POBillTo", "PurchaseOrder.InvoiceTo"},
+      {"POShipTo -> DeliverTo", "PO.POShipTo", "PurchaseOrder.DeliverTo",
+       "POShipTo", "DeliverTo", "PO.POShipTo", "PurchaseOrder.DeliverTo"},
+      {"Contact -> Contact", "PO.Contact", "PurchaseOrder.DeliverTo.Contact",
+       "Contact", "Contact", "PO.Contact", "PurchaseOrder.Contact"},
+      {"PO -> PurchaseOrder", "PO", "PurchaseOrder", "PO", "PurchaseOrder",
+       "PO.PO", "PurchaseOrder.PurchaseOrder"},
+  };
+
+  TableReport t({"CIDX -> Excel element mapping", "Cupid", "DIKE",
+                 "MOMIS-ARTEMIS", "paper"});
+  const char* paper[] = {"Y/Y/Y", "Y/Y/~", "Y/Y/~", "Y/N/~",
+                         "Y/N/~", "Y/Y/Y", "Y/Y/Y"};
+  int i = 0;
+  for (const Row& row : rows) {
+    bool cupid_ok =
+        cupid_r->BestTargetFor(row.cupid_src) == row.cupid_tgt &&
+        cupid_r->WsimByPath(row.cupid_src, row.cupid_tgt) >= 0.5;
+    bool dike_ok = dike_r.ok() && dike_r->Merged(row.dike_a, row.dike_b);
+    bool momis_ok =
+        momis_r.ok() && momis_r->Clustered(row.momis_a, row.momis_b);
+    t.AddRow({row.label, YesNo(cupid_ok), YesNo(dike_ok), YesNo(momis_ok),
+              paper[i++]});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf("('~' in the paper column: clustered together with other "
+              "classes / not mapped element-to-element)\n\n");
+
+  MatchQuality q = Evaluate(cupid_r->leaf_mapping, d.gold);
+  std::printf("Cupid leaf (XML-attribute) mapping: %s\n",
+              FormatQuality(q).c_str());
+  std::printf("paper: all correct attribute pairs found; two false\n"
+              "positives from the naive generator (contactName also mapped\n"
+              "to companyName). Our false positives:\n");
+  for (const auto& [src, tgt] : q.false_positive_pairs) {
+    std::printf("  %s -> %s\n", src.c_str(), tgt.c_str());
+  }
+  std::printf("\nline -> itemNumber found with no thesaurus support: %s\n",
+              YesNo(cupid_r->leaf_mapping.ContainsPair(
+                  "PO.POLines.Item.line",
+                  "PurchaseOrder.Items.Item.itemNumber")));
+  return 0;
+}
+
+}  // namespace
+}  // namespace cupid
+
+int main() { return cupid::Run(); }

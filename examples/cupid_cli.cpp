@@ -1,0 +1,140 @@
+// cupid_cli — match two schema files from the command line.
+//
+//   cupid_cli <source-schema> <target-schema> [options]
+//
+//   Schema formats by extension:
+//     .xml            XSD-lite XML (importers/xml_schema_loader.h)
+//     .sql / .ddl     SQL DDL (importers/sql_ddl_parser.h)
+//     .cupid          native text format (importers/native_format.h)
+//
+//   Options:
+//     --thesaurus <file>   load a thesaurus file (thesaurus/thesaurus_io.h);
+//                          default: the built-in common-language thesaurus
+//     --one-to-one         stable 1:1 mapping instead of the naive 1:n
+//     --json               JSON output instead of text
+//     --nonleaf            also print element-level (non-leaf) mapping
+//     --thaccept <v>       acceptance threshold (default 0.5)
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cupid_matcher.h"
+#include "importers/dtd_parser.h"
+#include "importers/native_format.h"
+#include "importers/sql_ddl_parser.h"
+#include "importers/xml_schema_loader.h"
+#include "mapping/mapping_render.h"
+#include "thesaurus/default_thesaurus.h"
+#include "thesaurus/thesaurus_io.h"
+#include "util/strings.h"
+
+using namespace cupid;
+
+namespace {
+
+Result<Schema> LoadSchemaAuto(const std::string& path) {
+  if (EndsWith(path, ".xml")) return LoadXmlSchemaFile(path);
+  if (EndsWith(path, ".sql") || EndsWith(path, ".ddl")) {
+    return LoadSqlDdlFile(path);
+  }
+  if (EndsWith(path, ".dtd")) return LoadDtdFile(path);
+  if (EndsWith(path, ".cupid")) return LoadNativeSchemaFile(path);
+  return Status::Unsupported(
+      "unrecognized schema extension (want .xml, .sql/.ddl, .dtd or "
+      ".cupid): " +
+      path);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <source-schema> <target-schema>\n"
+               "          [--thesaurus <file>] [--one-to-one] [--json]\n"
+               "          [--nonleaf] [--thaccept <v>]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  std::string source_path = argv[1];
+  std::string target_path = argv[2];
+  std::string thesaurus_path;
+  bool one_to_one = false, json = false, nonleaf = false;
+  double th_accept = 0.5;
+
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--thesaurus") && i + 1 < argc) {
+      thesaurus_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--one-to-one")) {
+      one_to_one = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--nonleaf")) {
+      nonleaf = true;
+    } else if (!std::strcmp(argv[i], "--thaccept") && i + 1 < argc) {
+      th_accept = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  auto source = LoadSchemaAuto(source_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s: %s\n", source_path.c_str(),
+                 source.status().ToString().c_str());
+    return 1;
+  }
+  auto target = LoadSchemaAuto(target_path);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s: %s\n", target_path.c_str(),
+                 target.status().ToString().c_str());
+    return 1;
+  }
+
+  Thesaurus thesaurus;
+  if (thesaurus_path.empty()) {
+    thesaurus = DefaultThesaurus();
+  } else {
+    auto loaded = LoadThesaurus(thesaurus_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", thesaurus_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    thesaurus = std::move(loaded).ValueOrDie();
+  }
+
+  CupidConfig config;
+  config.mapping.th_accept = th_accept;
+  config.tree_match.th_accept = th_accept;
+  config.tree_match.th_low = std::min(config.tree_match.th_low, th_accept);
+  config.tree_match.th_high = std::max(config.tree_match.th_high, th_accept);
+  if (one_to_one) {
+    config.mapping.cardinality = MappingCardinality::kOneToOneStable;
+  }
+
+  CupidMatcher matcher(&thesaurus, config);
+  auto result = matcher.Match(*source, *target);
+  if (!result.ok()) {
+    std::fprintf(stderr, "match failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::printf("%s", RenderMappingJson(result->leaf_mapping).c_str());
+  } else {
+    std::printf("%s", RenderMappingText(result->leaf_mapping).c_str());
+  }
+  if (nonleaf) {
+    std::printf("%s", RenderMappingText(result->nonleaf_mapping).c_str());
+  }
+  return 0;
+}

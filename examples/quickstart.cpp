@@ -1,0 +1,80 @@
+// Quickstart: match the paper's Figure 2 purchase-order schemas.
+//
+// Build:   cmake -B build -G Ninja && cmake --build build
+// Run:     ./build/examples/quickstart
+//
+// Demonstrates the minimal flow: build two schemas, pick a thesaurus, run
+// CupidMatcher, read the mapping.
+
+#include <cstdio>
+
+#include "core/cupid_matcher.h"
+#include "mapping/mapping_render.h"
+#include "schema/schema_builder.h"
+#include "thesaurus/default_thesaurus.h"
+
+using namespace cupid;
+
+namespace {
+
+Schema BuildPo() {
+  XmlSchemaBuilder b("PO");
+  ElementId ship = b.AddElement(b.root(), "POShipTo");
+  b.AddAttribute(ship, "Street", DataType::kString);
+  b.AddAttribute(ship, "City", DataType::kString);
+  ElementId bill = b.AddElement(b.root(), "POBillTo");
+  b.AddAttribute(bill, "Street", DataType::kString);
+  b.AddAttribute(bill, "City", DataType::kString);
+  ElementId lines = b.AddElement(b.root(), "POLines");
+  b.AddAttribute(lines, "Count", DataType::kInteger);
+  ElementId item = b.AddElement(lines, "Item");
+  b.AddAttribute(item, "Line", DataType::kInteger);
+  b.AddAttribute(item, "Qty", DataType::kDecimal);
+  b.AddAttribute(item, "UoM", DataType::kString);
+  return std::move(b).Build();
+}
+
+Schema BuildPurchaseOrder() {
+  XmlSchemaBuilder b("PurchaseOrder");
+  // Address is a shared complex type used by both DeliverTo and InvoiceTo —
+  // Cupid produces a separate, context-qualified mapping per use.
+  ElementId address = b.AddComplexType("AddressType");
+  b.AddAttribute(address, "Street", DataType::kString);
+  b.AddAttribute(address, "City", DataType::kString);
+  for (const char* context : {"DeliverTo", "InvoiceTo"}) {
+    ElementId e = b.AddElement(b.root(), context);
+    ElementId a = b.AddElement(e, "Address");
+    b.SetType(a, address);
+  }
+  ElementId items = b.AddElement(b.root(), "Items");
+  b.AddAttribute(items, "ItemCount", DataType::kInteger);
+  ElementId item = b.AddElement(items, "Item");
+  b.AddAttribute(item, "ItemNumber", DataType::kInteger);
+  b.AddAttribute(item, "Quantity", DataType::kDecimal);
+  b.AddAttribute(item, "UnitOfMeasure", DataType::kString);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+int main() {
+  Schema po = BuildPo();
+  Schema purchase_order = BuildPurchaseOrder();
+
+  // The built-in thesaurus knows Qty->Quantity, UoM->UnitOfMeasure,
+  // Bill~Invoice, Ship~Deliver; load your own with LoadThesaurus().
+  Thesaurus thesaurus = DefaultThesaurus();
+
+  CupidMatcher matcher(&thesaurus);
+  Result<MatchResult> result = matcher.Match(po, purchase_order);
+  if (!result.ok()) {
+    std::fprintf(stderr, "match failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s", RenderMappingText(result->leaf_mapping).c_str());
+  std::printf("\nNon-leaf correspondences:\n%s",
+              RenderMappingText(result->nonleaf_mapping).c_str());
+  return 0;
+}

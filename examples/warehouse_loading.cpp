@@ -1,0 +1,100 @@
+// Data-warehouse loading — the second scenario from the paper's
+// introduction: map an operational OLTP schema into a warehouse star
+// schema. Referential constraints are reified as join views (Section 8.3),
+// which lets Cupid map the join of two normalized tables onto one
+// denormalized fact/dimension table.
+//
+// Demonstrates: the SQL DDL importer, join-view matching, non-leaf
+// correspondences.
+
+#include <cstdio>
+
+#include "core/cupid_matcher.h"
+#include "importers/sql_ddl_parser.h"
+#include "mapping/mapping_render.h"
+#include "thesaurus/default_thesaurus.h"
+
+using namespace cupid;
+
+namespace {
+
+constexpr const char* kOltpDdl = R"(
+CREATE TABLE Stores (
+  StoreID INT PRIMARY KEY,
+  StoreName VARCHAR(60) NOT NULL,
+  City VARCHAR(40),
+  Region VARCHAR(40)
+);
+CREATE TABLE Receipts (
+  ReceiptID INT PRIMARY KEY,
+  StoreID INT NOT NULL REFERENCES Stores(StoreID),
+  SaleDate DATETIME NOT NULL,
+  CashierName VARCHAR(60)
+);
+CREATE TABLE ReceiptLines (
+  ReceiptLineID INT PRIMARY KEY,
+  ReceiptID INT NOT NULL REFERENCES Receipts(ReceiptID),
+  ProductCode VARCHAR(20) NOT NULL,
+  Quantity DECIMAL(10,2) NOT NULL,
+  Price MONEY NOT NULL
+);)";
+
+constexpr const char* kWarehouseDdl = R"(
+CREATE TABLE SALESFACT (
+  ReceiptID INT,
+  ReceiptLineID INT,
+  StoreID INT REFERENCES STOREDIM(StoreID),
+  SaleDate DATETIME,
+  ProductCode VARCHAR(20),
+  Quantity DECIMAL(10,2),
+  Price MONEY,
+  PRIMARY KEY (ReceiptID, ReceiptLineID)
+);
+CREATE TABLE STOREDIM (
+  StoreID INT PRIMARY KEY,
+  StoreName VARCHAR(60),
+  City VARCHAR(40),
+  Region VARCHAR(40)
+);)";
+
+}  // namespace
+
+int main() {
+  Result<Schema> oltp = ParseSqlDdl("OLTP", kOltpDdl);
+  Result<Schema> warehouse = ParseSqlDdl("DW", kWarehouseDdl);
+  if (!oltp.ok() || !warehouse.ok()) {
+    std::fprintf(stderr, "DDL parse failed: %s %s\n",
+                 oltp.status().ToString().c_str(),
+                 warehouse.status().ToString().c_str());
+    return 1;
+  }
+
+  Thesaurus thesaurus = DefaultThesaurus();
+  CupidConfig config;
+  // The Receipts x ReceiptLines join has more columns than SALESFACT; give
+  // the leaf-count pruning a bit of slack so the join view is considered.
+  config.tree_match.leaf_count_ratio = 2.5;
+  CupidMatcher matcher(&thesaurus, config);
+
+  Result<MatchResult> result = matcher.Match(*oltp, *warehouse);
+  if (!result.ok()) {
+    std::fprintf(stderr, "match failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Column mapping (drives the loading script):\n%s\n",
+              RenderMappingText(result->leaf_mapping).c_str());
+
+  std::printf("Table-level correspondences:\n%s\n",
+              RenderMappingText(result->nonleaf_mapping).c_str());
+
+  // The join view Receipts x ReceiptLines should line up with the fact
+  // table — evidence that the loading query is a two-table join.
+  std::printf("join(Receipts,ReceiptLines) best matches: %s\n",
+              result->BestTargetFor("OLTP.ReceiptLines_Receipts_fk").c_str());
+  std::printf("wsim(join(Receipts,ReceiptLines), SALESFACT) = %.3f\n",
+              result->WsimByPath("OLTP.ReceiptLines_Receipts_fk",
+                                 "DW.SALESFACT"));
+  return 0;
+}

@@ -1,0 +1,182 @@
+#include "baselines/dike.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "schema/data_type.h"
+
+namespace cupid {
+
+namespace {
+
+/// Undirected adjacency over all relationship kinds: containment (both
+/// directions), aggregation, IsDerivedFrom, reference. DIKE's vicinity is
+/// graph distance, not tree depth.
+std::vector<std::vector<ElementId>> BuildAdjacency(const Schema& s) {
+  std::vector<std::vector<ElementId>> adj(
+      static_cast<size_t>(s.num_elements()));
+  auto link = [&](ElementId a, ElementId b) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  };
+  for (ElementId id : s.AllElements()) {
+    for (ElementId c : s.children(id)) link(id, c);
+    for (ElementId t : s.derived_from(id)) link(id, t);
+    for (ElementId t : s.aggregates(id)) link(id, t);
+    for (ElementId t : s.references(id)) link(id, t);
+  }
+  return adj;
+}
+
+/// Elements at exactly distance 1..max_distance from `from` (BFS rings).
+std::vector<std::vector<ElementId>> NeighborRings(
+    const std::vector<std::vector<ElementId>>& adj, ElementId from,
+    int max_distance) {
+  std::vector<std::vector<ElementId>> rings(
+      static_cast<size_t>(max_distance) + 1);
+  std::vector<int> dist(adj.size(), -1);
+  std::queue<ElementId> q;
+  dist[static_cast<size_t>(from)] = 0;
+  q.push(from);
+  while (!q.empty()) {
+    ElementId cur = q.front();
+    q.pop();
+    int d = dist[static_cast<size_t>(cur)];
+    if (d >= max_distance) continue;
+    for (ElementId n : adj[static_cast<size_t>(cur)]) {
+      if (dist[static_cast<size_t>(n)] < 0) {
+        dist[static_cast<size_t>(n)] = d + 1;
+        rings[static_cast<size_t>(d) + 1].push_back(n);
+        q.push(n);
+      }
+    }
+  }
+  return rings;
+}
+
+double DomainCompatibility(const Element& a, const Element& b) {
+  if (a.data_type == b.data_type) return 1.0;
+  if (TypeClassOf(a.data_type) == TypeClassOf(b.data_type)) return 0.7;
+  return 0.2;
+}
+
+}  // namespace
+
+bool DikeResult::Merged(const std::string& a, const std::string& b) const {
+  for (const DikePair& p : merged) {
+    if (p.first_name == a && p.second_name == b) return true;
+  }
+  return false;
+}
+
+Result<DikeResult> DikeMatch(const Schema& s1, const Schema& s2,
+                             const Lspd& lspd, const DikeOptions& opt) {
+  if (opt.vicinity_weight < 0.0 || opt.vicinity_weight > 1.0) {
+    return Status::InvalidArgument("vicinity_weight must be within [0,1]");
+  }
+  if (opt.max_distance < 1 || opt.iterations < 1) {
+    return Status::InvalidArgument(
+        "max_distance and iterations must be >= 1");
+  }
+  const int64_t n1 = s1.num_elements(), n2 = s2.num_elements();
+
+  // Initial similarity: LSPD + domain + keyness (Section 9: "initialized to
+  // a combination of their LSPD entry, data domains and keyness").
+  Matrix<float> base(n1, n2);
+  for (ElementId a = 0; a < n1; ++a) {
+    const Element& ea = s1.element(a);
+    for (ElementId b = 0; b < n2; ++b) {
+      const Element& eb = s2.element(b);
+      double name = lspd.Get(ea.name, eb.name);
+      double domain = DomainCompatibility(ea, eb);
+      double keyness = (ea.is_key == eb.is_key) ? 1.0 : 0.0;
+      double v = (1.0 - opt.domain_weight - opt.keyness_weight) * name +
+                 opt.domain_weight * domain * (name > 0.0 ? 1.0 : 0.5) +
+                 opt.keyness_weight * keyness * (name > 0.0 ? 1.0 : 0.0);
+      base(a, b) = static_cast<float>(std::clamp(v, 0.0, 1.0));
+    }
+  }
+
+  auto adj1 = BuildAdjacency(s1);
+  auto adj2 = BuildAdjacency(s2);
+  std::vector<std::vector<std::vector<ElementId>>> rings1(
+      static_cast<size_t>(n1)),
+      rings2(static_cast<size_t>(n2));
+  for (ElementId a = 0; a < n1; ++a) {
+    rings1[static_cast<size_t>(a)] = NeighborRings(adj1, a, opt.max_distance);
+  }
+  for (ElementId b = 0; b < n2; ++b) {
+    rings2[static_cast<size_t>(b)] = NeighborRings(adj2, b, opt.max_distance);
+  }
+
+  // Iterative re-evaluation: nearby elements influence the match, decaying
+  // with distance (2^-d).
+  Matrix<float> sim = base;
+  Matrix<float> next(n1, n2);
+  for (int iter = 0; iter < opt.iterations; ++iter) {
+    for (ElementId a = 0; a < n1; ++a) {
+      for (ElementId b = 0; b < n2; ++b) {
+        double vicinity_num = 0.0, vicinity_den = 0.0;
+        for (int d = 1; d <= opt.max_distance; ++d) {
+          const auto& ra = rings1[static_cast<size_t>(a)][static_cast<size_t>(d)];
+          const auto& rb = rings2[static_cast<size_t>(b)][static_cast<size_t>(d)];
+          if (ra.empty() || rb.empty()) continue;
+          // Average of each neighbor's best counterpart in the other ring.
+          double sum = 0.0;
+          for (ElementId x : ra) {
+            double best = 0.0;
+            for (ElementId y : rb) best = std::max<double>(best, sim(x, y));
+            sum += best;
+          }
+          for (ElementId y : rb) {
+            double best = 0.0;
+            for (ElementId x : ra) best = std::max<double>(best, sim(x, y));
+            sum += best;
+          }
+          double ring_avg = sum / static_cast<double>(ra.size() + rb.size());
+          double weight = std::pow(2.0, -d);
+          vicinity_num += weight * ring_avg;
+          vicinity_den += weight;
+        }
+        double vicinity = vicinity_den > 0.0 ? vicinity_num / vicinity_den : 0.0;
+        next(a, b) = static_cast<float>(
+            (1.0 - opt.vicinity_weight) * base(a, b) +
+            opt.vicinity_weight * vicinity);
+      }
+    }
+    std::swap(sim, next);
+  }
+
+  // Merge decision: greedy 1:1 on converged similarity — each element merges
+  // at most once (no context-dependent mappings).
+  DikeResult result;
+  result.similarity = sim;
+  struct Cand {
+    ElementId a, b;
+    double s;
+  };
+  std::vector<Cand> cands;
+  for (ElementId a = 1; a < n1; ++a) {  // skip roots
+    for (ElementId b = 1; b < n2; ++b) {
+      if (sim(a, b) >= opt.merge_threshold) {
+        cands.push_back({a, b, sim(a, b)});
+      }
+    }
+  }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& x, const Cand& y) { return x.s > y.s; });
+  std::vector<bool> used1(static_cast<size_t>(n1), false),
+      used2(static_cast<size_t>(n2), false);
+  for (const Cand& c : cands) {
+    if (used1[static_cast<size_t>(c.a)] || used2[static_cast<size_t>(c.b)]) {
+      continue;
+    }
+    used1[static_cast<size_t>(c.a)] = used2[static_cast<size_t>(c.b)] = true;
+    result.merged.push_back({c.a, c.b, s1.element(c.a).name,
+                             s2.element(c.b).name, c.s});
+  }
+  return result;
+}
+
+}  // namespace cupid

@@ -1,0 +1,69 @@
+#include "baselines/er_conversion.h"
+
+#include "tree/tree_builder.h"
+
+namespace cupid {
+
+namespace {
+
+/// True if the tree node has at least one atomic (leaf) child.
+bool HasAtomicChild(const SchemaTree& tree, TreeNodeId n) {
+  for (TreeNodeId c : tree.node(n).children) {
+    if (tree.IsLeaf(c)) return true;
+  }
+  return false;
+}
+
+/// True if all children of the node are atomic.
+bool AllChildrenAtomic(const SchemaTree& tree, TreeNodeId n) {
+  for (TreeNodeId c : tree.node(n).children) {
+    if (!tree.IsLeaf(c)) return false;
+  }
+  return !tree.node(n).children.empty();
+}
+
+void Convert(const SchemaTree& tree, TreeNodeId node, ElementId parent,
+             ErModelingChoice choice, Schema* out) {
+  const Element& src = tree.schema().element(tree.node(node).source);
+  Element e;
+  e.name = src.name;
+  e.data_type = src.data_type;
+  e.optional = tree.node(node).optional;
+  e.is_key = src.is_key;
+  if (tree.IsLeaf(node)) {
+    e.kind = ElementKind::kAtomic;
+  } else {
+    bool entity = choice == ErModelingChoice::kContainersAsEntities
+                      ? HasAtomicChild(tree, node)
+                      : AllChildrenAtomic(tree, node);
+    e.kind = entity ? ElementKind::kEntity : ElementKind::kRelationship;
+    e.data_type = DataType::kComplex;
+  }
+  ElementId id = out->AddElement(std::move(e), parent);
+  for (TreeNodeId c : tree.node(node).children) {
+    // Join-view nodes are a Cupid concept, not part of the ER remodeling.
+    if (tree.node(c).is_join_view) continue;
+    if (tree.node(c).parent != node) continue;  // skip shared (DAG) children
+    Convert(tree, c, id, choice, out);
+  }
+}
+
+}  // namespace
+
+Result<Schema> ConvertToEr(const Schema& schema, ErModelingChoice choice) {
+  // Expanding to the schema tree materializes shared types per context,
+  // which is what an ER model (no type sharing) requires.
+  TreeBuildOptions opts;
+  opts.expand_join_views = false;
+  opts.expand_views = false;
+  CUPID_ASSIGN_OR_RETURN(SchemaTree tree, BuildSchemaTree(schema, opts));
+
+  Schema out(schema.name());
+  for (TreeNodeId c : tree.node(tree.root()).children) {
+    Convert(tree, c, out.root(), choice, &out);
+  }
+  CUPID_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,24 @@
+#include "baselines/lspd.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+std::string Lspd::Key(std::string_view a, std::string_view b) {
+  std::string la = ToLowerAscii(a), lb = ToLowerAscii(b);
+  return la <= lb ? la + "|" + lb : lb + "|" + la;
+}
+
+void Lspd::Add(std::string_view a, std::string_view b, double coefficient) {
+  entries_[Key(a, b)] = std::clamp(coefficient, 0.0, 1.0);
+}
+
+double Lspd::Get(std::string_view a, std::string_view b) const {
+  if (EqualsIgnoreCase(a, b)) return 1.0;
+  auto it = entries_.find(Key(a, b));
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+}  // namespace cupid

@@ -1,0 +1,40 @@
+// Lexical Synonymy Property Dictionary (LSPD) — DIKE's linguistic input.
+//
+// DIKE's linguistic matching "is based on manual inputs" (Section 3 of the
+// paper): the user supplies pairwise similarity coefficients between element
+// names of the two schemas. No tokenization or thesaurus reasoning happens —
+// that is the behaviour the comparative study contrasts Cupid against
+// (Table 2, row 3: "LSPD entries have to be added to identify corresponding
+// elements").
+
+#ifndef CUPID_BASELINES_LSPD_H_
+#define CUPID_BASELINES_LSPD_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cupid {
+
+/// \brief Pairwise name-similarity dictionary, symmetric, case-insensitive.
+class Lspd {
+ public:
+  Lspd() = default;
+
+  /// Registers sim(`a`, `b`) = `coefficient` (clamped to [0,1]).
+  void Add(std::string_view a, std::string_view b, double coefficient);
+
+  /// \brief Coefficient for the pair: 1.0 for equal names (case-insensitive)
+  /// even without an entry, otherwise the registered value, otherwise 0.
+  double Get(std::string_view a, std::string_view b) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  static std::string Key(std::string_view a, std::string_view b);
+  std::unordered_map<std::string, double> entries_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_BASELINES_LSPD_H_

@@ -1,0 +1,44 @@
+#include "core/config.h"
+
+#include "util/strings.h"
+
+namespace cupid {
+
+Status CupidConfig::Validate() const {
+  if (linguistic.thns < 0.0 || linguistic.thns > 1.0) {
+    return Status::InvalidArgument("thns must be within [0,1]");
+  }
+  CUPID_RETURN_NOT_OK(ValidateTreeMatchOptions(tree_match));
+  if (mapping.th_accept < 0.0 || mapping.th_accept > 1.0) {
+    return Status::InvalidArgument("mapping th_accept must be within [0,1]");
+  }
+  if (initial_mapping_boost < 0.0 || initial_mapping_boost > 1.0) {
+    return Status::InvalidArgument(
+        "initial_mapping_boost must be within [0,1]");
+  }
+  return Status::OK();
+}
+
+std::string DescribeParameters(const CupidConfig& c) {
+  std::string out;
+  out += "parameter        value   description\n";
+  out += StringFormat("thns             %-7.2f category compatibility threshold\n",
+                      c.linguistic.thns);
+  out += StringFormat("thhigh           %-7.2f wsim above: increase leaf ssim\n",
+                      c.tree_match.th_high);
+  out += StringFormat("thlow            %-7.2f wsim below: decrease leaf ssim\n",
+                      c.tree_match.th_low);
+  out += StringFormat("cinc             %-7.2f leaf ssim increase factor\n",
+                      c.tree_match.c_inc);
+  out += StringFormat("cdec             %-7.2f leaf ssim decrease factor\n",
+                      c.tree_match.c_dec);
+  out += StringFormat("thaccept         %-7.2f strong link / mapping threshold\n",
+                      c.tree_match.th_accept);
+  out += StringFormat("wstruct(leaf)    %-7.2f structural weight, leaf pairs\n",
+                      c.tree_match.wstruct_leaf);
+  out += StringFormat("wstruct(nonleaf) %-7.2f structural weight, non-leaf pairs\n",
+                      c.tree_match.wstruct_nonleaf);
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,73 @@
+#include "eval/autotune.h"
+
+#include <algorithm>
+
+#include "core/cupid_matcher.h"
+#include "eval/metrics.h"
+
+namespace cupid {
+
+namespace {
+
+double MeanF1(const std::vector<TuningCase>& cases,
+              const CupidConfig& config) {
+  double sum = 0.0;
+  int n = 0;
+  for (const TuningCase& c : cases) {
+    CupidMatcher matcher(c.thesaurus, config);
+    auto r = matcher.Match(c.dataset->source, c.dataset->target);
+    if (!r.ok()) continue;  // invalid grid point for this case: scores 0
+    sum += Evaluate(r->leaf_mapping, c.dataset->gold).f1();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace
+
+Result<TuningResult> AutoTune(const std::vector<TuningCase>& cases,
+                              const CupidConfig& base,
+                              const TuningGrid& grid) {
+  if (cases.empty()) {
+    return Status::InvalidArgument("AutoTune needs at least one tuning case");
+  }
+  for (const TuningCase& c : cases) {
+    if (c.dataset == nullptr || c.thesaurus == nullptr) {
+      return Status::InvalidArgument("tuning case with null dataset/thesaurus");
+    }
+  }
+  if (grid.th_accept.empty() || grid.wstruct_leaf.empty() ||
+      grid.c_inc.empty()) {
+    return Status::InvalidArgument("tuning grid has an empty axis");
+  }
+
+  TuningResult result;
+  result.best = {0, 0, 0, -1.0};
+  for (double th_accept : grid.th_accept) {
+    for (double wstruct : grid.wstruct_leaf) {
+      for (double c_inc : grid.c_inc) {
+        CupidConfig config = base;
+        config.tree_match.th_accept = th_accept;
+        config.mapping.th_accept = th_accept;
+        // Keep the Table 1 ordering invariants satisfied.
+        config.tree_match.th_low =
+            std::min(config.tree_match.th_low, th_accept);
+        config.tree_match.th_high =
+            std::max(config.tree_match.th_high, th_accept);
+        config.tree_match.wstruct_leaf = wstruct;
+        config.tree_match.wstruct_nonleaf = std::min(1.0, wstruct + 0.1);
+        config.tree_match.c_inc = c_inc;
+
+        TuningPoint point{th_accept, wstruct, c_inc, MeanF1(cases, config)};
+        result.surface.push_back(point);
+        if (point.mean_f1 > result.best.mean_f1) {
+          result.best = point;
+          result.best_config = config;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cupid

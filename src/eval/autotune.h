@@ -1,0 +1,62 @@
+// Parameter auto-tuning — another of the paper's "immediate challenges for
+// further work" (Section 10: "automatic tuning of the control parameters";
+// Section 9.3 #8: "auto-tuning is an open problem, and a requirement for a
+// robust solution").
+//
+// Simple, transparent approach: grid search over the influential parameters
+// (thaccept, wstruct, cinc), scoring leaf-mapping F1 against one or more
+// labeled datasets. Deterministic and exhaustive over the grid; returns the
+// winning configuration plus the whole score surface for inspection.
+
+#ifndef CUPID_EVAL_AUTOTUNE_H_
+#define CUPID_EVAL_AUTOTUNE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "eval/datasets.h"
+#include "thesaurus/thesaurus.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// One labeled tuning example: a dataset plus the thesaurus to use with it.
+struct TuningCase {
+  const Dataset* dataset;
+  const Thesaurus* thesaurus;
+};
+
+/// Grid to search; defaults bracket the Table 1 typical values.
+struct TuningGrid {
+  std::vector<double> th_accept = {0.45, 0.5, 0.55};
+  std::vector<double> wstruct_leaf = {0.4, 0.5, 0.6};
+  std::vector<double> c_inc = {1.2, 1.3, 1.4};
+};
+
+/// One evaluated grid point.
+struct TuningPoint {
+  double th_accept;
+  double wstruct_leaf;
+  double c_inc;
+  /// Mean leaf-mapping F1 over the tuning cases.
+  double mean_f1;
+};
+
+struct TuningResult {
+  /// Best configuration found (base config with the winning values set).
+  CupidConfig best_config;
+  TuningPoint best;
+  /// Every evaluated point, in grid order.
+  std::vector<TuningPoint> surface;
+};
+
+/// \brief Exhaustive grid search. `base` supplies all non-searched
+/// parameters. Fails if `cases` is empty or any case is null.
+Result<TuningResult> AutoTune(const std::vector<TuningCase>& cases,
+                              const CupidConfig& base = {},
+                              const TuningGrid& grid = {});
+
+}  // namespace cupid
+
+#endif  // CUPID_EVAL_AUTOTUNE_H_

@@ -1,0 +1,613 @@
+#include "eval/datasets.h"
+
+#include "importers/native_format.h"
+#include "importers/sql_ddl_parser.h"
+#include "importers/xml_schema_loader.h"
+#include "schema/schema_builder.h"
+
+namespace cupid {
+
+// ------------------------------------------------------------- Figure 2 ---
+
+Schema Fig2Po() {
+  XmlSchemaBuilder b("PO");
+  ElementId ship = b.AddElement(b.root(), "POShipTo");
+  b.AddAttribute(ship, "Street", DataType::kString);
+  b.AddAttribute(ship, "City", DataType::kString);
+  ElementId bill = b.AddElement(b.root(), "POBillTo");
+  b.AddAttribute(bill, "Street", DataType::kString);
+  b.AddAttribute(bill, "City", DataType::kString);
+  ElementId lines = b.AddElement(b.root(), "POLines");
+  b.AddAttribute(lines, "Count", DataType::kInteger);
+  ElementId item = b.AddElement(lines, "Item");
+  b.AddAttribute(item, "Line", DataType::kInteger);
+  b.AddAttribute(item, "Qty", DataType::kDecimal);
+  b.AddAttribute(item, "UoM", DataType::kString);
+  return std::move(b).Build();
+}
+
+Schema Fig2PurchaseOrder() {
+  XmlSchemaBuilder b("PurchaseOrder");
+  // Address is a shared type referenced from both DeliverTo and InvoiceTo —
+  // the Section 8.2 variant that requires context-dependent mappings.
+  ElementId address_type = b.AddComplexType("AddressType");
+  b.AddAttribute(address_type, "Street", DataType::kString);
+  b.AddAttribute(address_type, "City", DataType::kString);
+
+  ElementId deliver = b.AddElement(b.root(), "DeliverTo");
+  ElementId addr1 = b.AddElement(deliver, "Address");
+  b.SetType(addr1, address_type);
+  ElementId invoice = b.AddElement(b.root(), "InvoiceTo");
+  ElementId addr2 = b.AddElement(invoice, "Address");
+  b.SetType(addr2, address_type);
+
+  ElementId items = b.AddElement(b.root(), "Items");
+  b.AddAttribute(items, "ItemCount", DataType::kInteger);
+  ElementId item = b.AddElement(items, "Item");
+  b.AddAttribute(item, "ItemNumber", DataType::kInteger);
+  b.AddAttribute(item, "Quantity", DataType::kDecimal);
+  b.AddAttribute(item, "UnitOfMeasure", DataType::kString);
+  return std::move(b).Build();
+}
+
+Dataset Fig2Dataset() {
+  Dataset d{Fig2Po(), Fig2PurchaseOrder(), {},
+            "Figure 2 running example: PO vs PurchaseOrder"};
+  d.gold.Add("PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Address.Street");
+  d.gold.Add("PO.POShipTo.City", "PurchaseOrder.DeliverTo.Address.City");
+  d.gold.Add("PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Address.Street");
+  d.gold.Add("PO.POBillTo.City", "PurchaseOrder.InvoiceTo.Address.City");
+  d.gold.Add("PO.POLines.Count", "PurchaseOrder.Items.ItemCount");
+  d.gold.Add("PO.POLines.Item.Line", "PurchaseOrder.Items.Item.ItemNumber");
+  d.gold.Add("PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity");
+  d.gold.Add("PO.POLines.Item.UoM",
+             "PurchaseOrder.Items.Item.UnitOfMeasure");
+  return d;
+}
+
+// ----------------------------------------------------------- Section 9.1 --
+
+namespace {
+
+Result<Dataset> MakeCanonical(const std::string& s1_text,
+                              const std::string& s2_text,
+                              const std::vector<std::pair<std::string,
+                                                          std::string>>& gold,
+                              const std::string& description) {
+  CUPID_ASSIGN_OR_RETURN(Schema s1, ParseNativeSchema(s1_text));
+  CUPID_ASSIGN_OR_RETURN(Schema s2, ParseNativeSchema(s2_text));
+  Dataset d{std::move(s1), std::move(s2), {}, description};
+  for (const auto& [a, b] : gold) d.gold.Add(a, b);
+  return d;
+}
+
+}  // namespace
+
+Result<Dataset> CanonicalExample(int test) {
+  switch (test) {
+    case 1:  // Identical schemas.
+      return MakeCanonical(
+          "schema Schema1\n"
+          "node Customer\n"
+          "  leaf Customer_Number integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n",
+          "schema Schema2\n"
+          "node Customer\n"
+          "  leaf Customer_Number integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n",
+          {{"Schema1.Customer.Customer_Number",
+            "Schema2.Customer.Customer_Number"},
+           {"Schema1.Customer.Name", "Schema2.Customer.Name"},
+           {"Schema1.Customer.Address", "Schema2.Customer.Address"}},
+          "Canonical 1: identical schemas");
+    case 2:  // Same names, different data types (Telephone).
+      return MakeCanonical(
+          "schema Schema1\n"
+          "node Customer\n"
+          "  leaf Customer_Number integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n"
+          "  leaf Telephone string\n",
+          "schema Schema2\n"
+          "node Customer\n"
+          "  leaf Customer_Number integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n"
+          "  leaf Telephone integer\n",
+          {{"Schema1.Customer.Customer_Number",
+            "Schema2.Customer.Customer_Number"},
+           {"Schema1.Customer.Name", "Schema2.Customer.Name"},
+           {"Schema1.Customer.Address", "Schema2.Customer.Address"},
+           {"Schema1.Customer.Telephone", "Schema2.Customer.Telephone"}},
+          "Canonical 2: same names, different data types");
+    case 3:  // Prefix/suffix added to every name in schema 2.
+      return MakeCanonical(
+          "schema Schema1\n"
+          "node Customer\n"
+          "  leaf CustomerNumber integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n"
+          "  leaf Telephone string\n",
+          "schema Schema2\n"
+          "node Customer\n"
+          "  leaf CustomerNumberId integer key\n"
+          "  leaf CustomerName string\n"
+          "  leaf StreetAddress string\n"
+          "  leaf TelephoneNumber string\n",
+          {{"Schema1.Customer.CustomerNumber",
+            "Schema2.Customer.CustomerNumberId"},
+           {"Schema1.Customer.Name", "Schema2.Customer.CustomerName"},
+           {"Schema1.Customer.Address", "Schema2.Customer.StreetAddress"},
+           {"Schema1.Customer.Telephone",
+            "Schema2.Customer.TelephoneNumber"}},
+          "Canonical 3: names varied by prefix/suffix");
+    case 4:  // Class renamed (Customer -> Person), attributes identical.
+      return MakeCanonical(
+          "schema Schema1\n"
+          "node Customer\n"
+          "  leaf Customer_Number integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n",
+          "schema Schema2\n"
+          "node Person\n"
+          "  leaf Customer_Number integer key\n"
+          "  leaf Name string\n"
+          "  leaf Address string\n",
+          {{"Schema1.Customer.Customer_Number",
+            "Schema2.Person.Customer_Number"},
+           {"Schema1.Customer.Name", "Schema2.Person.Name"},
+           {"Schema1.Customer.Address", "Schema2.Person.Address"}},
+          "Canonical 4: different class names");
+    case 5:  // Nested vs flat.
+      return MakeCanonical(
+          "schema Schema1\n"
+          "node Customer\n"
+          "  leaf SSN string key\n"
+          "  leaf Telephone string\n"
+          "  node Name\n"
+          "    leaf FirstName string\n"
+          "    leaf LastName string\n"
+          "  node Address\n"
+          "    leaf Street string\n"
+          "    leaf City string\n"
+          "    leaf State string\n"
+          "    leaf Zip string\n",
+          "schema Schema2\n"
+          "node Customer\n"
+          "  leaf SSN string key\n"
+          "  leaf Telephone string\n"
+          "  leaf FirstName string\n"
+          "  leaf LastName string\n"
+          "  leaf Street string\n"
+          "  leaf City string\n"
+          "  leaf State string\n"
+          "  leaf Zip string\n",
+          {{"Schema1.Customer.SSN", "Schema2.Customer.SSN"},
+           {"Schema1.Customer.Telephone", "Schema2.Customer.Telephone"},
+           {"Schema1.Customer.Name.FirstName",
+            "Schema2.Customer.FirstName"},
+           {"Schema1.Customer.Name.LastName", "Schema2.Customer.LastName"},
+           {"Schema1.Customer.Address.Street", "Schema2.Customer.Street"},
+           {"Schema1.Customer.Address.City", "Schema2.Customer.City"},
+           {"Schema1.Customer.Address.State", "Schema2.Customer.State"},
+           {"Schema1.Customer.Address.Zip", "Schema2.Customer.Zip"}},
+          "Canonical 5: nested vs flat structure");
+    case 6: {  // Type substitution / context-dependent mapping.
+      std::vector<std::pair<std::string, std::string>> gold;
+      for (const char* ctx : {"ShippingAddress", "BillingAddress"}) {
+        for (const char* attr : {"Name", "Street", "City", "Zip",
+                                 "Telephone"}) {
+          gold.emplace_back(
+              std::string("Schema1.PurchaseOrder.") + ctx + "." + attr,
+              std::string("Schema2.PurchaseOrder.") + ctx + "." + attr);
+        }
+      }
+      gold.emplace_back("Schema1.PurchaseOrder.OrderNumber",
+                        "Schema2.PurchaseOrder.OrderNumber");
+      gold.emplace_back("Schema1.PurchaseOrder.ProductName",
+                        "Schema2.PurchaseOrder.ProductName");
+      return MakeCanonical(
+          "schema Schema1\n"
+          "type Address\n"
+          "  leaf Name string\n"
+          "  leaf Street string\n"
+          "  leaf City string\n"
+          "  leaf Zip string\n"
+          "  leaf Telephone string\n"
+          "node PurchaseOrder\n"
+          "  leaf OrderNumber integer key\n"
+          "  leaf ProductName string\n"
+          "  node ShippingAddress : Address\n"
+          "  node BillingAddress : Address\n",
+          "schema Schema2\n"
+          "type ShipTo\n"
+          "  leaf Name string\n"
+          "  leaf Street string\n"
+          "  leaf City string\n"
+          "  leaf Zip string\n"
+          "  leaf Telephone string\n"
+          "type BillTo\n"
+          "  leaf Name string\n"
+          "  leaf Street string\n"
+          "  leaf City string\n"
+          "  leaf Zip string\n"
+          "  leaf Telephone string\n"
+          "node PurchaseOrder\n"
+          "  leaf OrderNumber integer key\n"
+          "  leaf ProductName string\n"
+          "  node ShippingAddress : ShipTo\n"
+          "  node BillingAddress : BillTo\n",
+          gold, "Canonical 6: type substitution / context dependence");
+    }
+    default:
+      return Status::InvalidArgument("canonical test must be in 1..6");
+  }
+}
+
+// ----------------------------------------------------------- Section 9.2 --
+
+Result<Schema> CidxSchema() {
+  // Transcribed from Figure 7 (left).
+  return LoadXmlSchema(R"xml(
+<schema name="PO">
+  <element name="POHeader">
+    <attribute name="PODate" type="date"/>
+    <attribute name="PONumber" type="string"/>
+  </element>
+  <element name="Contact">
+    <attribute name="ContactName" type="string"/>
+    <attribute name="ContactEmail" type="string" use="optional"/>
+    <attribute name="ContactFunctionCode" type="string" use="optional"/>
+    <attribute name="ContactPhone" type="string"/>
+  </element>
+  <element name="POBillTo">
+    <attribute name="Street1" type="string"/>
+    <attribute name="Street2" type="string" use="optional"/>
+    <attribute name="Street3" type="string" use="optional"/>
+    <attribute name="Street4" type="string" use="optional"/>
+    <attribute name="City" type="string"/>
+    <attribute name="StateProvince" type="string"/>
+    <attribute name="PostalCode" type="string"/>
+    <attribute name="Country" type="string"/>
+    <attribute name="attn" type="string" use="optional"/>
+    <attribute name="entityIdentifier" type="string" use="optional"/>
+  </element>
+  <element name="POShipTo">
+    <attribute name="Street1" type="string"/>
+    <attribute name="Street2" type="string" use="optional"/>
+    <attribute name="Street3" type="string" use="optional"/>
+    <attribute name="Street4" type="string" use="optional"/>
+    <attribute name="City" type="string"/>
+    <attribute name="StateProvince" type="string"/>
+    <attribute name="PostalCode" type="string"/>
+    <attribute name="Country" type="string"/>
+    <attribute name="attn" type="string" use="optional"/>
+    <attribute name="entityIdentifier" type="string" use="optional"/>
+    <attribute name="startAt" type="string" use="optional"/>
+  </element>
+  <element name="POLines">
+    <attribute name="count" type="int"/>
+    <element name="Item">
+      <attribute name="partno" type="string"/>
+      <attribute name="line" type="int"/>
+      <attribute name="qty" type="decimal"/>
+      <attribute name="unitPrice" type="money"/>
+      <attribute name="uom" type="string"/>
+    </element>
+  </element>
+</schema>
+)xml");
+}
+
+Result<Schema> ExcelSchema() {
+  // Transcribed from Figure 7 (right). Address and Contact are shared
+  // complex types referenced from both DeliverTo and InvoiceTo — the 18
+  // context-duplicated XML attributes Section 9.3 (conclusion 3) counts.
+  return LoadXmlSchema(R"xml(
+<schema name="PurchaseOrder">
+  <complexType name="AddressType">
+    <attribute name="street1" type="string"/>
+    <attribute name="street2" type="string" use="optional"/>
+    <attribute name="street3" type="string" use="optional"/>
+    <attribute name="street4" type="string" use="optional"/>
+    <attribute name="city" type="string"/>
+    <attribute name="stateProvince" type="string"/>
+    <attribute name="postalCode" type="string"/>
+    <attribute name="country" type="string"/>
+  </complexType>
+  <complexType name="ContactType">
+    <attribute name="contactName" type="string"/>
+    <attribute name="e-mail" type="string" use="optional"/>
+    <attribute name="companyName" type="string" use="optional"/>
+    <attribute name="telephone" type="string"/>
+  </complexType>
+  <element name="Items">
+    <attribute name="itemCount" type="int"/>
+    <element name="Item">
+      <attribute name="partNumber" type="string"/>
+      <attribute name="unitPrice" type="money"/>
+      <attribute name="itemNumber" type="int"/>
+      <attribute name="unitOfMeasure" type="string"/>
+      <attribute name="Quantity" type="decimal"/>
+      <attribute name="yourPartNumber" type="string" use="optional"/>
+      <attribute name="partDescription" type="string" use="optional"/>
+    </element>
+  </element>
+  <element name="DeliverTo">
+    <element name="Address" type="AddressType"/>
+    <element name="Contact" type="ContactType"/>
+  </element>
+  <element name="InvoiceTo">
+    <element name="Address" type="AddressType"/>
+    <element name="Contact" type="ContactType"/>
+  </element>
+  <element name="Header">
+    <attribute name="orderDate" type="date"/>
+    <attribute name="orderNum" type="string"/>
+    <attribute name="yourAccountCode" type="string" use="optional"/>
+    <attribute name="ourAccountCode" type="string" use="optional"/>
+  </element>
+  <element name="Footer">
+    <attribute name="totalValue" type="money"/>
+  </element>
+</schema>
+)xml");
+}
+
+Result<Dataset> CidxExcelDataset() {
+  CUPID_ASSIGN_OR_RETURN(Schema cidx, CidxSchema());
+  CUPID_ASSIGN_OR_RETURN(Schema excel, ExcelSchema());
+  Dataset d{std::move(cidx), std::move(excel), {},
+            "Figure 7 / Table 3: CIDX vs Excel purchase orders"};
+  GoldMapping& g = d.gold;
+
+  g.Add("PO.POHeader.PODate", "PurchaseOrder.Header.orderDate");
+  g.Add("PO.POHeader.PONumber", "PurchaseOrder.Header.orderNum");
+
+  // The single CIDX Contact corresponds to the Contact in both Excel
+  // contexts (DeliverTo and InvoiceTo).
+  for (const char* ctx : {"DeliverTo", "InvoiceTo"}) {
+    g.Add("PO.Contact.ContactName",
+          std::string("PurchaseOrder.") + ctx + ".Contact.contactName");
+    g.Add("PO.Contact.ContactEmail",
+          std::string("PurchaseOrder.") + ctx + ".Contact.e-mail");
+    g.Add("PO.Contact.ContactPhone",
+          std::string("PurchaseOrder.") + ctx + ".Contact.telephone");
+  }
+
+  auto add_address = [&](const std::string& cidx_side,
+                         const std::string& excel_ctx) {
+    const std::pair<const char*, const char*> pairs[] = {
+        {"Street1", "street1"},       {"Street2", "street2"},
+        {"Street3", "street3"},       {"Street4", "street4"},
+        {"City", "city"},             {"StateProvince", "stateProvince"},
+        {"PostalCode", "postalCode"}, {"Country", "country"},
+    };
+    for (const auto& [c, e] : pairs) {
+      g.Add("PO." + cidx_side + "." + c,
+            "PurchaseOrder." + excel_ctx + ".Address." + e);
+    }
+  };
+  add_address("POShipTo", "DeliverTo");
+  add_address("POBillTo", "InvoiceTo");
+
+  g.Add("PO.POLines.count", "PurchaseOrder.Items.itemCount");
+  g.Add("PO.POLines.Item.partno", "PurchaseOrder.Items.Item.partNumber");
+  g.Add("PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber");
+  g.Add("PO.POLines.Item.qty", "PurchaseOrder.Items.Item.Quantity");
+  g.Add("PO.POLines.Item.unitPrice", "PurchaseOrder.Items.Item.unitPrice");
+  g.Add("PO.POLines.Item.uom", "PurchaseOrder.Items.Item.unitOfMeasure");
+  return d;
+}
+
+Result<Schema> RdbSchema() {
+  // Transcribed from Figure 8 (right column, "RDB Schema").
+  return ParseSqlDdl("RDB", R"sql(
+CREATE TABLE ShippingMethods (
+  ShippingMethodID INT PRIMARY KEY,
+  ShippingMethod VARCHAR(40) NOT NULL
+);
+CREATE TABLE Region (
+  RegionID INT PRIMARY KEY,
+  RegionDescription VARCHAR(50) NOT NULL
+);
+CREATE TABLE Territories (
+  TerritoryID INT PRIMARY KEY,
+  TerritoryDescription VARCHAR(50) NOT NULL
+);
+CREATE TABLE TerritoryRegion (
+  TerritoryID INT NOT NULL REFERENCES Territories(TerritoryID),
+  RegionID INT NOT NULL REFERENCES Region(RegionID),
+  PRIMARY KEY (TerritoryID, RegionID)
+);
+CREATE TABLE Employees (
+  EmployeeID INT PRIMARY KEY,
+  FirstName VARCHAR(30) NOT NULL,
+  LastName VARCHAR(30) NOT NULL,
+  Title VARCHAR(30),
+  EmailName VARCHAR(60),
+  Extension VARCHAR(8),
+  Workphone VARCHAR(24)
+);
+CREATE TABLE EmployeeTerritory (
+  EmployeeID INT NOT NULL REFERENCES Employees(EmployeeID),
+  TerritoryID INT NOT NULL REFERENCES Territories(TerritoryID),
+  PRIMARY KEY (EmployeeID, TerritoryID)
+);
+CREATE TABLE Brands (
+  BrandID INT PRIMARY KEY,
+  BrandDescription VARCHAR(50)
+);
+CREATE TABLE Products (
+  ProductID INT PRIMARY KEY,
+  BrandID INT REFERENCES Brands(BrandID),
+  ProductName VARCHAR(50) NOT NULL,
+  BrandDescription VARCHAR(50)
+);
+CREATE TABLE Customers (
+  CustomerID INT PRIMARY KEY,
+  CompanyName VARCHAR(50) NOT NULL,
+  ContactFirstName VARCHAR(30),
+  ContactLastName VARCHAR(30),
+  BillingAddress VARCHAR(60),
+  City VARCHAR(30),
+  StateOrProvince VARCHAR(20),
+  PostalCode VARCHAR(10),
+  Country VARCHAR(30),
+  ContactTitle VARCHAR(30),
+  PhoneNumber VARCHAR(24),
+  FaxNumber VARCHAR(24)
+);
+CREATE TABLE Orders (
+  OrderID INT PRIMARY KEY,
+  ShippingMethodID INT REFERENCES ShippingMethods(ShippingMethodID),
+  EmployeeID INT REFERENCES Employees(EmployeeID),
+  CustomerID INT REFERENCES Customers(CustomerID),
+  OrderDate DATETIME,
+  Quantity DECIMAL(10,2),
+  UnitPrice MONEY,
+  Discount DECIMAL(4,2),
+  PurchaseOrdNumber VARCHAR(20),
+  ShipName VARCHAR(50),
+  ShipAddress VARCHAR(60),
+  ShipDate DATETIME,
+  FreightCharge MONEY,
+  SalesTaxRate DECIMAL(4,2)
+);
+CREATE TABLE OrderDetails (
+  OrderDetailID INT PRIMARY KEY,
+  OrderID INT NOT NULL REFERENCES Orders(OrderID),
+  ProductID INT NOT NULL REFERENCES Products(ProductID),
+  Quantity DECIMAL(10,2) NOT NULL,
+  UnitPrice MONEY NOT NULL,
+  Discount DECIMAL(4,2)
+);
+CREATE TABLE Payment (
+  PaymentID INT PRIMARY KEY,
+  OrderID INT NOT NULL REFERENCES Orders(OrderID),
+  PaymentMethodID INT REFERENCES PaymentMethods(PaymentMethodID),
+  PaymentAmount MONEY,
+  PaymentDate DATETIME,
+  CreditCardNumber VARCHAR(20),
+  CardholdersName VARCHAR(50),
+  CredCardExpDate DATE
+);
+CREATE TABLE PaymentMethods (
+  PaymentMethodID INT PRIMARY KEY,
+  PaymentMethod VARCHAR(30)
+);
+)sql");
+}
+
+Result<Schema> StarSchema() {
+  // Transcribed from Figure 8 (left column, "Star Schema").
+  return ParseSqlDdl("Star", R"sql(
+CREATE TABLE GEOGRAPHY (
+  PostalCode VARCHAR(10) PRIMARY KEY,
+  TerritoryID INT,
+  TerritoryDescription VARCHAR(50),
+  RegionID INT,
+  RegionDescription VARCHAR(50)
+);
+CREATE TABLE CUSTOMERS (
+  CustomerID INT PRIMARY KEY,
+  CustomerName VARCHAR(50),
+  CustomerTypeID INT,
+  CustomerTypeDescription VARCHAR(50),
+  PostalCode VARCHAR(10),
+  State VARCHAR(20)
+);
+CREATE TABLE TIME (
+  Date DATETIME PRIMARY KEY,
+  DayOfWeek VARCHAR(10),
+  Month INT,
+  Year INT,
+  Quarter INT,
+  DayOfYear INT,
+  Holiday BOOLEAN,
+  Weekend BOOLEAN,
+  YearMonth VARCHAR(8),
+  WeekOfYear INT
+);
+CREATE TABLE PRODUCTS (
+  ProductID INT PRIMARY KEY,
+  ProductName VARCHAR(50),
+  BrandID INT,
+  BrandDescription VARCHAR(50)
+);
+CREATE TABLE SALES (
+  OrderID INT,
+  OrderDetailID INT,
+  CustomerID INT REFERENCES CUSTOMERS(CustomerID),
+  PostalCode VARCHAR(10) REFERENCES GEOGRAPHY(PostalCode),
+  ProductID INT REFERENCES PRODUCTS(ProductID),
+  OrderDate DATETIME REFERENCES TIME(Date),
+  Quantity DECIMAL(10,2),
+  UnitPrice MONEY,
+  Discount DECIMAL(4,2),
+  PRIMARY KEY (OrderID, OrderDetailID)
+);
+)sql");
+}
+
+Result<Dataset> RdbStarDataset() {
+  CUPID_ASSIGN_OR_RETURN(Schema rdb, RdbSchema());
+  CUPID_ASSIGN_OR_RETURN(Schema star, StarSchema());
+  Dataset d{std::move(rdb), std::move(star), {},
+            "Figure 8: RDB vs Star warehouse schema"};
+  GoldMapping& g = d.gold;
+
+  // Customers.
+  g.Add("RDB.Customers.CustomerID", "Star.CUSTOMERS.CustomerID");
+  g.Add("RDB.Customers.CompanyName", "Star.CUSTOMERS.CustomerName");
+  g.Add("RDB.Customers.PostalCode", "Star.CUSTOMERS.PostalCode");
+  g.Add("RDB.Customers.StateOrProvince", "Star.CUSTOMERS.State");
+
+  // Products.
+  g.Add("RDB.Products.ProductID", "Star.PRODUCTS.ProductID");
+  g.Add("RDB.Products.ProductName", "Star.PRODUCTS.ProductName");
+  g.Add("RDB.Products.BrandID", "Star.PRODUCTS.BrandID");
+  g.Add("RDB.Products.BrandDescription", "Star.PRODUCTS.BrandDescription");
+
+  // Geography = join of Territories and Region (plus the PostalCode that
+  // only Customers has; the paper calls the Customers.PostalCode mapping
+  // for all three Star PostalCode columns desirable).
+  g.Add("RDB.Territories.TerritoryID", "Star.GEOGRAPHY.TerritoryID");
+  g.Add("RDB.Territories.TerritoryDescription",
+        "Star.GEOGRAPHY.TerritoryDescription");
+  g.Add("RDB.Region.RegionID", "Star.GEOGRAPHY.RegionID");
+  g.Add("RDB.Region.RegionDescription", "Star.GEOGRAPHY.RegionDescription");
+  g.Add("RDB.Customers.PostalCode", "Star.GEOGRAPHY.PostalCode");
+
+  // Sales = join of Orders and OrderDetails. RDB is denormalized (Quantity,
+  // UnitPrice, Discount exist in both tables; the FK columns exist in both
+  // the fact sources and the dimension tables), so several targets accept
+  // alternative sources.
+  g.Add("RDB.Orders.OrderID", "Star.SALES.OrderID");
+  g.Add("RDB.OrderDetails.OrderID", "Star.SALES.OrderID");
+  g.Add("RDB.OrderDetails.OrderDetailID", "Star.SALES.OrderDetailID");
+  g.Add("RDB.Orders.CustomerID", "Star.SALES.CustomerID");
+  g.Add("RDB.Customers.CustomerID", "Star.SALES.CustomerID");
+  g.Add("RDB.Customers.PostalCode", "Star.SALES.PostalCode");
+  g.Add("RDB.OrderDetails.ProductID", "Star.SALES.ProductID");
+  g.Add("RDB.Products.ProductID", "Star.SALES.ProductID");
+  g.Add("RDB.Orders.OrderDate", "Star.SALES.OrderDate");
+  g.Add("RDB.OrderDetails.Quantity", "Star.SALES.Quantity");
+  g.Add("RDB.Orders.Quantity", "Star.SALES.Quantity");
+  g.Add("RDB.OrderDetails.UnitPrice", "Star.SALES.UnitPrice");
+  g.Add("RDB.Orders.UnitPrice", "Star.SALES.UnitPrice");
+  g.Add("RDB.OrderDetails.Discount", "Star.SALES.Discount");
+  g.Add("RDB.Orders.Discount", "Star.SALES.Discount");
+
+  // BrandID/BrandDescription live in both Products and Brands.
+  g.Add("RDB.Brands.BrandID", "Star.PRODUCTS.BrandID");
+  g.Add("RDB.Brands.BrandDescription", "Star.PRODUCTS.BrandDescription");
+
+  // The Time dimension is derived from order dates.
+  g.Add("RDB.Orders.OrderDate", "Star.TIME.Date");
+  return d;
+}
+
+}  // namespace cupid

@@ -1,0 +1,19 @@
+#include "eval/gold_mapping.h"
+
+namespace cupid {
+
+void GoldMapping::Add(std::string source_path, std::string target_path) {
+  alternatives_[std::move(target_path)].insert(std::move(source_path));
+}
+
+bool GoldMapping::Contains(const std::string& source_path,
+                           const std::string& target_path) const {
+  auto it = alternatives_.find(target_path);
+  return it != alternatives_.end() && it->second.count(source_path) > 0;
+}
+
+bool GoldMapping::HasTarget(const std::string& target_path) const {
+  return alternatives_.count(target_path) > 0;
+}
+
+}  // namespace cupid

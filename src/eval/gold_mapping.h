@@ -1,0 +1,53 @@
+// Gold (reference) mappings for evaluating match output.
+
+#ifndef CUPID_EVAL_GOLD_MAPPING_H_
+#define CUPID_EVAL_GOLD_MAPPING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapping/mapping.h"
+
+namespace cupid {
+
+/// \brief The correct correspondences of a schema pair.
+///
+/// Keyed by target path; each target may accept several alternative source
+/// paths (schemas are often denormalized, so e.g. Star.SALES.Quantity is
+/// correctly derived from either RDB.Orders.Quantity or
+/// RDB.OrderDetails.Quantity). A produced pair is correct when its source is
+/// among the target's alternatives; a target counts as missed when no
+/// produced pair covers it.
+class GoldMapping {
+ public:
+  GoldMapping() = default;
+
+  /// Registers `source_path` as a correct source for `target_path`. Calling
+  /// again with the same target adds an alternative.
+  void Add(std::string source_path, std::string target_path);
+
+  /// True if (source, target) is a correct pair.
+  bool Contains(const std::string& source_path,
+                const std::string& target_path) const;
+
+  /// True if `target_path` has any gold entry.
+  bool HasTarget(const std::string& target_path) const;
+
+  /// Number of distinct gold targets.
+  size_t size() const { return alternatives_.size(); }
+
+  /// target -> accepted sources.
+  const std::map<std::string, std::set<std::string>>& alternatives() const {
+    return alternatives_;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> alternatives_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_EVAL_GOLD_MAPPING_H_

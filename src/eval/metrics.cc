@@ -1,0 +1,37 @@
+#include "eval/metrics.h"
+
+#include "util/strings.h"
+
+namespace cupid {
+
+MatchQuality Evaluate(const Mapping& produced, const GoldMapping& gold) {
+  MatchQuality q;
+  std::set<std::pair<std::string, std::string>> seen;
+  std::set<std::string> covered_targets;
+  for (const MappingElement& e : produced.elements) {
+    std::pair<std::string, std::string> key{e.source_path, e.target_path};
+    if (!seen.insert(key).second) continue;  // duplicates scored once
+    if (gold.Contains(e.source_path, e.target_path)) {
+      ++q.true_positives;
+      covered_targets.insert(e.target_path);
+    } else {
+      ++q.false_positives;
+      q.false_positive_pairs.push_back(key);
+    }
+  }
+  for (const auto& [target, sources] : gold.alternatives()) {
+    if (!covered_targets.count(target)) {
+      ++q.false_negatives;
+      q.false_negative_pairs.emplace_back(*sources.begin(), target);
+    }
+  }
+  return q;
+}
+
+std::string FormatQuality(const MatchQuality& q) {
+  return StringFormat("P=%.2f R=%.2f F1=%.2f (%d tp, %d fp, %d fn)",
+                      q.precision(), q.recall(), q.f1(), q.true_positives,
+                      q.false_positives, q.false_negatives);
+}
+
+}  // namespace cupid

@@ -1,0 +1,47 @@
+// Match quality metrics: precision / recall / F-measure of a produced
+// mapping against a gold mapping.
+
+#ifndef CUPID_EVAL_METRICS_H_
+#define CUPID_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/gold_mapping.h"
+#include "mapping/mapping.h"
+
+namespace cupid {
+
+struct MatchQuality {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  double precision() const {
+    int denom = true_positives + false_positives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double recall() const {
+    int denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double f1() const {
+    double p = precision(), r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  /// The produced pairs that were wrong / the gold pairs that were missed
+  /// (for diagnostics in experiment harnesses).
+  std::vector<std::pair<std::string, std::string>> false_positive_pairs;
+  std::vector<std::pair<std::string, std::string>> false_negative_pairs;
+};
+
+/// \brief Scores `produced` against `gold` by exact path-pair matching.
+MatchQuality Evaluate(const Mapping& produced, const GoldMapping& gold);
+
+/// \brief One-line summary "P=0.92 R=0.88 F1=0.90 (23 tp, 2 fp, 3 fn)".
+std::string FormatQuality(const MatchQuality& q);
+
+}  // namespace cupid
+
+#endif  // CUPID_EVAL_METRICS_H_

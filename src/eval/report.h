@@ -1,0 +1,36 @@
+// Fixed-width table rendering for the experiment harness binaries that
+// regenerate the paper's tables.
+
+#ifndef CUPID_EVAL_REPORT_H_
+#define CUPID_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace cupid {
+
+/// \brief Accumulates rows and renders an aligned ASCII table:
+///
+///     TableReport t({"Test", "Cupid", "DIKE", "MOMIS"});
+///     t.AddRow({"Identical schemas", "Y", "Y", "Y"});
+///     std::cout << t.Render();
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header separator; columns padded to max cell width.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief "Y" / "N" helper for Table 2-style comparisons.
+inline const char* YesNo(bool v) { return v ? "Y" : "N"; }
+
+}  // namespace cupid
+
+#endif  // CUPID_EVAL_REPORT_H_

@@ -1,0 +1,227 @@
+#include "eval/synthetic.h"
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "schema/schema_builder.h"
+#include "util/random.h"
+
+namespace cupid {
+
+namespace {
+
+// Business vocabulary for plausible element names.
+constexpr const char* kContainerWords[] = {
+    "Order",    "Customer", "Invoice",  "Shipment", "Product", "Payment",
+    "Address",  "Contact",  "Line",     "Account",  "Employee", "Supplier",
+    "Category", "Region",   "Warehouse", "Delivery", "Header",  "Detail",
+};
+constexpr const char* kLeafWords[] = {
+    "Id",      "Name",   "Date",     "Quantity", "Price",  "Amount",
+    "Code",    "Status", "Number",   "Street",   "City",   "Country",
+    "Phone",   "Email",  "Discount", "Total",    "Weight", "Description",
+    "Currency", "Zip",
+};
+constexpr DataType kLeafTypes[] = {
+    DataType::kInteger, DataType::kString,  DataType::kDecimal,
+    DataType::kDate,    DataType::kMoney,   DataType::kBoolean,
+    DataType::kDateTime,
+};
+
+// Rename table for target-side mutation: full word -> short form.
+struct Rename {
+  const char* full;
+  const char* abbreviated;
+};
+constexpr Rename kRenames[] = {
+    {"Quantity", "Qty"},     {"Number", "Num"},     {"Amount", "Amt"},
+    {"Address", "Addr"},     {"Customer", "Cust"},  {"Description", "Desc"},
+    {"Telephone", "Tel"},    {"Phone", "Ph"},       {"Account", "Acct"},
+    {"Employee", "Emp"},     {"Order", "Ord"},      {"Product", "Prod"},
+    {"Invoice", "Inv"},      {"Total", "Tot"},
+};
+
+/// Intermediate representation so mutations can be applied before emitting
+/// the two schemas.
+struct ProtoNode {
+  std::string name;
+  bool leaf = false;
+  DataType type = DataType::kString;
+  bool optional = false;
+  std::vector<ProtoNode> children;
+};
+
+class Generator {
+ public:
+  explicit Generator(const SyntheticOptions& opt)
+      : opt_(opt), rng_(opt.seed) {}
+
+  ProtoNode GenerateTree() {
+    budget_ = opt_.num_elements;
+    ProtoNode root;
+    root.name = "Root";
+    // Keep adding top-level containers until the element budget runs out.
+    int section = 0;
+    while (budget_ > 0) {
+      root.children.push_back(GenerateContainer(1, section++));
+    }
+    return root;
+  }
+
+  ProtoNode MutateTree(const ProtoNode& node) {
+    ProtoNode out;
+    out.name = MaybeRename(node.name);
+    out.leaf = node.leaf;
+    out.optional = node.optional;
+    out.type = node.leaf ? MaybeRetype(node.type) : node.type;
+    for (const ProtoNode& child : node.children) {
+      ProtoNode mutated = MutateTree(child);
+      if (!mutated.leaf && !mutated.children.empty() &&
+          rng_.NextBernoulli(opt_.flatten_probability)) {
+        // Flatten: hoist the container's children into this node.
+        for (ProtoNode& grand : mutated.children) {
+          out.children.push_back(std::move(grand));
+        }
+      } else {
+        out.children.push_back(std::move(mutated));
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::string PickName(const char* const* words, size_t n, int salt) {
+    std::string base = words[rng_.NextBounded(n)];
+    // Occasionally qualify with a second word or an index to reduce
+    // collisions in large schemas.
+    if (rng_.NextBernoulli(0.4)) {
+      base += words[rng_.NextBounded(n)];
+    }
+    if (rng_.NextBernoulli(0.15)) {
+      base += std::to_string(salt % 9 + 1);
+    }
+    return base;
+  }
+
+  ProtoNode GenerateContainer(int depth, int salt) {
+    --budget_;
+    ProtoNode node;
+    node.name = PickName(kContainerWords, std::size(kContainerWords), salt);
+    node.optional = rng_.NextBernoulli(opt_.optional_probability);
+    int children = 2 + static_cast<int>(rng_.NextBounded(
+                           static_cast<uint64_t>(opt_.max_children - 1)));
+    for (int i = 0; i < children && budget_ > 0; ++i) {
+      bool make_leaf = depth >= opt_.max_depth || rng_.NextBernoulli(0.6);
+      if (make_leaf) {
+        --budget_;
+        ProtoNode leaf;
+        leaf.leaf = true;
+        leaf.name = PickName(kLeafWords, std::size(kLeafWords), salt + i);
+        leaf.type = kLeafTypes[rng_.NextBounded(std::size(kLeafTypes))];
+        leaf.optional = rng_.NextBernoulli(opt_.optional_probability);
+        node.children.push_back(std::move(leaf));
+      } else {
+        node.children.push_back(GenerateContainer(depth + 1, salt + i));
+      }
+    }
+    return node;
+  }
+
+  std::string MaybeRename(const std::string& name) {
+    if (!rng_.NextBernoulli(opt_.rename_probability)) return name;
+    // Try the abbreviation table first.
+    for (const Rename& r : kRenames) {
+      auto pos = name.find(r.full);
+      if (pos != std::string::npos) {
+        std::string out = name;
+        out.replace(pos, std::string(r.full).size(), r.abbreviated);
+        return out;
+      }
+    }
+    // Otherwise add an affix.
+    return rng_.NextBernoulli(0.5) ? ("The" + name) : (name + "Field");
+  }
+
+  DataType MaybeRetype(DataType t) {
+    if (!rng_.NextBernoulli(opt_.type_change_probability)) return t;
+    switch (t) {
+      case DataType::kInteger: return DataType::kBigInt;
+      case DataType::kDecimal: return DataType::kFloat;
+      case DataType::kString: return DataType::kText;
+      case DataType::kDate: return DataType::kDateTime;
+      case DataType::kMoney: return DataType::kDecimal;
+      default: return t;
+    }
+  }
+
+  SyntheticOptions opt_;
+  SplitMix64 rng_;
+  int budget_ = 0;
+};
+
+void EmitNode(const ProtoNode& node, ElementId parent, XmlSchemaBuilder* b) {
+  if (node.leaf) {
+    b->AddAttribute(parent, node.name, node.type, node.optional);
+    return;
+  }
+  ElementId el = b->AddElement(parent, node.name, node.optional);
+  for (const ProtoNode& child : node.children) {
+    EmitNode(child, el, b);
+  }
+}
+
+/// Collects leaf context paths in generation order; mutation preserves leaf
+/// order (flattening hoists but never reorders/removes leaves), so source
+/// and target leaf sequences align positionally.
+void CollectLeafPaths(const ProtoNode& node, const std::string& prefix,
+                      std::vector<std::string>* out) {
+  std::string path = prefix + "." + node.name;
+  if (node.leaf) {
+    out->push_back(path);
+    return;
+  }
+  for (const ProtoNode& child : node.children) {
+    CollectLeafPaths(child, path, out);
+  }
+}
+
+Schema EmitSchema(const ProtoNode& root, const std::string& name) {
+  XmlSchemaBuilder b(name);
+  for (const ProtoNode& child : root.children) {
+    EmitNode(child, b.root(), &b);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+Schema GenerateSyntheticSchema(const SyntheticOptions& options) {
+  Generator gen(options);
+  return EmitSchema(gen.GenerateTree(), "Synthetic");
+}
+
+SyntheticPair GenerateSyntheticPair(const SyntheticOptions& options) {
+  Generator gen(options);
+  ProtoNode source_tree = gen.GenerateTree();
+  ProtoNode target_tree = gen.MutateTree(source_tree);
+
+  SyntheticPair pair{EmitSchema(source_tree, "Source"),
+                     EmitSchema(target_tree, "Target"),
+                     {}};
+  std::vector<std::string> source_leaves, target_leaves;
+  for (const ProtoNode& child : source_tree.children) {
+    CollectLeafPaths(child, "Source", &source_leaves);
+  }
+  for (const ProtoNode& child : target_tree.children) {
+    CollectLeafPaths(child, "Target", &target_leaves);
+  }
+  // Mutation preserves the number and order of leaves.
+  for (size_t i = 0; i < source_leaves.size() && i < target_leaves.size();
+       ++i) {
+    pair.gold.Add(source_leaves[i], target_leaves[i]);
+  }
+  return pair;
+}
+
+}  // namespace cupid

@@ -1,0 +1,54 @@
+// Synthetic schema-pair generator for scalability and robustness
+// experiments (Section 10 lists scalability analysis as open work; E7/E8 in
+// DESIGN.md use this generator).
+//
+// A source schema is generated from a business vocabulary; the target is a
+// mutated copy (renames via abbreviations/affixes, data-type drift,
+// flattened containers) with the ground-truth leaf correspondence tracked
+// through the mutations. Fully deterministic given the seed.
+
+#ifndef CUPID_EVAL_SYNTHETIC_H_
+#define CUPID_EVAL_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "eval/gold_mapping.h"
+#include "schema/schema.h"
+
+namespace cupid {
+
+struct SyntheticOptions {
+  /// Approximate number of elements in the source schema.
+  int num_elements = 100;
+  /// Maximum children per container.
+  int max_children = 6;
+  /// Maximum nesting depth.
+  int max_depth = 5;
+  /// Probability a generated element is optional.
+  double optional_probability = 0.2;
+  /// Probability a target-side leaf/container is renamed (abbreviated or
+  /// affixed).
+  double rename_probability = 0.3;
+  /// Probability a target-side leaf changes to a compatible data type.
+  double type_change_probability = 0.1;
+  /// Probability a target-side container is flattened into its parent
+  /// (tests the leaf-bias of TreeMatch).
+  double flatten_probability = 0.15;
+  uint64_t seed = 42;
+};
+
+struct SyntheticPair {
+  Schema source;
+  Schema target;
+  GoldMapping gold;  ///< leaf-level, by context paths
+};
+
+/// \brief Generates only the source schema (for single-schema benchmarks).
+Schema GenerateSyntheticSchema(const SyntheticOptions& options);
+
+/// \brief Generates a (source, mutated target, gold) triple.
+SyntheticPair GenerateSyntheticPair(const SyntheticOptions& options);
+
+}  // namespace cupid
+
+#endif  // CUPID_EVAL_SYNTHETIC_H_

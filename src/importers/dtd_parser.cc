@@ -1,0 +1,369 @@
+#include "importers/dtd_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+struct ChildRef {
+  std::string name;
+  bool optional = false;  // '?' or '*' multiplicity
+};
+
+struct AttrDecl {
+  std::string name;
+  std::string type;  // CDATA, ID, IDREF, IDREFS, NMTOKEN, enumeration...
+  bool optional = false;
+};
+
+struct ElementDecl {
+  std::string name;
+  std::vector<ChildRef> children;
+  std::vector<AttrDecl> attributes;
+  bool pcdata = false;
+  int declaration_order = 0;
+};
+
+/// Extracts `<!KEYWORD ...>` declarations, tolerating comments.
+class DtdScanner {
+ public:
+  explicit DtdScanner(const std::string& text) : s_(text) {}
+
+  /// Next declaration as (keyword, body); false at end of input.
+  Result<bool> Next(std::string* keyword, std::string* body) {
+    while (pos_ < s_.size()) {
+      if (std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        continue;
+      }
+      if (s_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = s_.find("-->", pos_);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated DTD comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (s_.compare(pos_, 2, "<!") == 0) {
+        size_t end = s_.find('>', pos_);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated DTD declaration");
+        }
+        std::string inner = s_.substr(pos_ + 2, end - pos_ - 2);
+        pos_ = end + 1;
+        size_t space = inner.find_first_of(" \t\r\n");
+        *keyword = inner.substr(0, space);
+        *body = space == std::string::npos ? "" : inner.substr(space + 1);
+        return true;
+      }
+      return Status::ParseError(
+          StringFormat("unexpected character '%c' in DTD", s_[pos_]));
+    }
+    return false;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Pulls the child element references out of a content model, recording
+/// '?'/'*' multiplicity as optionality. Group structure beyond that is not
+/// needed by the schema model.
+void ParseContentModel(std::string_view model, ElementDecl* decl) {
+  std::string name;
+  auto flush = [&](bool optional) {
+    if (name.empty()) return;
+    if (name == "#PCDATA") {
+      decl->pcdata = true;
+    } else if (name != "EMPTY" && name != "ANY") {
+      decl->children.push_back({name, optional});
+    }
+    name.clear();
+  };
+  for (char c : model) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == '.' || c == '#') {
+      name += c;
+    } else if (c == '?' || c == '*') {
+      flush(/*optional=*/true);
+    } else {
+      flush(/*optional=*/false);
+    }
+  }
+  flush(false);
+}
+
+Status ParseAttList(std::string_view body,
+                    std::map<std::string, ElementDecl>* decls) {
+  std::vector<std::string> tokens = SplitAny(body, " \t\r\n");
+  if (tokens.empty()) return Status::ParseError("empty ATTLIST");
+  auto it = decls->find(tokens[0]);
+  if (it == decls->end()) {
+    return Status::ParseError("ATTLIST for undeclared element '" +
+                              tokens[0] + "'");
+  }
+  // Groups of: name type default. Enumerations "(a|b|c)" count as one type
+  // token; defaults are #REQUIRED/#IMPLIED/#FIXED "v"/quoted literal.
+  size_t i = 1;
+  while (i < tokens.size()) {
+    if (i + 2 > tokens.size()) {
+      return Status::ParseError("truncated ATTLIST entry for element '" +
+                                tokens[0] + "'");
+    }
+    AttrDecl attr;
+    attr.name = tokens[i++];
+    attr.type = tokens[i++];
+    if (i < tokens.size() &&
+        (tokens[i] == "#REQUIRED" || tokens[i] == "#IMPLIED")) {
+      attr.optional = tokens[i] == "#IMPLIED";
+      ++i;
+    } else if (i < tokens.size() && tokens[i] == "#FIXED") {
+      i += 2;  // #FIXED "value"
+    } else if (i < tokens.size()) {
+      ++i;  // default literal
+      attr.optional = true;
+    }
+    it->second.attributes.push_back(std::move(attr));
+  }
+  return Status::OK();
+}
+
+DataType AttrDataType(const std::string& dtd_type) {
+  if (dtd_type == "ID" || dtd_type == "IDREF" || dtd_type == "IDREFS") {
+    return DataType::kIdRef;
+  }
+  if (dtd_type == "NMTOKEN" || dtd_type == "NMTOKENS") {
+    return DataType::kString;
+  }
+  return DataType::kString;  // CDATA, enumerations
+}
+
+/// Builds the schema graph from the parsed declarations.
+class DtdBuilder {
+ public:
+  DtdBuilder(std::string schema_name,
+             std::map<std::string, ElementDecl> decls)
+      : schema_(std::move(schema_name)), decls_(std::move(decls)) {}
+
+  Result<Schema> Build() {
+    CountReferences();
+
+    // Shared elements (multiple referencing parents) become type
+    // definitions instantiated per context.
+    for (const auto& [name, decl] : decls_) {
+      if (reference_count_[name] > 1) {
+        Element type;
+        type.name = name;
+        type.kind = ElementKind::kTypeDef;
+        type.data_type = DataType::kComplex;
+        shared_types_[name] = schema_.AddElement(std::move(type), kNoElement);
+      }
+    }
+    // Populate shared type members first, then the containment tree from
+    // roots (declared elements nobody references).
+    for (const auto& [name, id] : shared_types_) {
+      CUPID_RETURN_NOT_OK(PopulateMembers(decls_.at(name), id));
+    }
+    std::vector<const ElementDecl*> roots;
+    for (const auto& [name, decl] : decls_) {
+      if (reference_count_[name] == 0) roots.push_back(&decl);
+    }
+    if (roots.empty() && !decls_.empty()) {
+      return Status::CycleDetected(
+          "DTD has no root element (every element is referenced)");
+    }
+    std::sort(roots.begin(), roots.end(),
+              [](const ElementDecl* a, const ElementDecl* b) {
+                return a->declaration_order < b->declaration_order;
+              });
+    for (const ElementDecl* root : roots) {
+      CUPID_RETURN_NOT_OK(
+          InstantiateElement(*root, schema_.root(), /*optional=*/false));
+    }
+    CUPID_RETURN_NOT_OK(LinkIdRefs());
+    CUPID_RETURN_NOT_OK(schema_.Validate());
+    return std::move(schema_);
+  }
+
+ private:
+  void CountReferences() {
+    for (const auto& [name, decl] : decls_) {
+      reference_count_.emplace(name, 0);
+    }
+    for (const auto& [name, decl] : decls_) {
+      for (const ChildRef& child : decl.children) {
+        ++reference_count_[child.name];
+      }
+    }
+  }
+
+  /// Creates the container element for `decl` under `parent` and fills it
+  /// (or types it by the shared type definition).
+  Status InstantiateElement(const ElementDecl& decl, ElementId parent,
+                            bool optional) {
+    Element e;
+    e.name = decl.name;
+    e.kind = decl.children.empty() && decl.attributes.empty()
+                 ? ElementKind::kAtomic
+                 : ElementKind::kContainer;
+    e.data_type = e.kind == ElementKind::kAtomic ? DataType::kString
+                                                 : DataType::kComplex;
+    e.optional = optional;
+    ElementId id = schema_.AddElement(std::move(e), parent);
+
+    auto shared = shared_types_.find(decl.name);
+    if (shared != shared_types_.end()) {
+      return schema_.AddIsDerivedFrom(id, shared->second);
+    }
+    return PopulateMembers(decl, id);
+  }
+
+  /// Adds `decl`'s attributes and child elements under `owner`.
+  Status PopulateMembers(const ElementDecl& decl, ElementId owner) {
+    if (!on_path_.insert(decl.name).second) {
+      return Status::CycleDetected("recursive DTD element '" + decl.name +
+                                   "' (recursive types are unsupported)");
+    }
+    for (const AttrDecl& attr : decl.attributes) {
+      Element a;
+      a.name = attr.name;
+      a.kind = ElementKind::kAtomic;
+      a.data_type = AttrDataType(attr.type);
+      a.optional = attr.optional;
+      a.is_key = attr.type == "ID";
+      ElementId attr_id = schema_.AddElement(std::move(a), owner);
+      if (attr.type == "ID") {
+        id_attrs_.push_back({owner, attr_id});
+      } else if (attr.type == "IDREF" || attr.type == "IDREFS") {
+        idref_attrs_.push_back({owner, attr_id});
+      }
+    }
+    for (const ChildRef& child : decl.children) {
+      auto it = decls_.find(child.name);
+      if (it == decls_.end()) {
+        // Child never declared: treat as a string leaf.
+        Element leaf;
+        leaf.name = child.name;
+        leaf.kind = ElementKind::kAtomic;
+        leaf.data_type = DataType::kString;
+        leaf.optional = child.optional;
+        schema_.AddElement(std::move(leaf), owner);
+        continue;
+      }
+      CUPID_RETURN_NOT_OK(
+          InstantiateElement(it->second, owner, child.optional));
+    }
+    on_path_.erase(decl.name);
+    return Status::OK();
+  }
+
+  /// Reifies ID/IDREF pairs as key + RefInt elements (Section 8.3 / Fig 5).
+  Status LinkIdRefs() {
+    if (idref_attrs_.empty()) return Status::OK();
+    // One key element per ID attribute.
+    std::vector<ElementId> keys;
+    for (const auto& [owner, attr] : id_attrs_) {
+      Element key;
+      key.name = schema_.element(owner).name + "_id";
+      key.kind = ElementKind::kKey;
+      key.not_instantiated = true;
+      ElementId key_id = schema_.AddElement(std::move(key), owner);
+      CUPID_RETURN_NOT_OK(schema_.AddAggregation(key_id, attr));
+      keys.push_back(key_id);
+    }
+    if (keys.empty()) return Status::OK();  // IDREFs with no IDs: leave bare
+    for (const auto& [owner, attr] : idref_attrs_) {
+      Element ref;
+      ref.name = schema_.element(owner).name + "_" +
+                 schema_.element(attr).name + "_ref";
+      ref.kind = ElementKind::kRefInt;
+      ref.not_instantiated = true;
+      ElementId ref_id = schema_.AddElement(std::move(ref), owner);
+      CUPID_RETURN_NOT_OK(schema_.AddAggregation(ref_id, attr));
+      // The 1:n reference relationship: a single IDREF may reference any of
+      // the document's IDs (Section 8.3).
+      for (ElementId key : keys) {
+        CUPID_RETURN_NOT_OK(schema_.AddReference(ref_id, key));
+      }
+    }
+    return Status::OK();
+  }
+
+  Schema schema_;
+  std::map<std::string, ElementDecl> decls_;
+  std::map<std::string, int> reference_count_;
+  std::map<std::string, ElementId> shared_types_;
+  std::set<std::string> on_path_;
+  std::vector<std::pair<ElementId, ElementId>> id_attrs_;    // (owner, attr)
+  std::vector<std::pair<ElementId, ElementId>> idref_attrs_;
+};
+
+}  // namespace
+
+Result<Schema> ParseDtd(const std::string& schema_name,
+                        const std::string& dtd) {
+  DtdScanner scanner(dtd);
+  std::map<std::string, ElementDecl> decls;
+  int order = 0;
+  std::string keyword, body;
+  std::vector<std::pair<std::string, std::string>> attlists;
+  while (true) {
+    CUPID_ASSIGN_OR_RETURN(bool more, scanner.Next(&keyword, &body));
+    if (!more) break;
+    if (keyword == "ELEMENT") {
+      std::vector<std::string> head = SplitAny(body, " \t\r\n");
+      if (head.empty()) return Status::ParseError("ELEMENT without a name");
+      ElementDecl decl;
+      decl.name = head[0];
+      decl.declaration_order = order++;
+      size_t name_end = body.find(head[0]) + head[0].size();
+      ParseContentModel(std::string_view(body).substr(name_end), &decl);
+      if (!decls.emplace(decl.name, decl).second) {
+        return Status::ParseError("duplicate ELEMENT declaration '" +
+                                  decl.name + "'");
+      }
+    } else if (keyword == "ATTLIST") {
+      attlists.emplace_back(keyword, body);  // resolved after all ELEMENTs
+    } else if (keyword == "ENTITY" || keyword == "NOTATION" ||
+               keyword == "DOCTYPE") {
+      continue;  // ignored
+    } else {
+      return Status::ParseError("unsupported DTD declaration <!" + keyword +
+                                ">");
+    }
+  }
+  for (const auto& [kw, attr_body] : attlists) {
+    CUPID_RETURN_NOT_OK(ParseAttList(attr_body, &decls));
+  }
+  if (decls.empty()) {
+    return Status::ParseError("DTD declares no elements");
+  }
+  return DtdBuilder(schema_name, std::move(decls)).Build();
+}
+
+Result<Schema> LoadDtdFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open DTD file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string stem = path;
+  if (auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return ParseDtd(stem, buf.str());
+}
+
+}  // namespace cupid

@@ -1,0 +1,41 @@
+// XML DTD importer. The paper's Section 8.3 names ID/IDREF pairs in DTDs as
+// referential constraints; this importer turns a DTD into the generic
+// schema model, including RefInt elements for IDREF attributes.
+//
+// Supported subset:
+//
+//     <!ELEMENT po (header, lines+, note?)>
+//     <!ELEMENT header (#PCDATA)>
+//     <!ATTLIST lines count CDATA #REQUIRED
+//                     owner IDREF #IMPLIED>
+//     <!ATTLIST header id ID #REQUIRED>
+//
+// * element content models: child names with ?/*/+ suffixes, ',' and '|'
+//   separators, nesting parentheses, #PCDATA, EMPTY, ANY;
+// * '?'/'*' multiplicity and #IMPLIED attributes map to `optional`;
+// * attribute types CDATA -> string, ID -> idref (key-ish), IDREF/IDREFS ->
+//   a RefInt element referencing the document's ID-carrying elements;
+// * the first declared element is the root of the containment tree;
+//   elements referenced by several parents become shared types
+//   (IsDerivedFrom), matching how the schema graph models reuse.
+
+#ifndef CUPID_IMPORTERS_DTD_PARSER_H_
+#define CUPID_IMPORTERS_DTD_PARSER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Parses DTD text into a schema named `schema_name`.
+Result<Schema> ParseDtd(const std::string& schema_name,
+                        const std::string& dtd);
+
+/// \brief Reads `path` and calls ParseDtd with the file stem as name.
+Result<Schema> LoadDtdFile(const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_IMPORTERS_DTD_PARSER_H_

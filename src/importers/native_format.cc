@@ -1,0 +1,218 @@
+#include "importers/native_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/schema_builder.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+struct Line {
+  int number;
+  int depth;  // indentation level (2 spaces per level)
+  std::vector<std::string> words;
+};
+
+Result<std::vector<Line>> SplitLines(const std::string& text) {
+  std::vector<Line> out;
+  std::istringstream in(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    // Strip comments.
+    if (auto hash = raw.find('#'); hash != std::string::npos) {
+      raw = raw.substr(0, hash);
+    }
+    size_t indent = 0;
+    while (indent < raw.size() && raw[indent] == ' ') ++indent;
+    if (TrimWhitespace(raw).empty()) continue;
+    if (indent % 2 != 0) {
+      return Status::ParseError(
+          StringFormat("line %d: odd indentation (use 2 spaces per level)",
+                       number));
+    }
+    out.push_back({number, static_cast<int>(indent / 2),
+                   SplitAny(TrimWhitespace(raw), " \t")});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> ParseNativeSchema(const std::string& text) {
+  CUPID_ASSIGN_OR_RETURN(std::vector<Line> lines, SplitLines(text));
+  if (lines.empty() || lines[0].words[0] != "schema" ||
+      lines[0].words.size() != 2) {
+    return Status::ParseError("first line must be 'schema <name>'");
+  }
+  XmlSchemaBuilder builder(lines[0].words[1]);
+
+  // Forward-declare types (pass 1) so nodes may reference types defined
+  // later in the file.
+  std::unordered_map<std::string, ElementId> types;
+  for (const Line& line : lines) {
+    if (line.words[0] == "type") {
+      if (line.words.size() != 2 || line.depth != 0) {
+        return Status::ParseError(StringFormat(
+            "line %d: expected top-level 'type <name>'", line.number));
+      }
+      if (types.count(line.words[1])) {
+        return Status::ParseError(StringFormat("line %d: duplicate type '%s'",
+                                               line.number,
+                                               line.words[1].c_str()));
+      }
+      types[line.words[1]] = builder.AddComplexType(line.words[1]);
+    }
+  }
+
+  // Pass 2: build the tree. parents[d] = element open at depth d.
+  std::vector<ElementId> parents{builder.root()};
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const Line& line = lines[i];
+    const std::string& kind = line.words[0];
+
+    if (kind == "type") {
+      parents.resize(1);
+      parents.push_back(types[line.words[1]]);
+      continue;
+    }
+    if (kind != "node" && kind != "leaf") {
+      return Status::ParseError(StringFormat(
+          "line %d: unknown keyword '%s'", line.number, kind.c_str()));
+    }
+    if (line.words.size() < 2) {
+      return Status::ParseError(
+          StringFormat("line %d: missing name", line.number));
+    }
+    if (line.depth >= static_cast<int>(parents.size())) {
+      return Status::ParseError(
+          StringFormat("line %d: indentation jumps a level", line.number));
+    }
+    parents.resize(static_cast<size_t>(line.depth) + 1);
+    ElementId parent = parents[static_cast<size_t>(line.depth)];
+    const std::string& name = line.words[1];
+
+    if (kind == "node") {
+      bool optional = false;
+      std::string type_ref;
+      for (size_t w = 2; w < line.words.size(); ++w) {
+        if (line.words[w] == ":") {
+          if (w + 1 >= line.words.size()) {
+            return Status::ParseError(StringFormat(
+                "line %d: ':' must be followed by a type name", line.number));
+          }
+          type_ref = line.words[++w];
+        } else if (line.words[w] == "optional") {
+          optional = true;
+        } else {
+          return Status::ParseError(StringFormat("line %d: unexpected '%s'",
+                                                 line.number,
+                                                 line.words[w].c_str()));
+        }
+      }
+      ElementId el = builder.AddElement(parent, name, optional);
+      if (!type_ref.empty()) {
+        auto it = types.find(type_ref);
+        if (it == types.end()) {
+          return Status::ParseError(StringFormat(
+              "line %d: unknown type '%s'", line.number, type_ref.c_str()));
+        }
+        CUPID_RETURN_NOT_OK(builder.SetType(el, it->second));
+      }
+      parents.push_back(el);
+    } else {  // leaf
+      if (line.words.size() < 3) {
+        return Status::ParseError(StringFormat(
+            "line %d: 'leaf <name> <datatype>' expected", line.number));
+      }
+      CUPID_ASSIGN_OR_RETURN(DataType dt, DataTypeFromName(line.words[2]));
+      bool optional = false, key = false;
+      for (size_t w = 3; w < line.words.size(); ++w) {
+        if (line.words[w] == "optional") {
+          optional = true;
+        } else if (line.words[w] == "key") {
+          key = true;
+        } else {
+          return Status::ParseError(StringFormat("line %d: unexpected '%s'",
+                                                 line.number,
+                                                 line.words[w].c_str()));
+        }
+      }
+      ElementId leaf = builder.AddAttribute(parent, name, dt, optional);
+      if (key) {
+        builder.mutable_schema()->mutable_element(leaf)->is_key = true;
+      }
+      parents.push_back(leaf);  // keeps depths aligned; leaves get no kids
+    }
+  }
+
+  Schema schema = std::move(builder).Build();
+  CUPID_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+namespace {
+
+void SerializeElement(const Schema& s, ElementId id, int depth,
+                      std::string* out) {
+  const Element& e = s.element(id);
+  if (e.kind == ElementKind::kKey || e.kind == ElementKind::kRefInt ||
+      e.kind == ElementKind::kView) {
+    return;
+  }
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (e.kind == ElementKind::kAtomic) {
+    out->append("leaf ");
+    out->append(e.name);
+    out->append(" ");
+    out->append(DataTypeName(e.data_type));
+    if (e.optional) out->append(" optional");
+    if (e.is_key) out->append(" key");
+  } else {
+    out->append(depth == 0 && e.kind == ElementKind::kTypeDef ? "type "
+                                                              : "node ");
+    out->append(e.name);
+    if (!s.derived_from(id).empty()) {
+      out->append(" : ");
+      out->append(s.element(s.derived_from(id)[0]).name);
+    }
+    if (e.optional) out->append(" optional");
+  }
+  out->append("\n");
+  for (ElementId c : s.children(id)) {
+    SerializeElement(s, c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string SerializeNativeSchema(const Schema& schema) {
+  std::string out = "schema " + schema.name() + "\n";
+  for (ElementId id : schema.AllElements()) {
+    if (id == schema.root()) continue;
+    if (schema.parent(id) == kNoElement &&
+        schema.element(id).kind == ElementKind::kTypeDef) {
+      SerializeElement(schema, id, 0, &out);
+    }
+  }
+  for (ElementId c : schema.children(schema.root())) {
+    SerializeElement(schema, c, 0, &out);
+  }
+  return out;
+}
+
+Result<Schema> LoadNativeSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open schema file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNativeSchema(buf.str());
+}
+
+}  // namespace cupid

@@ -1,0 +1,45 @@
+// The native ".cupid" schema text format: a compact, indentation-based
+// notation for hierarchical schemas with shared types. Round-trips through
+// ParseNativeSchema / SerializeNativeSchema.
+//
+//     schema PurchaseOrder
+//     type Address
+//       leaf Street string
+//       leaf City string
+//     node DeliverTo : Address
+//     node InvoiceTo : Address
+//     node Items
+//       node Item optional
+//         leaf ItemNumber integer
+//         leaf Quantity decimal optional
+//
+// Grammar (2-space indentation, '#' comments):
+//   schema <name>                  — first non-comment line
+//   type <name>                    — shared type definition (top level)
+//   node <name> [: <type>] [optional]
+//   leaf <name> <datatype> [optional] [key]
+
+#ifndef CUPID_IMPORTERS_NATIVE_FORMAT_H_
+#define CUPID_IMPORTERS_NATIVE_FORMAT_H_
+
+#include <string>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Parses the native text format into a schema graph.
+Result<Schema> ParseNativeSchema(const std::string& text);
+
+/// \brief Serializes `schema` to the native format. Only containment,
+/// IsDerivedFrom and the atomic/optional/key flags are represented; RefInt
+/// and view elements are skipped (use the SQL importer for those).
+std::string SerializeNativeSchema(const Schema& schema);
+
+/// \brief Reads `path` and calls ParseNativeSchema.
+Result<Schema> LoadNativeSchemaFile(const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_IMPORTERS_NATIVE_FORMAT_H_

@@ -1,0 +1,361 @@
+#include "importers/sql_ddl_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "schema/schema_builder.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+// ------------------------------------------------------------- tokenizer --
+
+struct SqlToken {
+  enum Kind { kWord, kPunct, kEnd } kind = kEnd;
+  std::string text;  // words upper-cased for keyword checks; original kept
+  std::string raw;
+  int line = 1;
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(const std::string& text) : s_(text) { Advance(); }
+
+  const SqlToken& cur() const { return cur_; }
+
+  void Advance() {
+    SkipWsAndComments();
+    cur_.line = line_;
+    if (pos_ >= s_.size()) {
+      cur_ = {SqlToken::kEnd, "", "", line_};
+      return;
+    }
+    char c = s_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '"') {
+      bool quoted = c == '"';
+      if (quoted) ++pos_;
+      size_t start = pos_;
+      while (pos_ < s_.size()) {
+        char d = s_[pos_];
+        if (quoted ? d != '"'
+                   : (std::isalnum(static_cast<unsigned char>(d)) ||
+                      d == '_')) {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      std::string raw = s_.substr(start, pos_ - start);
+      if (quoted && pos_ < s_.size()) ++pos_;  // closing quote
+      cur_ = {SqlToken::kWord, ToUpperAscii(raw), raw, line_};
+      return;
+    }
+    ++pos_;
+    cur_ = {SqlToken::kPunct, std::string(1, c), std::string(1, c), line_};
+  }
+
+ private:
+  void SkipWsAndComments() {
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '-') {
+        while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  SqlToken cur_;
+};
+
+// ---------------------------------------------------------------- parser --
+
+struct PendingFk {
+  std::string name;
+  ElementId table;
+  std::vector<std::string> columns;
+  std::string target_table;
+  int line;
+};
+
+class DdlParser {
+ public:
+  DdlParser(const std::string& schema_name, const std::string& ddl)
+      : builder_(schema_name), lex_(ddl) {}
+
+  Result<Schema> Parse() {
+    while (lex_.cur().kind != SqlToken::kEnd) {
+      if (!IsWord("CREATE")) {
+        return Err("expected CREATE");
+      }
+      lex_.Advance();
+      if (!IsWord("TABLE")) return Err("only CREATE TABLE is supported");
+      lex_.Advance();
+      CUPID_RETURN_NOT_OK(ParseTable());
+      // Optional statement separator.
+      if (IsPunct(";")) lex_.Advance();
+    }
+    CUPID_RETURN_NOT_OK(ResolveForeignKeys());
+    Schema schema = std::move(builder_).Build();
+    CUPID_RETURN_NOT_OK(schema.Validate());
+    return schema;
+  }
+
+ private:
+  bool IsWord(std::string_view w) const {
+    return lex_.cur().kind == SqlToken::kWord && lex_.cur().text == w;
+  }
+  bool IsPunct(std::string_view p) const {
+    return lex_.cur().kind == SqlToken::kPunct && lex_.cur().text == p;
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError(StringFormat("DDL line %d: %s (near '%s')",
+                                           lex_.cur().line, what.c_str(),
+                                           lex_.cur().raw.c_str()));
+  }
+  Status Expect(std::string_view p) {
+    if (!IsPunct(p)) return Err("expected '" + std::string(p) + "'");
+    lex_.Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (lex_.cur().kind != SqlToken::kWord) return Err("expected identifier");
+    std::string raw = lex_.cur().raw;
+    lex_.Advance();
+    return raw;
+  }
+
+  Status ParseTable() {
+    CUPID_ASSIGN_OR_RETURN(std::string table_name, ExpectIdentifier());
+    ElementId table = builder_.AddTable(table_name);
+    tables_[ToUpperAscii(table_name)] = table;
+    CUPID_RETURN_NOT_OK(Expect("("));
+
+    std::vector<ElementId> pk_columns;
+    while (true) {
+      if (IsWord("PRIMARY")) {
+        CUPID_RETURN_NOT_OK(ParseTablePrimaryKey(table, &pk_columns));
+      } else if (IsWord("FOREIGN")) {
+        CUPID_RETURN_NOT_OK(ParseTableForeignKey(table));
+      } else if (IsWord("CONSTRAINT")) {
+        lex_.Advance();
+        CUPID_RETURN_NOT_OK(ExpectIdentifier().status());  // constraint name
+        continue;  // next loop iteration sees PRIMARY/FOREIGN
+      } else {
+        CUPID_RETURN_NOT_OK(ParseColumn(table, &pk_columns));
+      }
+      if (IsPunct(",")) {
+        lex_.Advance();
+        continue;
+      }
+      break;
+    }
+    CUPID_RETURN_NOT_OK(Expect(")"));
+    if (!pk_columns.empty()) {
+      builder_.SetPrimaryKey(table, pk_columns);
+    }
+    return Status::OK();
+  }
+
+  Status ParseColumn(ElementId table, std::vector<ElementId>* pk_columns) {
+    CUPID_ASSIGN_OR_RETURN(std::string col_name, ExpectIdentifier());
+    CUPID_ASSIGN_OR_RETURN(std::string type_name, ParseTypeName());
+    CUPID_ASSIGN_OR_RETURN(DataType dt, DataTypeFromName(type_name));
+
+    bool optional = true;  // SQL columns are NULLable by default
+    bool is_pk = false;
+    std::string fk_target;
+    while (lex_.cur().kind == SqlToken::kWord) {
+      if (IsWord("NOT")) {
+        lex_.Advance();
+        if (!IsWord("NULL")) return Err("expected NULL after NOT");
+        lex_.Advance();
+        optional = false;
+      } else if (IsWord("NULL")) {
+        lex_.Advance();
+        optional = true;
+      } else if (IsWord("PRIMARY")) {
+        lex_.Advance();
+        if (!IsWord("KEY")) return Err("expected KEY after PRIMARY");
+        lex_.Advance();
+        is_pk = true;
+        optional = false;
+      } else if (IsWord("UNIQUE") || IsWord("DEFAULT")) {
+        bool had_default = IsWord("DEFAULT");
+        lex_.Advance();
+        if (had_default && lex_.cur().kind == SqlToken::kWord) lex_.Advance();
+      } else if (IsWord("REFERENCES")) {
+        lex_.Advance();
+        CUPID_ASSIGN_OR_RETURN(fk_target, ExpectIdentifier());
+        // Optional "(col)" — the referenced key is resolved via the target
+        // table's primary key, so the column list is consumed and ignored.
+        if (IsPunct("(")) {
+          CUPID_RETURN_NOT_OK(SkipParenGroup());
+        }
+      } else {
+        break;
+      }
+    }
+
+    ElementId col = builder_.AddColumn(table, col_name, dt, optional);
+    if (is_pk) pk_columns->push_back(col);
+    if (!fk_target.empty()) {
+      std::string table_name = builder_.schema().element(table).name;
+      pending_fks_.push_back({table_name + "_" + fk_target + "_fk",
+                              table,
+                              {col_name},
+                              fk_target,
+                              lex_.cur().line});
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseTypeName() {
+    if (lex_.cur().kind != SqlToken::kWord) return Err("expected a type name");
+    std::string type = lex_.cur().raw;
+    lex_.Advance();
+    // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING.
+    if (EqualsIgnoreCase(type, "double") && IsWord("PRECISION")) {
+      lex_.Advance();
+    } else if (EqualsIgnoreCase(type, "character") && IsWord("VARYING")) {
+      type = "varchar";
+      lex_.Advance();
+    }
+    if (IsPunct("(")) CUPID_RETURN_NOT_OK(SkipParenGroup());
+    return type;
+  }
+
+  Status SkipParenGroup() {
+    CUPID_RETURN_NOT_OK(Expect("("));
+    int depth = 1;
+    while (depth > 0) {
+      if (lex_.cur().kind == SqlToken::kEnd) {
+        return Err("unterminated '(' group");
+      }
+      if (IsPunct("(")) ++depth;
+      if (IsPunct(")")) --depth;
+      lex_.Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ParseColumnList() {
+    CUPID_RETURN_NOT_OK(Expect("("));
+    std::vector<std::string> cols;
+    while (true) {
+      CUPID_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
+      cols.push_back(std::move(c));
+      if (IsPunct(",")) {
+        lex_.Advance();
+        continue;
+      }
+      break;
+    }
+    CUPID_RETURN_NOT_OK(Expect(")"));
+    return cols;
+  }
+
+  Status ParseTablePrimaryKey(ElementId table,
+                              std::vector<ElementId>* pk_columns) {
+    lex_.Advance();  // PRIMARY
+    if (!IsWord("KEY")) return Err("expected KEY after PRIMARY");
+    lex_.Advance();
+    CUPID_ASSIGN_OR_RETURN(std::vector<std::string> cols, ParseColumnList());
+    for (const std::string& c : cols) {
+      ElementId col = FindColumn(table, c);
+      if (col == kNoElement) {
+        return Err("PRIMARY KEY references unknown column '" + c + "'");
+      }
+      pk_columns->push_back(col);
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableForeignKey(ElementId table) {
+    lex_.Advance();  // FOREIGN
+    if (!IsWord("KEY")) return Err("expected KEY after FOREIGN");
+    lex_.Advance();
+    CUPID_ASSIGN_OR_RETURN(std::vector<std::string> cols, ParseColumnList());
+    if (!IsWord("REFERENCES")) return Err("expected REFERENCES");
+    lex_.Advance();
+    CUPID_ASSIGN_OR_RETURN(std::string target, ExpectIdentifier());
+    if (IsPunct("(")) CUPID_RETURN_NOT_OK(SkipParenGroup());
+    std::string table_name = builder_.schema().element(table).name;
+    pending_fks_.push_back({table_name + "_" + target + "_fk", table, cols,
+                            target, lex_.cur().line});
+    return Status::OK();
+  }
+
+  ElementId FindColumn(ElementId table, const std::string& name) const {
+    for (ElementId c : builder_.schema().children(table)) {
+      if (EqualsIgnoreCase(builder_.schema().element(c).name, name)) return c;
+    }
+    return kNoElement;
+  }
+
+  Status ResolveForeignKeys() {
+    for (const PendingFk& fk : pending_fks_) {
+      auto it = tables_.find(ToUpperAscii(fk.target_table));
+      if (it == tables_.end()) {
+        return Status::ParseError(StringFormat(
+            "DDL line %d: foreign key references unknown table '%s'", fk.line,
+            fk.target_table.c_str()));
+      }
+      std::vector<ElementId> cols;
+      for (const std::string& c : fk.columns) {
+        ElementId col = FindColumn(fk.table, c);
+        if (col == kNoElement) {
+          return Status::ParseError(StringFormat(
+              "DDL line %d: foreign key uses unknown column '%s'", fk.line,
+              c.c_str()));
+        }
+        cols.push_back(col);
+      }
+      builder_.AddForeignKey(fk.name, fk.table, cols, it->second);
+    }
+    return Status::OK();
+  }
+
+  RelationalSchemaBuilder builder_;
+  SqlLexer lex_;
+  std::unordered_map<std::string, ElementId> tables_;
+  std::vector<PendingFk> pending_fks_;
+};
+
+}  // namespace
+
+Result<Schema> ParseSqlDdl(const std::string& schema_name,
+                           const std::string& ddl) {
+  return DdlParser(schema_name, ddl).Parse();
+}
+
+Result<Schema> LoadSqlDdlFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open DDL file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // File stem as schema name.
+  std::string stem = path;
+  if (auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return ParseSqlDdl(stem, buf.str());
+}
+
+}  // namespace cupid

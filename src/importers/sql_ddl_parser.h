@@ -1,0 +1,39 @@
+// SQL DDL importer: parses a practical subset of CREATE TABLE statements
+// into the generic schema model, capturing the constraints Cupid exploits —
+// primary keys, foreign keys (as RefInt elements, Section 8.3) and
+// NULLability (optional columns).
+//
+// Supported grammar (case-insensitive keywords, ';'-separated statements,
+// '--' line comments):
+//
+//     CREATE TABLE Orders (
+//       OrderID INT PRIMARY KEY,
+//       CustomerID INT NOT NULL REFERENCES Customers(CustomerID),
+//       Freight DECIMAL(10,2) NULL,
+//       PRIMARY KEY (OrderID),
+//       FOREIGN KEY (CustomerID) REFERENCES Customers(CustomerID)
+//     );
+//
+// Forward references between tables are allowed (FK edges are resolved
+// after all tables are read).
+
+#ifndef CUPID_IMPORTERS_SQL_DDL_PARSER_H_
+#define CUPID_IMPORTERS_SQL_DDL_PARSER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Parses DDL text into a schema named `schema_name`.
+Result<Schema> ParseSqlDdl(const std::string& schema_name,
+                           const std::string& ddl);
+
+/// \brief Reads `path` and calls ParseSqlDdl with the file stem as name.
+Result<Schema> LoadSqlDdlFile(const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_IMPORTERS_SQL_DDL_PARSER_H_

@@ -1,0 +1,223 @@
+#include "importers/xml_parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+const std::string* XmlNode::Attr(const std::string& name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::AttrOr(const std::string& name,
+                            const std::string& fallback) const {
+  const std::string* v = Attr(name);
+  return v ? *v : fallback;
+}
+
+std::vector<const XmlNode*> XmlNode::ChildrenNamed(
+    const std::string& tag_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.tag == tag_name) out.push_back(&c);
+  }
+  return out;
+}
+
+const XmlNode* XmlNode::FirstChild(const std::string& tag_name) const {
+  for (const XmlNode& c : children) {
+    if (c.tag == tag_name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<XmlNode> Parse() {
+    SkipProlog();
+    XmlNode root;
+    CUPID_RETURN_NOT_OK(ParseElement(&root));
+    SkipMisc();
+    if (pos_ != s_.size()) {
+      return Err("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    // Report 1-based line for editor-friendly messages.
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') ++line;
+    }
+    return Status::ParseError(
+        StringFormat("XML line %d: %s", line, what.c_str()));
+  }
+
+  bool Eof() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  bool Consume(char c) {
+    if (!Eof() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeStr(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipProlog() {
+    SkipWs();
+    while (true) {
+      if (ConsumeStr("<?")) {
+        size_t end = s_.find("?>", pos_);
+        pos_ = end == std::string::npos ? s_.size() : end + 2;
+      } else if (ConsumeStr("<!--")) {
+        size_t end = s_.find("-->", pos_);
+        pos_ = end == std::string::npos ? s_.size() : end + 3;
+      } else if (ConsumeStr("<!")) {  // DOCTYPE etc. — skip to '>'
+        size_t end = s_.find('>', pos_);
+        pos_ = end == std::string::npos ? s_.size() : end + 1;
+      } else {
+        break;
+      }
+      SkipWs();
+    }
+  }
+  void SkipMisc() { SkipProlog(); }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Err("expected a name");
+    return s_.substr(start, pos_ - start);
+  }
+
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      auto try_entity = [&](std::string_view ent, char ch) {
+        if (raw.compare(i, ent.size(), ent) == 0) {
+          out += ch;
+          i += ent.size();
+          return true;
+        }
+        return false;
+      };
+      if (try_entity("&lt;", '<') || try_entity("&gt;", '>') ||
+          try_entity("&amp;", '&') || try_entity("&quot;", '"') ||
+          try_entity("&apos;", '\'')) {
+        continue;
+      }
+      out += raw[i++];
+    }
+    return out;
+  }
+
+  Status ParseAttributes(XmlNode* node) {
+    while (true) {
+      SkipWs();
+      if (Eof()) return Err("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/' || Peek() == '?') return Status::OK();
+      CUPID_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWs();
+      if (!Consume('=')) return Err("expected '=' in attribute");
+      SkipWs();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        return Err("expected quoted attribute value");
+      }
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Err("unterminated attribute value");
+      node->attributes.emplace_back(
+          std::move(name),
+          DecodeEntities(std::string_view(s_).substr(start, pos_ - start)));
+      ++pos_;  // closing quote
+    }
+  }
+
+  Status ParseElement(XmlNode* node) {
+    if (!Consume('<')) return Err("expected '<'");
+    CUPID_ASSIGN_OR_RETURN(node->tag, ParseName());
+    CUPID_RETURN_NOT_OK(ParseAttributes(node));
+    SkipWs();
+    if (ConsumeStr("/>")) return Status::OK();
+    if (!Consume('>')) return Err("expected '>' to close start tag");
+
+    std::string text;
+    while (true) {
+      if (Eof()) return Err("unexpected end of input inside <" + node->tag + ">");
+      if (ConsumeStr("<!--")) {
+        size_t end = s_.find("-->", pos_);
+        if (end == std::string::npos) return Err("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (ConsumeStr("<![CDATA[")) {
+        size_t end = s_.find("]]>", pos_);
+        if (end == std::string::npos) return Err("unterminated CDATA");
+        text.append(s_, pos_, end - pos_);
+        pos_ = end + 3;
+        continue;
+      }
+      if (ConsumeStr("</")) {
+        CUPID_ASSIGN_OR_RETURN(std::string closing, ParseName());
+        if (closing != node->tag) {
+          return Err("mismatched end tag </" + closing + "> for <" +
+                     node->tag + ">");
+        }
+        SkipWs();
+        if (!Consume('>')) return Err("expected '>' in end tag");
+        node->text = std::string(TrimWhitespace(DecodeEntities(text)));
+        return Status::OK();
+      }
+      if (Peek() == '<') {
+        XmlNode child;
+        CUPID_RETURN_NOT_OK(ParseElement(&child));
+        node->children.push_back(std::move(child));
+        continue;
+      }
+      text += s_[pos_++];
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlNode> ParseXml(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace cupid

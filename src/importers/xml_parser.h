@@ -1,0 +1,46 @@
+// A minimal, dependency-free XML parser — enough to read schema documents
+// (elements, attributes, text, comments, self-closing tags, XML
+// declarations). Not a general-purpose XML library: no namespaces beyond
+// prefix passthrough, no DTD processing, no entities other than the five
+// predefined ones.
+
+#ifndef CUPID_IMPORTERS_XML_PARSER_H_
+#define CUPID_IMPORTERS_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cupid {
+
+/// One element of the parsed document tree.
+struct XmlNode {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  /// Concatenated character data directly inside this element, trimmed.
+  std::string text;
+
+  /// Value of attribute `name`, or nullptr.
+  const std::string* Attr(const std::string& name) const;
+
+  /// Value of attribute `name`, or `fallback`.
+  std::string AttrOr(const std::string& name,
+                     const std::string& fallback) const;
+
+  /// Children whose tag equals `tag`.
+  std::vector<const XmlNode*> ChildrenNamed(const std::string& tag) const;
+
+  /// First child with tag `tag`, or nullptr.
+  const XmlNode* FirstChild(const std::string& tag) const;
+};
+
+/// \brief Parses `text` into a document tree; returns the root element.
+/// ParseError on malformed input (mismatched tags, unterminated constructs).
+Result<XmlNode> ParseXml(const std::string& text);
+
+}  // namespace cupid
+
+#endif  // CUPID_IMPORTERS_XML_PARSER_H_

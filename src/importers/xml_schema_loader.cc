@@ -1,0 +1,142 @@
+#include "importers/xml_schema_loader.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "importers/xml_parser.h"
+#include "schema/schema_builder.h"
+
+namespace cupid {
+
+namespace {
+
+bool IsOptional(const XmlNode& node) {
+  if (node.AttrOr("use", "") == "optional") return true;
+  if (node.AttrOr("minOccurs", "") == "0") return true;
+  if (node.AttrOr("optional", "") == "true") return true;
+  return false;
+}
+
+class Loader {
+ public:
+  Status Load(const XmlNode& root, XmlSchemaBuilder* builder) {
+    if (root.tag != "schema") {
+      return Status::ParseError("document element must be <schema>, got <" +
+                                root.tag + ">");
+    }
+    // Pass 1: declare complex types so elements can reference them in any
+    // order.
+    for (const XmlNode* ct : root.ChildrenNamed("complexType")) {
+      const std::string* name = ct->Attr("name");
+      if (!name) return Status::ParseError("<complexType> needs a name");
+      if (types_.count(*name)) {
+        return Status::ParseError("duplicate complexType '" + *name + "'");
+      }
+      types_[*name] = builder->AddComplexType(*name);
+    }
+    // Pass 2: type members and the element tree.
+    for (const XmlNode* ct : root.ChildrenNamed("complexType")) {
+      ElementId type_id = types_[*ct->Attr("name")];
+      CUPID_RETURN_NOT_OK(LoadMembers(*ct, type_id, builder));
+    }
+    for (const XmlNode& child : root.children) {
+      if (child.tag == "complexType") continue;
+      CUPID_RETURN_NOT_OK(LoadNode(child, builder->root(), builder));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status LoadMembers(const XmlNode& node, ElementId parent,
+                     XmlSchemaBuilder* builder) {
+    for (const XmlNode& child : node.children) {
+      CUPID_RETURN_NOT_OK(LoadNode(child, parent, builder));
+    }
+    return Status::OK();
+  }
+
+  Status LoadNode(const XmlNode& node, ElementId parent,
+                  XmlSchemaBuilder* builder) {
+    const std::string* name = node.Attr("name");
+    if (!name) {
+      return Status::ParseError("<" + node.tag + "> needs a name attribute");
+    }
+    bool optional = IsOptional(node);
+
+    if (node.tag == "attribute") {
+      CUPID_ASSIGN_OR_RETURN(DataType dt,
+                             DataTypeFromName(node.AttrOr("type", "string")));
+      ElementId attr = builder->AddAttribute(parent, *name, dt, optional);
+      SetDocumentation(node, attr, builder);
+      return Status::OK();
+    }
+    if (node.tag != "element") {
+      return Status::ParseError("unexpected tag <" + node.tag + ">");
+    }
+
+    const std::string* type = node.Attr("type");
+    if (type) {
+      auto it = types_.find(*type);
+      if (it != types_.end()) {
+        // Shared complex type: container + IsDerivedFrom edge.
+        ElementId el = builder->AddElement(parent, *name, optional);
+        SetDocumentation(node, el, builder);
+        CUPID_RETURN_NOT_OK(builder->SetType(el, it->second));
+        return LoadMembers(node, el, builder);
+      }
+      if (node.children.empty()) {
+        CUPID_ASSIGN_OR_RETURN(DataType dt, DataTypeFromName(*type));
+        ElementId attr = builder->AddAttribute(parent, *name, dt, optional);
+        SetDocumentation(node, attr, builder);
+        return Status::OK();
+      }
+      return Status::ParseError("element '" + *name +
+                                "' has both a simple type and children");
+    }
+    if (node.children.empty()) {
+      // Leaf element without a type: default to string.
+      ElementId attr =
+          builder->AddAttribute(parent, *name, DataType::kString, optional);
+      SetDocumentation(node, attr, builder);
+      return Status::OK();
+    }
+    ElementId el = builder->AddElement(parent, *name, optional);
+    SetDocumentation(node, el, builder);
+    return LoadMembers(node, el, builder);
+  }
+
+  /// Annotations come from a `doc` attribute (data-dictionary description).
+  static void SetDocumentation(const XmlNode& node, ElementId element,
+                               XmlSchemaBuilder* builder) {
+    const std::string* doc = node.Attr("doc");
+    if (doc && !doc->empty()) {
+      builder->mutable_schema()->mutable_element(element)->documentation =
+          *doc;
+    }
+  }
+
+  std::unordered_map<std::string, ElementId> types_;
+};
+
+}  // namespace
+
+Result<Schema> LoadXmlSchema(const std::string& xml_text) {
+  CUPID_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml_text));
+  XmlSchemaBuilder builder(root.AttrOr("name", "schema"));
+  Loader loader;
+  CUPID_RETURN_NOT_OK(loader.Load(root, &builder));
+  Schema schema = std::move(builder).Build();
+  CUPID_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+Result<Schema> LoadXmlSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open schema file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadXmlSchema(buf.str());
+}
+
+}  // namespace cupid

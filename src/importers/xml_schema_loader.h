@@ -1,0 +1,43 @@
+// Loader from an XSD-like XML dialect into the generic schema model.
+//
+// Supported document shape:
+//
+//     <schema name="PurchaseOrder">
+//       <element name="Items" minOccurs="0">
+//         <element name="Item">
+//           <element name="ItemNumber" type="int"/>
+//           <attribute name="Quantity" type="decimal" use="optional"/>
+//         </element>
+//       </element>
+//       <complexType name="Address">
+//         <attribute name="Street" type="string"/>
+//         <attribute name="City" type="string"/>
+//       </complexType>
+//       <element name="DeliverTo" type="Address"/>   <!-- shared type -->
+//     </schema>
+//
+// * <element> with child elements/attributes -> container;
+// * <element type="..."> naming a <complexType> -> container with an
+//   IsDerivedFrom edge (type substitution happens at tree build);
+// * <element type="..."> naming a simple type -> atomic leaf;
+// * <attribute> -> atomic; `use="optional"`/`minOccurs="0"` -> optional.
+
+#ifndef CUPID_IMPORTERS_XML_SCHEMA_LOADER_H_
+#define CUPID_IMPORTERS_XML_SCHEMA_LOADER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Parses the document and builds the schema graph.
+Result<Schema> LoadXmlSchema(const std::string& xml_text);
+
+/// \brief Reads `path` and calls LoadXmlSchema.
+Result<Schema> LoadXmlSchemaFile(const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_IMPORTERS_XML_SCHEMA_LOADER_H_

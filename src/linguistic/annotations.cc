@@ -1,0 +1,40 @@
+#include "linguistic/annotations.h"
+
+#include <cmath>
+
+#include "linguistic/tokenizer.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+AnnotationVector BuildAnnotationVector(std::string_view text,
+                                       const Thesaurus& thesaurus) {
+  AnnotationVector out;
+  for (const Token& tok : TokenizeName(text)) {
+    if (tok.type == TokenType::kSpecial) continue;
+    if (thesaurus.IsStopWord(tok.text)) continue;
+    out.terms[Stem(tok.text)] += 1.0;
+  }
+  return out;
+}
+
+double AnnotationCosine(const AnnotationVector& a, const AnnotationVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [term, tf] : a.terms) {
+    na += tf * tf;
+    auto it = b.terms.find(term);
+    if (it != b.terms.end()) dot += tf * it->second;
+  }
+  for (const auto& [term, tf] : b.terms) nb += tf * tf;
+  if (dot == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double AnnotationSimilarity(std::string_view a, std::string_view b,
+                            const Thesaurus& thesaurus) {
+  return AnnotationCosine(BuildAnnotationVector(a, thesaurus),
+                          BuildAnnotationVector(b, thesaurus));
+}
+
+}  // namespace cupid

@@ -1,0 +1,41 @@
+// Annotation (documentation) similarity — one of the paper's "immediate
+// challenges for further work": "using schema annotations (textual
+// descriptions of schema elements in the data dictionary) for the linguistic
+// matching" (Section 10). Implemented with the IR technique the taxonomy
+// (Section 3) attributes to description matching: bag-of-words cosine over
+// normalized tokens, with thesaurus-driven stop-word removal and stemming.
+
+#ifndef CUPID_LINGUISTIC_ANNOTATIONS_H_
+#define CUPID_LINGUISTIC_ANNOTATIONS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "thesaurus/thesaurus.h"
+
+namespace cupid {
+
+/// A bag-of-words document vector built from an annotation string.
+struct AnnotationVector {
+  /// stemmed term -> term frequency; stop words removed.
+  std::unordered_map<std::string, double> terms;
+
+  bool empty() const { return terms.empty(); }
+};
+
+/// \brief Tokenizes, stems and stop-filters `text` into a term vector.
+AnnotationVector BuildAnnotationVector(std::string_view text,
+                                       const Thesaurus& thesaurus);
+
+/// \brief Cosine similarity of two annotation vectors in [0,1]; 0 when
+/// either is empty.
+double AnnotationCosine(const AnnotationVector& a, const AnnotationVector& b);
+
+/// \brief Convenience: cosine similarity of two raw annotation strings.
+double AnnotationSimilarity(std::string_view a, std::string_view b,
+                            const Thesaurus& thesaurus);
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_ANNOTATIONS_H_

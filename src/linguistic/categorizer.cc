@@ -1,0 +1,106 @@
+#include "linguistic/categorizer.h"
+
+#include <map>
+
+#include "schema/data_type.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+bool IsLinguisticallyMatchable(const Element& e) {
+  // Section 8.2: "We may choose not to linguistically match certain
+  // elements, e.g. those with no significant name, such as keys."
+  return !e.not_instantiated && e.kind != ElementKind::kKey &&
+         e.kind != ElementKind::kRefInt;
+}
+
+}  // namespace
+
+Categorization CategorizeSchema(const Schema& schema,
+                                const std::vector<NormalizedName>& names,
+                                const NameNormalizer& normalizer) {
+  Categorization out;
+  out.element_categories.resize(static_cast<size_t>(schema.num_elements()));
+
+  // label -> category index; std::map keeps category order deterministic.
+  std::map<std::string, int> index;
+  auto category_for = [&](const std::string& label,
+                          std::vector<Token> keywords) -> int {
+    auto it = index.find(label);
+    if (it != index.end()) return it->second;
+    int id = static_cast<int>(out.categories.size());
+    out.categories.push_back({label, std::move(keywords), {}});
+    index.emplace(label, id);
+    return id;
+  };
+  auto add_member = [&](int cat, ElementId e) {
+    out.categories[static_cast<size_t>(cat)].members.push_back(e);
+    out.element_categories[static_cast<size_t>(e)].push_back(cat);
+  };
+
+  for (ElementId id : schema.AllElements()) {
+    const Element& e = schema.element(id);
+    if (!IsLinguisticallyMatchable(e)) continue;
+    const NormalizedName& name = names[static_cast<size_t>(id)];
+
+    // Concept categories: one per concept_name tag on the element.
+    for (const std::string& concept_name : name.concepts) {
+      int cat = category_for("concept:" + concept_name,
+                             {{concept_name, TokenType::kConcept}});
+      add_member(cat, id);
+    }
+
+    // Data-type categories: one per broad type class, keyword = class name.
+    TypeClass tc = TypeClassOf(e.data_type);
+    if (tc != TypeClass::kUnknown && tc != TypeClass::kComplex) {
+      std::string keyword = ToLowerAscii(TypeClassName(tc));
+      int cat = category_for(std::string("type:") + TypeClassName(tc),
+                             {{keyword, TokenType::kContent}});
+      add_member(cat, id);
+    }
+
+    // Container categories: the children of a container form a category
+    // keyed by the container's name tokens ("Street","City" under "Address").
+    ElementId parent = schema.parent(id);
+    if (parent != kNoElement && parent != schema.root()) {
+      const Element& p = schema.element(parent);
+      if (p.kind == ElementKind::kContainer ||
+          p.kind == ElementKind::kTypeDef) {
+        const NormalizedName& pname = names[static_cast<size_t>(parent)];
+        int cat = category_for("container:" + p.name, pname.tokens);
+        add_member(cat, id);
+      }
+    }
+
+    // Name-keyword categories (Section 5.2: keywords are derived "from
+    // concepts, data types, and element names"): every content token of the
+    // element's name keys a category, e.g. both Items and Item fall into
+    // category name:item.
+    for (const Token& tok : name.tokens) {
+      if (tok.type != TokenType::kContent) continue;
+      int cat = category_for("name:" + Stem(tok.text),
+                             {{tok.text, TokenType::kContent}});
+      add_member(cat, id);
+    }
+
+    // Fallback: elements with no category at all (e.g. purely numeric or
+    // symbolic names) are grouped by their full token set so they remain
+    // comparable.
+    if (out.element_categories[static_cast<size_t>(id)].empty()) {
+      int cat = category_for("name-set:" + e.name, name.tokens);
+      add_member(cat, id);
+    }
+  }
+  (void)normalizer;
+  return out;
+}
+
+double CategorySimilarity(const Category& c1, const Category& c2,
+                          const Thesaurus& thesaurus,
+                          const SubstringSimilarityOptions& opts) {
+  return TokenSetSimilarity(c1.keywords, c2.keywords, thesaurus, opts);
+}
+
+}  // namespace cupid

@@ -1,0 +1,63 @@
+// Categorization (Section 5.2 of the paper).
+//
+// Schema elements are clustered into categories identified by keyword sets,
+// derived from three sources:
+//   * concept tags       — one category per unique concept in the schema;
+//   * broad data types   — one category per TypeClass ("Number", ...);
+//   * containers         — the elements contained by element X form a
+//                          category keyed by X's name tokens.
+//
+// Categories prune linguistic comparison: only elements of *compatible*
+// categories (keyword-set name similarity above thns) get compared, and the
+// best compatible-category similarity scales lsim.
+
+#ifndef CUPID_LINGUISTIC_CATEGORIZER_H_
+#define CUPID_LINGUISTIC_CATEGORIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "linguistic/name_similarity.h"
+#include "linguistic/normalizer.h"
+#include "schema/schema.h"
+
+namespace cupid {
+
+/// A group of schema elements identified by a set of keyword tokens.
+struct Category {
+  /// Human-readable label ("concept:money", "type:Number", "container:Address").
+  std::string label;
+  /// Keyword tokens identifying the category.
+  std::vector<Token> keywords;
+  /// Member elements.
+  std::vector<ElementId> members;
+};
+
+/// The category decomposition of one schema; element -> categories is
+/// many-to-many.
+struct Categorization {
+  std::vector<Category> categories;
+  /// For each element id, the indices into `categories` it belongs to.
+  std::vector<std::vector<int>> element_categories;
+};
+
+/// \brief Builds the categories of `schema` per Section 5.2.
+///
+/// `names` must hold the normalized name of every element, indexed by
+/// ElementId (as produced by NameNormalizer). Elements flagged
+/// not-instantiated, and kKey/kRefInt elements, are not categorized (they
+/// are excluded from linguistic matching, Section 8.2).
+Categorization CategorizeSchema(const Schema& schema,
+                                const std::vector<NormalizedName>& names,
+                                const NameNormalizer& normalizer);
+
+/// \brief Category compatibility: ns(keywords1, keywords2) computed with the
+/// Section 5.2 token-set formula. Two categories are compatible when this
+/// exceeds thns.
+double CategorySimilarity(const Category& c1, const Category& c2,
+                          const Thesaurus& thesaurus,
+                          const SubstringSimilarityOptions& opts = {});
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_CATEGORIZER_H_

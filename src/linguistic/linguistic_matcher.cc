@@ -1,0 +1,127 @@
+#include "linguistic/linguistic_matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "linguistic/annotations.h"
+
+namespace cupid {
+
+namespace {
+
+std::vector<NormalizedName> NormalizeAll(const Schema& schema,
+                                         const NameNormalizer& normalizer) {
+  std::vector<NormalizedName> names;
+  names.reserve(static_cast<size_t>(schema.num_elements()));
+  for (ElementId id : schema.AllElements()) {
+    names.push_back(normalizer.Normalize(schema.element(id).name));
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
+                                                  const Schema& s2) const {
+  if (options_.thns < 0.0 || options_.thns > 1.0) {
+    return Status::InvalidArgument("thns must be within [0,1]");
+  }
+  if (options_.annotation_weight < 0.0 || options_.annotation_weight > 1.0) {
+    return Status::InvalidArgument("annotation_weight must be within [0,1]");
+  }
+  NameNormalizer normalizer(thesaurus_);
+
+  LinguisticResult out;
+  out.names1 = NormalizeAll(s1, normalizer);
+  out.names2 = NormalizeAll(s2, normalizer);
+  out.categories1 = CategorizeSchema(s1, out.names1, normalizer);
+  out.categories2 = CategorizeSchema(s2, out.names2, normalizer);
+  out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
+
+  // Pairwise category compatibility; scale = ns of the category keywords.
+  const auto& cats1 = out.categories1.categories;
+  const auto& cats2 = out.categories2.categories;
+  Matrix<float> cat_sim(static_cast<int64_t>(cats1.size()),
+                        static_cast<int64_t>(cats2.size()));
+  for (size_t i = 0; i < cats1.size(); ++i) {
+    for (size_t j = 0; j < cats2.size(); ++j) {
+      cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+          static_cast<float>(CategorySimilarity(cats1[i], cats2[j],
+                                                *thesaurus_,
+                                                options_.substring));
+    }
+  }
+
+  // For every element pair in some compatible category pair, remember the
+  // best category similarity; that pair then gets a full name comparison.
+  // best_scale(e1,e2) = max ns(c1,c2) over compatible (c1,c2) containing
+  // them; 0 when none.
+  Matrix<float> best_scale(s1.num_elements(), s2.num_elements());
+  if (options_.use_categories) {
+    for (size_t i = 0; i < cats1.size(); ++i) {
+      for (size_t j = 0; j < cats2.size(); ++j) {
+        float scale =
+            cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j));
+        if (scale <= options_.thns) continue;  // incompatible categories
+        for (ElementId e1 : cats1[i].members) {
+          for (ElementId e2 : cats2[j].members) {
+            float& cell = best_scale(e1, e2);
+            cell = std::max(cell, scale);
+          }
+        }
+      }
+    }
+  } else {
+    best_scale.Fill(1.0f);
+  }
+
+  // Annotation vectors, built once per documented element (Section 10's
+  // future-work item; see linguistic/annotations.h).
+  std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
+  std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
+  if (options_.annotation_weight > 0.0) {
+    for (ElementId e = 0; e < s1.num_elements(); ++e) {
+      if (!s1.element(e).documentation.empty()) {
+        docs1[static_cast<size_t>(e)] =
+            BuildAnnotationVector(s1.element(e).documentation, *thesaurus_);
+      }
+    }
+    for (ElementId e = 0; e < s2.num_elements(); ++e) {
+      if (!s2.element(e).documentation.empty()) {
+        docs2[static_cast<size_t>(e)] =
+            BuildAnnotationVector(s2.element(e).documentation, *thesaurus_);
+      }
+    }
+  }
+
+  for (ElementId e1 = 0; e1 < s1.num_elements(); ++e1) {
+    for (ElementId e2 = 0; e2 < s2.num_elements(); ++e2) {
+      float scale = best_scale(e1, e2);
+      if (scale <= 0.0f) continue;
+      ++out.comparisons;
+      double ns = ElementNameSimilarity(
+          out.names1[static_cast<size_t>(e1)],
+          out.names2[static_cast<size_t>(e2)], *thesaurus_,
+          options_.token_weights, options_.substring);
+      double lsim = std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
+      const AnnotationVector& d1 = docs1[static_cast<size_t>(e1)];
+      const AnnotationVector& d2 = docs2[static_cast<size_t>(e2)];
+      if (options_.annotation_weight > 0.0 && !d1.empty() && !d2.empty()) {
+        double w = options_.annotation_weight;
+        lsim = (1.0 - w) * lsim + w * AnnotationCosine(d1, d2);
+      }
+      out.lsim(e1, e2) = static_cast<float>(lsim);
+    }
+  }
+  return out;
+}
+
+double LinguisticMatcher::NameSimilarity(std::string_view a,
+                                         std::string_view b) const {
+  NameNormalizer normalizer(thesaurus_);
+  return ElementNameSimilarity(normalizer.Normalize(a),
+                               normalizer.Normalize(b), *thesaurus_,
+                               options_.token_weights, options_.substring);
+}
+
+}  // namespace cupid

@@ -1,0 +1,78 @@
+// Phase 1 of Cupid: linguistic matching (Section 5).
+//
+// Produces the lsim table: for every pair of elements from compatible
+// categories,
+//
+//     lsim(m1, m2) = ns(m1, m2) * max_{c1 in C1, c2 in C2} ns(c1, c2)
+//
+// and zero for pairs that share no compatible category pair.
+
+#ifndef CUPID_LINGUISTIC_LINGUISTIC_MATCHER_H_
+#define CUPID_LINGUISTIC_LINGUISTIC_MATCHER_H_
+
+#include <vector>
+
+#include "linguistic/categorizer.h"
+#include "linguistic/name_similarity.h"
+#include "linguistic/normalizer.h"
+#include "schema/schema.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// Tunables of the linguistic phase.
+struct LinguisticOptions {
+  /// Category compatibility threshold thns (Table 1; typical 0.5).
+  double thns = 0.5;
+  TokenTypeWeights token_weights;
+  SubstringSimilarityOptions substring;
+  /// Ablation switch: bypass categorization and compare every element pair
+  /// with category scale 1.0 (used by bench_ablations to measure what
+  /// pruning buys).
+  bool use_categories = true;
+  /// Weight of annotation (documentation) similarity blended into lsim when
+  /// BOTH elements carry documentation:
+  ///   lsim' = (1-w)·lsim + w·cosine(doc1, doc2).
+  /// The paper lists annotation use as immediate future work (Section 10);
+  /// 0 disables it.
+  double annotation_weight = 0.25;
+};
+
+/// Output of the linguistic phase.
+struct LinguisticResult {
+  /// Normalized names, indexed by ElementId, for each schema.
+  std::vector<NormalizedName> names1;
+  std::vector<NormalizedName> names2;
+  Categorization categories1;
+  Categorization categories2;
+  /// lsim, indexed by (ElementId of schema1, ElementId of schema2).
+  Matrix<float> lsim;
+  /// Element-to-element comparisons actually performed (diagnostics: how
+  /// much categorization pruned).
+  int64_t comparisons = 0;
+};
+
+/// \brief Runs normalization, categorization and comparison.
+class LinguisticMatcher {
+ public:
+  /// `thesaurus` must outlive the matcher.
+  LinguisticMatcher(const Thesaurus* thesaurus, LinguisticOptions options)
+      : thesaurus_(thesaurus), options_(options) {}
+
+  /// \brief Computes the full linguistic result for a schema pair.
+  Result<LinguisticResult> Match(const Schema& s1, const Schema& s2) const;
+
+  /// \brief Name similarity of two single names under this matcher's
+  /// thesaurus and weights (normalization applied). Exposed for tests and
+  /// for the path-name matcher used in experiment E5.
+  double NameSimilarity(std::string_view a, std::string_view b) const;
+
+ private:
+  const Thesaurus* thesaurus_;
+  LinguisticOptions options_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_LINGUISTIC_MATCHER_H_

@@ -1,0 +1,79 @@
+#include "linguistic/name_similarity.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+double TokenSimilarity(const Token& t1, const Token& t2,
+                       const Thesaurus& thesaurus,
+                       const SubstringSimilarityOptions& opts) {
+  const bool word1 = t1.type != TokenType::kNumber &&
+                     t1.type != TokenType::kSpecial;
+  const bool word2 = t2.type != TokenType::kNumber &&
+                     t2.type != TokenType::kSpecial;
+  if (!word1 || !word2) {
+    // Numbers and symbols match only exactly (and never cross-type).
+    if (t1.type != t2.type) return 0.0;
+    return t1.text == t2.text ? 1.0 : 0.0;
+  }
+
+  double rel = thesaurus.Relationship(t1.text, t2.text);
+  if (rel > 0.0) return rel;
+
+  // Substring fallback: common prefixes or suffixes.
+  size_t affix = std::max(CommonPrefixLength(t1.text, t2.text),
+                          CommonSuffixLength(t1.text, t2.text));
+  if (affix < opts.min_affix) return 0.0;
+  size_t longer = std::max(t1.text.size(), t2.text.size());
+  if (longer == 0) return 0.0;
+  return opts.scale * static_cast<double>(affix) /
+         static_cast<double>(longer);
+}
+
+double TokenSetSimilarity(const std::vector<Token>& t1,
+                          const std::vector<Token>& t2,
+                          const Thesaurus& thesaurus,
+                          const SubstringSimilarityOptions& opts) {
+  if (t1.empty() && t2.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Token& a : t1) {
+    double best = 0.0;
+    for (const Token& b : t2) {
+      best = std::max(best, TokenSimilarity(a, b, thesaurus, opts));
+    }
+    sum += best;
+  }
+  for (const Token& b : t2) {
+    double best = 0.0;
+    for (const Token& a : t1) {
+      best = std::max(best, TokenSimilarity(a, b, thesaurus, opts));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(t1.size() + t2.size());
+}
+
+double ElementNameSimilarity(const NormalizedName& n1,
+                             const NormalizedName& n2,
+                             const Thesaurus& thesaurus,
+                             const TokenTypeWeights& weights,
+                             const SubstringSimilarityOptions& opts) {
+  double numer = 0.0;
+  double denom = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    TokenType type = static_cast<TokenType>(i);
+    std::vector<Token> a = n1.TokensOfType(type);
+    std::vector<Token> b = n2.TokensOfType(type);
+    size_t count = a.size() + b.size();
+    if (count == 0) continue;
+    double w = weights.of(type);
+    numer += w * TokenSetSimilarity(a, b, thesaurus, opts) *
+             static_cast<double>(count);
+    denom += w * static_cast<double>(count);
+  }
+  return denom == 0.0 ? 0.0 : numer / denom;
+}
+
+}  // namespace cupid

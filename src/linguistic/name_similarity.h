@@ -1,0 +1,76 @@
+// Name similarity (Sections 5.2-5.3 of the paper).
+//
+// Three levels:
+//   * token-token similarity: thesaurus lookup with a substring fallback;
+//   * token-set similarity ns(T1,T2): symmetric average of per-token best
+//     matches (the Section 5.2 formula, also used for category keyword
+//     compatibility);
+//   * element name similarity: weighted mean of per-token-type ns values
+//     (the Section 5.3 formula), biased toward content and concept tokens.
+
+#ifndef CUPID_LINGUISTIC_NAME_SIMILARITY_H_
+#define CUPID_LINGUISTIC_NAME_SIMILARITY_H_
+
+#include <array>
+#include <vector>
+
+#include "linguistic/normalizer.h"
+#include "thesaurus/thesaurus.h"
+
+namespace cupid {
+
+/// Per-token-type weights for element name similarity (Section 5.3:
+/// "Content and concept tokens are assigned a greater weight"). Indexed by
+/// TokenType; normalized internally, so they need not sum to 1.
+struct TokenTypeWeights {
+  std::array<double, 5> w = {
+      /*number=*/0.05, /*special=*/0.05, /*common=*/0.05,
+      /*concept=*/0.35, /*content=*/0.50};
+
+  double of(TokenType t) const { return w[static_cast<size_t>(t)]; }
+};
+
+/// Tunables of the substring fallback used when the thesaurus has no entry
+/// for a token pair (Section 5.2: "we match sub-strings of the words t1 and
+/// t2 to identify common prefixes or suffixes").
+struct SubstringSimilarityOptions {
+  /// Scale applied to the affix ratio, keeping substring evidence weaker
+  /// than an exact thesaurus hit.
+  double scale = 0.75;
+  /// Minimum shared prefix/suffix length to count as evidence at all.
+  size_t min_affix = 2;
+};
+
+/// \brief Similarity of two tokens in [0,1].
+///
+/// Identical stemmed text scores 1. kNumber/kSpecial tokens match only
+/// exactly. Word tokens fall back from the thesaurus to
+/// scale * max(common_prefix, common_suffix) / max(len1, len2).
+double TokenSimilarity(const Token& t1, const Token& t2,
+                       const Thesaurus& thesaurus,
+                       const SubstringSimilarityOptions& opts = {});
+
+/// \brief The Section 5.2 token-set similarity:
+///
+///   ns(T1,T2) = (Σ_{t1} max_{t2} sim(t1,t2) + Σ_{t2} max_{t1} sim(t1,t2))
+///               / (|T1| + |T2|)
+///
+/// Returns 0 when both sets are empty.
+double TokenSetSimilarity(const std::vector<Token>& t1,
+                          const std::vector<Token>& t2,
+                          const Thesaurus& thesaurus,
+                          const SubstringSimilarityOptions& opts = {});
+
+/// \brief The Section 5.3 element name similarity: per-token-type ns values
+/// combined in a weighted mean, weights scaled by token counts:
+///
+///   ns(m1,m2) = Σ_i w_i·ns(T1i,T2i)·(|T1i|+|T2i|) / Σ_i w_i·(|T1i|+|T2i|)
+double ElementNameSimilarity(const NormalizedName& n1,
+                             const NormalizedName& n2,
+                             const Thesaurus& thesaurus,
+                             const TokenTypeWeights& weights = {},
+                             const SubstringSimilarityOptions& opts = {});
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_NAME_SIMILARITY_H_

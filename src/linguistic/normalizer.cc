@@ -1,0 +1,65 @@
+#include "linguistic/normalizer.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+std::vector<Token> NormalizedName::TokensOfType(TokenType type) const {
+  std::vector<Token> out;
+  for (const Token& t : tokens) {
+    if (t.type == type) out.push_back(t);
+  }
+  return out;
+}
+
+NormalizedName NameNormalizer::Normalize(std::string_view name) const {
+  NormalizedName out;
+  out.original = std::string(name);
+
+  // Mixed-case acronyms ("UoM") defeat case-transition tokenization, so the
+  // whole name is tried against the abbreviation table first.
+  std::vector<Token> raw;
+  if (auto whole = thesaurus_->ExpandAbbreviation(ToLowerAscii(name))) {
+    for (const std::string& word : *whole) {
+      raw.push_back({word, TokenType::kContent});
+    }
+  } else {
+    raw = TokenizeName(name);
+  }
+
+  // Expansion: replace abbreviation tokens by their expansion words.
+  for (Token& tok : raw) {
+    if (tok.type != TokenType::kContent) {
+      out.tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (auto expansion = thesaurus_->ExpandAbbreviation(tok.text)) {
+      for (const std::string& word : *expansion) {
+        out.tokens.push_back({word, TokenType::kContent});
+      }
+    } else {
+      out.tokens.push_back(std::move(tok));
+    }
+  }
+
+  // Elimination + tagging.
+  for (Token& tok : out.tokens) {
+    if (tok.type != TokenType::kContent) continue;
+    if (thesaurus_->IsStopWord(tok.text)) {
+      tok.type = TokenType::kCommon;
+      continue;
+    }
+    if (auto concept_name = thesaurus_->ConceptOf(tok.text)) {
+      tok.type = TokenType::kConcept;
+      if (std::find(out.concepts.begin(), out.concepts.end(), *concept_name) ==
+          out.concepts.end()) {
+        out.concepts.push_back(*concept_name);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,55 @@
+// Name normalization (Section 5.1): tokenization, abbreviation/acronym
+// expansion, elimination of common words, and concept_name tagging.
+
+#ifndef CUPID_LINGUISTIC_NORMALIZER_H_
+#define CUPID_LINGUISTIC_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linguistic/tokenizer.h"
+#include "thesaurus/thesaurus.h"
+
+namespace cupid {
+
+/// A schema element name after normalization.
+struct NormalizedName {
+  /// Original name as it appeared in the schema.
+  std::string original;
+  /// Expanded, typed tokens. Common-word tokens are retained but typed
+  /// kCommon (they are down-weighted, not deleted, per Section 5.1
+  /// "marked to be ignored during comparison").
+  std::vector<Token> tokens;
+  /// Concept tags triggered by any token ("price" -> "money").
+  std::vector<std::string> concepts;
+
+  /// Tokens of the given type only.
+  std::vector<Token> TokensOfType(TokenType type) const;
+};
+
+/// \brief Applies the four normalization steps of Section 5.1 using a
+/// thesaurus for expansions, stop words and concept triggers.
+class NameNormalizer {
+ public:
+  /// `thesaurus` must outlive the normalizer.
+  explicit NameNormalizer(const Thesaurus* thesaurus)
+      : thesaurus_(thesaurus) {}
+
+  /// \brief Tokenize -> expand abbreviations -> mark common words -> tag
+  /// concepts.
+  ///
+  /// Expansion: a token with a thesaurus abbreviation entry is replaced by
+  /// its expansion words ("po" -> "purchase", "order").
+  /// Elimination: stop-word tokens are re-typed kCommon.
+  /// Tagging: a token that triggers a concept is re-typed kConcept and the
+  /// concept is recorded on the name.
+  NormalizedName Normalize(std::string_view name) const;
+
+ private:
+  const Thesaurus* thesaurus_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_NORMALIZER_H_

@@ -1,0 +1,92 @@
+#include "linguistic/tokenizer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kNumber: return "number";
+    case TokenType::kSpecial: return "special";
+    case TokenType::kCommon: return "common";
+    case TokenType::kConcept: return "concept";
+    case TokenType::kContent: return "content";
+  }
+  return "content";
+}
+
+namespace {
+
+bool IsSeparator(char c) {
+  return c == '_' || c == '-' || c == '.' || c == ' ' || c == '/' ||
+         c == '\t';
+}
+
+}  // namespace
+
+std::vector<Token> TokenizeName(std::string_view name) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = name.size();
+  auto is_upper = [](char c) { return std::isupper(static_cast<unsigned char>(c)); };
+  auto is_lower = [](char c) { return std::islower(static_cast<unsigned char>(c)); };
+  auto is_digit = [](char c) { return std::isdigit(static_cast<unsigned char>(c)); };
+  auto is_alpha = [](char c) { return std::isalpha(static_cast<unsigned char>(c)); };
+
+  while (i < n) {
+    char c = name[i];
+    if (IsSeparator(c)) {
+      ++i;
+      continue;
+    }
+    if (is_digit(c)) {
+      size_t j = i;
+      while (j < n && is_digit(name[j])) ++j;
+      tokens.push_back({std::string(name.substr(i, j - i)), TokenType::kNumber});
+      i = j;
+      continue;
+    }
+    if (!is_alpha(c)) {
+      tokens.push_back({std::string(1, c), TokenType::kSpecial});
+      ++i;
+      continue;
+    }
+    // Alphabetic run, split at case transitions:
+    //   "POLines"  -> "PO" + "Lines"   (upper-run followed by upper+lower)
+    //   "unitPrice"-> "unit" + "Price" (lower followed by upper)
+    size_t j = i + 1;
+    if (is_upper(c)) {
+      // Consume the upper-case run.
+      while (j < n && is_upper(name[j])) ++j;
+      if (j < n && is_lower(name[j]) && j - i >= 2) {
+        // Last upper letter starts the next word: "POLines" -> "PO"|"Lines".
+        --j;
+      } else {
+        // "Lines": single upper + lowers, keep consuming lowers below.
+        while (j < n && is_lower(name[j])) ++j;
+      }
+    } else {
+      while (j < n && is_lower(name[j])) ++j;
+    }
+    tokens.push_back(
+        {ToLowerAscii(name.substr(i, j - i)), TokenType::kContent});
+    i = j;
+  }
+  return tokens;
+}
+
+std::string TokensToString(const std::vector<Token>& tokens) {
+  std::string out = "[";
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i].text;
+    out += ':';
+    out += TokenTypeName(tokens[i].type);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,56 @@
+// Name tokenization (Section 5.1 of the paper).
+//
+// Schema element names are parsed into tokens on punctuation, case
+// transitions, digits and special symbols: "POLines" -> {po, lines},
+// "unit_price#2" -> {unit, price, #, 2}. Each token carries one of the five
+// token types of the paper: number, special symbol, common word, concept_name, or
+// content.
+
+#ifndef CUPID_LINGUISTIC_TOKENIZER_H_
+#define CUPID_LINGUISTIC_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cupid {
+
+/// The five token types of Section 5.1 ("Each name token is also marked as
+/// being one of five token types").
+enum class TokenType : uint8_t {
+  kNumber = 0,   ///< all digits
+  kSpecial,      ///< special symbol, e.g. '#'
+  kCommon,       ///< preposition/conjunction/article (ignored in comparison)
+  kConcept,      ///< token tagged with a known concept
+  kContent,      ///< everything else — the informative words
+};
+
+/// \brief Canonical name of a TokenType.
+const char* TokenTypeName(TokenType t);
+
+/// One token of a normalized element name. `text` is lower-case.
+struct Token {
+  std::string text;
+  TokenType type = TokenType::kContent;
+
+  bool operator==(const Token& other) const {
+    return text == other.text && type == other.type;
+  }
+};
+
+/// \brief Splits `name` into raw tokens.
+///
+/// Boundaries: any non-alphanumeric character (which itself becomes a
+/// kSpecial token unless it is '_', '-', '.', ' ', or '/' — pure
+/// separators), lower→upper case transitions ("POLines" -> "PO", "Lines"),
+/// letter↔digit transitions. Digit runs become kNumber tokens. All text is
+/// lower-cased. Type assignment beyond kNumber/kSpecial (common/concept) is
+/// the normalizer's job; the tokenizer marks everything else kContent.
+std::vector<Token> TokenizeName(std::string_view name);
+
+/// \brief Renders tokens as "[a b c]" for diagnostics.
+std::string TokensToString(const std::vector<Token>& tokens);
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_TOKENIZER_H_

@@ -1,0 +1,65 @@
+#include "mapping/compose.h"
+
+#include <map>
+#include <vector>
+
+namespace cupid {
+
+Result<Mapping> ComposeMappings(const Mapping& ab, const Mapping& bc,
+                                const ComposeOptions& options) {
+  if (ab.target_schema != bc.source_schema) {
+    return Status::InvalidArgument(
+        "cannot compose: middle schemas disagree ('" + ab.target_schema +
+        "' vs '" + bc.source_schema + "')");
+  }
+  // Index bc by its source (B-side) path.
+  std::multimap<std::string, const MappingElement*> by_b;
+  for (const MappingElement& e : bc.elements) {
+    by_b.emplace(e.source_path, &e);
+  }
+
+  Mapping out;
+  out.source_schema = ab.source_schema;
+  out.target_schema = bc.target_schema;
+  // Strongest derivation per (A,C) pair.
+  std::map<std::pair<std::string, std::string>, MappingElement> best;
+  for (const MappingElement& first : ab.elements) {
+    auto [lo, hi] = by_b.equal_range(first.target_path);
+    for (auto it = lo; it != hi; ++it) {
+      const MappingElement& second = *it->second;
+      MappingElement composed;
+      composed.source = first.source;
+      composed.target = second.target;
+      composed.source_path = first.source_path;
+      composed.target_path = second.target_path;
+      composed.wsim = first.wsim * second.wsim;
+      composed.ssim = first.ssim * second.ssim;
+      composed.lsim = first.lsim * second.lsim;
+      if (composed.wsim < options.min_wsim) continue;
+      auto key = std::make_pair(composed.source_path, composed.target_path);
+      auto [slot, inserted] = best.emplace(key, composed);
+      if (!inserted && composed.wsim > slot->second.wsim) {
+        slot->second = composed;
+      }
+    }
+  }
+  for (auto& [key, element] : best) {
+    out.elements.push_back(std::move(element));
+  }
+  return out;
+}
+
+Mapping InvertMapping(const Mapping& m) {
+  Mapping out;
+  out.source_schema = m.target_schema;
+  out.target_schema = m.source_schema;
+  for (const MappingElement& e : m.elements) {
+    MappingElement inv = e;
+    std::swap(inv.source, inv.target);
+    std::swap(inv.source_path, inv.target_path);
+    out.elements.push_back(std::move(inv));
+  }
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,33 @@
+// Mapping composition — the taxonomy's "auxiliary information" reuse
+// technique (Section 3: "Reusing past match information can also help, for
+// example, to compute a mapping that is the composition of mappings that
+// were performed earlier"). Given mappings A->B and B->C, derives A->C.
+
+#ifndef CUPID_MAPPING_COMPOSE_H_
+#define CUPID_MAPPING_COMPOSE_H_
+
+#include "mapping/mapping.h"
+#include "util/status.h"
+
+namespace cupid {
+
+struct ComposeOptions {
+  /// Similarity of a composed pair is the product of the two hops'
+  /// similarities; pairs below this are dropped.
+  double min_wsim = 0.25;
+};
+
+/// \brief Composes `ab` (schema A -> schema B) with `bc` (B -> C) into an
+/// A -> C mapping. Join key: the B-side context path (ab.target_path ==
+/// bc.source_path). Similarities multiply; duplicates keep the strongest
+/// derivation. Fails if the mappings' middle schemas disagree.
+Result<Mapping> ComposeMappings(const Mapping& ab, const Mapping& bc,
+                                const ComposeOptions& options = {});
+
+/// \brief Inverts a mapping (Match results are non-directional, Section 2):
+/// sources become targets and vice versa.
+Mapping InvertMapping(const Mapping& m);
+
+}  // namespace cupid
+
+#endif  // CUPID_MAPPING_COMPOSE_H_

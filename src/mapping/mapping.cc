@@ -1,0 +1,24 @@
+#include "mapping/mapping.h"
+
+namespace cupid {
+
+bool Mapping::ContainsPair(const std::string& source_path,
+                           const std::string& target_path) const {
+  for (const MappingElement& e : elements) {
+    if (e.source_path == source_path && e.target_path == target_path) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<MappingElement> Mapping::ForTarget(
+    const std::string& target_path) const {
+  std::vector<MappingElement> out;
+  for (const MappingElement& e : elements) {
+    if (e.target_path == target_path) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,50 @@
+// Mappings — the output of the Match operation (Section 2 of the paper).
+//
+// A mapping is a set of mapping elements, each relating one node of the
+// source schema tree to one node of the target schema tree, qualified by
+// context (the full tree path), with its similarity coefficients attached.
+// Mappings are non-directional in meaning; "source"/"target" only name the
+// two input roles.
+
+#ifndef CUPID_MAPPING_MAPPING_H_
+#define CUPID_MAPPING_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/schema_tree.h"
+
+namespace cupid {
+
+/// One correspondence between a source and a target schema-tree node.
+struct MappingElement {
+  TreeNodeId source = kNoTreeNode;
+  TreeNodeId target = kNoTreeNode;
+  /// Context-qualified paths ("PurchaseOrder.DeliverTo.Address.Street").
+  std::string source_path;
+  std::string target_path;
+  double wsim = 0.0;
+  double ssim = 0.0;
+  double lsim = 0.0;
+};
+
+/// A set of mapping elements between two schemas.
+struct Mapping {
+  std::string source_schema;
+  std::string target_schema;
+  std::vector<MappingElement> elements;
+
+  /// True if some element maps `source_path` to `target_path`.
+  bool ContainsPair(const std::string& source_path,
+                    const std::string& target_path) const;
+
+  /// All elements whose target is `target_path` (useful with 1:n output).
+  std::vector<MappingElement> ForTarget(const std::string& target_path) const;
+
+  size_t size() const { return elements.size(); }
+  bool empty() const { return elements.empty(); }
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_MAPPING_MAPPING_H_

@@ -1,0 +1,57 @@
+// Mapping generation (Section 7 of the paper).
+//
+// The paper's naive generator: for each *target* leaf, return the source
+// leaf with the highest weighted similarity, provided wsim >= thaccept —
+// producing a (possibly) 1:n mapping. Non-leaf mappings require the second
+// post-order recompute pass first (RecomputeNonLeafSimilarities). "The exact
+// nature of a mapping is often dependent on requirements of the module that
+// accepts [it]", so tool-specific 1:1 generators (greedy, stable-marriage)
+// are provided as alternatives.
+
+#ifndef CUPID_MAPPING_MAPPING_GENERATOR_H_
+#define CUPID_MAPPING_MAPPING_GENERATOR_H_
+
+#include "mapping/mapping.h"
+#include "structural/tree_match.h"
+#include "tree/schema_tree.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// Cardinality policy of the generator.
+enum class MappingCardinality {
+  /// The paper's naive scheme: best source per target, sources may repeat.
+  kOneToMany = 0,
+  /// Greedy 1:1: pairs taken in decreasing wsim order, endpoints used once.
+  kOneToOneGreedy,
+  /// Stable-marriage 1:1 (Gale-Shapley on wsim preference lists).
+  kOneToOneStable,
+};
+
+/// What level of nodes to emit.
+enum class MappingScope {
+  kLeaves = 0,   ///< leaf-level mapping elements only
+  kNonLeaves,    ///< non-leaf elements only (Section 7, second pass)
+  kAll,          ///< both
+};
+
+struct MappingGeneratorOptions {
+  /// Acceptance threshold thaccept (Table 1: 0.5).
+  double th_accept = 0.5;
+  MappingCardinality cardinality = MappingCardinality::kOneToMany;
+  MappingScope scope = MappingScope::kLeaves;
+};
+
+/// \brief Derives a mapping from computed similarities.
+///
+/// For scope kNonLeaves / kAll the caller should have run
+/// RecomputeNonLeafSimilarities on `result` first; GenerateMapping does not
+/// do it implicitly so that callers can inspect both states.
+Result<Mapping> GenerateMapping(const SchemaTree& source,
+                                const SchemaTree& target,
+                                const TreeMatchResult& result,
+                                const MappingGeneratorOptions& options = {});
+
+}  // namespace cupid
+
+#endif  // CUPID_MAPPING_MAPPING_GENERATOR_H_

@@ -1,0 +1,103 @@
+#include "mapping/mapping_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+constexpr const char* kHeader = "# cupid mapping v1";
+}
+
+std::string SerializeMapping(const Mapping& mapping) {
+  std::string out = std::string(kHeader) + "\n";
+  out += "mapping " + mapping.source_schema + " -> " +
+         mapping.target_schema + "\n";
+  for (const MappingElement& e : mapping.elements) {
+    out += StringFormat("%s|%s|%.6f|%.6f|%.6f\n", e.source_path.c_str(),
+                        e.target_path.c_str(), e.wsim, e.ssim, e.lsim);
+  }
+  return out;
+}
+
+Result<Mapping> ParseMapping(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  Mapping out;
+  bool saw_header = false, saw_schemas = false;
+  auto err = [&](const std::string& what) {
+    return Status::ParseError(
+        StringFormat("mapping line %d: %s", lineno, what.c_str()));
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      saw_header |= trimmed == kHeader;
+      continue;
+    }
+    if (StartsWith(trimmed, "mapping ")) {
+      size_t arrow = trimmed.find(" -> ");
+      if (arrow == std::string_view::npos) {
+        return err("expected 'mapping <source> -> <target>'");
+      }
+      out.source_schema =
+          std::string(TrimWhitespace(trimmed.substr(8, arrow - 8)));
+      out.target_schema = std::string(TrimWhitespace(trimmed.substr(arrow + 4)));
+      if (out.source_schema.empty() || out.target_schema.empty()) {
+        return err("empty schema name");
+      }
+      saw_schemas = true;
+      continue;
+    }
+    if (!saw_schemas) {
+      return err("mapping elements before the 'mapping' header line");
+    }
+    std::vector<std::string> fields = SplitAny(trimmed, "|");
+    if (fields.size() != 5) {
+      return err("expected 5 '|'-separated fields");
+    }
+    MappingElement e;
+    e.source_path = fields[0];
+    e.target_path = fields[1];
+    char* end = nullptr;
+    e.wsim = std::strtod(fields[2].c_str(), &end);
+    if (end == fields[2].c_str()) return err("bad wsim");
+    e.ssim = std::strtod(fields[3].c_str(), &end);
+    if (end == fields[3].c_str()) return err("bad ssim");
+    e.lsim = std::strtod(fields[4].c_str(), &end);
+    if (end == fields[4].c_str()) return err("bad lsim");
+    if (e.wsim < 0.0 || e.wsim > 1.0 || e.ssim < 0.0 || e.ssim > 1.0 ||
+        e.lsim < 0.0 || e.lsim > 1.0) {
+      return err("similarities must be within [0,1]");
+    }
+    out.elements.push_back(std::move(e));
+  }
+  if (!saw_schemas) {
+    return Status::ParseError("mapping file has no 'mapping' header line");
+  }
+  (void)saw_header;  // tolerated if absent: hand-written files
+  return out;
+}
+
+Status SaveMapping(const Mapping& mapping, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write mapping file: " + path);
+  out << SerializeMapping(mapping);
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<Mapping> LoadMapping(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open mapping file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseMapping(buf.str());
+}
+
+}  // namespace cupid

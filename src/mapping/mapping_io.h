@@ -1,0 +1,41 @@
+// Mapping persistence: a line-oriented text format so mappings can be
+// stored, reviewed/edited by hand, and fed back later — the "library of
+// known mappings" auxiliary-information source from the taxonomy
+// (Section 3), and the storage half of mapping reuse (mapping/compose.h).
+//
+//     # cupid mapping v1
+//     mapping PO -> PurchaseOrder
+//     PO.POLines.Item.Qty|PurchaseOrder.Items.Item.Quantity|1.0|1.0|1.0
+//     ...
+//
+// Fields: source path | target path | wsim | ssim | lsim. Paths must not
+// contain '|' (none of the importers produce such names).
+
+#ifndef CUPID_MAPPING_MAPPING_IO_H_
+#define CUPID_MAPPING_MAPPING_IO_H_
+
+#include <string>
+
+#include "mapping/mapping.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Serializes `mapping` in the text format above.
+std::string SerializeMapping(const Mapping& mapping);
+
+/// \brief Parses the text format; ParseError (with line numbers) on
+/// malformed input. Node ids are not persisted and come back as
+/// kNoTreeNode — path-based consumers (Compose, Evaluate, initial
+/// mappings) do not need them.
+Result<Mapping> ParseMapping(const std::string& text);
+
+/// \brief Writes `mapping` to `path`.
+Status SaveMapping(const Mapping& mapping, const std::string& path);
+
+/// \brief Reads and parses `path`.
+Result<Mapping> LoadMapping(const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_MAPPING_MAPPING_IO_H_

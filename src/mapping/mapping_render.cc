@@ -1,0 +1,63 @@
+#include "mapping/mapping_render.h"
+
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderMappingText(const Mapping& mapping) {
+  std::string out = StringFormat("Mapping %s -> %s (%zu elements)\n",
+                                 mapping.source_schema.c_str(),
+                                 mapping.target_schema.c_str(),
+                                 mapping.elements.size());
+  for (const MappingElement& e : mapping.elements) {
+    out += StringFormat("  %s -> %s  (wsim=%.3f ssim=%.3f lsim=%.3f)\n",
+                        e.source_path.c_str(), e.target_path.c_str(), e.wsim,
+                        e.ssim, e.lsim);
+  }
+  return out;
+}
+
+std::string RenderMappingJson(const Mapping& mapping) {
+  std::string out = "{\n";
+  out += StringFormat("  \"source_schema\": \"%s\",\n",
+                      JsonEscape(mapping.source_schema).c_str());
+  out += StringFormat("  \"target_schema\": \"%s\",\n",
+                      JsonEscape(mapping.target_schema).c_str());
+  out += "  \"elements\": [\n";
+  for (size_t i = 0; i < mapping.elements.size(); ++i) {
+    const MappingElement& e = mapping.elements[i];
+    out += StringFormat(
+        "    {\"source\": \"%s\", \"target\": \"%s\", "
+        "\"wsim\": %.6f, \"ssim\": %.6f, \"lsim\": %.6f}%s\n",
+        JsonEscape(e.source_path).c_str(), JsonEscape(e.target_path).c_str(),
+        e.wsim, e.ssim, e.lsim, i + 1 < mapping.elements.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,24 @@
+// Rendering of mappings for humans and downstream tools. The paper displayed
+// mappings in BizTalk Mapper; these renderers replace that display path with
+// plain text and JSON.
+
+#ifndef CUPID_MAPPING_MAPPING_RENDER_H_
+#define CUPID_MAPPING_MAPPING_RENDER_H_
+
+#include <string>
+
+#include "mapping/mapping.h"
+
+namespace cupid {
+
+/// \brief One line per mapping element:
+/// "src.path -> tgt.path  (wsim=0.82 ssim=0.91 lsim=0.73)".
+std::string RenderMappingText(const Mapping& mapping);
+
+/// \brief JSON document with schema names and an `elements` array. Paths are
+/// escaped; suitable for consumption by query-discovery tooling.
+std::string RenderMappingJson(const Mapping& mapping);
+
+}  // namespace cupid
+
+#endif  // CUPID_MAPPING_MAPPING_RENDER_H_

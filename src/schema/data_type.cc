@@ -1,0 +1,132 @@
+#include "schema/data_type.h"
+
+#include <string>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+TypeClass TypeClassOf(DataType t) {
+  switch (t) {
+    case DataType::kString:
+    case DataType::kText:
+    case DataType::kChar:
+    case DataType::kUuid:
+    case DataType::kIdRef:
+      return TypeClass::kText;
+    case DataType::kInteger:
+    case DataType::kSmallInt:
+    case DataType::kBigInt:
+    case DataType::kDecimal:
+    case DataType::kFloat:
+    case DataType::kDouble:
+    case DataType::kMoney:
+      return TypeClass::kNumber;
+    case DataType::kBoolean:
+      return TypeClass::kBoolean;
+    case DataType::kDate:
+    case DataType::kTime:
+    case DataType::kDateTime:
+      return TypeClass::kTemporal;
+    case DataType::kBinary:
+      return TypeClass::kBinary;
+    case DataType::kComplex:
+      return TypeClass::kComplex;
+    case DataType::kUnknown:
+    case DataType::kAny:
+      return TypeClass::kUnknown;
+  }
+  return TypeClass::kUnknown;
+}
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kUnknown: return "unknown";
+    case DataType::kString: return "string";
+    case DataType::kText: return "text";
+    case DataType::kChar: return "char";
+    case DataType::kInteger: return "integer";
+    case DataType::kSmallInt: return "smallint";
+    case DataType::kBigInt: return "bigint";
+    case DataType::kDecimal: return "decimal";
+    case DataType::kFloat: return "float";
+    case DataType::kDouble: return "double";
+    case DataType::kMoney: return "money";
+    case DataType::kBoolean: return "boolean";
+    case DataType::kDate: return "date";
+    case DataType::kTime: return "time";
+    case DataType::kDateTime: return "datetime";
+    case DataType::kBinary: return "binary";
+    case DataType::kUuid: return "uuid";
+    case DataType::kIdRef: return "idref";
+    case DataType::kComplex: return "complex";
+    case DataType::kAny: return "any";
+  }
+  return "unknown";
+}
+
+const char* TypeClassName(TypeClass c) {
+  switch (c) {
+    case TypeClass::kUnknown: return "Unknown";
+    case TypeClass::kText: return "Text";
+    case TypeClass::kNumber: return "Number";
+    case TypeClass::kTemporal: return "Temporal";
+    case TypeClass::kBoolean: return "Boolean";
+    case TypeClass::kBinary: return "Binary";
+    case TypeClass::kComplex: return "Complex";
+  }
+  return "Unknown";
+}
+
+Result<DataType> DataTypeFromName(std::string_view raw) {
+  std::string name = ToLowerAscii(TrimWhitespace(raw));
+  // Strip XSD namespace prefixes and size suffixes: "xs:string", "varchar(30)".
+  if (auto colon = name.find(':'); colon != std::string::npos) {
+    name = name.substr(colon + 1);
+  }
+  if (auto paren = name.find('('); paren != std::string::npos) {
+    name = std::string(TrimWhitespace(name.substr(0, paren)));
+  }
+
+  struct Alias {
+    const char* name;
+    DataType type;
+  };
+  static constexpr Alias kAliases[] = {
+      {"string", DataType::kString},   {"varchar", DataType::kString},
+      {"varchar2", DataType::kString}, {"nvarchar", DataType::kString},
+      {"character varying", DataType::kString},
+      {"text", DataType::kText},       {"clob", DataType::kText},
+      {"char", DataType::kChar},       {"nchar", DataType::kChar},
+      {"character", DataType::kChar},
+      {"int", DataType::kInteger},     {"integer", DataType::kInteger},
+      {"int4", DataType::kInteger},    {"number", DataType::kInteger},
+      {"smallint", DataType::kSmallInt}, {"int2", DataType::kSmallInt},
+      {"tinyint", DataType::kSmallInt},
+      {"bigint", DataType::kBigInt},   {"int8", DataType::kBigInt},
+      {"long", DataType::kBigInt},
+      {"decimal", DataType::kDecimal}, {"numeric", DataType::kDecimal},
+      {"float", DataType::kFloat},     {"real", DataType::kFloat},
+      {"double", DataType::kDouble},   {"double precision", DataType::kDouble},
+      {"money", DataType::kMoney},     {"currency", DataType::kMoney},
+      {"bool", DataType::kBoolean},    {"boolean", DataType::kBoolean},
+      {"bit", DataType::kBoolean},
+      {"date", DataType::kDate},
+      {"time", DataType::kTime},
+      {"datetime", DataType::kDateTime}, {"timestamp", DataType::kDateTime},
+      {"binary", DataType::kBinary},   {"blob", DataType::kBinary},
+      {"varbinary", DataType::kBinary}, {"bytea", DataType::kBinary},
+      {"uuid", DataType::kUuid},       {"guid", DataType::kUuid},
+      {"id", DataType::kIdRef},        {"idref", DataType::kIdRef},
+      {"complex", DataType::kComplex}, {"complextype", DataType::kComplex},
+      {"any", DataType::kAny},         {"anytype", DataType::kAny},
+      {"unknown", DataType::kUnknown},
+  };
+  for (const Alias& a : kAliases) {
+    if (name == a.name) return a.type;
+  }
+  return Status::ParseError("unrecognized data type name: '" +
+                            std::string(raw) + "'");
+}
+
+}  // namespace cupid

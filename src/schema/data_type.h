@@ -1,0 +1,68 @@
+// Data types attached to atomic schema elements, plus the broad "type class"
+// buckets used by the categorization step of linguistic matching (Section
+// 5.2 of the paper) and by the data-type compatibility table of structural
+// matching (Section 6).
+
+#ifndef CUPID_SCHEMA_DATA_TYPE_H_
+#define CUPID_SCHEMA_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cupid {
+
+/// Concrete data type of an atomic schema element (column, XML attribute).
+enum class DataType : uint8_t {
+  kUnknown = 0,
+  kString,
+  kText,      ///< long-form / CLOB-ish text
+  kChar,      ///< fixed-width character
+  kInteger,
+  kSmallInt,
+  kBigInt,
+  kDecimal,
+  kFloat,
+  kDouble,
+  kMoney,
+  kBoolean,
+  kDate,
+  kTime,
+  kDateTime,
+  kBinary,
+  kUuid,
+  kIdRef,     ///< XML ID / IDREF
+  kComplex,   ///< non-atomic (has internal structure)
+  kAny,
+};
+
+/// Broad bucket a DataType belongs to; one linguistic category per bucket.
+enum class TypeClass : uint8_t {
+  kUnknown = 0,
+  kText,
+  kNumber,
+  kTemporal,
+  kBoolean,
+  kBinary,
+  kComplex,
+};
+
+/// \brief Broad bucket for `t` (e.g. kInteger -> kNumber).
+TypeClass TypeClassOf(DataType t);
+
+/// \brief Canonical lower-case name, e.g. "integer".
+const char* DataTypeName(DataType t);
+
+/// \brief Canonical name of a TypeClass, e.g. "Number" (used as the category
+/// keyword per Section 5.2).
+const char* TypeClassName(TypeClass c);
+
+/// \brief Parses SQL/XSD-ish type names ("varchar", "xs:int", "NUMERIC"...).
+///
+/// Returns ParseError for names that cannot be interpreted.
+Result<DataType> DataTypeFromName(std::string_view name);
+
+}  // namespace cupid
+
+#endif  // CUPID_SCHEMA_DATA_TYPE_H_

@@ -1,0 +1,116 @@
+#include "schema/schema_builder.h"
+
+namespace cupid {
+
+ElementId RelationalSchemaBuilder::AddTable(const std::string& name) {
+  Element e;
+  e.name = name;
+  e.kind = ElementKind::kContainer;
+  e.data_type = DataType::kComplex;
+  return schema_.AddElement(std::move(e), schema_.root());
+}
+
+ElementId RelationalSchemaBuilder::AddColumn(ElementId table,
+                                             const std::string& name,
+                                             DataType type, bool optional) {
+  Element e;
+  e.name = name;
+  e.kind = ElementKind::kAtomic;
+  e.data_type = type;
+  e.optional = optional;
+  return schema_.AddElement(std::move(e), table);
+}
+
+ElementId RelationalSchemaBuilder::SetPrimaryKey(
+    ElementId table, const std::vector<ElementId>& columns) {
+  Element key;
+  key.name = schema_.element(table).name + "_pk";
+  key.kind = ElementKind::kKey;
+  key.not_instantiated = true;
+  ElementId key_id = schema_.AddElement(std::move(key), table);
+  for (ElementId col : columns) {
+    schema_.AddAggregation(key_id, col);
+    schema_.mutable_element(col)->is_key = true;
+  }
+  primary_keys_.emplace_back(table, key_id);
+  return key_id;
+}
+
+ElementId RelationalSchemaBuilder::AddForeignKey(
+    const std::string& name, ElementId source_table,
+    const std::vector<ElementId>& source_columns, ElementId target_table) {
+  Element fk;
+  fk.name = name;
+  fk.kind = ElementKind::kRefInt;
+  fk.not_instantiated = true;
+  ElementId fk_id = schema_.AddElement(std::move(fk), source_table);
+  for (ElementId col : source_columns) {
+    schema_.AddAggregation(fk_id, col);
+  }
+  ElementId target_key = primary_key(target_table);
+  schema_.AddReference(fk_id,
+                       target_key == kNoElement ? target_table : target_key);
+  return fk_id;
+}
+
+ElementId RelationalSchemaBuilder::AddView(
+    const std::string& name, const std::vector<ElementId>& columns) {
+  Element view;
+  view.name = name;
+  view.kind = ElementKind::kView;
+  view.data_type = DataType::kComplex;
+  ElementId view_id = schema_.AddElement(std::move(view), schema_.root());
+  for (ElementId col : columns) {
+    schema_.AddAggregation(view_id, col);
+  }
+  return view_id;
+}
+
+ElementId RelationalSchemaBuilder::primary_key(ElementId table) const {
+  for (const auto& [t, k] : primary_keys_) {
+    if (t == table) return k;
+  }
+  return kNoElement;
+}
+
+ElementId XmlSchemaBuilder::AddElement(ElementId parent,
+                                       const std::string& name,
+                                       bool optional) {
+  Element e;
+  e.name = name;
+  e.kind = ElementKind::kContainer;
+  e.data_type = DataType::kComplex;
+  e.optional = optional;
+  return schema_.AddElement(std::move(e), parent);
+}
+
+ElementId XmlSchemaBuilder::AddAttribute(ElementId parent,
+                                         const std::string& name,
+                                         DataType type, bool optional) {
+  Element e;
+  e.name = name;
+  e.kind = ElementKind::kAtomic;
+  e.data_type = type;
+  e.optional = optional;
+  return schema_.AddElement(std::move(e), parent);
+}
+
+ElementId XmlSchemaBuilder::AddComplexType(const std::string& name) {
+  Element e;
+  e.name = name;
+  e.kind = ElementKind::kTypeDef;
+  e.data_type = DataType::kComplex;
+  // Shared types hang off no containment parent: they are reached only via
+  // IsDerivedFrom edges and expanded per context (Section 8.2).
+  return schema_.AddElement(std::move(e), kNoElement);
+}
+
+Status XmlSchemaBuilder::SetType(ElementId element, ElementId type_def) {
+  if (schema_.element(type_def).kind != ElementKind::kTypeDef) {
+    return Status::InvalidArgument(
+        "SetType target must be a TypeDef element");
+  }
+  return schema_.AddIsDerivedFrom(element, type_def);
+}
+
+}  // namespace cupid

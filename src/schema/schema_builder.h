@@ -1,0 +1,106 @@
+// Fluent construction helpers over the generic schema model.
+//
+// Two dialect-specific facades are provided: RelationalSchemaBuilder (tables,
+// columns, keys, foreign keys, views) and XmlSchemaBuilder (nested elements,
+// attributes, shared complex types). Both produce plain Schema graphs; the
+// matcher never sees the dialect.
+
+#ifndef CUPID_SCHEMA_SCHEMA_BUILDER_H_
+#define CUPID_SCHEMA_SCHEMA_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace cupid {
+
+/// \brief Builder for relational schemas (Section 8.3's running model).
+///
+///     RelationalSchemaBuilder b("RDB");
+///     auto orders = b.AddTable("Orders");
+///     auto oid = b.AddColumn(orders, "OrderID", DataType::kInteger);
+///     b.SetPrimaryKey(orders, {oid});
+///     b.AddForeignKey("Orders_Customers_fk", orders, {cust_id_col},
+///                     customers);
+///     Schema s = std::move(b).Build();
+class RelationalSchemaBuilder {
+ public:
+  explicit RelationalSchemaBuilder(std::string name) : schema_(std::move(name)) {}
+
+  /// Adds a table under the schema root.
+  ElementId AddTable(const std::string& name);
+
+  /// Adds a column to `table`. `optional` marks NULLable columns.
+  ElementId AddColumn(ElementId table, const std::string& name, DataType type,
+                      bool optional = false);
+
+  /// \brief Declares the primary key of `table` over `columns`.
+  ///
+  /// Creates a not-instantiated kKey element aggregating the columns and
+  /// marks the columns `is_key`.
+  ElementId SetPrimaryKey(ElementId table,
+                          const std::vector<ElementId>& columns);
+
+  /// \brief Declares a foreign key named `name` from `source_columns` (in
+  /// `source_table`) to the primary key of `target_table`.
+  ///
+  /// Creates a not-instantiated kRefInt element that aggregates the source
+  /// columns and references the target table's key (or the table itself if
+  /// no key was declared). Section 8.3, Figure 5.
+  ElementId AddForeignKey(const std::string& name, ElementId source_table,
+                          const std::vector<ElementId>& source_columns,
+                          ElementId target_table);
+
+  /// \brief Declares a view over existing columns (Section 8.4 "Views").
+  ElementId AddView(const std::string& name,
+                    const std::vector<ElementId>& columns);
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+  Schema Build() && { return std::move(schema_); }
+
+  /// Primary key element of `table`, or kNoElement.
+  ElementId primary_key(ElementId table) const;
+
+ private:
+  Schema schema_;
+  // (table, key) pairs; small schemas, linear scan is fine.
+  std::vector<std::pair<ElementId, ElementId>> primary_keys_;
+};
+
+/// \brief Builder for XML-style hierarchical schemas with shared types.
+class XmlSchemaBuilder {
+ public:
+  explicit XmlSchemaBuilder(std::string name) : schema_(std::move(name)) {}
+
+  ElementId root() const { return schema_.root(); }
+
+  /// Adds a complex (container) XML element under `parent`.
+  ElementId AddElement(ElementId parent, const std::string& name,
+                       bool optional = false);
+
+  /// Adds a leaf element/attribute with a simple type under `parent`.
+  ElementId AddAttribute(ElementId parent, const std::string& name,
+                         DataType type, bool optional = false);
+
+  /// \brief Declares a shared complex type (not contained by the root;
+  /// reached only via IsDerivedFrom edges).
+  ElementId AddComplexType(const std::string& name);
+
+  /// \brief Types `element` by `type_def` (IsDerivedFrom edge): members of
+  /// the type become implicit members of the element (Section 8.1).
+  Status SetType(ElementId element, ElementId type_def);
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+  Schema Build() && { return std::move(schema_); }
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_SCHEMA_SCHEMA_BUILDER_H_

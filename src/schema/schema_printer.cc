@@ -1,0 +1,62 @@
+#include "schema/schema_printer.h"
+
+#include <functional>
+
+namespace cupid {
+
+namespace {
+
+void PrintElement(const Schema& schema, ElementId id, int depth,
+                  std::string* out) {
+  const Element& e = schema.element(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(e.name);
+  out->append(" [");
+  out->append(ElementKindName(e.kind));
+  if (e.kind == ElementKind::kAtomic) {
+    out->append(" ");
+    out->append(DataTypeName(e.data_type));
+  }
+  if (e.optional) out->append(" optional");
+  if (e.is_key) out->append(" key");
+  if (e.not_instantiated) out->append(" not-instantiated");
+  out->append("]\n");
+  for (ElementId c : schema.children(id)) {
+    PrintElement(schema, c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintSchema(const Schema& schema) {
+  std::string out;
+  PrintElement(schema, schema.root(), 0, &out);
+  // Detached elements (shared types) after the containment tree.
+  for (ElementId id : schema.AllElements()) {
+    if (id != schema.root() && schema.parent(id) == kNoElement) {
+      PrintElement(schema, id, 0, &out);
+    }
+  }
+  return out;
+}
+
+std::string PrintSchemaEdges(const Schema& schema) {
+  std::string out;
+  for (ElementId id : schema.AllElements()) {
+    for (ElementId t : schema.derived_from(id)) {
+      out += schema.element(id).name + " -IsDerivedFrom-> " +
+             schema.element(t).name + "\n";
+    }
+    for (ElementId t : schema.aggregates(id)) {
+      out += schema.element(id).name + " -Aggregates-> " +
+             schema.element(t).name + "\n";
+    }
+    for (ElementId t : schema.references(id)) {
+      out += schema.element(id).name + " -References-> " +
+             schema.element(t).name + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cupid

@@ -1,0 +1,27 @@
+// Debug/inspection rendering of schema graphs.
+
+#ifndef CUPID_SCHEMA_SCHEMA_PRINTER_H_
+#define CUPID_SCHEMA_SCHEMA_PRINTER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace cupid {
+
+/// \brief Renders the containment tree with kind/type annotations, one
+/// element per line, two-space indentation per depth level.
+///
+///     PO [Root]
+///       POLines [Container]
+///         Item [Container]
+///           Line [Atomic integer]
+std::string PrintSchema(const Schema& schema);
+
+/// \brief Renders all non-containment edges, one per line, e.g.
+/// "Order_Customer_fk -Reference-> Customers_pk".
+std::string PrintSchemaEdges(const Schema& schema);
+
+}  // namespace cupid
+
+#endif  // CUPID_SCHEMA_SCHEMA_PRINTER_H_

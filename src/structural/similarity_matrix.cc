@@ -1,0 +1,3 @@
+// NodeSimilarities is header-only; this file exists so the target has a
+// translation unit for the header's ODR-checked inline definitions.
+#include "structural/similarity_matrix.h"

@@ -1,0 +1,56 @@
+// Node-pair similarity storage shared by structural matching and mapping
+// generation.
+
+#ifndef CUPID_STRUCTURAL_SIMILARITY_MATRIX_H_
+#define CUPID_STRUCTURAL_SIMILARITY_MATRIX_H_
+
+#include "tree/schema_tree.h"
+#include "util/matrix.h"
+
+namespace cupid {
+
+/// \brief The similarity state of a (source tree, target tree) match:
+/// per-node-pair lsim (projected from elements), the evolving ssim, and
+/// wsim snapshots taken as pairs are compared.
+///
+/// All matrices are indexed by (TreeNodeId of source, TreeNodeId of target).
+class NodeSimilarities {
+ public:
+  NodeSimilarities(int64_t source_nodes, int64_t target_nodes)
+      : lsim_(source_nodes, target_nodes),
+        ssim_(source_nodes, target_nodes),
+        wsim_(source_nodes, target_nodes) {}
+
+  double lsim(TreeNodeId s, TreeNodeId t) const { return lsim_(s, t); }
+  double ssim(TreeNodeId s, TreeNodeId t) const { return ssim_(s, t); }
+  double wsim(TreeNodeId s, TreeNodeId t) const { return wsim_(s, t); }
+
+  void set_lsim(TreeNodeId s, TreeNodeId t, double v) {
+    lsim_(s, t) = static_cast<float>(v);
+  }
+  void set_ssim(TreeNodeId s, TreeNodeId t, double v) {
+    ssim_(s, t) = static_cast<float>(v);
+  }
+  void set_wsim(TreeNodeId s, TreeNodeId t, double v) {
+    wsim_(s, t) = static_cast<float>(v);
+  }
+
+  /// Multiplies ssim(s,t) by `factor`, clamping the result into [0, 1]
+  /// (Section 6: increases are capped at 1).
+  void ScaleSsim(TreeNodeId s, TreeNodeId t, double factor) {
+    float v = static_cast<float>(ssim_(s, t) * factor);
+    ssim_(s, t) = v > 1.0f ? 1.0f : (v < 0.0f ? 0.0f : v);
+  }
+
+  int64_t source_nodes() const { return lsim_.rows(); }
+  int64_t target_nodes() const { return lsim_.cols(); }
+
+ private:
+  Matrix<float> lsim_;
+  Matrix<float> ssim_;
+  Matrix<float> wsim_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_STRUCTURAL_SIMILARITY_MATRIX_H_

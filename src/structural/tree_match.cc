@@ -1,0 +1,418 @@
+#include "structural/tree_match.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tree/lazy_expansion.h"
+
+namespace cupid {
+
+namespace {
+
+/// Collects the depth-limited frontier of `node`: descendants that are
+/// either true leaves or sit exactly `depth` levels below `node`, with
+/// path-relative optionality. Mirrors tree-cached leaves() when depth is
+/// large enough.
+void CollectFrontier(const SchemaTree& tree, TreeNodeId node, int depth,
+                     bool optional_so_far, std::vector<LeafRef>* out) {
+  const TreeNode& n = tree.node(node);
+  if (n.children.empty() || depth == 0) {
+    out->push_back({node, optional_so_far});
+    return;
+  }
+  for (TreeNodeId c : n.children) {
+    CollectFrontier(tree, c, depth - 1,
+                    optional_so_far || tree.node(c).optional, out);
+  }
+}
+
+/// Per-tree access to the leaf set used for structural similarity: the
+/// cached true leaves, or precomputed depth-k frontiers.
+class FrontierProvider {
+ public:
+  FrontierProvider(const SchemaTree& tree, int max_depth) : tree_(tree) {
+    if (max_depth > 0) {
+      frontiers_.resize(static_cast<size_t>(tree.num_nodes()));
+      for (TreeNodeId n = 0; n < tree.num_nodes(); ++n) {
+        CollectFrontier(tree, n, max_depth, /*optional_so_far=*/false,
+                        &frontiers_[static_cast<size_t>(n)]);
+        // Deduplicate shared (DAG) frontier nodes; required beats optional.
+        auto& f = frontiers_[static_cast<size_t>(n)];
+        std::sort(f.begin(), f.end(), [](const LeafRef& a, const LeafRef& b) {
+          return a.leaf < b.leaf || (a.leaf == b.leaf && !a.optional);
+        });
+        f.erase(std::unique(f.begin(), f.end(),
+                            [](const LeafRef& a, const LeafRef& b) {
+                              return a.leaf == b.leaf;
+                            }),
+                f.end());
+      }
+    }
+  }
+
+  const std::vector<LeafRef>& of(TreeNodeId n) const {
+    return frontiers_.empty() ? tree_.leaves(n)
+                              : frontiers_[static_cast<size_t>(n)];
+  }
+
+ private:
+  const SchemaTree& tree_;
+  std::vector<std::vector<LeafRef>> frontiers_;
+};
+
+/// Groups of duplicated subtrees on the source side, for lazy expansion:
+/// for each top canonical node, the aligned (canonical descendant, copy
+/// descendant) node pairs across all its copies.
+struct LazyGroups {
+  std::unordered_map<TreeNodeId,
+                     std::vector<std::pair<TreeNodeId, TreeNodeId>>>
+      propagation;
+  std::vector<bool> skip;  // outer-loop skip flags (copy-subtree nodes)
+
+  static LazyGroups Analyze(const SchemaTree& tree) {
+    LazyGroups g;
+    DuplicateInfo dup = AnalyzeDuplicates(tree);
+    g.skip.assign(static_cast<size_t>(tree.num_nodes()), false);
+    if (!dup.has_duplicates) return g;
+    for (TreeNodeId n = 0; n < tree.num_nodes(); ++n) {
+      if (!dup.is_copy(n)) continue;
+      g.skip[static_cast<size_t>(n)] = true;
+      // This node's copy-subtree root: walk up while the parent is a copy.
+      TreeNodeId root = n;
+      while (true) {
+        TreeNodeId p = tree.node(root).parent;
+        if (p == kNoTreeNode || !dup.is_copy(p)) break;
+        root = p;
+      }
+      g.propagation[dup.canon(root)].push_back({dup.canon(n), n});
+    }
+    return g;
+  }
+};
+
+/// Implements both the main TreeMatch sweep and the Section 7 recompute
+/// pass. All similarity state lives in the caller-visible NodeSimilarities.
+class TreeMatcher {
+ public:
+  TreeMatcher(const SchemaTree& source, const SchemaTree& target,
+              const TypeCompatibilityTable& types,
+              const TreeMatchOptions& options)
+      : s_(source),
+        t_(target),
+        types_(types),
+        opt_(options),
+        s_frontier_(source, options.max_leaf_depth),
+        t_frontier_(target, options.max_leaf_depth) {}
+
+  TreeMatchResult Run(const Matrix<float>& element_lsim) {
+    TreeMatchResult result{NodeSimilarities(s_.num_nodes(), t_.num_nodes()),
+                           {}};
+    ProjectLsim(element_lsim, &result.sims);
+    InitLeafSsim(&result.sims);
+
+    LazyGroups lazy;
+    if (opt_.lazy_expansion) lazy = LazyGroups::Analyze(s_);
+
+    for (TreeNodeId ns : s_.post_order()) {
+      if (opt_.lazy_expansion && lazy.skip[static_cast<size_t>(ns)]) {
+        result.stats.pairs_skipped_lazy += t_.num_nodes();
+        continue;
+      }
+      for (TreeNodeId nt : t_.post_order()) {
+        ComparePair(ns, nt, &result);
+      }
+      if (opt_.lazy_expansion) {
+        auto it = lazy.propagation.find(ns);
+        if (it != lazy.propagation.end()) {
+          PropagateRows(it->second, &result.sims);
+        }
+      }
+    }
+    return result;
+  }
+
+  void Recompute(NodeSimilarities* sims) {
+    // Second pass (Section 7): leaf similarities are final; refresh every
+    // wsim and recompute non-leaf ssim from the final leaf state.
+    for (TreeNodeId ns : s_.post_order()) {
+      for (TreeNodeId nt : t_.post_order()) {
+        if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) {
+          sims->set_wsim(ns, nt,
+                         MixWsim(*sims, ns, nt, sims->ssim(ns, nt), true));
+          continue;
+        }
+        if (PruneByLeafCount(ns, nt)) continue;
+        double ssim = StructuralSimilarity(*sims, ns, nt);
+        sims->set_ssim(ns, nt, ssim);
+        sims->set_wsim(ns, nt, MixWsim(*sims, ns, nt, ssim, false));
+      }
+    }
+  }
+
+ private:
+  void ProjectLsim(const Matrix<float>& element_lsim,
+                   NodeSimilarities* sims) const {
+    for (TreeNodeId ns = 0; ns < s_.num_nodes(); ++ns) {
+      ElementId es = s_.node(ns).source;
+      if (es == kNoElement) continue;
+      for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
+        ElementId et = t_.node(nt).source;
+        if (et == kNoElement) continue;
+        sims->set_lsim(ns, nt, element_lsim(es, et));
+      }
+    }
+  }
+
+  void InitLeafSsim(NodeSimilarities* sims) const {
+    for (TreeNodeId ns = 0; ns < s_.num_nodes(); ++ns) {
+      if (!s_.IsLeaf(ns)) continue;
+      DataType ds = s_.schema().element(s_.node(ns).source).data_type;
+      for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
+        if (!t_.IsLeaf(nt)) continue;
+        DataType dt = t_.schema().element(t_.node(nt).source).data_type;
+        sims->set_ssim(ns, nt, types_.Get(ds, dt));
+      }
+    }
+  }
+
+  double MixWsim(const NodeSimilarities& sims, TreeNodeId ns, TreeNodeId nt,
+                 double ssim, bool leaf_pair) const {
+    double w = leaf_pair ? opt_.wstruct_leaf : opt_.wstruct_nonleaf;
+    return w * ssim + (1.0 - w) * sims.lsim(ns, nt);
+  }
+
+  /// Strength of a potential leaf-level link. For true leaf pairs this is
+  /// recomputed from the *current* ssim (it evolves); for depth-pruned
+  /// frontier nodes the stored wsim snapshot is used (post-order guarantees
+  /// it was computed before any pair that consults it).
+  double LinkStrength(const NodeSimilarities& sims, TreeNodeId x,
+                      TreeNodeId y) const {
+    if (s_.IsLeaf(x) && t_.IsLeaf(y)) {
+      return MixWsim(sims, x, y, sims.ssim(x, y), true);
+    }
+    return sims.wsim(x, y);
+  }
+
+  bool PruneByLeafCount(TreeNodeId ns, TreeNodeId nt) const {
+    if (opt_.leaf_count_ratio <= 0.0) return false;
+    size_t a = s_frontier_.of(ns).size();
+    size_t b = t_frontier_.of(nt).size();
+    size_t lo = std::min(a, b), hi = std::max(a, b);
+    if (lo == 0) return hi != 0;
+    return static_cast<double>(hi) >
+           opt_.leaf_count_ratio * static_cast<double>(lo);
+  }
+
+  /// The Section 6 / 8.4 structural similarity: fraction of the union of the
+  /// two leaf sets with at least one strong link into the other set;
+  /// optional leaves without strong links are dropped from both numerator
+  /// and denominator when optional_discount is on.
+  double StructuralSimilarity(const NodeSimilarities& sims, TreeNodeId ns,
+                              TreeNodeId nt) const {
+    const std::vector<LeafRef>& ls = s_frontier_.of(ns);
+    const std::vector<LeafRef>& lt = t_frontier_.of(nt);
+    int64_t strong = 0, included = 0;
+    for (const LeafRef& x : ls) {
+      bool has_link = false;
+      for (const LeafRef& y : lt) {
+        if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
+          has_link = true;
+          break;
+        }
+      }
+      if (has_link) {
+        ++strong;
+        ++included;
+      } else if (!(opt_.optional_discount && x.optional)) {
+        ++included;
+      }
+    }
+    for (const LeafRef& y : lt) {
+      bool has_link = false;
+      for (const LeafRef& x : ls) {
+        if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
+          has_link = true;
+          break;
+        }
+      }
+      if (has_link) {
+        ++strong;
+        ++included;
+      } else if (!(opt_.optional_discount && y.optional)) {
+        ++included;
+      }
+    }
+    return included == 0 ? 0.0
+                         : static_cast<double>(strong) /
+                               static_cast<double>(included);
+  }
+
+  /// Section 8.4 fast path: structural similarity over the immediate
+  /// children only (their wsims are already computed, post-order).
+  double ChildLevelSimilarity(const NodeSimilarities& sims, TreeNodeId ns,
+                              TreeNodeId nt) const {
+    std::vector<LeafRef> ls, lt;
+    for (TreeNodeId c : s_.node(ns).children) {
+      ls.push_back({c, s_.node(c).optional});
+    }
+    for (TreeNodeId c : t_.node(nt).children) {
+      lt.push_back({c, t_.node(c).optional});
+    }
+    int64_t strong = 0, included = 0;
+    auto side = [&](const std::vector<LeafRef>& from,
+                    const std::vector<LeafRef>& to, bool from_is_source) {
+      for (const LeafRef& x : from) {
+        bool has_link = false;
+        for (const LeafRef& y : to) {
+          double w = from_is_source ? LinkStrength(sims, x.leaf, y.leaf)
+                                    : LinkStrength(sims, y.leaf, x.leaf);
+          if (w >= opt_.th_accept) {
+            has_link = true;
+            break;
+          }
+        }
+        if (has_link) {
+          ++strong;
+          ++included;
+        } else if (!(opt_.optional_discount && x.optional)) {
+          ++included;
+        }
+      }
+    };
+    side(ls, lt, true);
+    side(lt, ls, false);
+    return included == 0 ? 0.0
+                         : static_cast<double>(strong) /
+                               static_cast<double>(included);
+  }
+
+  void ComparePair(TreeNodeId ns, TreeNodeId nt, TreeMatchResult* result) {
+    NodeSimilarities& sims = result->sims;
+    const bool leaf_pair = s_.IsLeaf(ns) && t_.IsLeaf(nt);
+    if (!leaf_pair) {
+      if (PruneByLeafCount(ns, nt)) {
+        ++result->stats.pairs_pruned_leaf_count;
+        return;
+      }
+      bool skipped = false;
+      if (opt_.skip_leaves_threshold > 0.0 && !s_.IsLeaf(ns) &&
+          !t_.IsLeaf(nt)) {
+        double child_sim = ChildLevelSimilarity(sims, ns, nt);
+        if (child_sim >= opt_.skip_leaves_threshold) {
+          sims.set_ssim(ns, nt, child_sim);
+          ++result->stats.leaf_scans_skipped;
+          skipped = true;
+        }
+      }
+      if (!skipped) {
+        sims.set_ssim(ns, nt, StructuralSimilarity(sims, ns, nt));
+      }
+    }
+    ++result->stats.pairs_compared;
+    double wsim = MixWsim(sims, ns, nt, sims.ssim(ns, nt), leaf_pair);
+    sims.set_wsim(ns, nt, wsim);
+
+    if (leaf_pair && !opt_.leaf_pair_feedback) return;
+    if (wsim > opt_.th_high) {
+      ScaleSubtreeLeaves(ns, nt, opt_.c_inc, &sims);
+      ++result->stats.increases_applied;
+    } else if (wsim < opt_.th_low) {
+      ScaleSubtreeLeaves(ns, nt, opt_.c_dec, &sims);
+      ++result->stats.decreases_applied;
+    }
+  }
+
+  void ScaleSubtreeLeaves(TreeNodeId ns, TreeNodeId nt, double factor,
+                          NodeSimilarities* sims) const {
+    for (const LeafRef& x : s_.leaves(ns)) {
+      for (const LeafRef& y : t_.leaves(nt)) {
+        sims->ScaleSsim(x.leaf, y.leaf, factor);
+      }
+    }
+  }
+
+  /// Lazy expansion: every copy descendant inherits the full similarity rows
+  /// (ssim and wsim) of its aligned canonical descendant, snapshotted at
+  /// canonical-subtree completion. Context-dependent increases from the
+  /// copies' ancestors still apply to the copied leaf rows afterwards.
+  void PropagateRows(
+      const std::vector<std::pair<TreeNodeId, TreeNodeId>>& pairs,
+      NodeSimilarities* sims) const {
+    for (const auto& [canon, copy] : pairs) {
+      for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
+        sims->set_ssim(copy, nt, sims->ssim(canon, nt));
+        sims->set_wsim(copy, nt, sims->wsim(canon, nt));
+      }
+    }
+  }
+
+  const SchemaTree& s_;
+  const SchemaTree& t_;
+  const TypeCompatibilityTable& types_;
+  TreeMatchOptions opt_;
+  FrontierProvider s_frontier_;
+  FrontierProvider t_frontier_;
+};
+
+}  // namespace
+
+Status ValidateTreeMatchOptions(const TreeMatchOptions& o) {
+  auto in_unit = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in_unit(o.th_high) || !in_unit(o.th_low) || !in_unit(o.th_accept)) {
+    return Status::InvalidArgument("thresholds must be within [0,1]");
+  }
+  if (o.th_low > o.th_accept || o.th_accept > o.th_high) {
+    return Status::InvalidArgument(
+        "expected th_low <= th_accept <= th_high (Table 1)");
+  }
+  if (!in_unit(o.wstruct_leaf) || !in_unit(o.wstruct_nonleaf)) {
+    return Status::InvalidArgument("wstruct must be within [0,1]");
+  }
+  if (o.c_inc < 1.0) {
+    return Status::InvalidArgument("c_inc must be >= 1");
+  }
+  if (o.c_dec <= 0.0 || o.c_dec > 1.0) {
+    return Status::InvalidArgument("c_dec must be within (0,1]");
+  }
+  if (o.max_leaf_depth < 0) {
+    return Status::InvalidArgument("max_leaf_depth must be >= 0");
+  }
+  if (o.skip_leaves_threshold < 0.0 || o.skip_leaves_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "skip_leaves_threshold must be within [0,1]");
+  }
+  return Status::OK();
+}
+
+Result<TreeMatchResult> TreeMatch(const SchemaTree& source,
+                                  const SchemaTree& target,
+                                  const Matrix<float>& element_lsim,
+                                  const TypeCompatibilityTable& types,
+                                  const TreeMatchOptions& options) {
+  CUPID_RETURN_NOT_OK(ValidateTreeMatchOptions(options));
+  if (element_lsim.rows() != source.schema().num_elements() ||
+      element_lsim.cols() != target.schema().num_elements()) {
+    return Status::InvalidArgument(
+        "element_lsim dimensions do not match the schemas");
+  }
+  TreeMatcher matcher(source, target, types, options);
+  return matcher.Run(element_lsim);
+}
+
+Status RecomputeNonLeafSimilarities(const SchemaTree& source,
+                                    const SchemaTree& target,
+                                    const TreeMatchOptions& options,
+                                    TreeMatchResult* result) {
+  CUPID_RETURN_NOT_OK(ValidateTreeMatchOptions(options));
+  if (result->sims.source_nodes() != source.num_nodes() ||
+      result->sims.target_nodes() != target.num_nodes()) {
+    return Status::InvalidArgument(
+        "similarity matrix does not match the trees");
+  }
+  TypeCompatibilityTable types = TypeCompatibilityTable::Default();
+  TreeMatcher matcher(source, target, types, options);
+  matcher.Recompute(&result->sims);
+  return Status::OK();
+}
+
+}  // namespace cupid

@@ -1,0 +1,124 @@
+// The TreeMatch structural matching algorithm (Section 6, Figure 3), with
+// the Section 8.4 refinements: optional-leaf discounting, leaf-count
+// pruning, depth-k leaf pruning, and lazy expansion of duplicated subtrees.
+
+#ifndef CUPID_STRUCTURAL_TREE_MATCH_H_
+#define CUPID_STRUCTURAL_TREE_MATCH_H_
+
+#include "structural/similarity_matrix.h"
+#include "structural/type_compatibility.h"
+#include "tree/schema_tree.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// Tunables of structural matching; defaults follow Table 1 of the paper.
+struct TreeMatchOptions {
+  /// wsim above this increases leaf ssim in the two subtrees (Table 1: 0.6;
+  /// should exceed th_accept).
+  double th_high = 0.6;
+  /// wsim below this decreases leaf ssim (Table 1: 0.35; below th_accept).
+  double th_low = 0.35;
+  /// Multiplicative leaf-ssim increase factor. Table 1 lists 1.2 as typical
+  /// but notes cinc is "a function of maximum schema depth or depth to which
+  /// nodes are considered"; 1.3 reproduces the paper's Section 9 outcomes
+  /// (e.g. line -> itemNumber found purely structurally) on its depth-3/4
+  /// schemas, where 1.2 falls just short of thaccept.
+  double c_inc = 1.3;
+  /// Multiplicative leaf-ssim decrease factor (Table 1: 0.9 ~= 1/c_inc).
+  double c_dec = 0.9;
+  /// Strong-link / mapping acceptance threshold (Table 1: 0.5).
+  double th_accept = 0.5;
+  /// Structural weight in wsim for leaf-leaf pairs (Table 1: lower for
+  /// leaves than for non-leaves).
+  double wstruct_leaf = 0.5;
+  /// Structural weight in wsim for pairs with a non-leaf member.
+  double wstruct_nonleaf = 0.6;
+  /// Skip comparing elements whose subtree leaf counts differ by more than
+  /// this factor (Section 6, "say within a factor of 2"); <= 0 disables.
+  double leaf_count_ratio = 2.0;
+  /// Drop optional leaves with no strong link from both numerator and
+  /// denominator of ssim (Section 8.4 "Optionality").
+  bool optional_discount = true;
+  /// Apply the thhigh/thlow increase/decrease also when the compared pair is
+  /// itself a leaf pair (degenerate self-feedback: leaves(s) x leaves(t) is
+  /// just {(s,t)}). Figure 3 taken literally does this, but the paper's
+  /// rationale — "leaves with highly similar ANCESTORS occur in similar
+  /// contexts" — only motivates feedback from non-leaf comparisons, and
+  /// self-feedback saturates unrelated leaf pairs toward the cap, erasing
+  /// the context ordering Section 8.2 relies on. Off by default;
+  /// bench_ablations measures the difference.
+  bool leaf_pair_feedback = false;
+  /// Inherit similarities of duplicated (shared-type) subtrees from their
+  /// first instance instead of recomputing them (Section 8.4 "Lazy
+  /// expansion"). Final mappings are preserved; interior copy similarities
+  /// are snapshots until RecomputeNonLeafSimilarities re-derives them.
+  bool lazy_expansion = false;
+  /// If > 0, structural similarity uses the subtree frontier at this depth
+  /// instead of true leaves (Section 8.4 "Pruning leaves"). Depth 1 degrades
+  /// TreeMatch to immediate-children comparison — the alternative design the
+  /// paper argues against; bench_ablations measures the difference.
+  int max_leaf_depth = 0;
+  /// Section 8.4, last paragraph: "the immediate children of the nodes are
+  /// first compared. If a very good match is detected, then the leaf level
+  /// similarity computation is skipped." When > 0, a non-leaf pair whose
+  /// immediate-children similarity reaches this threshold adopts it as ssim
+  /// without scanning the leaf sets. 0 disables (default).
+  double skip_leaves_threshold = 0.0;
+};
+
+/// Counters describing what a TreeMatch run did.
+struct TreeMatchStats {
+  int64_t pairs_compared = 0;
+  int64_t pairs_pruned_leaf_count = 0;
+  int64_t pairs_skipped_lazy = 0;
+  /// Leaf-set scans avoided by the skip_leaves_threshold fast path.
+  int64_t leaf_scans_skipped = 0;
+  int64_t increases_applied = 0;
+  int64_t decreases_applied = 0;
+};
+
+/// Result of structural matching.
+struct TreeMatchResult {
+  NodeSimilarities sims;
+  TreeMatchStats stats;
+};
+
+/// \brief Runs TreeMatch over two schema trees.
+///
+/// `element_lsim` is the linguistic similarity table indexed by
+/// (ElementId of source schema, ElementId of target schema) — the output of
+/// LinguisticMatcher, possibly boosted by an initial mapping. It is
+/// projected onto tree nodes through their source elements.
+///
+/// The algorithm (Figure 3):
+///   1. leaf-pair ssim is initialized from `types` (in [0, 0.5]);
+///   2. nodes are enumerated in post-order in both trees; for each pair,
+///      non-leaf ssim = fraction of the union of the two leaf sets having a
+///      strong link (wsim >= th_accept) into the other leaf set;
+///   3. wsim = wstruct*ssim + (1-wstruct)*lsim is snapshotted;
+///   4. wsim > th_high scales all leaf-pair ssims in the two subtrees by
+///      c_inc (capped at 1); wsim < th_low scales them by c_dec.
+Result<TreeMatchResult> TreeMatch(const SchemaTree& source,
+                                  const SchemaTree& target,
+                                  const Matrix<float>& element_lsim,
+                                  const TypeCompatibilityTable& types,
+                                  const TreeMatchOptions& options = {});
+
+/// \brief The second post-order pass of Section 7: recomputes non-leaf ssim
+/// and wsim from the *final* leaf similarities, so non-leaf mappings reflect
+/// the increases/decreases applied after those pairs were first compared.
+/// Mutates `result->sims` in place.
+Status RecomputeNonLeafSimilarities(const SchemaTree& source,
+                                    const SchemaTree& target,
+                                    const TreeMatchOptions& options,
+                                    TreeMatchResult* result);
+
+/// \brief Validates option ranges (thresholds within [0,1], factors
+/// positive, th_low <= th_accept <= th_high).
+Status ValidateTreeMatchOptions(const TreeMatchOptions& options);
+
+}  // namespace cupid
+
+#endif  // CUPID_STRUCTURAL_TREE_MATCH_H_

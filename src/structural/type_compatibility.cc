@@ -1,0 +1,62 @@
+#include "structural/type_compatibility.h"
+
+#include <algorithm>
+
+namespace cupid {
+
+namespace {
+constexpr int kNumTypes = static_cast<int>(DataType::kAny) + 1;
+
+double ClassAffinity(TypeClass a, TypeClass b) {
+  if (a == TypeClass::kUnknown || b == TypeClass::kUnknown) return 0.25;
+  if (a == b) return 0.4;
+  auto pair_is = [&](TypeClass x, TypeClass y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (pair_is(TypeClass::kText, TypeClass::kNumber)) return 0.15;
+  if (pair_is(TypeClass::kText, TypeClass::kTemporal)) return 0.2;
+  if (pair_is(TypeClass::kText, TypeClass::kBoolean)) return 0.1;
+  if (pair_is(TypeClass::kText, TypeClass::kBinary)) return 0.1;
+  if (pair_is(TypeClass::kNumber, TypeClass::kTemporal)) return 0.15;
+  if (pair_is(TypeClass::kNumber, TypeClass::kBoolean)) return 0.2;
+  if (pair_is(TypeClass::kNumber, TypeClass::kBinary)) return 0.05;
+  if (pair_is(TypeClass::kComplex, TypeClass::kComplex)) return 0.4;
+  if (a == TypeClass::kComplex || b == TypeClass::kComplex) return 0.05;
+  return 0.05;
+}
+}  // namespace
+
+TypeCompatibilityTable::TypeCompatibilityTable()
+    : table_(kNumTypes, kNumTypes) {}
+
+TypeCompatibilityTable TypeCompatibilityTable::Default() {
+  TypeCompatibilityTable t;
+  for (int i = 0; i < kNumTypes; ++i) {
+    for (int j = 0; j < kNumTypes; ++j) {
+      DataType a = static_cast<DataType>(i);
+      DataType b = static_cast<DataType>(j);
+      double v;
+      if (a == b) {
+        v = 0.5;
+      } else if (a == DataType::kAny || b == DataType::kAny) {
+        v = 0.3;
+      } else {
+        v = ClassAffinity(TypeClassOf(a), TypeClassOf(b));
+      }
+      t.table_(i, j) = static_cast<float>(v);
+    }
+  }
+  return t;
+}
+
+double TypeCompatibilityTable::Get(DataType a, DataType b) const {
+  return table_(static_cast<int>(a), static_cast<int>(b));
+}
+
+void TypeCompatibilityTable::Set(DataType a, DataType b, double value) {
+  float v = static_cast<float>(std::clamp(value, 0.0, 0.5));
+  table_(static_cast<int>(a), static_cast<int>(b)) = v;
+  table_(static_cast<int>(b), static_cast<int>(a)) = v;
+}
+
+}  // namespace cupid

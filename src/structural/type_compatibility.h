@@ -1,0 +1,43 @@
+// Data-type compatibility table (Section 6 of the paper).
+//
+// The structural similarity of two leaves is initialized to the
+// compatibility of their data types — "This value ([0,0.5]) is a lookup in a
+// compatibility table. Identical data types have a compatibility of 0.5."
+// The cap of 0.5 leaves room for later increases driven by context.
+//
+// Per the paper's comparative study (Section 9.1, test 2), the table is
+// "accessible and tunable", so it is a first-class object here.
+
+#ifndef CUPID_STRUCTURAL_TYPE_COMPATIBILITY_H_
+#define CUPID_STRUCTURAL_TYPE_COMPATIBILITY_H_
+
+#include "schema/data_type.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Symmetric lookup table: DataType x DataType -> [0, 0.5].
+class TypeCompatibilityTable {
+ public:
+  /// All-zero table; use Default() for the standard one.
+  TypeCompatibilityTable();
+
+  /// \brief The built-in table: 0.5 on the diagonal, 0.4 within a TypeClass,
+  /// small cross-class affinities (e.g. Text-Temporal 0.2 because dates are
+  /// routinely stored as strings), 0.25 for unknown/any types.
+  static TypeCompatibilityTable Default();
+
+  /// Compatibility of `a` and `b` in [0, 0.5].
+  double Get(DataType a, DataType b) const;
+
+  /// Sets the (symmetric) compatibility of `a` and `b`; clamped to [0, 0.5].
+  void Set(DataType a, DataType b, double value);
+
+ private:
+  Matrix<float> table_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_STRUCTURAL_TYPE_COMPATIBILITY_H_

@@ -1,0 +1,154 @@
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+
+namespace {
+
+void AddStopWords(Thesaurus* t) {
+  for (const char* w :
+       {"a",  "an", "the", "of", "in", "on", "at", "to", "for", "by",
+        "and", "or", "with", "from", "as", "per", "via"}) {
+    t->AddStopWord(w);
+  }
+}
+
+void AddCommonAbbreviations(Thesaurus* t) {
+  t->AddAbbreviation("qty", {"quantity"});
+  t->AddAbbreviation("uom", {"unit", "of", "measure"});
+  t->AddAbbreviation("po", {"purchase", "order"});
+  t->AddAbbreviation("num", {"number"});
+  t->AddAbbreviation("no", {"number"});
+  t->AddAbbreviation("nbr", {"number"});
+  t->AddAbbreviation("amt", {"amount"});
+  t->AddAbbreviation("addr", {"address"});
+  t->AddAbbreviation("acct", {"account"});
+  t->AddAbbreviation("cust", {"customer"});
+  t->AddAbbreviation("emp", {"employee"});
+  t->AddAbbreviation("dept", {"department"});
+  t->AddAbbreviation("desc", {"description"});
+  t->AddAbbreviation("descr", {"description"});
+  t->AddAbbreviation("id", {"identifier"});
+  t->AddAbbreviation("ref", {"reference"});
+  t->AddAbbreviation("fk", {"foreign", "key"});
+  t->AddAbbreviation("pk", {"primary", "key"});
+  t->AddAbbreviation("ssn", {"social", "security", "number"});
+  t->AddAbbreviation("dob", {"date", "of", "birth"});
+  t->AddAbbreviation("tel", {"telephone"});
+  t->AddAbbreviation("ph", {"phone"});
+  t->AddAbbreviation("fax", {"facsimile"});
+  t->AddAbbreviation("st", {"street"});
+  t->AddAbbreviation("ave", {"avenue"});
+  t->AddAbbreviation("zip", {"postal", "code"});
+  t->AddAbbreviation("min", {"minimum"});
+  t->AddAbbreviation("max", {"maximum"});
+  t->AddAbbreviation("avg", {"average"});
+  t->AddAbbreviation("qtr", {"quarter"});
+  t->AddAbbreviation("yr", {"year"});
+  t->AddAbbreviation("mo", {"month"});
+  t->AddAbbreviation("wk", {"week"});
+  t->AddAbbreviation("prod", {"product"});
+  t->AddAbbreviation("inv", {"invoice"});
+  t->AddAbbreviation("ord", {"order"});
+  t->AddAbbreviation("mgr", {"manager"});
+}
+
+void AddCommonConcepts(Thesaurus* t) {
+  t->AddConcept("money", {"price", "cost", "value", "amount", "charge",
+                          "fee", "salary", "wage", "pay", "payment"});
+  t->AddConcept("time", {"date", "day", "month", "year", "hour", "minute",
+                         "timestamp", "quarter", "week"});
+  t->AddConcept("location", {"address", "city", "state", "country", "region",
+                             "territory", "province", "street", "zip",
+                             "postal"});
+  t->AddConcept("person", {"name", "customer", "employee", "contact",
+                           "supplier", "vendor", "client", "manager"});
+  t->AddConcept("identifier", {"id", "key", "code", "number", "ssn", "uuid"});
+  t->AddConcept("communication", {"phone", "telephone", "fax", "email",
+                                  "extension"});
+}
+
+void AddCommonRelations(Thesaurus* t) {
+  // Synonyms (strength 0.9-1.0): interchangeable schema vocabulary.
+  t->AddSynonym("invoice", "bill", 1.0);
+  t->AddSynonym("ship", "deliver", 1.0);
+  t->AddSynonym("quantity", "count", 0.9);
+  t->AddSynonym("quantity", "amount", 0.8);
+  t->AddSynonym("cost", "price", 0.9);
+  t->AddSynonym("cost", "charge", 0.85);
+  t->AddSynonym("price", "value", 0.8);
+  t->AddSynonym("client", "customer", 0.95);
+  t->AddSynonym("vendor", "supplier", 0.95);
+  t->AddSynonym("phone", "telephone", 1.0);
+  t->AddSynonym("email", "mail", 0.8);
+  t->AddSynonym("zip", "postal", 0.9);
+  t->AddSynonym("state", "province", 0.85);
+  t->AddSynonym("begin", "start", 0.95);
+  t->AddSynonym("end", "finish", 0.9);
+  t->AddSynonym("city", "town", 0.85);
+  t->AddSynonym("company", "firm", 0.9);
+  t->AddSynonym("company", "organization", 0.85);
+  t->AddSynonym("salary", "wage", 0.9);
+  t->AddSynonym("salary", "pay", 0.85);
+  t->AddSynonym("item", "article", 0.85);
+  t->AddSynonym("line", "row", 0.8);
+  t->AddSynonym("order", "purchase", 0.7);
+  t->AddSynonym("description", "comment", 0.7);
+  t->AddSynonym("description", "remark", 0.7);
+  t->AddSynonym("freight", "shipping", 0.8);
+  t->AddSynonym("discount", "rebate", 0.85);
+  t->AddSynonym("category", "group", 0.8);
+  t->AddSynonym("category", "class", 0.8);
+  t->AddSynonym("region", "area", 0.8);
+  t->AddSynonym("identifier", "key", 0.8);
+  t->AddSynonym("identifier", "code", 0.75);
+  t->AddSynonym("birth", "born", 0.9);
+
+  // Hypernyms (strength 0.6-0.85): broader/narrower.
+  t->AddHypernym("customer", "person", 0.8);
+  t->AddHypernym("employee", "person", 0.8);
+  t->AddHypernym("contact", "person", 0.75);
+  t->AddHypernym("manager", "employee", 0.8);
+  t->AddHypernym("city", "location", 0.7);
+  t->AddHypernym("street", "address", 0.7);
+  t->AddHypernym("product", "item", 0.8);
+  t->AddHypernym("invoice", "document", 0.6);
+  t->AddHypernym("order", "document", 0.6);
+  t->AddHypernym("car", "vehicle", 0.85);
+  t->AddHypernym("truck", "vehicle", 0.85);
+  t->AddHypernym("dollar", "money", 0.8);
+  t->AddHypernym("salary", "money", 0.7);
+}
+
+}  // namespace
+
+Thesaurus DefaultThesaurus() {
+  Thesaurus t;
+  AddStopWords(&t);
+  AddCommonAbbreviations(&t);
+  AddCommonConcepts(&t);
+  AddCommonRelations(&t);
+  return t;
+}
+
+Thesaurus CidxExcelThesaurus() {
+  Thesaurus t;
+  AddStopWords(&t);
+  // Exactly the experiment's auxiliary input (Section 9.2): 4 abbreviations
+  // and 2 synonymy entries.
+  t.AddAbbreviation("uom", {"unit", "of", "measure"});
+  t.AddAbbreviation("po", {"purchase", "order"});
+  t.AddAbbreviation("qty", {"quantity"});
+  t.AddAbbreviation("num", {"number"});
+  t.AddSynonym("invoice", "bill", 1.0);
+  t.AddSynonym("ship", "deliver", 1.0);
+  return t;
+}
+
+Thesaurus RdbStarThesaurus() {
+  Thesaurus t;
+  AddStopWords(&t);
+  // "There were no relevant synonym and hypernym entries in the thesaurus."
+  return t;
+}
+
+}  // namespace cupid

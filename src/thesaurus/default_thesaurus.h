@@ -1,0 +1,35 @@
+// Built-in thesaurus datasets.
+//
+// The paper used WordNet plus small hand-curated domain thesauri. WordNet
+// bindings are replaced by a built-in common-language dataset that covers the
+// vocabulary that shows up in database/XML schemas (business, commerce,
+// address, person, time). The per-experiment thesauri reproduce exactly the
+// auxiliary input Section 9 reports (4 abbreviations + 2 synonym entries for
+// CIDX-Excel; nothing for RDB-Star).
+
+#ifndef CUPID_THESAURUS_DEFAULT_THESAURUS_H_
+#define CUPID_THESAURUS_DEFAULT_THESAURUS_H_
+
+#include "thesaurus/thesaurus.h"
+
+namespace cupid {
+
+/// \brief Common-language thesaurus: stop words, widespread schema
+/// abbreviations, generic business-vocabulary synonym/hypernym entries and
+/// concept triggers. This plays the role of the paper's off-the-shelf
+/// (WordNet-like) thesaurus.
+Thesaurus DefaultThesaurus();
+
+/// \brief Exactly the auxiliary input used for the CIDX-Excel experiment
+/// (Section 9.2): abbreviations UOM, PO, Qty, Num and synonym pairs
+/// (Invoice, Bill) and (Ship, Deliver) — plus stop words, which every
+/// configuration carries.
+Thesaurus CidxExcelThesaurus();
+
+/// \brief Auxiliary input for the RDB-Star experiment: no relevant synonym or
+/// hypernym entries (Section 9.2), only stop words and tokenization support.
+Thesaurus RdbStarThesaurus();
+
+}  // namespace cupid
+
+#endif  // CUPID_THESAURUS_DEFAULT_THESAURUS_H_

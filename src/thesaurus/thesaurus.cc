@@ -1,0 +1,88 @@
+#include "thesaurus/thesaurus.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+std::string Thesaurus::Canon(std::string_view word) { return Stem(word); }
+
+std::string Thesaurus::PairKey(const std::string& a, const std::string& b) {
+  return a <= b ? a + "|" + b : b + "|" + a;
+}
+
+void Thesaurus::AddAbbreviation(std::string_view abbr,
+                                std::vector<std::string> expansion) {
+  for (std::string& w : expansion) w = ToLowerAscii(w);
+  abbreviations_[ToLowerAscii(abbr)] = std::move(expansion);
+}
+
+void Thesaurus::AddSynonym(std::string_view a, std::string_view b,
+                           double strength) {
+  strength = std::clamp(strength, 0.0, 1.0);
+  std::string key = PairKey(Canon(a), Canon(b));
+  auto [it, inserted] = relations_.emplace(std::move(key), strength);
+  if (!inserted) it->second = std::max(it->second, strength);
+}
+
+void Thesaurus::AddHypernym(std::string_view narrower,
+                            std::string_view broader, double strength) {
+  // Stored symmetrically; hypernymy is weaker than synonymy only through the
+  // strength the caller supplies.
+  AddSynonym(narrower, broader, strength);
+}
+
+void Thesaurus::AddStopWord(std::string_view word) {
+  stop_words_.insert(ToLowerAscii(word));
+}
+
+void Thesaurus::AddConcept(std::string_view concept_name,
+                           const std::vector<std::string>& triggers) {
+  std::string c = ToLowerAscii(concept_name);
+  // The concept_name name itself triggers the concept_name.
+  concepts_[Canon(c)] = c;
+  for (const std::string& t : triggers) {
+    concepts_[Canon(t)] = c;
+  }
+}
+
+std::optional<std::vector<std::string>> Thesaurus::ExpandAbbreviation(
+    std::string_view token) const {
+  auto it = abbreviations_.find(ToLowerAscii(token));
+  if (it == abbreviations_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Thesaurus::IsStopWord(std::string_view word) const {
+  return stop_words_.count(ToLowerAscii(word)) > 0;
+}
+
+std::optional<std::string> Thesaurus::ConceptOf(std::string_view token) const {
+  auto it = concepts_.find(Canon(token));
+  if (it == concepts_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Thesaurus::Relationship(std::string_view a, std::string_view b) const {
+  std::string ca = Canon(a), cb = Canon(b);
+  if (ca == cb) return 1.0;
+  auto it = relations_.find(PairKey(ca, cb));
+  return it == relations_.end() ? 0.0 : it->second;
+}
+
+void Thesaurus::Merge(const Thesaurus& other) {
+  for (const auto& [abbr, exp] : other.abbreviations_) {
+    abbreviations_.emplace(abbr, exp);
+  }
+  for (const auto& [key, strength] : other.relations_) {
+    auto [it, inserted] = relations_.emplace(key, strength);
+    if (!inserted) it->second = std::max(it->second, strength);
+  }
+  stop_words_.insert(other.stop_words_.begin(), other.stop_words_.end());
+  for (const auto& [trigger, concept_name] : other.concepts_) {
+    concepts_.emplace(trigger, concept_name);
+  }
+}
+
+}  // namespace cupid

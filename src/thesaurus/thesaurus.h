@@ -1,0 +1,108 @@
+// The thesaurus consulted by linguistic matching (Section 5 of the paper).
+//
+// Provides four kinds of auxiliary knowledge:
+//   * abbreviations / acronyms with their expansions ("PO" -> Purchase Order)
+//   * synonym and hypernym entries annotated with a strength coefficient in
+//     [0,1] ("Invoice" ~ "Bill" @ 1.0; "Person" is-a-broader "Customer" @ 0.8)
+//   * stop words (articles/prepositions/conjunctions) ignored in comparison
+//   * concept triggers ("Price", "Cost", "Value" -> concept Money)
+//
+// All lookups are case-insensitive and stem-aware. The paper used WordNet
+// plus hand-curated domain thesauri; this module replaces those bindings
+// with an equivalent in-memory structure plus a built-in common-language
+// dataset (default_thesaurus.h) — the matching algorithm only ever consumes
+// the lookup interface below.
+
+#ifndef CUPID_THESAURUS_THESAURUS_H_
+#define CUPID_THESAURUS_THESAURUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Synonym/hypernym dictionary with strength coefficients.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  // -- Population ------------------------------------------------------------
+
+  /// Registers `abbr` as an abbreviation/acronym expanding to `expansion`
+  /// (one or more full words): AddAbbreviation("po", {"purchase", "order"}).
+  void AddAbbreviation(std::string_view abbr,
+                       std::vector<std::string> expansion);
+
+  /// Registers a symmetric synonym entry with the given strength in [0,1].
+  void AddSynonym(std::string_view a, std::string_view b, double strength);
+
+  /// Registers `broader` as a hypernym of `narrower` with the given
+  /// strength. Lookup is symmetric (the paper treats mappings as
+  /// non-directional) but hypernyms typically carry lower strengths than
+  /// synonyms.
+  void AddHypernym(std::string_view narrower, std::string_view broader,
+                   double strength);
+
+  /// Registers a word to be ignored during comparison (article, preposition,
+  /// conjunction).
+  void AddStopWord(std::string_view word);
+
+  /// Registers `triggers` as words that tag an element with `concept_name`:
+  /// AddConcept("money", {"price", "cost", "value"}).
+  void AddConcept(std::string_view concept_name,
+                  const std::vector<std::string>& triggers);
+
+  // -- Lookup ----------------------------------------------------------------
+
+  /// Expansion of `token` if it is a known abbreviation/acronym.
+  std::optional<std::vector<std::string>> ExpandAbbreviation(
+      std::string_view token) const;
+
+  bool IsStopWord(std::string_view word) const;
+
+  /// Concept name `token` triggers, if any ("price" -> "money").
+  std::optional<std::string> ConceptOf(std::string_view token) const;
+
+  /// \brief Relationship strength between two words.
+  ///
+  /// 1.0 when the stemmed words are equal; otherwise the strongest synonym /
+  /// hypernym entry connecting them; 0.0 when unrelated. Substring-based
+  /// fallback similarity is deliberately NOT part of the thesaurus — it
+  /// belongs to name matching (Section 5.2) and lives in
+  /// linguistic/name_similarity.h.
+  double Relationship(std::string_view a, std::string_view b) const;
+
+  /// Number of synonym/hypernym entries (for tests / diagnostics).
+  size_t num_relation_entries() const { return relations_.size(); }
+  size_t num_abbreviations() const { return abbreviations_.size(); }
+  size_t num_stop_words() const { return stop_words_.size(); }
+  size_t num_concept_triggers() const { return concepts_.size(); }
+
+  /// \brief Merges every entry of `other` into this thesaurus. On key
+  /// collisions the stronger relationship wins.
+  void Merge(const Thesaurus& other);
+
+ private:
+  friend Status SaveThesaurus(const Thesaurus& thesaurus,
+                              const std::string& path);
+
+  // Canonical key for a word: lower-cased stem.
+  static std::string Canon(std::string_view word);
+  // Unordered pair key "a|b" with a <= b.
+  static std::string PairKey(const std::string& a, const std::string& b);
+
+  std::unordered_map<std::string, std::vector<std::string>> abbreviations_;
+  std::unordered_map<std::string, double> relations_;
+  std::unordered_set<std::string> stop_words_;
+  std::unordered_map<std::string, std::string> concepts_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_THESAURUS_THESAURUS_H_

@@ -1,0 +1,87 @@
+#include "thesaurus/thesaurus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace cupid {
+
+Result<Thesaurus> ParseThesaurus(const std::string& text) {
+  Thesaurus t;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> parts = SplitAny(trimmed, " \t");
+    const std::string& kind = parts[0];
+    auto err = [&](const char* what) {
+      return Status::ParseError(StringFormat(
+          "thesaurus line %d: %s: '%s'", lineno, what, line.c_str()));
+    };
+    if (kind == "abbr") {
+      if (parts.size() < 3) return err("abbr needs an expansion");
+      t.AddAbbreviation(parts[1],
+                        {parts.begin() + 2, parts.end()});
+    } else if (kind == "syn" || kind == "hyp") {
+      if (parts.size() != 4) return err("expected '<kind> a b strength'");
+      char* end = nullptr;
+      double strength = std::strtod(parts[3].c_str(), &end);
+      if (end == parts[3].c_str() || strength < 0.0 || strength > 1.0) {
+        return err("strength must be a number in [0,1]");
+      }
+      if (kind == "syn") {
+        t.AddSynonym(parts[1], parts[2], strength);
+      } else {
+        t.AddHypernym(parts[1], parts[2], strength);
+      }
+    } else if (kind == "stop") {
+      if (parts.size() != 2) return err("expected 'stop word'");
+      t.AddStopWord(parts[1]);
+    } else if (kind == "concept") {
+      if (parts.size() < 3) return err("concept needs at least one trigger");
+      t.AddConcept(parts[1], {parts.begin() + 2, parts.end()});
+    } else {
+      return err("unknown entry kind");
+    }
+  }
+  return t;
+}
+
+Result<Thesaurus> LoadThesaurus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open thesaurus file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseThesaurus(buf.str());
+}
+
+Status SaveThesaurus(const Thesaurus& thesaurus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write thesaurus file: " + path);
+  out << "# cupid thesaurus\n";
+  for (const auto& [abbr, expansion] : thesaurus.abbreviations_) {
+    out << "abbr " << abbr;
+    for (const std::string& w : expansion) out << ' ' << w;
+    out << '\n';
+  }
+  for (const auto& [key, strength] : thesaurus.relations_) {
+    auto bar = key.find('|');
+    out << "syn " << key.substr(0, bar) << ' ' << key.substr(bar + 1) << ' '
+        << strength << '\n';
+  }
+  for (const std::string& w : thesaurus.stop_words_) {
+    out << "stop " << w << '\n';
+  }
+  for (const auto& [trigger, concept_name] : thesaurus.concepts_) {
+    out << "concept " << concept_name << ' ' << trigger << '\n';
+  }
+  return out.good() ? Status::OK()
+                    : Status::IoError("write failed: " + path);
+}
+
+}  // namespace cupid

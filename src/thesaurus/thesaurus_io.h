@@ -1,0 +1,34 @@
+// Text file format for thesauri, so domain thesauri can be maintained
+// outside the binary.
+//
+// Line-oriented; '#' starts a comment. Entry kinds:
+//
+//     abbr <abbrev> <word> [<word> ...]
+//     syn <a> <b> <strength>
+//     hyp <narrower> <broader> <strength>
+//     stop <word>
+//     concept <name> <trigger> [<trigger> ...]
+
+#ifndef CUPID_THESAURUS_THESAURUS_IO_H_
+#define CUPID_THESAURUS_THESAURUS_IO_H_
+
+#include <string>
+
+#include "thesaurus/thesaurus.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Parses thesaurus entries from `text` (the format above).
+Result<Thesaurus> ParseThesaurus(const std::string& text);
+
+/// \brief Reads and parses a thesaurus file.
+Result<Thesaurus> LoadThesaurus(const std::string& path);
+
+/// \brief Writes `thesaurus` to `path` in the text format. Round-trips with
+/// LoadThesaurus up to stemming of keys.
+Status SaveThesaurus(const Thesaurus& thesaurus, const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_THESAURUS_THESAURUS_IO_H_

@@ -1,0 +1,85 @@
+#include "tree/join_view.h"
+
+#include <unordered_set>
+
+namespace cupid {
+
+namespace {
+
+/// Nearest common ancestor along primary parents; falls back to the root.
+TreeNodeId CommonAncestor(const SchemaTree& tree, TreeNodeId a, TreeNodeId b) {
+  std::unordered_set<TreeNodeId> ancestors;
+  for (TreeNodeId cur = a; cur != kNoTreeNode; cur = tree.node(cur).parent) {
+    ancestors.insert(cur);
+  }
+  for (TreeNodeId cur = b; cur != kNoTreeNode; cur = tree.node(cur).parent) {
+    if (ancestors.count(cur)) return cur;
+  }
+  return tree.root();
+}
+
+/// First materialized tree node of `element`, or kNoTreeNode.
+TreeNodeId FirstNodeOf(const SchemaTree& tree, ElementId element) {
+  const auto& nodes = tree.nodes_for_element(element);
+  return nodes.empty() ? kNoTreeNode : nodes[0];
+}
+
+}  // namespace
+
+Result<int> AugmentWithJoinViews(SchemaTree* tree) {
+  const Schema& schema = tree->schema();
+  int added = 0;
+  for (ElementId fk : schema.ElementsOfKind(ElementKind::kRefInt)) {
+    ElementId source_table = schema.parent(fk);
+    if (source_table == kNoElement) continue;
+
+    // The RefInt references either the target table's key or the table.
+    if (schema.references(fk).empty()) {
+      return Status::Internal("RefInt '" + schema.element(fk).name +
+                              "' references nothing");
+    }
+    ElementId target = schema.references(fk)[0];
+    ElementId target_table = schema.element(target).kind == ElementKind::kKey
+                                 ? schema.parent(target)
+                                 : target;
+    if (target_table == kNoElement) continue;
+
+    TreeNodeId src_node = FirstNodeOf(*tree, source_table);
+    TreeNodeId tgt_node = FirstNodeOf(*tree, target_table);
+    if (src_node == kNoTreeNode || tgt_node == kNoTreeNode) continue;
+
+    TreeNodeId parent = CommonAncestor(*tree, src_node, tgt_node);
+    TreeNodeId join = tree->AddNode(fk, parent, /*optional=*/false);
+    tree->mutable_node(join)->is_join_view = true;
+    // Children: the columns of both tables, shared with the table nodes.
+    for (TreeNodeId child : tree->node(src_node).children) {
+      tree->AddSharedChild(join, child);
+    }
+    for (TreeNodeId child : tree->node(tgt_node).children) {
+      tree->AddSharedChild(join, child);
+    }
+    ++added;
+  }
+  return added;
+}
+
+Result<int> AugmentWithViewNodes(SchemaTree* tree) {
+  const Schema& schema = tree->schema();
+  int added = 0;
+  for (ElementId view : schema.ElementsOfKind(ElementKind::kView)) {
+    TreeNodeId view_node = FirstNodeOf(*tree, view);
+    if (view_node == kNoTreeNode) continue;
+    if (!tree->node(view_node).children.empty()) continue;  // already done
+    for (ElementId member : schema.aggregates(view)) {
+      TreeNodeId member_node = FirstNodeOf(*tree, member);
+      if (member_node != kNoTreeNode) {
+        tree->AddSharedChild(view_node, member_node);
+      }
+    }
+    tree->mutable_node(view_node)->is_join_view = true;
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace cupid

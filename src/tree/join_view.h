@@ -1,0 +1,34 @@
+// Referential-constraint and view augmentation of the schema tree
+// (Sections 8.3-8.4 of the paper).
+
+#ifndef CUPID_TREE_JOIN_VIEW_H_
+#define CUPID_TREE_JOIN_VIEW_H_
+
+#include "tree/schema_tree.h"
+
+namespace cupid {
+
+/// \brief Reifies each RefInt element (foreign key, keyref) as a join-view
+/// node (Section 8.3, Figure 6).
+///
+/// The node's children are the *shared* column nodes of both participating
+/// structures — the source table (the RefInt's containment parent) and the
+/// referenced table (parent of the referenced key) — and its parent is the
+/// two tables' nearest common ancestor. Sharing children makes the structure
+/// a DAG, exactly as the paper notes. Following the paper's tractability
+/// choices, no nodes are added for FK combinations and the expansion is not
+/// escalated transitively.
+///
+/// Returns the number of nodes added. Caller must re-Finalize() the tree;
+/// BuildSchemaTree does this automatically.
+Result<int> AugmentWithJoinViews(SchemaTree* tree);
+
+/// \brief Attaches the elements listed in each kView element as shared
+/// children of the view's tree node (Section 8.4 "Views"), giving those
+/// elements a common context matchable against tables or views of the other
+/// schema.
+Result<int> AugmentWithViewNodes(SchemaTree* tree);
+
+}  // namespace cupid
+
+#endif  // CUPID_TREE_JOIN_VIEW_H_

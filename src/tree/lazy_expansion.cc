@@ -1,0 +1,67 @@
+#include "tree/lazy_expansion.h"
+
+namespace cupid {
+
+namespace {
+
+/// Walks the primary-children subtrees of `a` (canonical) and `b` (copy) in
+/// parallel; returns false on any shape/source mismatch, otherwise fills
+/// map[b-descendant] = a-descendant for the whole subtree.
+bool AlignSubtrees(const SchemaTree& tree, TreeNodeId a, TreeNodeId b,
+                   std::vector<TreeNodeId>* map) {
+  const TreeNode& na = tree.node(a);
+  const TreeNode& nb = tree.node(b);
+  if (na.source != nb.source) return false;
+  if (na.is_join_view || nb.is_join_view) return false;
+  if (na.children.size() != nb.children.size()) return false;
+  for (size_t i = 0; i < na.children.size(); ++i) {
+    // Only align children whose primary parent is this node (type copies
+    // never share children; join views are excluded above).
+    if (tree.node(na.children[i]).parent != a ||
+        tree.node(nb.children[i]).parent != b) {
+      return false;
+    }
+    if (!AlignSubtrees(tree, na.children[i], nb.children[i], map)) {
+      return false;
+    }
+  }
+  (*map)[static_cast<size_t>(b)] = a;
+  return true;
+}
+
+}  // namespace
+
+DuplicateInfo AnalyzeDuplicates(const SchemaTree& tree) {
+  DuplicateInfo info;
+  const size_t n = static_cast<size_t>(tree.num_nodes());
+  info.canonical.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    info.canonical[i] = static_cast<TreeNodeId>(i);
+  }
+
+  for (ElementId e = 0; e < tree.schema().num_elements(); ++e) {
+    const std::vector<TreeNodeId>& instances = tree.nodes_for_element(e);
+    if (instances.size() < 2) continue;
+    // Instances are recorded in node-id (creation) order; first = canonical.
+    TreeNodeId canon = instances[0];
+    for (size_t k = 1; k < instances.size(); ++k) {
+      std::vector<TreeNodeId> trial = info.canonical;
+      if (AlignSubtrees(tree, canon, instances[k], &trial)) {
+        info.canonical = std::move(trial);
+        info.has_duplicates = true;
+      }
+    }
+  }
+
+  // Resolve chains (copies of copies) to fixpoints.
+  for (size_t i = 0; i < n; ++i) {
+    TreeNodeId cur = info.canonical[i];
+    while (info.canonical[static_cast<size_t>(cur)] != cur) {
+      cur = info.canonical[static_cast<size_t>(cur)];
+    }
+    info.canonical[i] = cur;
+  }
+  return info;
+}
+
+}  // namespace cupid

@@ -1,0 +1,48 @@
+// Duplicate-subtree analysis supporting lazy expansion (Section 8.4).
+//
+// Schema-tree construction duplicates the subtree of a shared type once per
+// context, so identical subtrees get re-compared for every context pair.
+// Lazy expansion avoids this: the first (canonical) copy is compared
+// normally, and every later copy inherits the similarities computed for the
+// canonical one at the moment it is reached in the match traversal —
+// context-dependent increases from ancestors still apply per copy
+// afterwards, which is exactly the paper's argument for why the computed
+// values match a-priori expansion.
+//
+// This module computes the alignment: for every tree node, the canonical
+// node it mirrors (itself when unique or first copy). TreeMatch consults it
+// when its lazy_expansion option is on.
+
+#ifndef CUPID_TREE_LAZY_EXPANSION_H_
+#define CUPID_TREE_LAZY_EXPANSION_H_
+
+#include <vector>
+
+#include "tree/schema_tree.h"
+
+namespace cupid {
+
+/// Alignment of duplicated subtrees within one schema tree.
+struct DuplicateInfo {
+  /// canonical[n] = the canonical node `n` mirrors; n itself when unique.
+  /// Fully resolved (following the map again is a fixpoint).
+  std::vector<TreeNodeId> canonical;
+  /// True if any node has a canonical other than itself.
+  bool has_duplicates = false;
+
+  TreeNodeId canon(TreeNodeId n) const {
+    return canonical[static_cast<size_t>(n)];
+  }
+  bool is_copy(TreeNodeId n) const { return canon(n) != n; }
+};
+
+/// \brief Aligns every duplicated subtree to its first (canonical) instance.
+///
+/// Two nodes are aligned when they materialize the same schema element and
+/// their primary-children subtrees are shape-identical (always true for
+/// type-substitution copies; join-view/view nodes are never aligned).
+DuplicateInfo AnalyzeDuplicates(const SchemaTree& tree);
+
+}  // namespace cupid
+
+#endif  // CUPID_TREE_LAZY_EXPANSION_H_

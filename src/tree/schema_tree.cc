@@ -1,0 +1,125 @@
+#include "tree/schema_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cupid {
+
+TreeNodeId SchemaTree::AddNode(ElementId source, TreeNodeId parent,
+                               bool optional) {
+  TreeNodeId id = static_cast<TreeNodeId>(nodes_.size());
+  TreeNode n;
+  n.source = source;
+  n.parent = parent;
+  n.optional = optional;
+  nodes_.push_back(std::move(n));
+  if (parent != kNoTreeNode) {
+    nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  }
+  return id;
+}
+
+void SchemaTree::AddSharedChild(TreeNodeId parent, TreeNodeId child) {
+  nodes_[static_cast<size_t>(parent)].children.push_back(child);
+}
+
+std::string SchemaTree::PathName(TreeNodeId id) const {
+  std::vector<TreeNodeId> chain;
+  for (TreeNodeId cur = id; cur != kNoTreeNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    chain.push_back(cur);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += '.';
+    out += NodeName(*it);
+  }
+  return out;
+}
+
+int SchemaTree::Depth(TreeNodeId id) const {
+  int d = 0;
+  for (TreeNodeId cur = node(id).parent; cur != kNoTreeNode;
+       cur = node(cur).parent) {
+    ++d;
+  }
+  return d;
+}
+
+Status SchemaTree::Finalize() {
+  const size_t n = nodes_.size();
+  if (n == 0) return Status::Internal("schema tree has no nodes");
+
+  // Inverse-topological order over child edges (DFS post-order with visited
+  // marks; children may be shared). color: 0 unvisited, 1 on stack, 2 done.
+  post_order_.clear();
+  post_order_.reserve(n);
+  std::vector<uint8_t> color(n, 0);
+  // Iterative DFS from every node to also cover disconnected nodes (none
+  // expected, but cheap to be safe).
+  std::vector<std::pair<TreeNodeId, size_t>> stack;
+  for (TreeNodeId start = 0; start < static_cast<TreeNodeId>(n); ++start) {
+    if (color[static_cast<size_t>(start)] != 0) continue;
+    stack.emplace_back(start, 0);
+    color[static_cast<size_t>(start)] = 1;
+    while (!stack.empty()) {
+      auto& [cur, next_child] = stack.back();
+      const auto& kids = nodes_[static_cast<size_t>(cur)].children;
+      if (next_child < kids.size()) {
+        TreeNodeId c = kids[next_child++];
+        if (color[static_cast<size_t>(c)] == 1) {
+          return Status::CycleDetected("schema tree contains a cycle at '" +
+                                       NodeName(c) + "'");
+        }
+        if (color[static_cast<size_t>(c)] == 0) {
+          color[static_cast<size_t>(c)] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        color[static_cast<size_t>(cur)] = 2;
+        post_order_.push_back(cur);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Leaf sets with relative optionality, bottom-up over post_order_.
+  // A leaf l is optional relative to node v iff every path v->l passes an
+  // optional node below v; merging over children:
+  //   opt_v(l) = AND over children c reaching l of (c.optional || opt_c(l)).
+  leaves_.assign(n, {});
+  for (TreeNodeId v : post_order_) {
+    auto& out = leaves_[static_cast<size_t>(v)];
+    const TreeNode& nv = nodes_[static_cast<size_t>(v)];
+    if (nv.children.empty()) {
+      out.push_back({v, false});
+      continue;
+    }
+    std::unordered_map<TreeNodeId, bool> merged;  // leaf -> optional
+    for (TreeNodeId c : nv.children) {
+      bool child_opt = nodes_[static_cast<size_t>(c)].optional;
+      for (const LeafRef& lr : leaves_[static_cast<size_t>(c)]) {
+        bool opt_via_c = child_opt || lr.optional;
+        auto [it, inserted] = merged.emplace(lr.leaf, opt_via_c);
+        if (!inserted) it->second = it->second && opt_via_c;
+      }
+    }
+    out.reserve(merged.size());
+    for (const auto& [leaf, opt] : merged) out.push_back({leaf, opt});
+    std::sort(out.begin(), out.end(),
+              [](const LeafRef& a, const LeafRef& b) { return a.leaf < b.leaf; });
+  }
+
+  // Element -> nodes index.
+  element_nodes_.assign(static_cast<size_t>(schema_->num_elements()), {});
+  for (size_t i = 0; i < n; ++i) {
+    ElementId e = nodes_[i].source;
+    if (e != kNoElement) {
+      element_nodes_[static_cast<size_t>(e)].push_back(
+          static_cast<TreeNodeId>(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cupid

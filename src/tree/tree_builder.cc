@@ -1,0 +1,79 @@
+#include "tree/tree_builder.h"
+
+#include <unordered_set>
+
+#include "tree/join_view.h"
+
+namespace cupid {
+
+namespace {
+
+/// Recursive expansion per Figure 4 of the paper. `via_containment` is true
+/// when `element` was reached through a containment relationship (or is the
+/// root), in which case it materializes a node; IsDerivedFrom targets are
+/// expanded in place (type substitution). `on_path` detects
+/// containment/IsDerivedFrom cycles.
+Status ConstructSchemaTree(const Schema& schema, ElementId element,
+                           TreeNodeId current_stn, bool via_containment,
+                           std::unordered_set<ElementId>* on_path,
+                           SchemaTree* tree) {
+  if (!on_path->insert(element).second) {
+    return Status::CycleDetected(
+        "recursive type definition at element '" +
+        schema.element(element).name +
+        "' (cyclic schemas are not supported; see Section 8.2)");
+  }
+
+  TreeNodeId stn = current_stn;
+  if (via_containment) {
+    if (schema.element(element).not_instantiated) {
+      on_path->erase(element);
+      return Status::OK();
+    }
+    stn = tree->AddNode(element, current_stn,
+                        schema.element(element).optional);
+  }
+
+  for (ElementId child : schema.children(element)) {
+    CUPID_RETURN_NOT_OK(ConstructSchemaTree(schema, child, stn,
+                                            /*via_containment=*/true, on_path,
+                                            tree));
+  }
+  for (ElementId type : schema.derived_from(element)) {
+    CUPID_RETURN_NOT_OK(ConstructSchemaTree(schema, type, stn,
+                                            /*via_containment=*/false,
+                                            on_path, tree));
+  }
+
+  on_path->erase(element);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaTree> BuildSchemaTree(const Schema& schema,
+                                   const TreeBuildOptions& options) {
+  CUPID_RETURN_NOT_OK(schema.Validate());
+  SchemaTree tree(&schema);
+  std::unordered_set<ElementId> on_path;
+  CUPID_RETURN_NOT_OK(ConstructSchemaTree(schema, schema.root(), kNoTreeNode,
+                                          /*via_containment=*/true, &on_path,
+                                          &tree));
+  // Tentative finalize so augmentation can look up element -> node.
+  CUPID_RETURN_NOT_OK(tree.Finalize());
+  bool augmented = false;
+  if (options.expand_join_views) {
+    CUPID_ASSIGN_OR_RETURN(int added, AugmentWithJoinViews(&tree));
+    augmented |= added > 0;
+  }
+  if (options.expand_views) {
+    CUPID_ASSIGN_OR_RETURN(int added, AugmentWithViewNodes(&tree));
+    augmented |= added > 0;
+  }
+  if (augmented) {
+    CUPID_RETURN_NOT_OK(tree.Finalize());
+  }
+  return tree;
+}
+
+}  // namespace cupid

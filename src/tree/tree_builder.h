@@ -1,0 +1,37 @@
+// Schema tree construction (Section 8.2, Figure 4) plus the augmentations of
+// Sections 8.3-8.4 (join views for referential constraints, view nodes).
+
+#ifndef CUPID_TREE_TREE_BUILDER_H_
+#define CUPID_TREE_TREE_BUILDER_H_
+
+#include <memory>
+
+#include "tree/schema_tree.h"
+
+namespace cupid {
+
+/// Options controlling expansion.
+struct TreeBuildOptions {
+  /// Reify referential constraints as join-view nodes (Section 8.3).
+  bool expand_join_views = true;
+  /// Materialize view elements as shared-children nodes (Section 8.4).
+  bool expand_views = true;
+};
+
+/// \brief Expands `schema` into a schema tree by the pre-order traversal of
+/// Figure 4.
+///
+/// A tree node is created for each element reached through a containment
+/// relationship (or the root); IsDerivedFrom targets are *type-substituted*:
+/// their members are expanded in place under the referring element, once per
+/// context. Elements tagged not-instantiated (keys, RefInts) produce no
+/// node. A cycle of containment/IsDerivedFrom relationships yields
+/// Status::CycleDetected (the paper defers recursive types to future work).
+///
+/// The returned tree holds a pointer to `schema`, which must outlive it.
+Result<SchemaTree> BuildSchemaTree(const Schema& schema,
+                                   const TreeBuildOptions& options = {});
+
+}  // namespace cupid
+
+#endif  // CUPID_TREE_TREE_BUILDER_H_

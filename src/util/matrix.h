@@ -1,0 +1,47 @@
+// Small dense row-major matrix used for similarity tables.
+
+#ifndef CUPID_UTIL_MATRIX_H_
+#define CUPID_UTIL_MATRIX_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cupid {
+
+/// \brief Dense row-major matrix of T, sized (rows x cols), zero-initialized.
+///
+/// Similarity tables are dense in practice — categorization prunes which
+/// *pairs get computed*, not which entries exist — so a flat vector wins over
+/// any sparse representation at these sizes.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), T{}) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  T operator()(int64_t r, int64_t c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  T& operator()(int64_t r, int64_t c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  void Fill(T value) { data_.assign(data_.size(), value); }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<T> data_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_MATRIX_H_

@@ -1,0 +1,28 @@
+#include "util/random.h"
+
+namespace cupid {
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t SplitMix64::NextBounded(uint64_t bound) {
+  // Rejection-free modulo; bias is negligible for the small bounds used in
+  // workload generation.
+  return Next() % bound;
+}
+
+double SplitMix64::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool SplitMix64::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace cupid

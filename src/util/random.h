@@ -1,0 +1,36 @@
+// Deterministic PRNG for synthetic workload generation.
+
+#ifndef CUPID_UTIL_RANDOM_H_
+#define CUPID_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace cupid {
+
+/// \brief SplitMix64 PRNG: tiny, fast, and deterministic across platforms.
+///
+/// Used by the synthetic schema generator so that benchmark workloads are
+/// reproducible bit-for-bit regardless of the standard library in use.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_RANDOM_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace cupid {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kCycleDetected:
+      return "CycleDetected";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace cupid

@@ -1,0 +1,178 @@
+// Status / Result error model, in the style of Apache Arrow and RocksDB.
+//
+// All fallible operations in the cupid library return Status (or Result<T>
+// for operations that produce a value). Exceptions are not used on library
+// paths.
+
+#ifndef CUPID_UTIL_STATUS_H_
+#define CUPID_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cupid {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kCycleDetected,
+  kParseError,
+  kIoError,
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an error message.
+///
+/// An OK status carries no message and is cheap to copy. Construction of
+/// error statuses goes through the named factory functions:
+///
+///     return Status::InvalidArgument("wstruct must be within [0,1]");
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status CycleDetected(std::string msg) {
+    return Status(StatusCode::kCycleDetected, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCycleDetected() const { return code_ == StatusCode::kCycleDetected; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+///     Result<Schema> r = LoadSchema(path);
+///     if (!r.ok()) return r.status();
+///     Schema s = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Value access with the conventional shorter names.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Value if OK, otherwise the provided fallback.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace cupid
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define CUPID_RETURN_NOT_OK(expr)           \
+  do {                                      \
+    ::cupid::Status _st = (expr);           \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error status.
+#define CUPID_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define CUPID_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define CUPID_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  CUPID_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define CUPID_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CUPID_ASSIGN_OR_RETURN_IMPL(             \
+      CUPID_ASSIGN_OR_RETURN_CONCAT(_cupid_result_, __LINE__), lhs, rexpr)
+
+#endif  // CUPID_UTIL_STATUS_H_

@@ -1,0 +1,74 @@
+// String utilities shared across the cupid library.
+//
+// Everything here is pure and allocation-conscious; these helpers are on the
+// hot path of linguistic matching (tokenization, substring similarity).
+
+#ifndef CUPID_UTIL_STRINGS_H_
+#define CUPID_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cupid {
+
+/// \brief Lower-cases ASCII characters; non-ASCII bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief Upper-cases ASCII characters; non-ASCII bytes pass through.
+std::string ToUpperAscii(std::string_view s);
+
+/// \brief True if `s` consists only of ASCII digits (and is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// \brief True if `s` consists only of ASCII letters (and is non-empty).
+bool IsAllAlpha(std::string_view s);
+
+/// \brief Removes leading and trailing whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// \brief Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True if `s` ends with `suffix` (case-sensitive).
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Length of the longest common prefix of `a` and `b`.
+size_t CommonPrefixLength(std::string_view a, std::string_view b);
+
+/// \brief Length of the longest common suffix of `a` and `b`.
+size_t CommonSuffixLength(std::string_view a, std::string_view b);
+
+/// \brief Length of the longest common substring of `a` and `b`.
+///
+/// O(|a|*|b|) dynamic program; fine for the short identifiers that appear in
+/// schema element names.
+size_t LongestCommonSubstringLength(std::string_view a, std::string_view b);
+
+/// \brief Levenshtein edit distance between `a` and `b`.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief Crude English stemmer used for thesaurus lookups.
+///
+/// Strips common inflectional suffixes ("-ies"→"y", "-es", "-s", "-ing",
+/// "-ed"). This intentionally mirrors the "stemming" step of Section 5.1
+/// without pulling in a full Porter stemmer; schema identifiers are short
+/// and mostly nouns.
+std::string Stem(std::string_view word);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_STRINGS_H_

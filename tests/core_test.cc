@@ -1,0 +1,160 @@
+// Tests for the CupidMatcher facade and CupidConfig (src/core).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/config.h"
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "schema/schema_builder.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+TEST(CupidConfigTest, DefaultsValidate) {
+  CupidConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(CupidConfigTest, RejectsOutOfRangeParameters) {
+  CupidConfig c;
+  c.linguistic.thns = -0.1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = CupidConfig{};
+  c.tree_match.th_accept = 0.9;  // above th_high 0.6
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = CupidConfig{};
+  c.mapping.th_accept = 2.0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = CupidConfig{};
+  c.initial_mapping_boost = 1.5;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(CupidConfigTest, DescribeParametersListsTable1) {
+  std::string text = DescribeParameters(CupidConfig{});
+  for (const char* param : {"thns", "thhigh", "thlow", "cinc", "cdec",
+                            "thaccept", "wstruct"}) {
+    EXPECT_NE(text.find(param), std::string::npos) << param;
+  }
+}
+
+TEST(CupidMatcherTest, InvalidConfigFailsMatch) {
+  Thesaurus th;
+  CupidConfig c;
+  c.tree_match.c_inc = 0.0;
+  CupidMatcher m(&th, c);
+  Schema a("A"), b("B");
+  EXPECT_TRUE(m.Match(a, b).status().IsInvalidArgument());
+}
+
+TEST(CupidMatcherTest, EmptySchemasProduceEmptyMapping) {
+  Thesaurus th;
+  CupidMatcher m(&th);
+  Schema a("A"), b("B");
+  auto r = m.Match(a, b);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->leaf_mapping.empty());
+}
+
+TEST(CupidMatcherTest, WsimByPathAndBestTarget) {
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->WsimByPath("PO.POLines.Item.Qty",
+                          "PurchaseOrder.Items.Item.Quantity"),
+            0.9);
+  EXPECT_DOUBLE_EQ(r->WsimByPath("PO.Nope", "PurchaseOrder"), 0.0);
+  EXPECT_EQ(r->BestTargetFor("PO.POLines.Item.Qty"),
+            "PurchaseOrder.Items.Item.Quantity");
+  EXPECT_EQ(r->BestTargetFor("PO.Nope"), "");
+}
+
+TEST(CupidMatcherTest, InitialMappingBoostsPair) {
+  // Two unrelated names that an initial mapping pins together (Section 8.4).
+  Dataset d = Fig2Dataset();
+  Thesaurus th;  // empty thesaurus: Qty/Quantity no longer obviously equal
+  CupidMatcher m(&th);
+
+  auto plain = m.Match(d.source, d.target);
+  ASSERT_TRUE(plain.ok());
+  double before = plain->WsimByPath("PO.POLines.Item.UoM",
+                                    "PurchaseOrder.Items.Item.UnitOfMeasure");
+
+  InitialMapping hints{{"PO.POLines.Item.UoM",
+                        "PurchaseOrder.Items.Item.UnitOfMeasure"}};
+  auto hinted = m.Match(d.source, d.target, hints);
+  ASSERT_TRUE(hinted.ok());
+  double after = hinted->WsimByPath(
+      "PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure");
+  EXPECT_GT(after, before);
+  EXPECT_TRUE(hinted->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure"));
+}
+
+TEST(CupidMatcherTest, InitialMappingWithBadPathFails) {
+  Dataset d = Fig2Dataset();
+  Thesaurus th;
+  CupidMatcher m(&th);
+  InitialMapping bad{{"PO.DoesNotExist", "PurchaseOrder.Items"}};
+  EXPECT_TRUE(m.Match(d.source, d.target, bad).status().IsNotFound());
+  InitialMapping bad2{{"PO.POLines", "PurchaseOrder.DoesNotExist"}};
+  EXPECT_TRUE(m.Match(d.source, d.target, bad2).status().IsNotFound());
+}
+
+TEST(CupidMatcherTest, UserCorrectionLoopImprovesMapping) {
+  // Section 8.4: "The user can make corrections to a generated result map,
+  // and then re-run the match with the corrected input map".
+  Dataset d = std::move(*CanonicalExample(3));
+  Thesaurus th;  // no affix tolerance from the thesaurus
+  CupidMatcher m(&th);
+  auto first = m.Match(d.source, d.target);
+  ASSERT_TRUE(first.ok());
+
+  // The user pins one correspondence; reinforcement should not lose the
+  // previously found ones.
+  InitialMapping corrections{
+      {"Schema1.Customer.Address", "Schema2.Customer.StreetAddress"}};
+  auto second = m.Match(d.source, d.target, corrections);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->leaf_mapping.ContainsPair(
+      "Schema1.Customer.Address", "Schema2.Customer.StreetAddress"));
+  EXPECT_GE(second->leaf_mapping.size(), first->leaf_mapping.size());
+}
+
+TEST(CupidMatcherTest, CyclicSchemaReportsCycle) {
+  XmlSchemaBuilder b("S");
+  ElementId t = b.AddComplexType("T");
+  ElementId child = b.AddElement(t, "Child");
+  b.SetType(child, t);
+  ElementId e = b.AddElement(b.root(), "E");
+  b.SetType(e, t);
+  Schema cyclic = std::move(b).Build();
+  Schema plain("Flat");
+
+  Thesaurus th;
+  CupidMatcher m(&th);
+  EXPECT_TRUE(m.Match(cyclic, plain).status().IsCycleDetected());
+  EXPECT_TRUE(m.Match(plain, cyclic).status().IsCycleDetected());
+}
+
+TEST(CupidMatcherTest, MappingCardinalityConfigurable) {
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidConfig cfg;
+  cfg.mapping.cardinality = MappingCardinality::kOneToOneStable;
+  CupidMatcher m(&th, cfg);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok());
+  std::set<std::string> sources;
+  for (const auto& e : r->leaf_mapping.elements) {
+    EXPECT_TRUE(sources.insert(e.source_path).second);
+  }
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,0 +1,110 @@
+// Integration tests over the shipped data files (data/): the file-based
+// loaders must reproduce the programmatically built datasets, and the
+// end-to-end file workflow (the cupid_cli path) must work.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "importers/dtd_parser.h"
+#include "importers/native_format.h"
+#include "importers/sql_ddl_parser.h"
+#include "importers/xml_schema_loader.h"
+#include "schema/schema_printer.h"
+#include "thesaurus/thesaurus_io.h"
+
+#ifndef CUPID_DATA_DIR
+#define CUPID_DATA_DIR "data"
+#endif
+
+namespace cupid {
+namespace {
+
+std::string DataPath(const char* file) {
+  return std::string(CUPID_DATA_DIR) + "/" + file;
+}
+
+TEST(DataFilesTest, CidxFileMatchesBuiltInDataset) {
+  auto from_file = LoadXmlSchemaFile(DataPath("cidx.xml"));
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  auto built_in = CidxSchema();
+  ASSERT_TRUE(built_in.ok());
+  EXPECT_EQ(PrintSchema(*from_file), PrintSchema(*built_in));
+}
+
+TEST(DataFilesTest, ExcelFileMatchesBuiltInDataset) {
+  auto from_file = LoadXmlSchemaFile(DataPath("excel.xml"));
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  auto built_in = ExcelSchema();
+  ASSERT_TRUE(built_in.ok());
+  EXPECT_EQ(PrintSchema(*from_file), PrintSchema(*built_in));
+}
+
+TEST(DataFilesTest, SqlFilesMatchBuiltInDatasets) {
+  auto rdb = LoadSqlDdlFile(DataPath("rdb.sql"));
+  ASSERT_TRUE(rdb.ok()) << rdb.status().ToString();
+  auto star = LoadSqlDdlFile(DataPath("star.sql"));
+  ASSERT_TRUE(star.ok()) << star.status().ToString();
+  // The file loader names the schema after the file stem ("rdb"), the
+  // built-in dataset uses "RDB"; compare below the root line.
+  auto below_root = [](const std::string& printed) {
+    return printed.substr(printed.find('\n') + 1);
+  };
+  EXPECT_EQ(below_root(PrintSchema(*rdb)),
+            below_root(PrintSchema(*RdbSchema())));
+  EXPECT_EQ(below_root(PrintSchema(*star)),
+            below_root(PrintSchema(*StarSchema())));
+  EXPECT_EQ(PrintSchemaEdges(*rdb), PrintSchemaEdges(*RdbSchema()));
+}
+
+TEST(DataFilesTest, NativeFilesMatchFig2) {
+  auto po = LoadNativeSchemaFile(DataPath("po.cupid"));
+  ASSERT_TRUE(po.ok()) << po.status().ToString();
+  auto purchase_order =
+      LoadNativeSchemaFile(DataPath("purchase_order.cupid"));
+  ASSERT_TRUE(purchase_order.ok()) << purchase_order.status().ToString();
+  // Structure equals the built-in Figure 2 datasets up to the shared-type
+  // naming; spot-check the essential paths.
+  EXPECT_NE(po->FindByPath("PO.POLines.Item.Qty"), kNoElement);
+  EXPECT_NE(purchase_order->FindByPath("PurchaseOrder.Items.Item.Quantity"),
+            kNoElement);
+}
+
+TEST(DataFilesTest, ThesaurusFileIsThePaperInput) {
+  auto th = LoadThesaurus(DataPath("cidx_excel.thesaurus"));
+  ASSERT_TRUE(th.ok()) << th.status().ToString();
+  EXPECT_EQ(th->num_abbreviations(), 4u);
+  EXPECT_EQ(th->num_relation_entries(), 2u);
+  EXPECT_DOUBLE_EQ(th->Relationship("invoice", "bill"), 1.0);
+}
+
+TEST(DataFilesTest, DtdFileLoadsWithRefInt) {
+  auto dtd = LoadDtdFile(DataPath("order.dtd"));
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->ElementsOfKind(ElementKind::kRefInt).size(), 1u);
+  EXPECT_EQ(dtd->ElementsOfKind(ElementKind::kKey).size(), 1u);
+  EXPECT_NE(dtd->FindByPath("order.order.orderline.qty"), kNoElement);
+}
+
+TEST(DataFilesTest, EndToEndFileWorkflow) {
+  // The cupid_cli pipeline, from files to quality numbers.
+  auto cidx = LoadXmlSchemaFile(DataPath("cidx.xml"));
+  auto excel = LoadXmlSchemaFile(DataPath("excel.xml"));
+  auto th = LoadThesaurus(DataPath("cidx_excel.thesaurus"));
+  ASSERT_TRUE(cidx.ok() && excel.ok() && th.ok());
+
+  CupidMatcher matcher(&*th);
+  auto r = matcher.Match(*cidx, *excel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  auto gold = CidxExcelDataset();
+  ASSERT_TRUE(gold.ok());
+  MatchQuality q = Evaluate(r->leaf_mapping, gold->gold);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0) << FormatQuality(q);
+}
+
+}  // namespace
+}  // namespace cupid

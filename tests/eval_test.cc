@@ -1,0 +1,257 @@
+// Tests for the evaluation substrate (src/eval): metrics, gold mappings,
+// datasets, the synthetic generator and the report renderer.
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/gold_mapping.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/synthetic.h"
+#include "tree/tree_builder.h"
+
+namespace cupid {
+namespace {
+
+// ---------------------------------------------------------- gold mapping --
+
+TEST(GoldMappingTest, AlternativesAccepted) {
+  GoldMapping g;
+  g.Add("src.a", "tgt.x");
+  g.Add("src.b", "tgt.x");  // alternative source for the same target
+  EXPECT_TRUE(g.Contains("src.a", "tgt.x"));
+  EXPECT_TRUE(g.Contains("src.b", "tgt.x"));
+  EXPECT_FALSE(g.Contains("src.c", "tgt.x"));
+  EXPECT_TRUE(g.HasTarget("tgt.x"));
+  EXPECT_FALSE(g.HasTarget("tgt.y"));
+  EXPECT_EQ(g.size(), 1u);  // one target
+}
+
+// --------------------------------------------------------------- metrics --
+
+Mapping MakeMapping(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  Mapping m;
+  for (const auto& [s, t] : pairs) {
+    m.elements.push_back({0, 0, s, t, 1.0, 1.0, 1.0});
+  }
+  return m;
+}
+
+TEST(MetricsTest, PerfectMapping) {
+  GoldMapping g;
+  g.Add("a", "x");
+  g.Add("b", "y");
+  MatchQuality q = Evaluate(MakeMapping({{"a", "x"}, {"b", "y"}}), g);
+  EXPECT_EQ(q.true_positives, 2);
+  EXPECT_EQ(q.false_positives, 0);
+  EXPECT_EQ(q.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(q.f1(), 1.0);
+}
+
+TEST(MetricsTest, FalsePositivesAndNegatives) {
+  GoldMapping g;
+  g.Add("a", "x");
+  g.Add("b", "y");
+  MatchQuality q = Evaluate(MakeMapping({{"a", "x"}, {"c", "z"}}), g);
+  EXPECT_EQ(q.true_positives, 1);
+  EXPECT_EQ(q.false_positives, 1);
+  EXPECT_EQ(q.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.5);
+  ASSERT_EQ(q.false_positive_pairs.size(), 1u);
+  EXPECT_EQ(q.false_positive_pairs[0].second, "z");
+  ASSERT_EQ(q.false_negative_pairs.size(), 1u);
+  EXPECT_EQ(q.false_negative_pairs[0].second, "y");
+}
+
+TEST(MetricsTest, AlternativeSourceCountsOnce) {
+  GoldMapping g;
+  g.Add("a", "x");
+  g.Add("b", "x");
+  // Either alternative alone fully covers target x.
+  MatchQuality q1 = Evaluate(MakeMapping({{"a", "x"}}), g);
+  EXPECT_EQ(q1.false_negatives, 0);
+  MatchQuality q2 = Evaluate(MakeMapping({{"b", "x"}}), g);
+  EXPECT_EQ(q2.false_negatives, 0);
+}
+
+TEST(MetricsTest, DuplicatesScoredOnce) {
+  GoldMapping g;
+  g.Add("a", "x");
+  MatchQuality q = Evaluate(MakeMapping({{"a", "x"}, {"a", "x"}}), g);
+  EXPECT_EQ(q.true_positives, 1);
+}
+
+TEST(MetricsTest, EmptyEverything) {
+  MatchQuality q = Evaluate(Mapping{}, GoldMapping{});
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(q.f1(), 0.0);
+}
+
+TEST(MetricsTest, FormatQualityMentionsEverything) {
+  GoldMapping g;
+  g.Add("a", "x");
+  std::string s = FormatQuality(Evaluate(MakeMapping({{"a", "x"}}), g));
+  EXPECT_NE(s.find("P=1.00"), std::string::npos);
+  EXPECT_NE(s.find("R=1.00"), std::string::npos);
+  EXPECT_NE(s.find("1 tp"), std::string::npos);
+}
+
+// --------------------------------------------------------------- datasets --
+
+TEST(DatasetsTest, Fig2SchemasValidate) {
+  Dataset d = Fig2Dataset();
+  EXPECT_TRUE(d.source.Validate().ok());
+  EXPECT_TRUE(d.target.Validate().ok());
+  EXPECT_EQ(d.gold.size(), 8u);
+}
+
+TEST(DatasetsTest, CanonicalRangeChecked) {
+  EXPECT_TRUE(CanonicalExample(0).status().IsInvalidArgument());
+  EXPECT_TRUE(CanonicalExample(7).status().IsInvalidArgument());
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_TRUE(CanonicalExample(i).ok()) << i;
+  }
+}
+
+TEST(DatasetsTest, CidxExcelShapesMatchFigure7) {
+  auto cidx = CidxSchema();
+  ASSERT_TRUE(cidx.ok()) << cidx.status().ToString();
+  auto excel = ExcelSchema();
+  ASSERT_TRUE(excel.ok()) << excel.status().ToString();
+  // CIDX: POHeader, Contact, POBillTo, POShipTo, POLines under the root.
+  EXPECT_EQ(cidx->children(cidx->root()).size(), 5u);
+  // Excel: Items, DeliverTo, InvoiceTo, Header, Footer (+2 detached types).
+  EXPECT_EQ(excel->children(excel->root()).size(), 5u);
+  // Shared Address/Contact types expand per context in the tree.
+  auto tree = BuildSchemaTree(*excel);
+  ASSERT_TRUE(tree.ok());
+  int address_streets = 0;
+  for (TreeNodeId n = 0; n < tree->num_nodes(); ++n) {
+    if (tree->PathName(n).find("Address.street1") != std::string::npos) {
+      ++address_streets;
+    }
+  }
+  EXPECT_EQ(address_streets, 2);  // one per context
+}
+
+TEST(DatasetsTest, RdbStarShapesMatchFigure8) {
+  auto rdb = RdbSchema();
+  ASSERT_TRUE(rdb.ok()) << rdb.status().ToString();
+  auto star = StarSchema();
+  ASSERT_TRUE(star.ok()) << star.status().ToString();
+  EXPECT_EQ(rdb->ElementsOfKind(ElementKind::kContainer).size(), 13u);
+  EXPECT_EQ(star->ElementsOfKind(ElementKind::kContainer).size(), 5u);
+  // Every figure-8 foreign key is present: 12 in RDB, 4 in Star.
+  EXPECT_EQ(rdb->ElementsOfKind(ElementKind::kRefInt).size(), 12u);
+  EXPECT_EQ(star->ElementsOfKind(ElementKind::kRefInt).size(), 4u);
+}
+
+// -------------------------------------------------------------- synthetic --
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticOptions opt;
+  opt.num_elements = 60;
+  opt.seed = 7;
+  SyntheticPair a = GenerateSyntheticPair(opt);
+  SyntheticPair b = GenerateSyntheticPair(opt);
+  EXPECT_EQ(a.source.num_elements(), b.source.num_elements());
+  EXPECT_EQ(a.target.num_elements(), b.target.num_elements());
+  EXPECT_EQ(a.gold.size(), b.gold.size());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticOptions a, b;
+  a.num_elements = b.num_elements = 60;
+  a.seed = 1;
+  b.seed = 2;
+  Schema sa = GenerateSyntheticSchema(a);
+  Schema sb = GenerateSyntheticSchema(b);
+  // Equal counts would be a coincidence; names certainly differ.
+  bool differ = sa.num_elements() != sb.num_elements();
+  for (ElementId i = 1; !differ && i < std::min(sa.num_elements(),
+                                                sb.num_elements());
+       ++i) {
+    differ = sa.element(i).name != sb.element(i).name;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(SyntheticTest, SizeScalesWithBudget) {
+  SyntheticOptions small, large;
+  small.num_elements = 30;
+  large.num_elements = 300;
+  EXPECT_LT(GenerateSyntheticSchema(small).num_elements(),
+            GenerateSyntheticSchema(large).num_elements());
+  // Budget is approximate but should be in the right ballpark.
+  int64_t n = GenerateSyntheticSchema(large).num_elements();
+  EXPECT_GE(n, 300);
+  EXPECT_LE(n, 450);
+}
+
+TEST(SyntheticTest, SchemasValidateAndBuildTrees) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SyntheticOptions opt;
+    opt.num_elements = 80;
+    opt.seed = seed;
+    SyntheticPair p = GenerateSyntheticPair(opt);
+    EXPECT_TRUE(p.source.Validate().ok());
+    EXPECT_TRUE(p.target.Validate().ok());
+    EXPECT_TRUE(BuildSchemaTree(p.source).ok());
+    EXPECT_TRUE(BuildSchemaTree(p.target).ok());
+    EXPECT_GT(p.gold.size(), 0u);
+  }
+}
+
+TEST(SyntheticTest, GoldPathsResolveInTrees) {
+  SyntheticOptions opt;
+  opt.num_elements = 60;
+  opt.seed = 11;
+  SyntheticPair p = GenerateSyntheticPair(opt);
+  auto t1 = BuildSchemaTree(p.source).ValueOrDie();
+  auto t2 = BuildSchemaTree(p.target).ValueOrDie();
+  auto resolve = [](const SchemaTree& t, const std::string& path) {
+    for (TreeNodeId n = 0; n < t.num_nodes(); ++n) {
+      if (t.PathName(n) == path) return true;
+    }
+    return false;
+  };
+  for (const auto& [target, sources] : p.gold.alternatives()) {
+    EXPECT_TRUE(resolve(t2, target)) << target;
+    for (const std::string& s : sources) {
+      EXPECT_TRUE(resolve(t1, s)) << s;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- report --
+
+TEST(ReportTest, AlignedRendering) {
+  TableReport t({"Test", "Cupid", "DIKE"});
+  t.AddRow({"Identical schemas", "Y", "Y"});
+  t.AddRow({"Type substitution", "Y", "N"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("Test               Cupid  DIKE"), std::string::npos);
+  EXPECT_NE(out.find("Identical schemas  Y      Y"), std::string::npos);
+  EXPECT_NE(out.find("Type substitution  Y      N"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, ShortRowsPadded) {
+  TableReport t({"A", "B"});
+  t.AddRow({"only-a"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(ReportTest, YesNoHelper) {
+  EXPECT_STREQ(YesNo(true), "Y");
+  EXPECT_STREQ(YesNo(false), "N");
+}
+
+}  // namespace
+}  // namespace cupid

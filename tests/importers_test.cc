@@ -1,0 +1,383 @@
+// Tests for the importers (src/importers): XML parser, XSD-lite loader,
+// SQL DDL parser, native format.
+
+#include <gtest/gtest.h>
+
+#include "importers/dtd_parser.h"
+#include "importers/native_format.h"
+#include "importers/sql_ddl_parser.h"
+#include "importers/xml_parser.h"
+#include "importers/xml_schema_loader.h"
+#include "schema/schema_printer.h"
+#include "tree/tree_builder.h"
+
+namespace cupid {
+namespace {
+
+// -------------------------------------------------------------- xml parser --
+
+TEST(XmlParserTest, ElementsAttributesText) {
+  auto r = ParseXml("<a x=\"1\" y='two'><b/><c>text</c></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tag, "a");
+  EXPECT_EQ(*r->Attr("x"), "1");
+  EXPECT_EQ(*r->Attr("y"), "two");
+  EXPECT_EQ(r->Attr("z"), nullptr);
+  EXPECT_EQ(r->AttrOr("z", "dflt"), "dflt");
+  ASSERT_EQ(r->children.size(), 2u);
+  EXPECT_EQ(r->children[0].tag, "b");
+  EXPECT_EQ(r->children[1].text, "text");
+  EXPECT_EQ(r->FirstChild("c")->tag, "c");
+  EXPECT_EQ(r->ChildrenNamed("b").size(), 1u);
+}
+
+TEST(XmlParserTest, PrologCommentsCdataEntities) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- top comment -->\n"
+      "<root attr=\"a&amp;b\">\n"
+      "  <!-- inner -->\n"
+      "  <![CDATA[raw <stuff>]]>\n"
+      "  <child>x &lt; y</child>\n"
+      "</root>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r->Attr("attr"), "a&b");
+  EXPECT_EQ(r->children[0].text, "x < y");
+  EXPECT_NE(r->text.find("raw <stuff>"), std::string::npos);
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseXml("<a>\n<b>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(XmlParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a x=1></a>").ok());        // unquoted attribute
+  EXPECT_FALSE(ParseXml("<a><b></b></a><c/>").ok()); // trailing content
+  EXPECT_FALSE(ParseXml("<a><![CDATA[oops</a>").ok());
+}
+
+// ------------------------------------------------------------- xsd loader --
+
+TEST(XmlSchemaLoaderTest, LoadsNestedSchema) {
+  auto r = LoadXmlSchema(R"(
+<schema name="PO">
+  <element name="Items" minOccurs="0">
+    <element name="Item">
+      <attribute name="Qty" type="decimal" use="optional"/>
+      <element name="ItemNumber" type="int"/>
+    </element>
+  </element>
+</schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  EXPECT_EQ(s.name(), "PO");
+  ElementId items = s.FindByPath("PO.Items");
+  ASSERT_NE(items, kNoElement);
+  EXPECT_TRUE(s.element(items).optional);
+  ElementId qty = s.FindByPath("PO.Items.Item.Qty");
+  ASSERT_NE(qty, kNoElement);
+  EXPECT_EQ(s.element(qty).data_type, DataType::kDecimal);
+  EXPECT_TRUE(s.element(qty).optional);
+  ElementId num = s.FindByPath("PO.Items.Item.ItemNumber");
+  EXPECT_EQ(s.element(num).data_type, DataType::kInteger);
+}
+
+TEST(XmlSchemaLoaderTest, SharedComplexTypes) {
+  auto r = LoadXmlSchema(R"(
+<schema name="S">
+  <element name="ShipTo" type="Address"/>
+  <complexType name="Address">
+    <attribute name="Street" type="string"/>
+  </complexType>
+  <element name="BillTo" type="Address"/>
+</schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  ElementId ship = s.FindByPath("S.ShipTo");
+  ElementId bill = s.FindByPath("S.BillTo");
+  ASSERT_EQ(s.derived_from(ship).size(), 1u);
+  ASSERT_EQ(s.derived_from(bill).size(), 1u);
+  EXPECT_EQ(s.derived_from(ship)[0], s.derived_from(bill)[0]);
+  EXPECT_EQ(s.element(s.derived_from(ship)[0]).kind, ElementKind::kTypeDef);
+}
+
+TEST(XmlSchemaLoaderTest, Rejections) {
+  EXPECT_FALSE(LoadXmlSchema("<notschema/>").ok());
+  EXPECT_FALSE(LoadXmlSchema("<schema><element/></schema>").ok());  // no name
+  EXPECT_FALSE(
+      LoadXmlSchema(
+          "<schema><element name=\"x\" type=\"nosuchtype\"/></schema>")
+          .ok());
+  EXPECT_FALSE(
+      LoadXmlSchema("<schema><complexType name=\"A\"/>"
+                    "<complexType name=\"A\"/></schema>")
+          .ok());  // duplicate type
+}
+
+// ---------------------------------------------------------------- sql ddl --
+
+TEST(SqlDdlTest, ParsesTablesColumnsTypes) {
+  auto r = ParseSqlDdl("DB", R"(
+CREATE TABLE Orders (
+  OrderID INT PRIMARY KEY,
+  Freight DECIMAL(10,2) NULL,
+  Notes VARCHAR(200),
+  Placed TIMESTAMP NOT NULL
+);)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  ElementId oid = s.FindByPath("DB.Orders.OrderID");
+  ASSERT_NE(oid, kNoElement);
+  EXPECT_TRUE(s.element(oid).is_key);
+  EXPECT_FALSE(s.element(oid).optional);
+  ElementId freight = s.FindByPath("DB.Orders.Freight");
+  EXPECT_EQ(s.element(freight).data_type, DataType::kDecimal);
+  EXPECT_TRUE(s.element(freight).optional);
+  // Plain columns are NULLable by default.
+  EXPECT_TRUE(s.element(s.FindByPath("DB.Orders.Notes")).optional);
+  ElementId placed = s.FindByPath("DB.Orders.Placed");
+  EXPECT_EQ(s.element(placed).data_type, DataType::kDateTime);
+  EXPECT_FALSE(s.element(placed).optional);
+}
+
+TEST(SqlDdlTest, InlineAndTableLevelForeignKeys) {
+  auto r = ParseSqlDdl("DB", R"(
+CREATE TABLE Orders (
+  OrderID INT PRIMARY KEY,
+  CustomerID INT REFERENCES Customers(CustomerID),
+  ProductID INT,
+  FOREIGN KEY (ProductID) REFERENCES Products(ProductID)
+);
+CREATE TABLE Customers ( CustomerID INT PRIMARY KEY );
+CREATE TABLE Products ( ProductID INT PRIMARY KEY );)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  auto fks = s.ElementsOfKind(ElementKind::kRefInt);
+  ASSERT_EQ(fks.size(), 2u);
+  for (ElementId fk : fks) {
+    ASSERT_EQ(s.references(fk).size(), 1u);
+    EXPECT_EQ(s.element(s.references(fk)[0]).kind, ElementKind::kKey);
+  }
+}
+
+TEST(SqlDdlTest, CompoundPrimaryKeyAndConstraintClause) {
+  auto r = ParseSqlDdl("DB", R"(
+CREATE TABLE Link (
+  A INT NOT NULL,
+  B INT NOT NULL,
+  CONSTRAINT pk_link PRIMARY KEY (A, B)
+);)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  EXPECT_TRUE(s.element(s.FindByPath("DB.Link.A")).is_key);
+  EXPECT_TRUE(s.element(s.FindByPath("DB.Link.B")).is_key);
+  auto keys = s.ElementsOfKind(ElementKind::kKey);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(s.aggregates(keys[0]).size(), 2u);
+}
+
+TEST(SqlDdlTest, CommentsAndCaseInsensitivity) {
+  auto r = ParseSqlDdl("DB",
+                       "-- a comment\n"
+                       "create table t ( x int primary key ); -- trailing\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->FindByPath("DB.t.x"), kNoElement);
+}
+
+TEST(SqlDdlTest, Rejections) {
+  EXPECT_FALSE(ParseSqlDdl("DB", "DROP TABLE x;").ok());
+  EXPECT_FALSE(ParseSqlDdl("DB", "CREATE VIEW v AS SELECT 1;").ok());
+  EXPECT_FALSE(ParseSqlDdl("DB", "CREATE TABLE t ( x frobtype );").ok());
+  auto r = ParseSqlDdl(
+      "DB", "CREATE TABLE t ( x INT REFERENCES nowhere(y) );");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown table"), std::string::npos);
+  EXPECT_FALSE(
+      ParseSqlDdl("DB", "CREATE TABLE t ( PRIMARY KEY (missing) );").ok());
+}
+
+// ------------------------------------------------------------ native format --
+
+TEST(NativeFormatTest, ParseBasics) {
+  auto r = ParseNativeSchema(
+      "# comment\n"
+      "schema PO\n"
+      "node Items optional\n"
+      "  node Item\n"
+      "    leaf Qty decimal optional\n"
+      "    leaf Line integer key\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  EXPECT_TRUE(s.element(s.FindByPath("PO.Items")).optional);
+  ElementId qty = s.FindByPath("PO.Items.Item.Qty");
+  ASSERT_NE(qty, kNoElement);
+  EXPECT_TRUE(s.element(qty).optional);
+  EXPECT_TRUE(s.element(s.FindByPath("PO.Items.Item.Line")).is_key);
+}
+
+TEST(NativeFormatTest, SharedTypesAndForwardReferences) {
+  auto r = ParseNativeSchema(
+      "schema S\n"
+      "node ShipTo : Address\n"   // forward reference
+      "node BillTo : Address\n"
+      "type Address\n"
+      "  leaf Street string\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  ElementId ship = s.FindByPath("S.ShipTo");
+  ASSERT_EQ(s.derived_from(ship).size(), 1u);
+  EXPECT_EQ(s.element(s.derived_from(ship)[0]).name, "Address");
+}
+
+TEST(NativeFormatTest, Rejections) {
+  EXPECT_FALSE(ParseNativeSchema("").ok());
+  EXPECT_FALSE(ParseNativeSchema("node X\n").ok());         // no schema line
+  EXPECT_FALSE(ParseNativeSchema("schema S\n leaf x int\n").ok());  // odd indent
+  EXPECT_FALSE(
+      ParseNativeSchema("schema S\nnode A : NoSuchType\n").ok());
+  EXPECT_FALSE(ParseNativeSchema("schema S\nleaf x\n").ok());  // no type
+  EXPECT_FALSE(ParseNativeSchema("schema S\nbogus x\n").ok());
+  EXPECT_FALSE(
+      ParseNativeSchema("schema S\nnode A\n    leaf x int\n").ok());  // jump
+}
+
+// -------------------------------------------------------------------- dtd --
+
+TEST(DtdParserTest, ElementsAttributesAndContentModels) {
+  auto r = ParseDtd("PO", R"(
+<!-- purchase order -->
+<!ELEMENT po (header, lines+, note?)>
+<!ELEMENT header (#PCDATA)>
+<!ELEMENT lines (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST lines count CDATA #REQUIRED
+                comment CDATA #IMPLIED>
+<!ATTLIST item qty NMTOKEN #REQUIRED>
+)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  EXPECT_NE(s.FindByPath("PO.po.header"), kNoElement);
+  ElementId note = s.FindByPath("PO.po.note");
+  ASSERT_NE(note, kNoElement);
+  EXPECT_TRUE(s.element(note).optional);  // '?' multiplicity
+  ElementId count = s.FindByPath("PO.po.lines.count");
+  ASSERT_NE(count, kNoElement);
+  EXPECT_FALSE(s.element(count).optional);  // #REQUIRED
+  ElementId comment = s.FindByPath("PO.po.lines.comment");
+  EXPECT_TRUE(s.element(comment).optional);  // #IMPLIED
+  ElementId item = s.FindByPath("PO.po.lines.item");
+  ASSERT_NE(item, kNoElement);
+  EXPECT_TRUE(s.element(item).optional);  // '*' multiplicity
+}
+
+TEST(DtdParserTest, SharedElementsBecomeTypes) {
+  auto r = ParseDtd("S", R"(
+<!ELEMENT order (shipto, billto)>
+<!ELEMENT shipto (address)>
+<!ELEMENT billto (address)>
+<!ELEMENT address (#PCDATA)>
+<!ATTLIST address street CDATA #REQUIRED city CDATA #REQUIRED>
+)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  // address is referenced twice -> shared type, expanded per context.
+  auto types = s.ElementsOfKind(ElementKind::kTypeDef);
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(s.element(types[0]).name, "address");
+  auto tree = BuildSchemaTree(*r);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  int street_contexts = 0;
+  for (TreeNodeId n = 0; n < tree->num_nodes(); ++n) {
+    std::string path = tree->PathName(n);
+    if (path.find("street") != std::string::npos) ++street_contexts;
+  }
+  EXPECT_EQ(street_contexts, 2);  // shipto and billto contexts
+}
+
+TEST(DtdParserTest, IdIdrefBecomesRefInt) {
+  auto r = ParseDtd("S", R"(
+<!ELEMENT doc (product+, orderline+)>
+<!ELEMENT product EMPTY>
+<!ATTLIST product pid ID #REQUIRED name CDATA #REQUIRED>
+<!ELEMENT orderline EMPTY>
+<!ATTLIST orderline ref IDREF #REQUIRED qty CDATA #REQUIRED>
+)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  auto keys = s.ElementsOfKind(ElementKind::kKey);
+  ASSERT_EQ(keys.size(), 1u);
+  auto refs = s.ElementsOfKind(ElementKind::kRefInt);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(s.references(refs[0])[0], keys[0]);
+  // The ID attribute is marked as a key member.
+  ElementId pid = s.FindByPath("S.doc.product.pid");
+  ASSERT_NE(pid, kNoElement);
+  EXPECT_TRUE(s.element(pid).is_key);
+  // Join-view augmentation picks the RefInt up.
+  auto tree = BuildSchemaTree(*r);
+  ASSERT_TRUE(tree.ok());
+  bool has_join = false;
+  for (TreeNodeId n = 0; n < tree->num_nodes(); ++n) {
+    has_join |= tree->node(n).is_join_view;
+  }
+  EXPECT_TRUE(has_join);
+}
+
+TEST(DtdParserTest, IdrefWithoutAnyIdIsTolerated) {
+  auto r = ParseDtd("S", R"(
+<!ELEMENT doc (a)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a ref IDREF #REQUIRED>
+)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->ElementsOfKind(ElementKind::kRefInt).empty());
+}
+
+TEST(DtdParserTest, RecursiveDtdRejected) {
+  auto r = ParseDtd("S", "<!ELEMENT a (a?)>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCycleDetected());
+}
+
+TEST(DtdParserTest, Rejections) {
+  EXPECT_FALSE(ParseDtd("S", "").ok());                       // no elements
+  EXPECT_FALSE(ParseDtd("S", "<!ELEMENT a (b)").ok());        // unterminated
+  EXPECT_FALSE(ParseDtd("S", "<!BOGUS a>").ok());             // unknown decl
+  EXPECT_FALSE(ParseDtd("S", "<!ATTLIST nosuch x CDATA #REQUIRED>").ok());
+  EXPECT_FALSE(
+      ParseDtd("S", "<!ELEMENT a (b)>\n<!ELEMENT a (c)>").ok());  // duplicate
+}
+
+TEST(DtdParserTest, UndeclaredChildBecomesStringLeaf) {
+  auto r = ParseDtd("S", "<!ELEMENT a (mystery)>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ElementId m = r->FindByPath("S.a.mystery");
+  ASSERT_NE(m, kNoElement);
+  EXPECT_EQ(r->element(m).kind, ElementKind::kAtomic);
+  EXPECT_EQ(r->element(m).data_type, DataType::kString);
+}
+
+TEST(NativeFormatTest, SerializeParseRoundTrip) {
+  auto r = ParseNativeSchema(
+      "schema S\n"
+      "type Address\n"
+      "  leaf Street string\n"
+      "node ShipTo : Address optional\n"
+      "node Items\n"
+      "  leaf Count integer key\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = SerializeNativeSchema(*r);
+  auto r2 = ParseNativeSchema(text);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString() << "\n" << text;
+  EXPECT_EQ(PrintSchema(*r), PrintSchema(*r2));
+  EXPECT_EQ(PrintSchemaEdges(*r), PrintSchemaEdges(*r2));
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,0 +1,283 @@
+// End-to-end integration tests: the paper's reported Cupid outcomes
+// (Section 4 running example, Section 9.1 canonical examples, Section 9.2
+// real-world schemas) must hold for the full pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+// ------------------------------------------------------ Fig. 2 (Section 4) --
+
+TEST(Fig2Integration, PerfectLeafMapping) {
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0) << FormatQuality(q);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0) << FormatQuality(q);
+}
+
+TEST(Fig2Integration, ContextBindingBillToInvoice) {
+  // Section 4: "City and Street under POBillTo match City and Street under
+  // InvoiceTo, rather than under DeliverTo, because Bill is a synonym of
+  // Invoice but not of Deliver."
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->WsimByPath("PO.POBillTo.City",
+                          "PurchaseOrder.InvoiceTo.Address.City"),
+            r->WsimByPath("PO.POBillTo.City",
+                          "PurchaseOrder.DeliverTo.Address.City"));
+  EXPECT_GT(r->WsimByPath("PO.POShipTo.City",
+                          "PurchaseOrder.DeliverTo.Address.City"),
+            r->WsimByPath("PO.POShipTo.City",
+                          "PurchaseOrder.InvoiceTo.Address.City"));
+}
+
+TEST(Fig2Integration, LineToItemNumberIsStructural) {
+  // Section 4: "Line is mapped to ItemNumber because their parents, Item,
+  // match and the other two children of Item already match."
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.Line", "PurchaseOrder.Items.Item.ItemNumber"));
+  // Purely structural: zero linguistic similarity.
+  for (const auto& e : r->leaf_mapping.elements) {
+    if (e.source_path == "PO.POLines.Item.Line") {
+      EXPECT_LT(e.lsim, 0.05);
+      EXPECT_GT(e.ssim, 0.9);
+    }
+  }
+}
+
+TEST(Fig2Integration, NoThesaurusDegradesButIdenticalNamesSurvive) {
+  Dataset d = Fig2Dataset();
+  Thesaurus empty;
+  CupidMatcher m(&empty);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok());
+  // Street/City keep matching (identical names), abbreviation-dependent
+  // pairs degrade — the Section 9.3 conclusion 2 observation.
+  EXPECT_GT(r->WsimByPath("PO.POShipTo.Street",
+                          "PurchaseOrder.DeliverTo.Address.Street"),
+            0.5);
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  EXPECT_LT(q.recall(), 1.0);
+}
+
+// ---------------------------------------- Canonical examples (Section 9.1) --
+
+class CanonicalCupid : public testing::TestWithParam<int> {};
+
+TEST_P(CanonicalCupid, CupidSolvesAllSixExamples) {
+  // Table 2: the Cupid column is Y for every canonical test.
+  auto dr = CanonicalExample(GetParam());
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  Dataset d = std::move(dr).ValueOrDie();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0)
+      << d.description << "\n"
+      << FormatQuality(q) << "\nmissed: "
+      << (q.false_negative_pairs.empty()
+              ? ""
+              : q.false_negative_pairs[0].first + " -> " +
+                    q.false_negative_pairs[0].second);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, CanonicalCupid, testing::Range(1, 7));
+
+TEST(CanonicalIntegration, Test6ContextDependentPrecision) {
+  // Beyond recall: the type-substitution case must bind each context to the
+  // right target (ShippingAddress.Name to ShipTo's copy, not BillTo's).
+  Dataset d = std::move(*CanonicalExample(6));
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher m(&th);
+  auto r = m.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok());
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0) << FormatQuality(q);
+}
+
+// ------------------------------------------- CIDX vs Excel (Section 9.2) --
+
+class CidxExcelIntegration : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(std::move(*CidxExcelDataset()));
+    thesaurus_ = new Thesaurus(CidxExcelThesaurus());
+    CupidMatcher m(thesaurus_);
+    result_ = new MatchResult(std::move(*m.Match(dataset_->source,
+                                                 dataset_->target)));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete thesaurus_;
+    delete dataset_;
+    result_ = nullptr;
+    thesaurus_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static Thesaurus* thesaurus_;
+  static MatchResult* result_;
+};
+
+Dataset* CidxExcelIntegration::dataset_ = nullptr;
+Thesaurus* CidxExcelIntegration::thesaurus_ = nullptr;
+MatchResult* CidxExcelIntegration::result_ = nullptr;
+
+TEST_F(CidxExcelIntegration, AllCorrectAttributePairsFound) {
+  // Section 9.2: "Cupid identifies all the correct XML-attribute matching
+  // pairs (leaves in the example)."
+  MatchQuality q = Evaluate(result_->leaf_mapping, dataset_->gold);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0) << FormatQuality(q);
+}
+
+TEST_F(CidxExcelIntegration, LineToItemNumberWithoutThesaurusSupport) {
+  // "Cupid is the only one to identify CIDX.line to correspond to
+  // Excel.itemNumber (there were no supporting thesaurus entries)."
+  EXPECT_TRUE(result_->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber"));
+}
+
+TEST_F(CidxExcelIntegration, Table3ElementMappings) {
+  // Table 3, Cupid column: all Yes.
+  const std::pair<const char*, const char*> rows[] = {
+      {"PO.POHeader", "PurchaseOrder.Header"},
+      {"PO.POLines.Item", "PurchaseOrder.Items.Item"},
+      {"PO.POLines", "PurchaseOrder.Items"},
+      {"PO.POBillTo", "PurchaseOrder.InvoiceTo"},
+      {"PO.POShipTo", "PurchaseOrder.DeliverTo"},
+  };
+  for (const auto& [src, tgt] : rows) {
+    EXPECT_EQ(result_->BestTargetFor(src), tgt) << src;
+    EXPECT_GE(result_->WsimByPath(src, tgt), 0.5) << src;
+  }
+  // PO -> PurchaseOrder (roots).
+  EXPECT_GE(result_->WsimByPath("PO", "PurchaseOrder"), 0.5);
+}
+
+TEST_F(CidxExcelIntegration, ReproducesTheNaiveGeneratorFalsePositive) {
+  // Section 9.2: "there are two false positives (e.g. CIDX.contactName is
+  // mapped to both Excel.contactName and Excel.companyName)".
+  MatchQuality q = Evaluate(result_->leaf_mapping, dataset_->gold);
+  bool company_fp = false;
+  for (const auto& [src, tgt] : q.false_positive_pairs) {
+    if (src == "PO.Contact.ContactName" &&
+        tgt.find("companyName") != std::string::npos) {
+      company_fp = true;
+    }
+  }
+  EXPECT_TRUE(company_fp);
+}
+
+// --------------------------------------------- RDB vs Star (Section 9.2) --
+
+class RdbStarIntegration : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(std::move(*RdbStarDataset()));
+    thesaurus_ = new Thesaurus(RdbStarThesaurus());
+    CupidMatcher m(thesaurus_);
+    result_ = new MatchResult(std::move(*m.Match(dataset_->source,
+                                                 dataset_->target)));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete thesaurus_;
+    delete dataset_;
+    result_ = nullptr;
+    thesaurus_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static Thesaurus* thesaurus_;
+  static MatchResult* result_;
+};
+
+Dataset* RdbStarIntegration::dataset_ = nullptr;
+Thesaurus* RdbStarIntegration::thesaurus_ = nullptr;
+MatchResult* RdbStarIntegration::result_ = nullptr;
+
+TEST_F(RdbStarIntegration, HighQualityWithoutThesaurus) {
+  MatchQuality q = Evaluate(result_->leaf_mapping, dataset_->gold);
+  EXPECT_GE(q.recall(), 0.95) << FormatQuality(q);
+  EXPECT_GE(q.precision(), 0.9) << FormatQuality(q);
+}
+
+TEST_F(RdbStarIntegration, ProductsAndCustomersColumnsMatched) {
+  // "The columns of the two Products and two Customers tables are matched."
+  EXPECT_TRUE(result_->leaf_mapping.ContainsPair("RDB.Products.ProductName",
+                                                 "Star.PRODUCTS.ProductName"));
+  EXPECT_TRUE(result_->leaf_mapping.ContainsPair(
+      "RDB.Customers.CustomerID", "Star.CUSTOMERS.CustomerID"));
+}
+
+TEST_F(RdbStarIntegration, AllThreePostalCodesFromCustomers) {
+  // "The three PostalCode columns in the Star Schema are all mapped to the
+  // Customers.PostalCode column in the RDB schema."
+  for (const char* target :
+       {"Star.CUSTOMERS.PostalCode", "Star.GEOGRAPHY.PostalCode",
+        "Star.SALES.PostalCode"}) {
+    EXPECT_TRUE(result_->leaf_mapping.ContainsPair(
+        "RDB.Customers.PostalCode", target))
+        << target;
+  }
+}
+
+TEST_F(RdbStarIntegration, GeographyAssembledFromTerritoriesAndRegion) {
+  EXPECT_TRUE(result_->leaf_mapping.ContainsPair(
+      "RDB.Territories.TerritoryDescription",
+      "Star.GEOGRAPHY.TerritoryDescription"));
+  EXPECT_TRUE(result_->leaf_mapping.ContainsPair(
+      "RDB.Region.RegionDescription", "Star.GEOGRAPHY.RegionDescription"));
+}
+
+TEST_F(RdbStarIntegration, CustomerNameNotMatchedWithoutSynonym) {
+  // "None of the systems matched the CustomerName column ... to either the
+  // ContactFirstName or ContactLastName columns" — and in our encoding
+  // CompanyName wins (which the gold accepts); the Contact* columns lose.
+  EXPECT_FALSE(result_->leaf_mapping.ContainsPair(
+      "RDB.Customers.ContactFirstName", "Star.CUSTOMERS.CustomerName"));
+  EXPECT_FALSE(result_->leaf_mapping.ContainsPair(
+      "RDB.Customers.ContactLastName", "Star.CUSTOMERS.CustomerName"));
+}
+
+TEST_F(RdbStarIntegration, JoinViewMatchesSalesBest) {
+  // "Cupid matches the join of Orders and OrderDetails to the Sales table."
+  // (Verified with the slightly relaxed leaf-count ratio the experiment
+  // harness uses; the default 2.0 prunes the 20-vs-9-leaf comparison.)
+  Thesaurus th = RdbStarThesaurus();
+  CupidConfig cfg;
+  cfg.tree_match.leaf_count_ratio = 2.5;
+  CupidMatcher m(&th, cfg);
+  auto r = m.Match(dataset_->source, dataset_->target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->BestTargetFor("RDB.OrderDetails_Orders_fk"), "Star.SALES");
+  EXPECT_GE(r->WsimByPath("RDB.OrderDetails_Orders_fk", "Star.SALES"), 0.5);
+  // The Territories-Region join lines up with GEOGRAPHY better than
+  // Territories alone does.
+  EXPECT_GT(
+      r->WsimByPath("RDB.TerritoryRegion_Territories_fk", "Star.GEOGRAPHY"),
+      r->WsimByPath("RDB.Territories", "Star.GEOGRAPHY"));
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,0 +1,338 @@
+// Tests for the linguistic matching phase (src/linguistic): tokenizer,
+// normalizer, name similarity, categorization and the full lsim computation.
+
+#include <gtest/gtest.h>
+
+#include "linguistic/categorizer.h"
+#include "linguistic/linguistic_matcher.h"
+#include "linguistic/name_similarity.h"
+#include "linguistic/normalizer.h"
+#include "linguistic/tokenizer.h"
+#include "schema/schema_builder.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) out.push_back(t.text);
+  return out;
+}
+
+// -------------------------------------------------------------- tokenizer --
+
+TEST(TokenizerTest, CamelCase) {
+  EXPECT_EQ(Texts(TokenizeName("unitPrice")),
+            (std::vector<std::string>{"unit", "price"}));
+  EXPECT_EQ(Texts(TokenizeName("UnitOfMeasure")),
+            (std::vector<std::string>{"unit", "of", "measure"}));
+}
+
+TEST(TokenizerTest, UpperRunFollowedByWord) {
+  // "POLines" -> PO + Lines (the paper's Section 5.1 example).
+  EXPECT_EQ(Texts(TokenizeName("POLines")),
+            (std::vector<std::string>{"po", "lines"}));
+  EXPECT_EQ(Texts(TokenizeName("SSN")), (std::vector<std::string>{"ssn"}));
+}
+
+TEST(TokenizerTest, SeparatorsAndPunctuation) {
+  EXPECT_EQ(Texts(TokenizeName("unit_price")),
+            (std::vector<std::string>{"unit", "price"}));
+  EXPECT_EQ(Texts(TokenizeName("e-mail")),
+            (std::vector<std::string>{"e", "mail"}));
+  EXPECT_EQ(Texts(TokenizeName("a.b c/d")),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TokenizerTest, DigitsAndSymbols) {
+  auto tokens = TokenizeName("item#2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kContent);
+  EXPECT_EQ(tokens[1].type, TokenType::kSpecial);
+  EXPECT_EQ(tokens[1].text, "#");
+  EXPECT_EQ(tokens[2].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[2].text, "2");
+}
+
+TEST(TokenizerTest, LetterDigitTransition) {
+  EXPECT_EQ(Texts(TokenizeName("Street4")),
+            (std::vector<std::string>{"street", "4"}));
+  EXPECT_EQ(Texts(TokenizeName("int8value")),
+            (std::vector<std::string>{"int", "8", "value"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(TokenizeName("").empty());
+  EXPECT_TRUE(TokenizeName("__--  ").empty());
+}
+
+// -------------------------------------------------------------- normalizer --
+
+class NormalizerTest : public testing::Test {
+ protected:
+  NormalizerTest() : thesaurus_(DefaultThesaurus()), norm_(&thesaurus_) {}
+  Thesaurus thesaurus_;
+  NameNormalizer norm_;
+};
+
+TEST_F(NormalizerTest, ExpandsAbbreviationTokens) {
+  NormalizedName n = norm_.Normalize("POLines");
+  EXPECT_EQ(Texts(n.tokens),
+            (std::vector<std::string>{"purchase", "order", "lines"}));
+}
+
+TEST_F(NormalizerTest, ExpandsWholeNameAcronym) {
+  // Mixed-case acronym that tokenization alone would shred.
+  NormalizedName n = norm_.Normalize("UoM");
+  EXPECT_EQ(Texts(n.tokens),
+            (std::vector<std::string>{"unit", "of", "measure"}));
+  // "of" is a stop word -> kCommon.
+  EXPECT_EQ(n.tokens[1].type, TokenType::kCommon);
+}
+
+TEST_F(NormalizerTest, MarksStopWordsCommon) {
+  NormalizedName n = norm_.Normalize("DateOfBirth");
+  ASSERT_EQ(n.tokens.size(), 3u);
+  EXPECT_EQ(n.tokens[1].type, TokenType::kCommon);
+}
+
+TEST_F(NormalizerTest, TagsConcepts) {
+  NormalizedName n = norm_.Normalize("UnitPrice");
+  // "price" triggers concept money.
+  ASSERT_EQ(n.concepts.size(), 1u);
+  EXPECT_EQ(n.concepts[0], "money");
+  EXPECT_EQ(n.tokens[1].type, TokenType::kConcept);
+}
+
+TEST_F(NormalizerTest, TokensOfTypeFilters) {
+  NormalizedName n = norm_.Normalize("PriceOfItem2");
+  EXPECT_EQ(n.TokensOfType(TokenType::kConcept).size(), 1u);  // price
+  EXPECT_EQ(n.TokensOfType(TokenType::kCommon).size(), 1u);   // of
+  EXPECT_EQ(n.TokensOfType(TokenType::kNumber).size(), 1u);   // 2
+  EXPECT_EQ(n.TokensOfType(TokenType::kContent).size(), 1u);  // item
+}
+
+// -------------------------------------------------------- name similarity --
+
+class NameSimTest : public testing::Test {
+ protected:
+  NameSimTest() : thesaurus_(DefaultThesaurus()), norm_(&thesaurus_) {}
+  double Sim(const std::string& a, const std::string& b) {
+    return ElementNameSimilarity(norm_.Normalize(a), norm_.Normalize(b),
+                                 thesaurus_);
+  }
+  Thesaurus thesaurus_;
+  NameNormalizer norm_;
+};
+
+TEST_F(NameSimTest, IdenticalNames) {
+  EXPECT_DOUBLE_EQ(Sim("Street", "Street"), 1.0);
+  EXPECT_DOUBLE_EQ(Sim("UnitPrice", "unit_price"), 1.0);
+}
+
+TEST_F(NameSimTest, AbbreviationsMatchExpansions) {
+  EXPECT_DOUBLE_EQ(Sim("Qty", "Quantity"), 1.0);
+  EXPECT_DOUBLE_EQ(Sim("UoM", "UnitOfMeasure"), 1.0);
+  EXPECT_DOUBLE_EQ(Sim("PO", "PurchaseOrder"), 1.0);
+}
+
+TEST_F(NameSimTest, SynonymsScoreHigh) {
+  EXPECT_GT(Sim("InvoiceTo", "BillTo"), 0.8);
+  EXPECT_GT(Sim("ShipTo", "DeliverTo"), 0.8);
+}
+
+TEST_F(NameSimTest, PrefixSuffixVariationTolerated) {
+  // Table 2 row 3: Cupid tolerates affix variation without thesaurus input.
+  EXPECT_GT(Sim("Address", "StreetAddress"), 0.4);
+  EXPECT_GT(Sim("Name", "CustomerName"), 0.4);
+  EXPECT_LT(Sim("Address", "StreetAddress"), 1.0);
+}
+
+TEST_F(NameSimTest, UnrelatedNamesScoreLow) {
+  EXPECT_LT(Sim("Line", "ItemNumber"), 0.2);
+  EXPECT_LT(Sim("Country", "Quantity"), 0.4);
+}
+
+TEST_F(NameSimTest, SymmetricByConstruction) {
+  const char* names[] = {"Qty", "UnitOfMeasure", "POLines", "InvoiceTo",
+                         "StreetAddress"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      EXPECT_DOUBLE_EQ(Sim(a, b), Sim(b, a)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST_F(NameSimTest, RangeWithinUnitInterval) {
+  const char* names[] = {"a", "Qty", "e-mail", "Item#2", "POLines", ""};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      double s = Sim(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(TokenSimilarityTest, NumbersMatchOnlyExactly) {
+  Thesaurus t;
+  Token n1{"2", TokenType::kNumber}, n2{"2", TokenType::kNumber},
+      n3{"3", TokenType::kNumber}, w{"two", TokenType::kContent};
+  EXPECT_DOUBLE_EQ(TokenSimilarity(n1, n2, t), 1.0);
+  EXPECT_DOUBLE_EQ(TokenSimilarity(n1, n3, t), 0.0);
+  EXPECT_DOUBLE_EQ(TokenSimilarity(n1, w, t), 0.0);
+}
+
+TEST(TokenSimilarityTest, SubstringFallbackRespectsMinAffix) {
+  Thesaurus t;
+  Token a{"ab", TokenType::kContent}, b{"ax", TokenType::kContent};
+  // Common prefix length 1 < min_affix 2 -> 0.
+  EXPECT_DOUBLE_EQ(TokenSimilarity(a, b, t), 0.0);
+  Token c{"street", TokenType::kContent}, d{"streetaddress",
+                                            TokenType::kContent};
+  EXPECT_NEAR(TokenSimilarity(c, d, t), 0.75 * 6.0 / 13.0, 1e-9);
+}
+
+TEST(TokenSetSimilarityTest, PaperFormula) {
+  Thesaurus t;
+  std::vector<Token> t1 = {{"purchase", TokenType::kContent},
+                           {"order", TokenType::kContent}};
+  std::vector<Token> t2 = {{"purchase", TokenType::kContent}};
+  // (1 + 0 + 1) / 3
+  EXPECT_NEAR(TokenSetSimilarity(t1, t2, t), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(TokenSetSimilarity({}, {}, t), 0.0);
+}
+
+// ----------------------------------------------------------- categorizer --
+
+TEST(CategorizerTest, ConceptTypeContainerAndNameCategories) {
+  Thesaurus th = DefaultThesaurus();
+  NameNormalizer norm(&th);
+  XmlSchemaBuilder b("S");
+  ElementId addr = b.AddElement(b.root(), "Address");
+  b.AddAttribute(addr, "Street", DataType::kString);
+  b.AddAttribute(addr, "UnitPrice", DataType::kMoney);
+  const Schema& s = b.schema();
+
+  std::vector<NormalizedName> names;
+  for (ElementId id : s.AllElements()) {
+    names.push_back(norm.Normalize(s.element(id).name));
+  }
+  Categorization c = CategorizeSchema(s, names, norm);
+
+  auto has_category = [&](const std::string& label) {
+    for (const Category& cat : c.categories) {
+      if (cat.label == label) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_category("concept:money"));     // UnitPrice
+  EXPECT_TRUE(has_category("concept:location"));  // Street, Address
+  EXPECT_TRUE(has_category("type:Text"));         // Street
+  EXPECT_TRUE(has_category("type:Number"));       // UnitPrice
+  EXPECT_TRUE(has_category("container:Address"));
+  // "unit" is a plain content token -> name category. ("street" is tagged
+  // with concept location, so it contributes to concept:location instead.)
+  EXPECT_TRUE(has_category("name:unit"));
+}
+
+TEST(CategorizerTest, KeysAndRefIntsAreNotCategorized) {
+  Thesaurus th = DefaultThesaurus();
+  NameNormalizer norm(&th);
+  RelationalSchemaBuilder b("S");
+  ElementId t = b.AddTable("T");
+  ElementId c1 = b.AddColumn(t, "id", DataType::kInteger);
+  ElementId pk = b.SetPrimaryKey(t, {c1});
+  const Schema& s = b.schema();
+  std::vector<NormalizedName> names;
+  for (ElementId id : s.AllElements()) {
+    names.push_back(norm.Normalize(s.element(id).name));
+  }
+  Categorization c = CategorizeSchema(s, names, norm);
+  EXPECT_TRUE(c.element_categories[static_cast<size_t>(pk)].empty());
+  EXPECT_FALSE(c.element_categories[static_cast<size_t>(c1)].empty());
+}
+
+// ----------------------------------------------------- linguistic matcher --
+
+TEST(LinguisticMatcherTest, LsimHighForEquivalentElements) {
+  Thesaurus th = DefaultThesaurus();
+  LinguisticMatcher m(&th, {});
+  XmlSchemaBuilder b1("S1");
+  ElementId i1 = b1.AddElement(b1.root(), "Item");
+  ElementId q1 = b1.AddAttribute(i1, "Qty", DataType::kDecimal);
+  Schema s1 = std::move(b1).Build();
+  XmlSchemaBuilder b2("S2");
+  ElementId i2 = b2.AddElement(b2.root(), "Item");
+  ElementId q2 = b2.AddAttribute(i2, "Quantity", DataType::kDecimal);
+  Schema s2 = std::move(b2).Build();
+
+  auto r = m.Match(s1, s2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->lsim(q1, q2), 0.9);
+  EXPECT_GT(r->lsim(i1, i2), 0.9);
+  // Cross pairs stay low.
+  EXPECT_LT(r->lsim(q1, i2), 0.5);
+}
+
+TEST(LinguisticMatcherTest, IncompatibleCategoriesYieldZero) {
+  Thesaurus th = DefaultThesaurus();
+  LinguisticMatcher m(&th, {});
+  XmlSchemaBuilder b1("S1");
+  ElementId a = b1.AddAttribute(b1.root(), "Zebra", DataType::kString);
+  Schema s1 = std::move(b1).Build();
+  XmlSchemaBuilder b2("S2");
+  ElementId x = b2.AddAttribute(b2.root(), "Quark", DataType::kInteger);
+  Schema s2 = std::move(b2).Build();
+  auto r = m.Match(s1, s2);
+  ASSERT_TRUE(r.ok());
+  // Different type classes, no shared names/concepts: either the pair is
+  // pruned (lsim 0) or both sides share only the thin Text/Number overlap.
+  EXPECT_LT(r->lsim(a, x), 0.2);
+}
+
+TEST(LinguisticMatcherTest, CategorizationPrunesComparisons) {
+  Thesaurus th = DefaultThesaurus();
+  auto pair_schemas = [] {
+    XmlSchemaBuilder b1("S1");
+    ElementId t1 = b1.AddElement(b1.root(), "Customer");
+    b1.AddAttribute(t1, "Name", DataType::kString);
+    b1.AddAttribute(t1, "Born", DataType::kDate);
+    Schema s1 = std::move(b1).Build();
+    XmlSchemaBuilder b2("S2");
+    ElementId t2 = b2.AddElement(b2.root(), "Client");
+    b2.AddAttribute(t2, "Name", DataType::kString);
+    b2.AddAttribute(t2, "Age", DataType::kInteger);
+    Schema s2 = std::move(b2).Build();
+    return std::make_pair(std::move(s1), std::move(s2));
+  };
+  auto [s1, s2] = pair_schemas();
+
+  LinguisticOptions with;
+  LinguisticMatcher m1(&th, with);
+  auto r1 = m1.Match(s1, s2);
+  ASSERT_TRUE(r1.ok());
+
+  LinguisticOptions without;
+  without.use_categories = false;
+  LinguisticMatcher m2(&th, without);
+  auto r2 = m2.Match(s1, s2);
+  ASSERT_TRUE(r2.ok());
+
+  EXPECT_LT(r1->comparisons, r2->comparisons);
+  // All-pairs mode compares everything (including roots).
+  EXPECT_EQ(r2->comparisons, s1.num_elements() * s2.num_elements());
+}
+
+TEST(LinguisticMatcherTest, InvalidThnsRejected) {
+  Thesaurus th;
+  LinguisticOptions opt;
+  opt.thns = 1.5;
+  LinguisticMatcher m(&th, opt);
+  Schema s1("A"), s2("B");
+  EXPECT_TRUE(m.Match(s1, s2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,0 +1,188 @@
+// Tests for mapping generation and rendering (src/mapping).
+
+#include <gtest/gtest.h>
+
+#include "linguistic/linguistic_matcher.h"
+#include "mapping/mapping_generator.h"
+#include "mapping/mapping_render.h"
+#include "schema/schema_builder.h"
+#include "structural/tree_match.h"
+#include "thesaurus/default_thesaurus.h"
+#include "tree/tree_builder.h"
+
+namespace cupid {
+namespace {
+
+/// S1 has one "Amount" that matches two targets; exercises cardinality
+/// policies.
+struct MappingFixture {
+  MappingFixture() {
+    XmlSchemaBuilder b1("S1");
+    ElementId box = b1.AddElement(b1.root(), "Pay");
+    b1.AddAttribute(box, "Amount", DataType::kMoney);
+    b1.AddAttribute(box, "Date", DataType::kDate);
+    s1 = std::move(b1).Build();
+    XmlSchemaBuilder b2("S2");
+    ElementId box2 = b2.AddElement(b2.root(), "Pay");
+    b2.AddAttribute(box2, "Amount", DataType::kMoney);
+    b2.AddAttribute(box2, "AmountValue", DataType::kMoney);
+    b2.AddAttribute(box2, "Date", DataType::kDate);
+    s2 = std::move(b2).Build();
+
+    thesaurus = DefaultThesaurus();
+    LinguisticMatcher lm(&thesaurus, {});
+    auto lres = lm.Match(s1, s2);
+    t1 = BuildSchemaTree(s1).ValueOrDie();
+    t2 = BuildSchemaTree(s2).ValueOrDie();
+    result = TreeMatch(*t1, *t2, lres->lsim,
+                       TypeCompatibilityTable::Default(), {})
+                 .ValueOrDie();
+    RecomputeNonLeafSimilarities(*t1, *t2, {}, &result.value());
+  }
+
+  Schema s1{"S1"}, s2{"S2"};
+  Thesaurus thesaurus;
+  std::optional<SchemaTree> t1, t2;
+  std::optional<TreeMatchResult> result;
+};
+
+TEST(MappingGeneratorTest, OneToManyAllowsRepeatedSources) {
+  MappingFixture f;
+  MappingGeneratorOptions opt;
+  opt.cardinality = MappingCardinality::kOneToMany;
+  auto m = GenerateMapping(*f.t1, *f.t2, *f.result, opt);
+  ASSERT_TRUE(m.ok());
+  // S1.Pay.Amount maps to both S2 Amount-ish targets.
+  EXPECT_TRUE(m->ContainsPair("S1.Pay.Amount", "S2.Pay.Amount"));
+  EXPECT_TRUE(m->ContainsPair("S1.Pay.Amount", "S2.Pay.AmountValue"));
+  EXPECT_TRUE(m->ContainsPair("S1.Pay.Date", "S2.Pay.Date"));
+  EXPECT_EQ(m->ForTarget("S2.Pay.Amount").size(), 1u);
+}
+
+TEST(MappingGeneratorTest, OneToOneGreedyUsesEachEndpointOnce) {
+  MappingFixture f;
+  MappingGeneratorOptions opt;
+  opt.cardinality = MappingCardinality::kOneToOneGreedy;
+  auto m = GenerateMapping(*f.t1, *f.t2, *f.result, opt);
+  ASSERT_TRUE(m.ok());
+  std::set<std::string> sources, targets;
+  for (const MappingElement& e : m->elements) {
+    EXPECT_TRUE(sources.insert(e.source_path).second)
+        << "source reused: " << e.source_path;
+    EXPECT_TRUE(targets.insert(e.target_path).second)
+        << "target reused: " << e.target_path;
+  }
+  // The exact-name pair wins over the affixed variant.
+  EXPECT_TRUE(m->ContainsPair("S1.Pay.Amount", "S2.Pay.Amount"));
+}
+
+TEST(MappingGeneratorTest, OneToOneStableIsOneToOne) {
+  MappingFixture f;
+  MappingGeneratorOptions opt;
+  opt.cardinality = MappingCardinality::kOneToOneStable;
+  auto m = GenerateMapping(*f.t1, *f.t2, *f.result, opt);
+  ASSERT_TRUE(m.ok());
+  std::set<std::string> sources, targets;
+  for (const MappingElement& e : m->elements) {
+    EXPECT_TRUE(sources.insert(e.source_path).second);
+    EXPECT_TRUE(targets.insert(e.target_path).second);
+    EXPECT_GE(e.wsim, opt.th_accept);
+  }
+  EXPECT_TRUE(m->ContainsPair("S1.Pay.Amount", "S2.Pay.Amount"));
+}
+
+TEST(MappingGeneratorTest, StableHasNoBlockingPair) {
+  MappingFixture f;
+  MappingGeneratorOptions opt;
+  opt.cardinality = MappingCardinality::kOneToOneStable;
+  auto m = GenerateMapping(*f.t1, *f.t2, *f.result, opt);
+  ASSERT_TRUE(m.ok());
+  const NodeSimilarities& sims = f.result->sims;
+  // For every matched pair (s,t) and every other matched pair (s',t'):
+  // not (wsim(s,t') > wsim(s,t) and wsim(s,t') > wsim(s',t')).
+  for (const MappingElement& e1 : m->elements) {
+    for (const MappingElement& e2 : m->elements) {
+      if (e1.source == e2.source) continue;
+      double cross = sims.wsim(e1.source, e2.target);
+      if (cross < opt.th_accept) continue;
+      EXPECT_FALSE(cross > e1.wsim && cross > e2.wsim)
+          << "blocking pair: " << e1.source_path << " prefers "
+          << e2.target_path;
+    }
+  }
+}
+
+TEST(MappingGeneratorTest, ThresholdFiltersWeakPairs) {
+  MappingFixture f;
+  MappingGeneratorOptions strict;
+  strict.th_accept = 0.99;
+  auto m = GenerateMapping(*f.t1, *f.t2, *f.result, strict);
+  ASSERT_TRUE(m.ok());
+  for (const MappingElement& e : m->elements) {
+    EXPECT_GE(e.wsim, 0.99);
+  }
+  MappingGeneratorOptions invalid;
+  invalid.th_accept = 1.5;
+  EXPECT_TRUE(GenerateMapping(*f.t1, *f.t2, *f.result, invalid)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MappingGeneratorTest, ScopeSelectsLevels) {
+  MappingFixture f;
+  MappingGeneratorOptions leaves;
+  leaves.scope = MappingScope::kLeaves;
+  MappingGeneratorOptions nonleaves;
+  nonleaves.scope = MappingScope::kNonLeaves;
+  auto ml = GenerateMapping(*f.t1, *f.t2, *f.result, leaves);
+  auto mn = GenerateMapping(*f.t1, *f.t2, *f.result, nonleaves);
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(mn.ok());
+  for (const MappingElement& e : ml->elements) {
+    EXPECT_TRUE(f.t1->IsLeaf(e.source));
+    EXPECT_TRUE(f.t2->IsLeaf(e.target));
+  }
+  for (const MappingElement& e : mn->elements) {
+    EXPECT_FALSE(f.t1->IsLeaf(e.source));
+    EXPECT_FALSE(f.t2->IsLeaf(e.target));
+  }
+  EXPECT_TRUE(mn->ContainsPair("S1.Pay", "S2.Pay"));
+}
+
+// ---------------------------------------------------------------- render --
+
+TEST(MappingRenderTest, TextFormat) {
+  Mapping m;
+  m.source_schema = "A";
+  m.target_schema = "B";
+  m.elements.push_back({0, 0, "A.x", "B.y", 0.75, 0.5, 1.0});
+  std::string text = RenderMappingText(m);
+  EXPECT_NE(text.find("Mapping A -> B (1 elements)"), std::string::npos);
+  EXPECT_NE(text.find("A.x -> B.y"), std::string::npos);
+  EXPECT_NE(text.find("wsim=0.750"), std::string::npos);
+}
+
+TEST(MappingRenderTest, JsonEscapesAndStructure) {
+  Mapping m;
+  m.source_schema = "A\"quote";
+  m.target_schema = "B";
+  m.elements.push_back({0, 0, "A.x", "B.y", 0.75, 0.5, 1.0});
+  std::string json = RenderMappingJson(m);
+  EXPECT_NE(json.find("\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("\"elements\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"wsim\": 0.750000"), std::string::npos);
+}
+
+TEST(MappingTest, HelpersWork) {
+  Mapping m;
+  m.elements.push_back({0, 0, "a", "b", 1, 1, 1});
+  m.elements.push_back({0, 0, "c", "b", 1, 1, 1});
+  EXPECT_TRUE(m.ContainsPair("a", "b"));
+  EXPECT_FALSE(m.ContainsPair("a", "c"));
+  EXPECT_EQ(m.ForTarget("b").size(), 2u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_FALSE(m.empty());
+}
+
+}  // namespace
+}  // namespace cupid

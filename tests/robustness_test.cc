@@ -1,0 +1,198 @@
+// Robustness / failure-injection tests: the parsers and the matcher must
+// return Status errors — never crash, hang or accept garbage silently — on
+// adversarial input. Deterministic fuzzing via SplitMix64.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cupid_matcher.h"
+#include "importers/dtd_parser.h"
+#include "importers/native_format.h"
+#include "importers/sql_ddl_parser.h"
+#include "importers/xml_parser.h"
+#include "importers/xml_schema_loader.h"
+#include "linguistic/tokenizer.h"
+#include "thesaurus/thesaurus_io.h"
+#include "eval/datasets.h"
+#include "schema/schema_builder.h"
+#include "util/random.h"
+
+namespace cupid {
+namespace {
+
+/// Random byte strings biased toward structural characters so the parsers
+/// get past their first branch often enough to be exercised deeply.
+std::string FuzzInput(SplitMix64* rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "<>!?/=\"' \n\tABCdefgh0123#();,.|*+-ELEMENTATTLISTschema";
+  size_t len = rng->NextBounded(max_len);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class ParserFuzz : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, XmlParserNeverCrashes) {
+  SplitMix64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string input = FuzzInput(&rng, 200);
+    auto r = ParseXml(input);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+    }
+  }
+}
+
+TEST_P(ParserFuzz, XmlSchemaLoaderNeverCrashes) {
+  SplitMix64 rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 200; ++i) {
+    auto r = LoadXmlSchema(FuzzInput(&rng, 200));
+    (void)r;  // error or schema; must not crash
+  }
+}
+
+TEST_P(ParserFuzz, SqlDdlParserNeverCrashes) {
+  SplitMix64 rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 200; ++i) {
+    auto r = ParseSqlDdl("F", FuzzInput(&rng, 200));
+    (void)r;
+  }
+}
+
+TEST_P(ParserFuzz, DtdParserNeverCrashes) {
+  SplitMix64 rng(GetParam() ^ 0x3333);
+  for (int i = 0; i < 200; ++i) {
+    auto r = ParseDtd("F", FuzzInput(&rng, 200));
+    (void)r;
+  }
+}
+
+TEST_P(ParserFuzz, NativeFormatNeverCrashes) {
+  SplitMix64 rng(GetParam() ^ 0x4444);
+  for (int i = 0; i < 200; ++i) {
+    auto r = ParseNativeSchema(FuzzInput(&rng, 200));
+    (void)r;
+  }
+}
+
+TEST_P(ParserFuzz, ThesaurusParserNeverCrashes) {
+  SplitMix64 rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 200; ++i) {
+    auto r = ParseThesaurus(FuzzInput(&rng, 200));
+    (void)r;
+  }
+}
+
+TEST_P(ParserFuzz, TokenizerHandlesArbitraryBytes) {
+  SplitMix64 rng(GetParam() ^ 0x6666);
+  for (int i = 0; i < 200; ++i) {
+    size_t len = rng.NextBounded(64);
+    std::string input;
+    for (size_t j = 0; j < len; ++j) {
+      input += static_cast<char>(rng.NextBounded(256));
+    }
+    auto tokens = TokenizeName(input);
+    for (const Token& t : tokens) {
+      EXPECT_FALSE(t.text.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------- structured misuse --
+
+TEST(RobustnessTest, DeeplyNestedXmlSchema) {
+  // 200 levels of nesting: recursion depth must be handled.
+  std::string open, close;
+  for (int i = 0; i < 200; ++i) {
+    open += "<element name=\"n" + std::to_string(i) + "\">";
+    close += "</element>";
+  }
+  auto r = LoadXmlSchema("<schema name=\"deep\">" + open +
+                         "<attribute name=\"x\" type=\"int\"/>" + close +
+                         "</schema>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_elements(), 202);
+}
+
+TEST(RobustnessTest, VeryLongNames) {
+  std::string long_name(10000, 'a');
+  auto tokens = TokenizeName(long_name);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text.size(), 10000u);
+
+  Schema s("S");
+  Element e;
+  e.name = long_name;
+  e.kind = ElementKind::kAtomic;
+  s.AddElement(std::move(e), s.root());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(RobustnessTest, ManySiblingsMatch) {
+  // Wide flat schemas: no quadratic blowup surprises, results sane.
+  XmlSchemaBuilder b1("W1"), b2("W2");
+  ElementId t1 = b1.AddElement(b1.root(), "T");
+  ElementId t2 = b2.AddElement(b2.root(), "T");
+  for (int i = 0; i < 120; ++i) {
+    b1.AddAttribute(t1, "col" + std::to_string(i), DataType::kInteger);
+    b2.AddAttribute(t2, "col" + std::to_string(i), DataType::kInteger);
+  }
+  Schema s1 = std::move(b1).Build();
+  Schema s2 = std::move(b2).Build();
+  Thesaurus th;
+  CupidMatcher m(&th);
+  auto r = m.Match(s1, s2);
+  ASSERT_TRUE(r.ok());
+  // Every column finds its namesake.
+  EXPECT_EQ(r->leaf_mapping.size(), 120u);
+  for (const MappingElement& e : r->leaf_mapping.elements) {
+    EXPECT_EQ(e.source_path.substr(2), e.target_path.substr(2));
+  }
+}
+
+TEST(RobustnessTest, UnicodeBytesInNamesSurvive) {
+  // Non-ASCII bytes must pass through without mangling or crashes.
+  XmlSchemaBuilder b1("S1"), b2("S2");
+  ElementId t1 = b1.AddElement(b1.root(), "Stra\xc3\x9f""e");  // "Straße"
+  b1.AddAttribute(t1, "B\xc3\xa4um", DataType::kString);
+  ElementId t2 = b2.AddElement(b2.root(), "Stra\xc3\x9f""e");
+  b2.AddAttribute(t2, "B\xc3\xa4um", DataType::kString);
+  Schema s1 = std::move(b1).Build();
+  Schema s2 = std::move(b2).Build();
+  Thesaurus th;
+  CupidMatcher m(&th);
+  auto r = m.Match(s1, s2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->leaf_mapping.size(), 1u);
+}
+
+TEST(RobustnessTest, SelfMatchOfEveryPaperSchema) {
+  // Every dataset schema matched against itself must produce a mapping
+  // covering all leaves with perfect similarity on the diagonal names.
+  Thesaurus th;
+  CupidMatcher m(&th);
+  auto check = [&](const Schema& s) {
+    auto r = m.Match(s, s);
+    ASSERT_TRUE(r.ok()) << s.name() << ": " << r.status().ToString();
+    for (const MappingElement& e : r->leaf_mapping.elements) {
+      EXPECT_GE(e.wsim, 0.5);
+    }
+    EXPECT_FALSE(r->leaf_mapping.empty());
+  };
+  check(Fig2Po());
+  check(Fig2PurchaseOrder());
+  check(*CidxSchema());
+  check(*ExcelSchema());
+  check(*RdbSchema());
+  check(*StarSchema());
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,0 +1,187 @@
+// Tests for the thesaurus substrate (src/thesaurus).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "thesaurus/default_thesaurus.h"
+#include "thesaurus/thesaurus.h"
+#include "thesaurus/thesaurus_io.h"
+
+namespace cupid {
+namespace {
+
+TEST(ThesaurusTest, IdenticalWordsScoreOne) {
+  Thesaurus t;
+  EXPECT_DOUBLE_EQ(t.Relationship("street", "street"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Relationship("Street", "STREET"), 1.0);
+}
+
+TEST(ThesaurusTest, StemmedEqualityScoresOne) {
+  Thesaurus t;
+  EXPECT_DOUBLE_EQ(t.Relationship("items", "item"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Relationship("Lines", "line"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Relationship("cities", "city"), 1.0);
+}
+
+TEST(ThesaurusTest, SynonymLookupIsSymmetric) {
+  Thesaurus t;
+  t.AddSynonym("invoice", "bill", 0.9);
+  EXPECT_DOUBLE_EQ(t.Relationship("invoice", "bill"), 0.9);
+  EXPECT_DOUBLE_EQ(t.Relationship("bill", "invoice"), 0.9);
+}
+
+TEST(ThesaurusTest, SynonymLookupStemsArguments) {
+  Thesaurus t;
+  t.AddSynonym("invoice", "bill", 0.9);
+  EXPECT_DOUBLE_EQ(t.Relationship("invoices", "bills"), 0.9);
+}
+
+TEST(ThesaurusTest, StrongerEntryWinsOnCollision) {
+  Thesaurus t;
+  t.AddSynonym("a", "b", 0.4);
+  t.AddSynonym("a", "b", 0.8);
+  t.AddSynonym("a", "b", 0.2);
+  EXPECT_DOUBLE_EQ(t.Relationship("a", "b"), 0.8);
+}
+
+TEST(ThesaurusTest, StrengthClamped) {
+  Thesaurus t;
+  t.AddSynonym("a", "b", 7.0);
+  EXPECT_DOUBLE_EQ(t.Relationship("a", "b"), 1.0);
+}
+
+TEST(ThesaurusTest, UnrelatedWordsScoreZero) {
+  Thesaurus t = DefaultThesaurus();
+  EXPECT_DOUBLE_EQ(t.Relationship("street", "quantity"), 0.0);
+}
+
+TEST(ThesaurusTest, AbbreviationExpansion) {
+  Thesaurus t;
+  t.AddAbbreviation("po", {"purchase", "order"});
+  auto exp = t.ExpandAbbreviation("PO");
+  ASSERT_TRUE(exp.has_value());
+  ASSERT_EQ(exp->size(), 2u);
+  EXPECT_EQ((*exp)[0], "purchase");
+  EXPECT_EQ((*exp)[1], "order");
+  EXPECT_FALSE(t.ExpandAbbreviation("xyz").has_value());
+}
+
+TEST(ThesaurusTest, StopWords) {
+  Thesaurus t;
+  t.AddStopWord("of");
+  EXPECT_TRUE(t.IsStopWord("of"));
+  EXPECT_TRUE(t.IsStopWord("OF"));
+  EXPECT_FALSE(t.IsStopWord("order"));
+}
+
+TEST(ThesaurusTest, ConceptTriggers) {
+  Thesaurus t;
+  t.AddConcept("money", {"price", "cost", "value"});
+  EXPECT_EQ(*t.ConceptOf("price"), "money");
+  EXPECT_EQ(*t.ConceptOf("Costs"), "money");  // stemmed
+  EXPECT_EQ(*t.ConceptOf("money"), "money");  // self-trigger
+  EXPECT_FALSE(t.ConceptOf("street").has_value());
+}
+
+TEST(ThesaurusTest, MergeCombinesEntries) {
+  Thesaurus a;
+  a.AddSynonym("x", "y", 0.5);
+  a.AddStopWord("of");
+  Thesaurus b;
+  b.AddSynonym("x", "y", 0.8);
+  b.AddAbbreviation("qty", {"quantity"});
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Relationship("x", "y"), 0.8);
+  EXPECT_TRUE(a.ExpandAbbreviation("qty").has_value());
+  EXPECT_TRUE(a.IsStopWord("of"));
+}
+
+// ------------------------------------------------------ default datasets --
+
+TEST(DefaultThesaurusTest, PaperVocabulary) {
+  Thesaurus t = DefaultThesaurus();
+  EXPECT_DOUBLE_EQ(t.Relationship("invoice", "bill"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Relationship("ship", "deliver"), 1.0);
+  EXPECT_GT(t.Relationship("quantity", "count"), 0.8);
+  EXPECT_TRUE(t.ExpandAbbreviation("uom").has_value());
+  EXPECT_TRUE(t.ExpandAbbreviation("po").has_value());
+  EXPECT_EQ(*t.ConceptOf("price"), "money");
+}
+
+TEST(DefaultThesaurusTest, CidxExcelIsExactlyThePaperInput) {
+  Thesaurus t = CidxExcelThesaurus();
+  // 4 abbreviations, 2 synonym entries (Section 9.2).
+  EXPECT_EQ(t.num_abbreviations(), 4u);
+  EXPECT_EQ(t.num_relation_entries(), 2u);
+  EXPECT_DOUBLE_EQ(t.Relationship("invoice", "bill"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Relationship("ship", "deliver"), 1.0);
+  // phone~telephone is NOT in the experiment's thesaurus.
+  EXPECT_DOUBLE_EQ(t.Relationship("phone", "telephone"), 0.0);
+}
+
+TEST(DefaultThesaurusTest, RdbStarHasNoRelations) {
+  Thesaurus t = RdbStarThesaurus();
+  EXPECT_EQ(t.num_relation_entries(), 0u);
+  EXPECT_EQ(t.num_abbreviations(), 0u);
+}
+
+// ------------------------------------------------------------------- IO --
+
+TEST(ThesaurusIoTest, ParseAllEntryKinds) {
+  auto r = ParseThesaurus(
+      "# comment\n"
+      "abbr po purchase order\n"
+      "syn invoice bill 0.9\n"
+      "hyp customer person 0.7\n"
+      "stop of\n"
+      "concept money price cost\n"
+      "\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Thesaurus& t = *r;
+  EXPECT_TRUE(t.ExpandAbbreviation("po").has_value());
+  EXPECT_DOUBLE_EQ(t.Relationship("invoice", "bill"), 0.9);
+  EXPECT_DOUBLE_EQ(t.Relationship("customer", "person"), 0.7);
+  EXPECT_TRUE(t.IsStopWord("of"));
+  EXPECT_EQ(*t.ConceptOf("price"), "money");
+}
+
+TEST(ThesaurusIoTest, ParseErrorsReportLine) {
+  auto r = ParseThesaurus("syn a b\n");  // missing strength
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(ParseThesaurus("syn a b 1.5\n").ok());   // out of range
+  EXPECT_FALSE(ParseThesaurus("bogus x y\n").ok());     // unknown kind
+  EXPECT_FALSE(ParseThesaurus("abbr q\n").ok());        // no expansion
+  EXPECT_FALSE(ParseThesaurus("stop a b\n").ok());      // extra word
+  EXPECT_FALSE(ParseThesaurus("concept money\n").ok()); // no trigger
+}
+
+TEST(ThesaurusIoTest, SaveLoadRoundTrip) {
+  Thesaurus t;
+  t.AddAbbreviation("po", {"purchase", "order"});
+  t.AddSynonym("invoice", "bill", 0.9);
+  t.AddStopWord("of");
+  t.AddConcept("money", {"price"});
+
+  std::string path = testing::TempDir() + "/cupid_thesaurus_test.txt";
+  ASSERT_TRUE(SaveThesaurus(t, path).ok());
+  auto r = LoadThesaurus(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->Relationship("invoice", "bill"), 0.9);
+  EXPECT_TRUE(r->ExpandAbbreviation("po").has_value());
+  EXPECT_TRUE(r->IsStopWord("of"));
+  EXPECT_EQ(*r->ConceptOf("price"), "money");
+  std::remove(path.c_str());
+}
+
+TEST(ThesaurusIoTest, LoadMissingFileIsIoError) {
+  auto r = LoadThesaurus("/nonexistent/path/thesaurus.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cupid

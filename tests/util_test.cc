@@ -1,0 +1,211 @@
+// Tests for src/util: Status/Result, string utilities, PRNG, Matrix.
+
+#include <gtest/gtest.h>
+
+#include "util/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace cupid {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad wstruct");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad wstruct");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad wstruct");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::CycleDetected("x").IsCycleDetected());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  CUPID_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UseHalf(7, &out).IsInvalidArgument());
+}
+
+// --------------------------------------------------------------- strings --
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLowerAscii("PoLines"), "polines");
+  EXPECT_EQ(ToUpperAscii("qty"), "QTY");
+}
+
+TEST(StringsTest, Predicates) {
+  EXPECT_TRUE(IsAllDigits("12345"));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_TRUE(IsAllAlpha("abc"));
+  EXPECT_FALSE(IsAllAlpha("a1"));
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x y \t"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = SplitAny("a,b;;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Join({}, "."), "");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Qty", "qty"));
+  EXPECT_FALSE(EqualsIgnoreCase("Qty", "qt"));
+}
+
+TEST(StringsTest, AffixLengths) {
+  EXPECT_EQ(CommonPrefixLength("street", "streetaddress"), 6u);
+  EXPECT_EQ(CommonSuffixLength("customername", "name"), 4u);
+  EXPECT_EQ(CommonPrefixLength("abc", "xyz"), 0u);
+}
+
+TEST(StringsTest, LongestCommonSubstring) {
+  EXPECT_EQ(LongestCommonSubstringLength("postalcode", "zipcode"), 4u);
+  EXPECT_EQ(LongestCommonSubstringLength("", "abc"), 0u);
+  EXPECT_EQ(LongestCommonSubstringLength("same", "same"), 4u);
+}
+
+TEST(StringsTest, EditDistance) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+}
+
+TEST(StringsTest, StemStripsPlurals) {
+  EXPECT_EQ(Stem("lines"), "line");
+  EXPECT_EQ(Stem("addresses"), "address");
+  EXPECT_EQ(Stem("cities"), "city");
+  EXPECT_EQ(Stem("items"), "item");
+  // Words that must NOT be over-stemmed.
+  EXPECT_EQ(Stem("address"), "address");
+  EXPECT_EQ(Stem("status"), "status");
+}
+
+TEST(StringsTest, StemIsCaseInsensitive) {
+  EXPECT_EQ(Stem("Lines"), Stem("lines"));
+  EXPECT_EQ(Stem("QUANTITIES"), "quantity");
+}
+
+TEST(StringsTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%.2f", 0.5), "0.50");
+}
+
+// ---------------------------------------------------------------- random --
+
+TEST(RandomTest, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  SplitMix64 rng(1);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+// ---------------------------------------------------------------- matrix --
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix<float> m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0f);
+  }
+}
+
+TEST(MatrixTest, ReadWrite) {
+  Matrix<int> m(2, 2);
+  m(0, 1) = 5;
+  m(1, 0) = -3;
+  EXPECT_EQ(m(0, 1), 5);
+  EXPECT_EQ(m(1, 0), -3);
+  m.Fill(9);
+  EXPECT_EQ(m(0, 0), 9);
+  EXPECT_EQ(m(1, 1), 9);
+}
+
+}  // namespace
+}  // namespace cupid
