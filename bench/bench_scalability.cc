@@ -2,9 +2,21 @@
 // analysis and testing" as necessary future work; this bench provides it).
 //
 // google-benchmark over synthetic schema pairs of growing size, measuring
-// the full match pipeline and its phases.
+// the full match pipeline and its phases — each in two configurations:
+//   * cached: the src/perf layer (token interning, token-pair memoization,
+//     distinct-name dedup, strong-link bitsets), the default;
+//   * naive:  the reference implementation with the perf layer disabled.
+// BM_CachedEqualsNaive cross-checks that both produce identical matrices
+// (the max_abs_diff counters must be 0).
+//
+// Emit machine-readable results with:
+//   bench_scalability --benchmark_out=BENCH_scalability.json \
+//                     --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
 
 #include "core/cupid_matcher.h"
 #include "eval/synthetic.h"
@@ -23,10 +35,19 @@ SyntheticPair MakePair(int64_t elements) {
   return GenerateSyntheticPair(opt);
 }
 
-void BM_FullMatch(benchmark::State& state) {
+// "cached" is the shipped default configuration (linguistic perf cache on,
+// strong-link cache off — see TreeMatchOptions); "naive" disables the whole
+// perf layer.
+CupidConfig Config(bool cached) {
+  CupidConfig cfg;
+  if (!cached) cfg.SetPerfCacheEnabled(false);
+  return cfg;
+}
+
+void RunFullMatch(benchmark::State& state, bool cached) {
   SyntheticPair p = MakePair(state.range(0));
   Thesaurus th = DefaultThesaurus();
-  CupidMatcher m(&th);
+  CupidMatcher m(&th, Config(cached));
   for (auto _ : state) {
     auto r = m.Match(p.source, p.target);
     benchmark::DoNotOptimize(r);
@@ -35,24 +56,46 @@ void BM_FullMatch(benchmark::State& state) {
   state.counters["elements"] =
       static_cast<double>(p.source.num_elements() + p.target.num_elements());
 }
-BENCHMARK(BM_FullMatch)->RangeMultiplier(2)->Range(16, 256)->Complexity();
 
-void BM_LinguisticPhase(benchmark::State& state) {
+void BM_FullMatch(benchmark::State& state) { RunFullMatch(state, true); }
+BENCHMARK(BM_FullMatch)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_FullMatchNaive(benchmark::State& state) { RunFullMatch(state, false); }
+BENCHMARK(BM_FullMatchNaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void RunLinguistic(benchmark::State& state, bool cached) {
   SyntheticPair p = MakePair(state.range(0));
   Thesaurus th = DefaultThesaurus();
-  LinguisticMatcher lm(&th, {});
+  LinguisticOptions opts;
+  opts.use_perf_cache = cached;
+  LinguisticMatcher lm(&th, opts);
   for (auto _ : state) {
     auto r = lm.Match(p.source, p.target);
     benchmark::DoNotOptimize(r);
   }
   state.SetComplexityN(state.range(0));
 }
+
+void BM_LinguisticPhase(benchmark::State& state) {
+  RunLinguistic(state, true);
+}
 BENCHMARK(BM_LinguisticPhase)
     ->RangeMultiplier(2)
-    ->Range(16, 256)
+    ->Range(16, 512)
     ->Complexity();
 
-void BM_StructuralPhase(benchmark::State& state) {
+void BM_LinguisticPhaseNaive(benchmark::State& state) {
+  RunLinguistic(state, false);
+}
+BENCHMARK(BM_LinguisticPhaseNaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void RunStructural(benchmark::State& state, bool cached) {
   SyntheticPair p = MakePair(state.range(0));
   Thesaurus th = DefaultThesaurus();
   LinguisticMatcher lm(&th, {});
@@ -60,13 +103,27 @@ void BM_StructuralPhase(benchmark::State& state) {
   auto t1 = BuildSchemaTree(p.source).ValueOrDie();
   auto t2 = BuildSchemaTree(p.target).ValueOrDie();
   TypeCompatibilityTable types = TypeCompatibilityTable::Default();
+  TreeMatchOptions opts;
+  opts.use_strong_link_cache = cached;
   for (auto _ : state) {
-    auto r = TreeMatch(t1, t2, lres->lsim, types, {});
+    auto r = TreeMatch(t1, t2, lres->lsim, types, opts);
     benchmark::DoNotOptimize(r);
   }
   state.SetComplexityN(state.range(0));
 }
+
+void BM_StructuralPhase(benchmark::State& state) {
+  RunStructural(state, true);
+}
 BENCHMARK(BM_StructuralPhase)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void BM_StructuralPhaseNaive(benchmark::State& state) {
+  RunStructural(state, false);
+}
+BENCHMARK(BM_StructuralPhaseNaive)
     ->RangeMultiplier(2)
     ->Range(16, 256)
     ->Complexity();
@@ -83,6 +140,37 @@ void BM_TreeBuild(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_TreeBuild)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+/// Correctness guard for the comparison above: cached and naive pipelines
+/// must produce identical lsim and wsim matrices (single-threaded, so the
+/// counters below must be exactly 0).
+void BM_CachedEqualsNaive(benchmark::State& state) {
+  SyntheticPair p = MakePair(state.range(0));
+  Thesaurus th = DefaultThesaurus();
+  CupidConfig cached_cfg;
+  cached_cfg.SetPerfCacheEnabled(true);  // every cache, incl. strong-link
+  cached_cfg.SetNumThreads(1);
+  CupidConfig naive_cfg;
+  naive_cfg.SetPerfCacheEnabled(false);
+  naive_cfg.SetNumThreads(1);
+
+  double lsim_diff = 0.0, wsim_diff = 0.0;
+  for (auto _ : state) {
+    auto rc = CupidMatcher(&th, cached_cfg).Match(p.source, p.target);
+    auto rn = CupidMatcher(&th, naive_cfg).Match(p.source, p.target);
+    const NodeSimilarities& sc = rc->tree_match.sims;
+    const NodeSimilarities& sn = rn->tree_match.sims;
+    for (TreeNodeId s = 0; s < sc.source_nodes(); ++s) {
+      for (TreeNodeId t = 0; t < sc.target_nodes(); ++t) {
+        lsim_diff = std::max(lsim_diff, std::fabs(sc.lsim(s, t) - sn.lsim(s, t)));
+        wsim_diff = std::max(wsim_diff, std::fabs(sc.wsim(s, t) - sn.wsim(s, t)));
+      }
+    }
+  }
+  state.counters["lsim_max_abs_diff"] = lsim_diff;
+  state.counters["wsim_max_abs_diff"] = wsim_diff;
+}
+BENCHMARK(BM_CachedEqualsNaive)->Arg(128)->Arg(512)->Iterations(1);
 
 }  // namespace
 }  // namespace cupid

@@ -10,31 +10,14 @@ namespace cupid {
 
 double MatchResult::WsimByPath(const std::string& source_path,
                                const std::string& target_path) const {
-  TreeNodeId s = kNoTreeNode, t = kNoTreeNode;
-  for (TreeNodeId n = 0; n < source_tree.num_nodes(); ++n) {
-    if (source_tree.PathName(n) == source_path) {
-      s = n;
-      break;
-    }
-  }
-  for (TreeNodeId n = 0; n < target_tree.num_nodes(); ++n) {
-    if (target_tree.PathName(n) == target_path) {
-      t = n;
-      break;
-    }
-  }
+  TreeNodeId s = source_tree.FindNodeByPath(source_path);
+  TreeNodeId t = target_tree.FindNodeByPath(target_path);
   if (s == kNoTreeNode || t == kNoTreeNode) return 0.0;
   return tree_match.sims.wsim(s, t);
 }
 
 std::string MatchResult::BestTargetFor(const std::string& source_path) const {
-  TreeNodeId s = kNoTreeNode;
-  for (TreeNodeId n = 0; n < source_tree.num_nodes(); ++n) {
-    if (source_tree.PathName(n) == source_path) {
-      s = n;
-      break;
-    }
-  }
+  TreeNodeId s = source_tree.FindNodeByPath(source_path);
   if (s == kNoTreeNode) return "";
   // Same ranking as mapping generation: wsim, then parent-pair wsim
   // (context), then lsim — ties at the similarity cap are broken by context.

@@ -1,9 +1,14 @@
 #include "linguistic/linguistic_matcher.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
 
 #include "linguistic/annotations.h"
+#include "perf/interned_names.h"
+#include "perf/token_interner.h"
+#include "util/thread_pool.h"
 
 namespace cupid {
 
@@ -19,6 +24,113 @@ std::vector<NormalizedName> NormalizeAll(const Schema& schema,
   return names;
 }
 
+/// best_scale(e1,e2) = max cat_sim(c1,c2) over compatible category pairs
+/// (c1,c2) containing them; 0 when none. With categories disabled every
+/// pair gets scale 1. Shared by the naive and cached paths, so a pruning
+/// change cannot diverge them.
+Matrix<float> ScatterBestScale(const LinguisticOptions& options,
+                               const Matrix<float>& cat_sim,
+                               const Categorization& categories1,
+                               const Categorization& categories2,
+                               int64_t rows, int64_t cols) {
+  const auto& cats1 = categories1.categories;
+  const auto& cats2 = categories2.categories;
+  Matrix<float> best_scale(rows, cols);
+  if (!options.use_categories) {
+    best_scale.Fill(1.0f);
+    return best_scale;
+  }
+  for (size_t i = 0; i < cats1.size(); ++i) {
+    for (size_t j = 0; j < cats2.size(); ++j) {
+      float scale = cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j));
+      if (scale <= options.thns) continue;  // incompatible categories
+      for (ElementId e1 : cats1[i].members) {
+        for (ElementId e2 : cats2[j].members) {
+          float& cell = best_scale(e1, e2);
+          cell = std::max(cell, scale);
+        }
+      }
+    }
+  }
+  return best_scale;
+}
+
+Matrix<float> ComputeBestScale(const LinguisticOptions& options,
+                               const Thesaurus& thesaurus,
+                               const Categorization& categories1,
+                               const Categorization& categories2,
+                               int64_t rows, int64_t cols) {
+  const auto& cats1 = categories1.categories;
+  const auto& cats2 = categories2.categories;
+
+  // Pairwise category compatibility; scale = ns of the category keywords.
+  Matrix<float> cat_sim(static_cast<int64_t>(cats1.size()),
+                        static_cast<int64_t>(cats2.size()));
+  for (size_t i = 0; i < cats1.size(); ++i) {
+    for (size_t j = 0; j < cats2.size(); ++j) {
+      cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+          static_cast<float>(CategorySimilarity(cats1[i], cats2[j], thesaurus,
+                                                options.substring));
+    }
+  }
+  return ScatterBestScale(options, cat_sim, categories1, categories2, rows,
+                          cols);
+}
+
+/// ComputeBestScale with the category-keyword similarities routed through
+/// the interner + memo (the naive version recomputes thesaurus and affix
+/// work for every one of the |C1|*|C2| category pairs). Same values.
+Matrix<float> ComputeBestScaleInterned(const LinguisticOptions& options,
+                                       const Thesaurus* thesaurus,
+                                       const Categorization& categories1,
+                                       const Categorization& categories2,
+                                       TokenInterner* interner, int64_t rows,
+                                       int64_t cols) {
+  const auto& cats1 = categories1.categories;
+  const auto& cats2 = categories2.categories;
+  auto intern_keywords = [&](const std::vector<Category>& cats) {
+    std::vector<std::vector<TokenId>> out;
+    out.reserve(cats.size());
+    for (const Category& c : cats) {
+      std::vector<TokenId> ids;
+      ids.reserve(c.keywords.size());
+      for (const Token& t : c.keywords) ids.push_back(interner->Intern(t));
+      out.push_back(std::move(ids));
+    }
+    return out;
+  };
+  std::vector<std::vector<TokenId>> kw1 = intern_keywords(cats1);
+  std::vector<std::vector<TokenId>> kw2 = intern_keywords(cats2);
+  TokenPairMemo memo(interner, thesaurus, options.substring);
+
+  Matrix<float> cat_sim(static_cast<int64_t>(cats1.size()),
+                        static_cast<int64_t>(cats2.size()));
+  for (size_t i = 0; i < cats1.size(); ++i) {
+    for (size_t j = 0; j < cats2.size(); ++j) {
+      cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+          static_cast<float>(
+              InternedTokenSetSimilarity(kw1[i], kw2[j], &memo));
+    }
+  }
+  return ScatterBestScale(options, cat_sim, categories1, categories2, rows,
+                          cols);
+}
+
+/// Annotation vectors, built once per documented element (Section 10's
+/// future-work item; see linguistic/annotations.h).
+std::vector<AnnotationVector> BuildDocs(const Schema& schema,
+                                        const Thesaurus& thesaurus) {
+  std::vector<AnnotationVector> docs(
+      static_cast<size_t>(schema.num_elements()));
+  for (ElementId e = 0; e < schema.num_elements(); ++e) {
+    if (!schema.element(e).documentation.empty()) {
+      docs[static_cast<size_t>(e)] =
+          BuildAnnotationVector(schema.element(e).documentation, thesaurus);
+    }
+  }
+  return docs;
+}
+
 }  // namespace
 
 Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
@@ -29,69 +141,29 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
   if (options_.annotation_weight < 0.0 || options_.annotation_weight > 1.0) {
     return Status::InvalidArgument("annotation_weight must be within [0,1]");
   }
-  NameNormalizer normalizer(thesaurus_);
+  if (options_.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (options_.use_perf_cache) return MatchCached(s1, s2);
 
+  // Naive path: every element pair is compared from scratch. Kept as the
+  // reference implementation for equivalence tests and benchmarks.
   LinguisticResult out;
-  out.names1 = NormalizeAll(s1, normalizer);
-  out.names2 = NormalizeAll(s2, normalizer);
-  out.categories1 = CategorizeSchema(s1, out.names1, normalizer);
-  out.categories2 = CategorizeSchema(s2, out.names2, normalizer);
+  out.names1 = NormalizeAll(s1, normalizer_);
+  out.names2 = NormalizeAll(s2, normalizer_);
+  out.categories1 = CategorizeSchema(s1, out.names1, normalizer_);
+  out.categories2 = CategorizeSchema(s2, out.names2, normalizer_);
   out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
 
-  // Pairwise category compatibility; scale = ns of the category keywords.
-  const auto& cats1 = out.categories1.categories;
-  const auto& cats2 = out.categories2.categories;
-  Matrix<float> cat_sim(static_cast<int64_t>(cats1.size()),
-                        static_cast<int64_t>(cats2.size()));
-  for (size_t i = 0; i < cats1.size(); ++i) {
-    for (size_t j = 0; j < cats2.size(); ++j) {
-      cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
-          static_cast<float>(CategorySimilarity(cats1[i], cats2[j],
-                                                *thesaurus_,
-                                                options_.substring));
-    }
-  }
+  Matrix<float> best_scale =
+      ComputeBestScale(options_, *thesaurus_, out.categories1,
+                       out.categories2, s1.num_elements(), s2.num_elements());
 
-  // For every element pair in some compatible category pair, remember the
-  // best category similarity; that pair then gets a full name comparison.
-  // best_scale(e1,e2) = max ns(c1,c2) over compatible (c1,c2) containing
-  // them; 0 when none.
-  Matrix<float> best_scale(s1.num_elements(), s2.num_elements());
-  if (options_.use_categories) {
-    for (size_t i = 0; i < cats1.size(); ++i) {
-      for (size_t j = 0; j < cats2.size(); ++j) {
-        float scale =
-            cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j));
-        if (scale <= options_.thns) continue;  // incompatible categories
-        for (ElementId e1 : cats1[i].members) {
-          for (ElementId e2 : cats2[j].members) {
-            float& cell = best_scale(e1, e2);
-            cell = std::max(cell, scale);
-          }
-        }
-      }
-    }
-  } else {
-    best_scale.Fill(1.0f);
-  }
-
-  // Annotation vectors, built once per documented element (Section 10's
-  // future-work item; see linguistic/annotations.h).
   std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
   std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
   if (options_.annotation_weight > 0.0) {
-    for (ElementId e = 0; e < s1.num_elements(); ++e) {
-      if (!s1.element(e).documentation.empty()) {
-        docs1[static_cast<size_t>(e)] =
-            BuildAnnotationVector(s1.element(e).documentation, *thesaurus_);
-      }
-    }
-    for (ElementId e = 0; e < s2.num_elements(); ++e) {
-      if (!s2.element(e).documentation.empty()) {
-        docs2[static_cast<size_t>(e)] =
-            BuildAnnotationVector(s2.element(e).documentation, *thesaurus_);
-      }
-    }
+    docs1 = BuildDocs(s1, *thesaurus_);
+    docs2 = BuildDocs(s2, *thesaurus_);
   }
 
   for (ElementId e1 = 0; e1 < s1.num_elements(); ++e1) {
@@ -116,11 +188,135 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
   return out;
 }
 
+Result<LinguisticResult> LinguisticMatcher::MatchCached(
+    const Schema& s1, const Schema& s2) const {
+  LinguisticResult out;
+  TokenInterner interner;
+
+  // Distinct raw names, each normalized and interned exactly once. Elements
+  // sharing a raw name share the distinct entry (normalization is a pure
+  // function of the raw name).
+  struct DistinctNames {
+    std::vector<int32_t> of_element;  // ElementId -> distinct name index
+    std::vector<NormalizedName> names;
+    std::vector<InternedName> interned;
+  };
+  auto build_distinct = [&](const Schema& s, DistinctNames* d) {
+    std::unordered_map<std::string, int32_t> ids;
+    d->of_element.reserve(static_cast<size_t>(s.num_elements()));
+    for (ElementId id : s.AllElements()) {
+      const std::string& raw = s.element(id).name;
+      auto [it, inserted] =
+          ids.emplace(raw, static_cast<int32_t>(d->names.size()));
+      if (inserted) {
+        d->names.push_back(normalizer_.Normalize(raw));
+        d->interned.push_back(InternName(d->names.back(), &interner));
+      }
+      d->of_element.push_back(it->second);
+    }
+  };
+  DistinctNames d1, d2;
+  build_distinct(s1, &d1);
+  build_distinct(s2, &d2);
+
+  out.names1.reserve(d1.of_element.size());
+  for (int32_t id : d1.of_element) {
+    out.names1.push_back(d1.names[static_cast<size_t>(id)]);
+  }
+  out.names2.reserve(d2.of_element.size());
+  for (int32_t id : d2.of_element) {
+    out.names2.push_back(d2.names[static_cast<size_t>(id)]);
+  }
+  out.categories1 = CategorizeSchema(s1, out.names1, normalizer_);
+  out.categories2 = CategorizeSchema(s2, out.names2, normalizer_);
+  out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
+
+  Matrix<float> best_scale = ComputeBestScaleInterned(
+      options_, thesaurus_, out.categories1, out.categories2, &interner,
+      s1.num_elements(), s2.num_elements());
+
+  std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
+  std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
+  if (options_.annotation_weight > 0.0) {
+    docs1 = BuildDocs(s1, *thesaurus_);
+    docs2 = BuildDocs(s2, *thesaurus_);
+  }
+
+  // A distinct name pair needs its similarity iff some un-pruned element
+  // pair maps onto it — categorization pruning is preserved.
+  const int64_t num_d1 = static_cast<int64_t>(d1.names.size());
+  const int64_t num_d2 = static_cast<int64_t>(d2.names.size());
+  Matrix<uint8_t> needed(num_d1, num_d2);
+  for (ElementId e1 = 0; e1 < s1.num_elements(); ++e1) {
+    int32_t i = d1.of_element[static_cast<size_t>(e1)];
+    for (ElementId e2 = 0; e2 < s2.num_elements(); ++e2) {
+      if (best_scale(e1, e2) > 0.0f) {
+        needed(i, d2.of_element[static_cast<size_t>(e2)]) = 1;
+      }
+    }
+  }
+
+  int threads = ThreadPool::EffectiveThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  // Spawning workers only pays when some row block is big enough to leave
+  // ParallelFor's inline path (2 * its 16-row minimum chunk).
+  if (threads > 1 && std::max(num_d1, s1.num_elements()) >= 32) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+
+  // Name similarity once per needed distinct pair. Each row block carries
+  // its own memo (TokenSimilarity is pure, so per-thread memos change
+  // nothing but hit rates); concurrent memos stay hash-backed so they don't
+  // each pay the dense table's vocab-squared zero-fill.
+  Matrix<double> distinct_ns(num_d1, num_d2);
+  ParallelFor(pool.get(), num_d1, [&](int64_t begin, int64_t end) {
+    TokenPairMemo memo(&interner, thesaurus_, options_.substring,
+                       /*use_dense=*/pool == nullptr);
+    for (int64_t i = begin; i < end; ++i) {
+      for (int64_t j = 0; j < num_d2; ++j) {
+        if (!needed(i, j)) continue;
+        distinct_ns(i, j) = InternedNameSimilarity(
+            d1.interned[static_cast<size_t>(i)],
+            d2.interned[static_cast<size_t>(j)], options_.token_weights,
+            &memo);
+      }
+    }
+  });
+
+  // Scatter the distinct similarities into the element-pair lsim table,
+  // applying the per-pair category scale and annotation blend.
+  std::atomic<int64_t> comparisons{0};
+  ParallelFor(pool.get(), s1.num_elements(), [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (ElementId e1 = static_cast<ElementId>(begin);
+         e1 < static_cast<ElementId>(end); ++e1) {
+      int32_t i = d1.of_element[static_cast<size_t>(e1)];
+      for (ElementId e2 = 0; e2 < s2.num_elements(); ++e2) {
+        float scale = best_scale(e1, e2);
+        if (scale <= 0.0f) continue;
+        ++local;
+        double ns =
+            distinct_ns(i, d2.of_element[static_cast<size_t>(e2)]);
+        double lsim = std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
+        const AnnotationVector& a1 = docs1[static_cast<size_t>(e1)];
+        const AnnotationVector& a2 = docs2[static_cast<size_t>(e2)];
+        if (options_.annotation_weight > 0.0 && !a1.empty() && !a2.empty()) {
+          double w = options_.annotation_weight;
+          lsim = (1.0 - w) * lsim + w * AnnotationCosine(a1, a2);
+        }
+        out.lsim(e1, e2) = static_cast<float>(lsim);
+      }
+    }
+    comparisons.fetch_add(local, std::memory_order_relaxed);
+  });
+  out.comparisons = comparisons.load();
+  return out;
+}
+
 double LinguisticMatcher::NameSimilarity(std::string_view a,
                                          std::string_view b) const {
-  NameNormalizer normalizer(thesaurus_);
-  return ElementNameSimilarity(normalizer.Normalize(a),
-                               normalizer.Normalize(b), *thesaurus_,
+  return ElementNameSimilarity(normalizer_.Normalize(a),
+                               normalizer_.Normalize(b), *thesaurus_,
                                options_.token_weights, options_.substring);
 }
 

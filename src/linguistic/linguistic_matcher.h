@@ -37,6 +37,15 @@ struct LinguisticOptions {
   /// The paper lists annotation use as immediate future work (Section 10);
   /// 0 disables it.
   double annotation_weight = 0.25;
+  /// Use the src/perf caching layer: token interning, token-pair similarity
+  /// memoization, and distinct-name deduplication (names are normalized and
+  /// compared once per distinct raw name instead of once per element). The
+  /// resulting lsim is bit-identical to the naive path; off only to
+  /// benchmark the naive implementation.
+  bool use_perf_cache = true;
+  /// Worker threads for the lsim matrix fill; 0 = all hardware threads.
+  /// Results are identical at any thread count.
+  int num_threads = 0;
 };
 
 /// Output of the linguistic phase.
@@ -58,7 +67,7 @@ class LinguisticMatcher {
  public:
   /// `thesaurus` must outlive the matcher.
   LinguisticMatcher(const Thesaurus* thesaurus, LinguisticOptions options)
-      : thesaurus_(thesaurus), options_(options) {}
+      : thesaurus_(thesaurus), options_(options), normalizer_(thesaurus) {}
 
   /// \brief Computes the full linguistic result for a schema pair.
   Result<LinguisticResult> Match(const Schema& s1, const Schema& s2) const;
@@ -69,8 +78,16 @@ class LinguisticMatcher {
   double NameSimilarity(std::string_view a, std::string_view b) const;
 
  private:
+  /// The cached fast path: distinct-name dedup + interning + memoization,
+  /// parallel over row blocks. Same output as the naive path in Match.
+  Result<LinguisticResult> MatchCached(const Schema& s1,
+                                       const Schema& s2) const;
+
   const Thesaurus* thesaurus_;
   LinguisticOptions options_;
+  /// Stateless per-name pipeline, hoisted so NameSimilarity callers don't
+  /// construct one per call.
+  NameNormalizer normalizer_;
 };
 
 }  // namespace cupid

@@ -1,0 +1,55 @@
+#include "perf/interned_names.h"
+
+#include <algorithm>
+
+namespace cupid {
+
+InternedName InternName(const NormalizedName& name, TokenInterner* interner) {
+  InternedName out;
+  for (const Token& t : name.tokens) {
+    out.by_type[static_cast<size_t>(t.type)].push_back(interner->Intern(t));
+  }
+  return out;
+}
+
+double InternedTokenSetSimilarity(const std::vector<TokenId>& t1,
+                                  const std::vector<TokenId>& t2,
+                                  TokenPairMemo* memo) {
+  if (t1.empty() && t2.empty()) return 0.0;
+  double sum = 0.0;
+  for (TokenId a : t1) {
+    double best = 0.0;
+    for (TokenId b : t2) {
+      best = std::max(best, memo->Similarity(a, b));
+    }
+    sum += best;
+  }
+  for (TokenId b : t2) {
+    double best = 0.0;
+    for (TokenId a : t1) {
+      best = std::max(best, memo->Similarity(a, b));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(t1.size() + t2.size());
+}
+
+double InternedNameSimilarity(const InternedName& n1, const InternedName& n2,
+                              const TokenTypeWeights& weights,
+                              TokenPairMemo* memo) {
+  double numer = 0.0;
+  double denom = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<TokenId>& a = n1.by_type[static_cast<size_t>(i)];
+    const std::vector<TokenId>& b = n2.by_type[static_cast<size_t>(i)];
+    size_t count = a.size() + b.size();
+    if (count == 0) continue;
+    double w = weights.of(static_cast<TokenType>(i));
+    numer += w * InternedTokenSetSimilarity(a, b, memo) *
+             static_cast<double>(count);
+    denom += w * static_cast<double>(count);
+  }
+  return denom == 0.0 ? 0.0 : numer / denom;
+}
+
+}  // namespace cupid

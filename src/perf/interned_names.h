@@ -1,0 +1,50 @@
+// Interned element names: per-name token-type spans over TokenIds, plus a
+// memoized mirror of ElementNameSimilarity.
+//
+// The naive ElementNameSimilarity materializes two std::vector<Token> per
+// token type per call (10 heap allocations per element pair). InternName
+// groups a name's token ids by type once; InternedNameSimilarity then walks
+// those spans with TokenPairMemo lookups and performs the exact arithmetic
+// of the Section 5.2/5.3 formulas, so its result is bit-identical to the
+// naive path.
+
+#ifndef CUPID_PERF_INTERNED_NAMES_H_
+#define CUPID_PERF_INTERNED_NAMES_H_
+
+#include <array>
+#include <vector>
+
+#include "linguistic/name_similarity.h"
+#include "linguistic/normalizer.h"
+#include "perf/token_interner.h"
+
+namespace cupid {
+
+/// A normalized name reduced to interned token ids, grouped by token type.
+/// Within each group the original token order is preserved (matching
+/// NormalizedName::TokensOfType), which keeps summation order — and thus
+/// floating-point results — identical to the naive implementation.
+struct InternedName {
+  std::array<std::vector<TokenId>, 5> by_type;
+};
+
+/// \brief Interns every token of `name` into `interner` and groups the ids
+/// by token type.
+InternedName InternName(const NormalizedName& name, TokenInterner* interner);
+
+/// \brief The Section 5.2 token-set similarity over interned spans; equal to
+/// TokenSetSimilarity on the corresponding token vectors.
+double InternedTokenSetSimilarity(const std::vector<TokenId>& t1,
+                                  const std::vector<TokenId>& t2,
+                                  TokenPairMemo* memo);
+
+/// \brief The Section 5.3 element name similarity over interned names;
+/// equal to ElementNameSimilarity on the corresponding NormalizedNames
+/// (given a memo built with the same thesaurus and substring options).
+double InternedNameSimilarity(const InternedName& n1, const InternedName& n2,
+                              const TokenTypeWeights& weights,
+                              TokenPairMemo* memo);
+
+}  // namespace cupid
+
+#endif  // CUPID_PERF_INTERNED_NAMES_H_

@@ -1,0 +1,130 @@
+// Strong-link bitset cache for TreeMatch's structural similarity.
+//
+// StructuralSimilarity asks, for every node pair (ns, nt), whether each leaf
+// of one subtree has a strong link (wsim >= th_accept) into the other
+// subtree's leaf set — naively an O(|Ls|*|Lt|) scan per pair, re-running the
+// same leaf-level link tests for every ancestor pair.
+//
+// This cache keeps, per source leaf, a bitset over all target leaves marking
+// accepted links (and the transposed bitsets per target leaf). A query for
+// (leaf, node) then reduces to AND-ing the leaf's bitset against the node's
+// precomputed leaf-set mask, word by word with early exit.
+//
+// Leaf-pair similarities evolve during the sweep (ScaleSubtreeLeaves), so
+// bitsets are kept fresh three ways:
+//   * epochs for bulk staleness: construction, InvalidateBlock and
+//     InvalidateAll bump the epoch of affected leaf bitsets; a query on a
+//     bitset whose built-epoch lags its epoch drops its valid words;
+//   * per-word lazy fill: a query only materializes the 64-leaf words its
+//     node mask actually probes, with early exit on the first linked word —
+//     eager full-row rebuilds would recompute hundreds of link strengths
+//     where a naive scan early-exits after a handful;
+//   * UpdatePair for point mutations: the ScaleSubtreeLeaves loop already
+//     visits every rescaled (x,y) pair, so the corresponding bit of each
+//     MATERIALIZED word is recomputed in place in O(1).
+// Link strengths are evaluated with the exact MixWsim arithmetic of
+// tree_match.cc, so cached answers equal the naive scan bit for bit.
+//
+// The cache is only valid when the leaf sets consist of true leaves (the
+// default max_leaf_depth == 0); depth-pruned frontiers consult stored wsim
+// snapshots of interior nodes, which this cache does not track.
+
+#ifndef CUPID_PERF_STRONG_LINK_CACHE_H_
+#define CUPID_PERF_STRONG_LINK_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "structural/similarity_matrix.h"
+#include "tree/schema_tree.h"
+
+namespace cupid {
+
+/// \brief Per-leaf accepted-link bitsets with epoch invalidation.
+class StrongLinkCache {
+ public:
+  struct Stats {
+    int64_t queries = 0;
+    int64_t rebuilds = 0;  ///< 64-leaf bitset words materialized
+  };
+
+  /// Both trees must outlive the cache. `th_accept` and `wstruct_leaf`
+  /// must match the TreeMatchOptions driving the sweep.
+  StrongLinkCache(const SchemaTree& source, const SchemaTree& target,
+                  double th_accept, double wstruct_leaf);
+
+  /// Does source leaf `x` have an accepted link into leaves(nt)?
+  bool SourceLeafHasLink(const NodeSimilarities& sims, TreeNodeId x,
+                         TreeNodeId nt);
+
+  /// Does target leaf `y` have an accepted link into leaves(ns)?
+  bool TargetLeafHasLink(const NodeSimilarities& sims, TreeNodeId y,
+                         TreeNodeId ns);
+
+  /// Recomputes the bits of leaf pair (x, y) in both directions after its
+  /// ssim changed. Bitsets that are stale anyway (epoch-lagged) are left for
+  /// their lazy rebuild. This is the per-pair hook of ScaleSubtreeLeaves.
+  void UpdatePair(const NodeSimilarities& sims, TreeNodeId x, TreeNodeId y);
+
+  /// Bumps the epoch of every row in leaves(ns) and every column in
+  /// leaves(nt), forcing lazy rebuilds on next query. Coarser than
+  /// UpdatePair; kept for callers that mutate blocks without visiting the
+  /// individual pairs.
+  void InvalidateBlock(TreeNodeId ns, TreeNodeId nt);
+
+  /// Invalidates every bitset (used after bulk row propagation).
+  void InvalidateAll();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One direction: a bitset per own-side leaf over the other side's leaves,
+  /// plus per-node masks of the own side's leaf sets.
+  struct Side {
+    std::vector<int32_t> dense;        ///< TreeNodeId -> dense leaf index
+    std::vector<TreeNodeId> leaf_ids;  ///< dense index -> TreeNodeId
+    size_t words = 0;                  ///< bitset width over the OTHER side
+    size_t valid_words = 0;            ///< width of one valid mask
+    std::vector<uint64_t> bits;        ///< leaf bitsets, `words` per leaf
+    /// One bit per bitset word: whether that word is materialized.
+    std::vector<uint64_t> valid;
+    std::vector<uint64_t> epoch;       ///< invalidation epoch per leaf
+    std::vector<uint64_t> built;       ///< epoch the bitset was built at
+    /// Per tree node: mask of its leaf set in THIS side's dense space
+    /// (`own_words` per node), plus the [begin, end) word span actually
+    /// occupied — subtree leaves are id-clustered, so queries scan a few
+    /// words instead of the full bitset width.
+    size_t own_words = 0;
+    std::vector<uint64_t> node_masks;
+    std::vector<uint32_t> mask_begin;
+    std::vector<uint32_t> mask_end;
+  };
+
+  static void BuildSide(const SchemaTree& tree, Side* side);
+
+  /// Shared query kernel: probes `own`'s bitset of leaf `x` against the
+  /// mask of `other_node` on `other`, materializing stale words on the way.
+  /// `transposed` flips the (source, target) argument order of LeafStrength.
+  bool HasLink(const NodeSimilarities& sims, Side* own, Side* other,
+               TreeNodeId x, TreeNodeId other_node, bool transposed);
+
+  /// The leaf-pair MixWsim of tree_match.cc.
+  double LeafStrength(const NodeSimilarities& sims, TreeNodeId x,
+                      TreeNodeId y) const {
+    return wstruct_leaf_ * sims.ssim(x, y) +
+           (1.0 - wstruct_leaf_) * sims.lsim(x, y);
+  }
+
+  const SchemaTree& s_;
+  const SchemaTree& t_;
+  double th_accept_;
+  double wstruct_leaf_;
+  Side src_;  // bitsets over target leaves, masks over source leaves
+  Side tgt_;  // bitsets over source leaves, masks over target leaves
+  uint64_t event_ = 1;
+  Stats stats_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_PERF_STRONG_LINK_CACHE_H_

@@ -1,0 +1,48 @@
+#include "perf/token_interner.h"
+
+namespace cupid {
+
+TokenId TokenInterner::Intern(const Token& token) {
+  std::string key = token.text;
+  key.push_back(static_cast<char>(token.type));
+  auto [it, inserted] =
+      ids_.emplace(std::move(key), static_cast<TokenId>(tokens_.size()));
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+double TokenPairMemo::Compute(TokenId a, TokenId b) const {
+  return TokenSimilarity(interner_->token(a), interner_->token(b),
+                         *thesaurus_, opts_);
+}
+
+double TokenPairMemo::Similarity(TokenId a, TokenId b) {
+  if (!known_.empty()) {
+    size_t idx = static_cast<size_t>(a) * num_tokens_ + static_cast<size_t>(b);
+    if (known_[idx]) {
+      ++hits_;
+      return dense_[idx];
+    }
+    ++misses_;
+    double sim = Compute(a, b);
+    size_t mirror =
+        static_cast<size_t>(b) * num_tokens_ + static_cast<size_t>(a);
+    dense_[idx] = sim;
+    known_[idx] = 1;
+    dense_[mirror] = sim;
+    known_[mirror] = 1;
+    return sim;
+  }
+  uint64_t key = PairKey(a, b);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  double sim = Compute(a, b);
+  memo_.emplace(key, sim);
+  return sim;
+}
+
+}  // namespace cupid

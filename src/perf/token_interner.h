@@ -1,0 +1,109 @@
+// Token interning and token-pair similarity memoization.
+//
+// The linguistic phase compares O(E1*E2) element-name pairs, but real
+// schemas draw their names from a small vocabulary: the same tokens recur
+// across hundreds of elements. Interning maps each distinct (text, type)
+// token to a dense TokenId once, and TokenPairMemo resolves the
+// thesaurus/affix work of TokenSimilarity once per distinct unordered id
+// pair instead of once per element pair.
+//
+// The memoized value is bit-identical to TokenSimilarity (it is computed by
+// calling it), so cached matching reproduces the naive lsim exactly.
+
+#ifndef CUPID_PERF_TOKEN_INTERNER_H_
+#define CUPID_PERF_TOKEN_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linguistic/name_similarity.h"
+#include "linguistic/tokenizer.h"
+#include "thesaurus/thesaurus.h"
+
+namespace cupid {
+
+/// Dense id of a distinct (text, type) token within a TokenInterner.
+using TokenId = int32_t;
+
+/// \brief Assigns dense ids to distinct tokens.
+class TokenInterner {
+ public:
+  /// Returns the id of `token`, allocating one on first sight. Two tokens
+  /// receive the same id iff they compare equal (same text and type).
+  TokenId Intern(const Token& token);
+
+  /// The token behind an id.
+  const Token& token(TokenId id) const {
+    return tokens_[static_cast<size_t>(id)];
+  }
+
+  /// Number of distinct tokens interned so far.
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  // Key: token text with the type appended as a trailing tag byte.
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<Token> tokens_;
+};
+
+/// \brief Memoized TokenSimilarity over interned token ids.
+///
+/// Keys are unordered (TokenSimilarity is symmetric), so (a,b) and (b,a)
+/// share one entry. For small vocabularies (the normal case — schemas draw
+/// from a few hundred distinct tokens) the memo is a dense array indexed by
+/// id pair, making a lookup two loads; larger vocabularies fall back to a
+/// hash map.
+///
+/// Construct AFTER interning is complete: the dense table is sized to the
+/// interner at construction time, and later ids would be out of range.
+class TokenPairMemo {
+ public:
+  /// All three referents must outlive the memo. Pass use_dense = false for
+  /// short-lived per-thread memos: the dense table costs a vocab-squared
+  /// zero-fill up front, which several concurrent memos would each repeat.
+  TokenPairMemo(const TokenInterner* interner, const Thesaurus* thesaurus,
+                const SubstringSimilarityOptions& opts, bool use_dense = true)
+      : interner_(interner), thesaurus_(thesaurus), opts_(opts),
+        num_tokens_(interner->size()) {
+    if (use_dense && num_tokens_ <= kDenseLimit) {
+      dense_.assign(num_tokens_ * num_tokens_, 0.0);
+      known_.assign(num_tokens_ * num_tokens_, 0);
+    }
+  }
+
+  /// TokenSimilarity of the two interned tokens; computed on first request
+  /// per unordered pair, served from the memo afterwards.
+  double Similarity(TokenId a, TokenId b);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  /// Above this vocabulary size the dense table (size^2 doubles) would cost
+  /// more memory than the hash map saves time.
+  static constexpr size_t kDenseLimit = 1024;
+
+  static uint64_t PairKey(TokenId a, TokenId b) {
+    uint32_t lo = static_cast<uint32_t>(a < b ? a : b);
+    uint32_t hi = static_cast<uint32_t>(a < b ? b : a);
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+
+  double Compute(TokenId a, TokenId b) const;
+
+  const TokenInterner* interner_;
+  const Thesaurus* thesaurus_;
+  SubstringSimilarityOptions opts_;
+  size_t num_tokens_;
+  std::vector<double> dense_;   // both (a,b) and (b,a) slots are filled
+  std::vector<uint8_t> known_;
+  std::unordered_map<uint64_t, double> memo_;  // fallback beyond kDenseLimit
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_PERF_TOKEN_INTERNER_H_

@@ -1,9 +1,12 @@
 #include "structural/tree_match.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
+#include "perf/strong_link_cache.h"
 #include "tree/lazy_expansion.h"
+#include "util/thread_pool.h"
 
 namespace cupid {
 
@@ -102,13 +105,30 @@ class TreeMatcher {
         types_(types),
         opt_(options),
         s_frontier_(source, options.max_leaf_depth),
-        t_frontier_(target, options.max_leaf_depth) {}
+        t_frontier_(target, options.max_leaf_depth) {
+    // The bitset cache tracks the evolving leaf-pair link strengths only;
+    // depth-pruned frontiers consult interior wsim snapshots, which it
+    // cannot see, so it is restricted to true-leaf frontiers.
+    if (opt_.use_strong_link_cache && opt_.max_leaf_depth == 0) {
+      cache_ = std::make_unique<StrongLinkCache>(
+          s_, t_, opt_.th_accept, opt_.wstruct_leaf);
+    }
+  }
 
   TreeMatchResult Run(const Matrix<float>& element_lsim) {
     TreeMatchResult result{NodeSimilarities(s_.num_nodes(), t_.num_nodes()),
                            {}};
-    ProjectLsim(element_lsim, &result.sims);
-    InitLeafSsim(&result.sims);
+    {
+      int threads = ThreadPool::EffectiveThreads(opt_.num_threads);
+      std::unique_ptr<ThreadPool> pool;
+      // Spawning workers only pays when the row blocks are big enough to
+      // leave ParallelFor's inline path (2 * its 16-row minimum chunk).
+      if (threads > 1 && s_.num_nodes() >= 32) {
+        pool = std::make_unique<ThreadPool>(threads);
+      }
+      ProjectLsim(element_lsim, &result.sims, pool.get());
+      InitLeafSsim(&result.sims, pool.get());
+    }
 
     LazyGroups lazy;
     if (opt_.lazy_expansion) lazy = LazyGroups::Analyze(s_);
@@ -127,6 +147,10 @@ class TreeMatcher {
           PropagateRows(it->second, &result.sims);
         }
       }
+    }
+    if (cache_) {
+      result.stats.strong_link_queries = cache_->stats().queries;
+      result.stats.strong_link_rebuilds = cache_->stats().rebuilds;
     }
     return result;
   }
@@ -150,29 +174,37 @@ class TreeMatcher {
   }
 
  private:
-  void ProjectLsim(const Matrix<float>& element_lsim,
-                   NodeSimilarities* sims) const {
-    for (TreeNodeId ns = 0; ns < s_.num_nodes(); ++ns) {
-      ElementId es = s_.node(ns).source;
-      if (es == kNoElement) continue;
-      for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
-        ElementId et = t_.node(nt).source;
-        if (et == kNoElement) continue;
-        sims->set_lsim(ns, nt, element_lsim(es, et));
+  // Both init fills write disjoint source-node rows, so the row blocks can
+  // run on the pool; results are identical at any thread count.
+  void ProjectLsim(const Matrix<float>& element_lsim, NodeSimilarities* sims,
+                   ThreadPool* pool) const {
+    ParallelFor(pool, s_.num_nodes(), [&](int64_t begin, int64_t end) {
+      for (TreeNodeId ns = static_cast<TreeNodeId>(begin);
+           ns < static_cast<TreeNodeId>(end); ++ns) {
+        ElementId es = s_.node(ns).source;
+        if (es == kNoElement) continue;
+        for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
+          ElementId et = t_.node(nt).source;
+          if (et == kNoElement) continue;
+          sims->set_lsim(ns, nt, element_lsim(es, et));
+        }
       }
-    }
+    });
   }
 
-  void InitLeafSsim(NodeSimilarities* sims) const {
-    for (TreeNodeId ns = 0; ns < s_.num_nodes(); ++ns) {
-      if (!s_.IsLeaf(ns)) continue;
-      DataType ds = s_.schema().element(s_.node(ns).source).data_type;
-      for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
-        if (!t_.IsLeaf(nt)) continue;
-        DataType dt = t_.schema().element(t_.node(nt).source).data_type;
-        sims->set_ssim(ns, nt, types_.Get(ds, dt));
+  void InitLeafSsim(NodeSimilarities* sims, ThreadPool* pool) const {
+    ParallelFor(pool, s_.num_nodes(), [&](int64_t begin, int64_t end) {
+      for (TreeNodeId ns = static_cast<TreeNodeId>(begin);
+           ns < static_cast<TreeNodeId>(end); ++ns) {
+        if (!s_.IsLeaf(ns)) continue;
+        DataType ds = s_.schema().element(s_.node(ns).source).data_type;
+        for (TreeNodeId nt = 0; nt < t_.num_nodes(); ++nt) {
+          if (!t_.IsLeaf(nt)) continue;
+          DataType dt = t_.schema().element(t_.node(nt).source).data_type;
+          sims->set_ssim(ns, nt, types_.Get(ds, dt));
+        }
       }
-    }
+    });
   }
 
   double MixWsim(const NodeSimilarities& sims, TreeNodeId ns, TreeNodeId nt,
@@ -207,17 +239,30 @@ class TreeMatcher {
   /// two leaf sets with at least one strong link into the other set;
   /// optional leaves without strong links are dropped from both numerator
   /// and denominator when optional_discount is on.
+  /// Below this many link tests a naive early-break scan beats a bitset
+  /// probe (plus its amortized row rebuild); both give the same answer, so
+  /// the cache is consulted per side only when the scan it replaces is wide
+  /// (flat schemas, near-root pairs).
+  static constexpr size_t kCacheMinScan = 64;
+
   double StructuralSimilarity(const NodeSimilarities& sims, TreeNodeId ns,
                               TreeNodeId nt) const {
     const std::vector<LeafRef>& ls = s_frontier_.of(ns);
     const std::vector<LeafRef>& lt = t_frontier_.of(nt);
+    const bool cache_src = cache_ != nullptr && lt.size() >= kCacheMinScan;
+    const bool cache_tgt = cache_ != nullptr && ls.size() >= kCacheMinScan;
     int64_t strong = 0, included = 0;
     for (const LeafRef& x : ls) {
-      bool has_link = false;
-      for (const LeafRef& y : lt) {
-        if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
-          has_link = true;
-          break;
+      bool has_link;
+      if (cache_src) {
+        has_link = cache_->SourceLeafHasLink(sims, x.leaf, nt);
+      } else {
+        has_link = false;
+        for (const LeafRef& y : lt) {
+          if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
+            has_link = true;
+            break;
+          }
         }
       }
       if (has_link) {
@@ -228,11 +273,16 @@ class TreeMatcher {
       }
     }
     for (const LeafRef& y : lt) {
-      bool has_link = false;
-      for (const LeafRef& x : ls) {
-        if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
-          has_link = true;
-          break;
+      bool has_link;
+      if (cache_tgt) {
+        has_link = cache_->TargetLeafHasLink(sims, y.leaf, ns);
+      } else {
+        has_link = false;
+        for (const LeafRef& x : ls) {
+          if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
+            has_link = true;
+            break;
+          }
         }
       }
       if (has_link) {
@@ -326,7 +376,19 @@ class TreeMatcher {
                           NodeSimilarities* sims) const {
     for (const LeafRef& x : s_.leaves(ns)) {
       for (const LeafRef& y : t_.leaves(nt)) {
-        sims->ScaleSsim(x.leaf, y.leaf, factor);
+        if (cache_) {
+          // Patch the link bits in place: this loop already visits the
+          // pair, while row-level invalidation would trigger full rebuilds
+          // after every feedback event. Saturated cells (0 stays 0, 1 stays
+          // 1 under c_inc) cannot move a bit, so they skip the update.
+          double before = sims->ssim(x.leaf, y.leaf);
+          sims->ScaleSsim(x.leaf, y.leaf, factor);
+          if (sims->ssim(x.leaf, y.leaf) != before) {
+            cache_->UpdatePair(*sims, x.leaf, y.leaf);
+          }
+        } else {
+          sims->ScaleSsim(x.leaf, y.leaf, factor);
+        }
       }
     }
   }
@@ -344,6 +406,9 @@ class TreeMatcher {
         sims->set_wsim(copy, nt, sims->wsim(canon, nt));
       }
     }
+    // Whole leaf rows may have been overwritten; every target bitset holds
+    // one bit per source leaf, so conservatively drop everything.
+    if (cache_) cache_->InvalidateAll();
   }
 
   const SchemaTree& s_;
@@ -352,6 +417,9 @@ class TreeMatcher {
   TreeMatchOptions opt_;
   FrontierProvider s_frontier_;
   FrontierProvider t_frontier_;
+  /// Lazily rebuilt link bitsets; null when disabled or when depth-pruned
+  /// frontiers make it inapplicable. Mutated from const query paths.
+  std::unique_ptr<StrongLinkCache> cache_;
 };
 
 }  // namespace
@@ -380,6 +448,9 @@ Status ValidateTreeMatchOptions(const TreeMatchOptions& o) {
   if (o.skip_leaves_threshold < 0.0 || o.skip_leaves_threshold > 1.0) {
     return Status::InvalidArgument(
         "skip_leaves_threshold must be within [0,1]");
+  }
+  if (o.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
   }
   return Status::OK();
 }

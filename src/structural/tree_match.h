@@ -66,6 +66,19 @@ struct TreeMatchOptions {
   /// immediate-children similarity reaches this threshold adopts it as ssim
   /// without scanning the leaf sets. 0 disables (default).
   double skip_leaves_threshold = 0.0;
+  /// Accelerate the leaf-set scans of structural similarity with per-leaf
+  /// accepted-link bitsets (perf/strong_link_cache.h). Results are identical
+  /// to the naive scan; only effective when max_leaf_depth == 0 (true-leaf
+  /// frontiers). Off by default: on every measured workload shape
+  /// (bench_scalability; docs/PERFORMANCE.md) the leaf-count and
+  /// categorization prunings keep the naive early-exit scans short enough
+  /// that the bitset amortization does not pay for itself. Kept as an
+  /// opt-in for extreme schemas (thousands of leaves under single nodes).
+  bool use_strong_link_cache = false;
+  /// Worker threads for the parallel row fills (ProjectLsim, InitLeafSsim);
+  /// 0 = all hardware threads. The TreeMatch sweep itself is inherently
+  /// sequential (mutual recursion through leaf feedback).
+  int num_threads = 0;
 };
 
 /// Counters describing what a TreeMatch run did.
@@ -77,6 +90,9 @@ struct TreeMatchStats {
   int64_t leaf_scans_skipped = 0;
   int64_t increases_applied = 0;
   int64_t decreases_applied = 0;
+  /// Strong-link cache activity (0 when the cache is disabled).
+  int64_t strong_link_queries = 0;
+  int64_t strong_link_rebuilds = 0;
 };
 
 /// Result of structural matching.

@@ -119,6 +119,14 @@ Status SchemaTree::Finalize() {
           static_cast<TreeNodeId>(i));
     }
   }
+
+  // Path -> node index; first (lowest-id) node wins on duplicate paths.
+  path_index_.clear();
+  path_index_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    path_index_.emplace(PathName(static_cast<TreeNodeId>(i)),
+                        static_cast<TreeNodeId>(i));
+  }
   return Status::OK();
 }
 

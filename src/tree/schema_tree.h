@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "schema/schema.h"
@@ -93,6 +94,15 @@ class SchemaTree {
   /// Dotted context path, e.g. "PurchaseOrder.DeliverTo.Address.Street".
   std::string PathName(TreeNodeId id) const;
 
+  /// \brief Node whose dotted context path equals `path`; kNoTreeNode when
+  /// absent. Hashed lookup over the index built by Finalize. When the DAG
+  /// yields duplicate paths the lowest node id wins (the answer a linear
+  /// scan in id order would give).
+  TreeNodeId FindNodeByPath(const std::string& path) const {
+    auto it = path_index_.find(path);
+    return it == path_index_.end() ? kNoTreeNode : it->second;
+  }
+
   /// Source element name of `id` (join views use their RefInt name).
   const std::string& NodeName(TreeNodeId id) const {
     return schema_->element(node(id).source).name;
@@ -120,6 +130,7 @@ class SchemaTree {
   std::vector<std::vector<LeafRef>> leaves_;
   std::vector<TreeNodeId> post_order_;
   std::vector<std::vector<TreeNodeId>> element_nodes_;
+  std::unordered_map<std::string, TreeNodeId> path_index_;
 };
 
 }  // namespace cupid

@@ -1,0 +1,123 @@
+// A small fixed-size thread pool plus a deterministic ParallelFor helper.
+//
+// Used to parallelize the embarrassingly parallel row blocks of the matcher
+// (lsim matrix fill, ProjectLsim, InitLeafSsim). Tasks must write disjoint
+// state; under that contract results are identical at any thread count,
+// which the perf tests assert.
+
+#ifndef CUPID_UTIL_THREAD_POOL_H_
+#define CUPID_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cupid {
+
+/// \brief Fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads) {
+    int n = std::max(1, num_threads);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  /// Resolves a user-facing thread-count knob: n > 0 is taken literally,
+  /// 0 (the default everywhere) means "all hardware threads".
+  static int EffectiveThreads(int requested) {
+    if (requested > 0) return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// \brief Runs body(begin, end) over [0, n) split into contiguous chunks.
+///
+/// Runs inline when `pool` is null, has one worker, or the range is tiny.
+/// Blocks until every chunk finished. Chunk boundaries depend only on n and
+/// the pool size, never on scheduling, so disjoint-write bodies are
+/// deterministic.
+inline void ParallelFor(ThreadPool* pool, int64_t n,
+                        const std::function<void(int64_t, int64_t)>& body) {
+  constexpr int64_t kMinPerThread = 16;
+  if (n <= 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n < 2 * kMinPerThread) {
+    body(0, n);
+    return;
+  }
+  int64_t chunks = std::min<int64_t>(pool->size(), n / kMinPerThread);
+  chunks = std::max<int64_t>(chunks, 1);
+  int64_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::mutex mu;
+  std::condition_variable done;
+  int64_t remaining = chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    int64_t begin = c * chunk_size;
+    int64_t end = std::min(n, begin + chunk_size);
+    pool->Submit([&, begin, end] {
+      body(begin, end);
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_THREAD_POOL_H_
