@@ -1,0 +1,94 @@
+
+CREATE TABLE ShippingMethods (
+  ShippingMethodID INT PRIMARY KEY,
+  ShippingMethod VARCHAR(40) NOT NULL
+);
+CREATE TABLE Region (
+  RegionID INT PRIMARY KEY,
+  RegionDescription VARCHAR(50) NOT NULL
+);
+CREATE TABLE Territories (
+  TerritoryID INT PRIMARY KEY,
+  TerritoryDescription VARCHAR(50) NOT NULL
+);
+CREATE TABLE TerritoryRegion (
+  TerritoryID INT NOT NULL REFERENCES Territories(TerritoryID),
+  RegionID INT NOT NULL REFERENCES Region(RegionID),
+  PRIMARY KEY (TerritoryID, RegionID)
+);
+CREATE TABLE Employees (
+  EmployeeID INT PRIMARY KEY,
+  FirstName VARCHAR(30) NOT NULL,
+  LastName VARCHAR(30) NOT NULL,
+  Title VARCHAR(30),
+  EmailName VARCHAR(60),
+  Extension VARCHAR(8),
+  Workphone VARCHAR(24)
+);
+CREATE TABLE EmployeeTerritory (
+  EmployeeID INT NOT NULL REFERENCES Employees(EmployeeID),
+  TerritoryID INT NOT NULL REFERENCES Territories(TerritoryID),
+  PRIMARY KEY (EmployeeID, TerritoryID)
+);
+CREATE TABLE Brands (
+  BrandID INT PRIMARY KEY,
+  BrandDescription VARCHAR(50)
+);
+CREATE TABLE Products (
+  ProductID INT PRIMARY KEY,
+  BrandID INT REFERENCES Brands(BrandID),
+  ProductName VARCHAR(50) NOT NULL,
+  BrandDescription VARCHAR(50)
+);
+CREATE TABLE Customers (
+  CustomerID INT PRIMARY KEY,
+  CompanyName VARCHAR(50) NOT NULL,
+  ContactFirstName VARCHAR(30),
+  ContactLastName VARCHAR(30),
+  BillingAddress VARCHAR(60),
+  City VARCHAR(30),
+  StateOrProvince VARCHAR(20),
+  PostalCode VARCHAR(10),
+  Country VARCHAR(30),
+  ContactTitle VARCHAR(30),
+  PhoneNumber VARCHAR(24),
+  FaxNumber VARCHAR(24)
+);
+CREATE TABLE Orders (
+  OrderID INT PRIMARY KEY,
+  ShippingMethodID INT REFERENCES ShippingMethods(ShippingMethodID),
+  EmployeeID INT REFERENCES Employees(EmployeeID),
+  CustomerID INT REFERENCES Customers(CustomerID),
+  OrderDate DATETIME,
+  Quantity DECIMAL(10,2),
+  UnitPrice MONEY,
+  Discount DECIMAL(4,2),
+  PurchaseOrdNumber VARCHAR(20),
+  ShipName VARCHAR(50),
+  ShipAddress VARCHAR(60),
+  ShipDate DATETIME,
+  FreightCharge MONEY,
+  SalesTaxRate DECIMAL(4,2)
+);
+CREATE TABLE OrderDetails (
+  OrderDetailID INT PRIMARY KEY,
+  OrderID INT NOT NULL REFERENCES Orders(OrderID),
+  ProductID INT NOT NULL REFERENCES Products(ProductID),
+  Quantity DECIMAL(10,2) NOT NULL,
+  UnitPrice MONEY NOT NULL,
+  Discount DECIMAL(4,2)
+);
+CREATE TABLE Payment (
+  PaymentID INT PRIMARY KEY,
+  OrderID INT NOT NULL REFERENCES Orders(OrderID),
+  PaymentMethodID INT REFERENCES PaymentMethods(PaymentMethodID),
+  PaymentAmount MONEY,
+  PaymentDate DATETIME,
+  CreditCardNumber VARCHAR(20),
+  CardholdersName VARCHAR(50),
+  CredCardExpDate DATE
+);
+CREATE TABLE PaymentMethods (
+  PaymentMethodID INT PRIMARY KEY,
+  PaymentMethod VARCHAR(30)
+);

@@ -1,0 +1,46 @@
+
+CREATE TABLE GEOGRAPHY (
+  PostalCode VARCHAR(10) PRIMARY KEY,
+  TerritoryID INT,
+  TerritoryDescription VARCHAR(50),
+  RegionID INT,
+  RegionDescription VARCHAR(50)
+);
+CREATE TABLE CUSTOMERS (
+  CustomerID INT PRIMARY KEY,
+  CustomerName VARCHAR(50),
+  CustomerTypeID INT,
+  CustomerTypeDescription VARCHAR(50),
+  PostalCode VARCHAR(10),
+  State VARCHAR(20)
+);
+CREATE TABLE TIME (
+  Date DATETIME PRIMARY KEY,
+  DayOfWeek VARCHAR(10),
+  Month INT,
+  Year INT,
+  Quarter INT,
+  DayOfYear INT,
+  Holiday BOOLEAN,
+  Weekend BOOLEAN,
+  YearMonth VARCHAR(8),
+  WeekOfYear INT
+);
+CREATE TABLE PRODUCTS (
+  ProductID INT PRIMARY KEY,
+  ProductName VARCHAR(50),
+  BrandID INT,
+  BrandDescription VARCHAR(50)
+);
+CREATE TABLE SALES (
+  OrderID INT,
+  OrderDetailID INT,
+  CustomerID INT REFERENCES CUSTOMERS(CustomerID),
+  PostalCode VARCHAR(10) REFERENCES GEOGRAPHY(PostalCode),
+  ProductID INT REFERENCES PRODUCTS(ProductID),
+  OrderDate DATETIME REFERENCES TIME(Date),
+  Quantity DECIMAL(10,2),
+  UnitPrice MONEY,
+  Discount DECIMAL(4,2),
+  PRIMARY KEY (OrderID, OrderDetailID)
+);

@@ -78,7 +78,15 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--nonleaf")) {
       nonleaf = true;
     } else if (!std::strcmp(argv[i], "--thaccept") && i + 1 < argc) {
-      th_accept = std::atof(argv[++i]);
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      th_accept = std::strtod(arg, &end);
+      // Reject partially consumed ("0.5x") and empty inputs; atof would
+      // silently turn both into 0.0.
+      if (end == arg || *end != '\0') {
+        std::fprintf(stderr, "--thaccept: not a number: %s\n", arg);
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return Usage(argv[0]);
@@ -118,6 +126,12 @@ int main(int argc, char** argv) {
   config.tree_match.th_high = std::max(config.tree_match.th_high, th_accept);
   if (one_to_one) {
     config.mapping.cardinality = MappingCardinality::kOneToOneStable;
+  }
+  // Hand-clamping th_low/th_high above keeps Table 1's ordering, but the
+  // full range checks (e.g. --thaccept 1.5) live in Validate.
+  if (Status s = config.Validate(); !s.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", s.ToString().c_str());
+    return 1;
   }
 
   CupidMatcher matcher(&thesaurus, config);

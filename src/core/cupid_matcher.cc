@@ -84,23 +84,33 @@ Result<MatchResult> CupidMatcher::Match(const Schema& source,
   CUPID_RETURN_NOT_OK(RecomputeNonLeafSimilarities(
       source_tree, target_tree, config_.tree_match, &tmres));
 
-  MappingGeneratorOptions leaf_opts = config_.mapping;
-  leaf_opts.scope = MappingScope::kLeaves;
-  CUPID_ASSIGN_OR_RETURN(
-      Mapping leaf_mapping,
-      GenerateMapping(source_tree, target_tree, tmres, leaf_opts));
-
-  MappingGeneratorOptions nonleaf_opts = config_.mapping;
-  nonleaf_opts.scope = MappingScope::kNonLeaves;
-  nonleaf_opts.cardinality = MappingCardinality::kOneToMany;
-  CUPID_ASSIGN_OR_RETURN(
-      Mapping nonleaf_mapping,
-      GenerateMapping(source_tree, target_tree, tmres, nonleaf_opts));
+  Mapping leaf_mapping, nonleaf_mapping;
+  CUPID_RETURN_NOT_OK(GenerateStandardMappings(source_tree, target_tree,
+                                               tmres, config_, &leaf_mapping,
+                                               &nonleaf_mapping));
 
   MatchResult result{std::move(source_tree), std::move(target_tree),
                      std::move(lres),        std::move(tmres),
                      std::move(leaf_mapping), std::move(nonleaf_mapping)};
   return result;
+}
+
+Status GenerateStandardMappings(const SchemaTree& source,
+                                const SchemaTree& target,
+                                const TreeMatchResult& tmres,
+                                const CupidConfig& config, Mapping* leaf,
+                                Mapping* nonleaf) {
+  MappingGeneratorOptions leaf_opts = config.mapping;
+  leaf_opts.scope = MappingScope::kLeaves;
+  CUPID_ASSIGN_OR_RETURN(*leaf,
+                         GenerateMapping(source, target, tmres, leaf_opts));
+
+  MappingGeneratorOptions nonleaf_opts = config.mapping;
+  nonleaf_opts.scope = MappingScope::kNonLeaves;
+  nonleaf_opts.cardinality = MappingCardinality::kOneToMany;
+  CUPID_ASSIGN_OR_RETURN(
+      *nonleaf, GenerateMapping(source, target, tmres, nonleaf_opts));
+  return Status::OK();
 }
 
 }  // namespace cupid

@@ -47,6 +47,16 @@ struct MatchResult {
   std::string BestTargetFor(const std::string& source_path) const;
 };
 
+/// \brief Phase-3 mapping generation shared by CupidMatcher::Match and
+/// MatchSession::Rematch: the leaf mapping with the configured cardinality
+/// plus the naive 1:n non-leaf mapping. `tmres` must already have been
+/// through the Section 7 recompute pass.
+Status GenerateStandardMappings(const SchemaTree& source,
+                                const SchemaTree& target,
+                                const TreeMatchResult& tmres,
+                                const CupidConfig& config, Mapping* leaf,
+                                Mapping* nonleaf);
+
 /// \brief The Cupid generic schema matcher.
 class CupidMatcher {
  public:

@@ -248,9 +248,15 @@ Result<Dataset> CanonicalExample(int test) {
 
 // ----------------------------------------------------------- Section 9.2 --
 
-Result<Schema> CidxSchema() {
+// ----------------------------------------------- shipped data files ------
+//
+// The Section 9.2 dataset sources, kept as the single source of truth: the
+// builders above parse them, and tools/dump_datasets writes them to data/
+// for the file-loader tests and the cupid_cli workflow.
+
+const char* CidxSchemaXmlText() {
   // Transcribed from Figure 7 (left).
-  return LoadXmlSchema(R"xml(
+  return R"xml(
 <schema name="PO">
   <element name="POHeader">
     <attribute name="PODate" type="date"/>
@@ -298,14 +304,14 @@ Result<Schema> CidxSchema() {
     </element>
   </element>
 </schema>
-)xml");
+)xml";
 }
 
-Result<Schema> ExcelSchema() {
+const char* ExcelSchemaXmlText() {
   // Transcribed from Figure 7 (right). Address and Contact are shared
   // complex types referenced from both DeliverTo and InvoiceTo — the 18
   // context-duplicated XML attributes Section 9.3 (conclusion 3) counts.
-  return LoadXmlSchema(R"xml(
+  return R"xml(
 <schema name="PurchaseOrder">
   <complexType name="AddressType">
     <attribute name="street1" type="string"/>
@@ -353,58 +359,12 @@ Result<Schema> ExcelSchema() {
     <attribute name="totalValue" type="money"/>
   </element>
 </schema>
-)xml");
+)xml";
 }
 
-Result<Dataset> CidxExcelDataset() {
-  CUPID_ASSIGN_OR_RETURN(Schema cidx, CidxSchema());
-  CUPID_ASSIGN_OR_RETURN(Schema excel, ExcelSchema());
-  Dataset d{std::move(cidx), std::move(excel), {},
-            "Figure 7 / Table 3: CIDX vs Excel purchase orders"};
-  GoldMapping& g = d.gold;
-
-  g.Add("PO.POHeader.PODate", "PurchaseOrder.Header.orderDate");
-  g.Add("PO.POHeader.PONumber", "PurchaseOrder.Header.orderNum");
-
-  // The single CIDX Contact corresponds to the Contact in both Excel
-  // contexts (DeliverTo and InvoiceTo).
-  for (const char* ctx : {"DeliverTo", "InvoiceTo"}) {
-    g.Add("PO.Contact.ContactName",
-          std::string("PurchaseOrder.") + ctx + ".Contact.contactName");
-    g.Add("PO.Contact.ContactEmail",
-          std::string("PurchaseOrder.") + ctx + ".Contact.e-mail");
-    g.Add("PO.Contact.ContactPhone",
-          std::string("PurchaseOrder.") + ctx + ".Contact.telephone");
-  }
-
-  auto add_address = [&](const std::string& cidx_side,
-                         const std::string& excel_ctx) {
-    const std::pair<const char*, const char*> pairs[] = {
-        {"Street1", "street1"},       {"Street2", "street2"},
-        {"Street3", "street3"},       {"Street4", "street4"},
-        {"City", "city"},             {"StateProvince", "stateProvince"},
-        {"PostalCode", "postalCode"}, {"Country", "country"},
-    };
-    for (const auto& [c, e] : pairs) {
-      g.Add("PO." + cidx_side + "." + c,
-            "PurchaseOrder." + excel_ctx + ".Address." + e);
-    }
-  };
-  add_address("POShipTo", "DeliverTo");
-  add_address("POBillTo", "InvoiceTo");
-
-  g.Add("PO.POLines.count", "PurchaseOrder.Items.itemCount");
-  g.Add("PO.POLines.Item.partno", "PurchaseOrder.Items.Item.partNumber");
-  g.Add("PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber");
-  g.Add("PO.POLines.Item.qty", "PurchaseOrder.Items.Item.Quantity");
-  g.Add("PO.POLines.Item.unitPrice", "PurchaseOrder.Items.Item.unitPrice");
-  g.Add("PO.POLines.Item.uom", "PurchaseOrder.Items.Item.unitOfMeasure");
-  return d;
-}
-
-Result<Schema> RdbSchema() {
+const char* RdbSchemaSqlText() {
   // Transcribed from Figure 8 (right column, "RDB Schema").
-  return ParseSqlDdl("RDB", R"sql(
+  return R"sql(
 CREATE TABLE ShippingMethods (
   ShippingMethodID INT PRIMARY KEY,
   ShippingMethod VARCHAR(40) NOT NULL
@@ -498,12 +458,12 @@ CREATE TABLE PaymentMethods (
   PaymentMethodID INT PRIMARY KEY,
   PaymentMethod VARCHAR(30)
 );
-)sql");
+)sql";
 }
 
-Result<Schema> StarSchema() {
+const char* StarSchemaSqlText() {
   // Transcribed from Figure 8 (left column, "Star Schema").
-  return ParseSqlDdl("Star", R"sql(
+  return R"sql(
 CREATE TABLE GEOGRAPHY (
   PostalCode VARCHAR(10) PRIMARY KEY,
   TerritoryID INT,
@@ -549,7 +509,69 @@ CREATE TABLE SALES (
   Discount DECIMAL(4,2),
   PRIMARY KEY (OrderID, OrderDetailID)
 );
-)sql");
+)sql";
+}
+
+Result<Schema> CidxSchema() {
+  return LoadXmlSchema(CidxSchemaXmlText());
+}
+
+Result<Schema> ExcelSchema() {
+  return LoadXmlSchema(ExcelSchemaXmlText());
+}
+
+Result<Dataset> CidxExcelDataset() {
+  CUPID_ASSIGN_OR_RETURN(Schema cidx, CidxSchema());
+  CUPID_ASSIGN_OR_RETURN(Schema excel, ExcelSchema());
+  Dataset d{std::move(cidx), std::move(excel), {},
+            "Figure 7 / Table 3: CIDX vs Excel purchase orders"};
+  GoldMapping& g = d.gold;
+
+  g.Add("PO.POHeader.PODate", "PurchaseOrder.Header.orderDate");
+  g.Add("PO.POHeader.PONumber", "PurchaseOrder.Header.orderNum");
+
+  // The single CIDX Contact corresponds to the Contact in both Excel
+  // contexts (DeliverTo and InvoiceTo).
+  for (const char* ctx : {"DeliverTo", "InvoiceTo"}) {
+    g.Add("PO.Contact.ContactName",
+          std::string("PurchaseOrder.") + ctx + ".Contact.contactName");
+    g.Add("PO.Contact.ContactEmail",
+          std::string("PurchaseOrder.") + ctx + ".Contact.e-mail");
+    g.Add("PO.Contact.ContactPhone",
+          std::string("PurchaseOrder.") + ctx + ".Contact.telephone");
+  }
+
+  auto add_address = [&](const std::string& cidx_side,
+                         const std::string& excel_ctx) {
+    const std::pair<const char*, const char*> pairs[] = {
+        {"Street1", "street1"},       {"Street2", "street2"},
+        {"Street3", "street3"},       {"Street4", "street4"},
+        {"City", "city"},             {"StateProvince", "stateProvince"},
+        {"PostalCode", "postalCode"}, {"Country", "country"},
+    };
+    for (const auto& [c, e] : pairs) {
+      g.Add("PO." + cidx_side + "." + c,
+            "PurchaseOrder." + excel_ctx + ".Address." + e);
+    }
+  };
+  add_address("POShipTo", "DeliverTo");
+  add_address("POBillTo", "InvoiceTo");
+
+  g.Add("PO.POLines.count", "PurchaseOrder.Items.itemCount");
+  g.Add("PO.POLines.Item.partno", "PurchaseOrder.Items.Item.partNumber");
+  g.Add("PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber");
+  g.Add("PO.POLines.Item.qty", "PurchaseOrder.Items.Item.Quantity");
+  g.Add("PO.POLines.Item.unitPrice", "PurchaseOrder.Items.Item.unitPrice");
+  g.Add("PO.POLines.Item.uom", "PurchaseOrder.Items.Item.unitOfMeasure");
+  return d;
+}
+
+Result<Schema> RdbSchema() {
+  return ParseSqlDdl("RDB", RdbSchemaSqlText());
+}
+
+Result<Schema> StarSchema() {
+  return ParseSqlDdl("Star", StarSchemaSqlText());
 }
 
 Result<Dataset> RdbStarDataset() {

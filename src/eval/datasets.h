@@ -61,6 +61,18 @@ Result<Dataset> CidxExcelDataset();
 Result<Schema> RdbSchema();
 /// Figure 8 right: the Star warehouse schema.
 Result<Schema> StarSchema();
+
+// --------------------------------------------------- shipped data files ----
+
+/// Raw source texts of the Section 9.2 datasets, exactly the inputs that
+/// CidxSchema()/ExcelSchema()/RdbSchema()/StarSchema() parse. The
+/// tools/dump_datasets binary writes them (plus the native/thesaurus/DTD
+/// companions) into data/, which tests/data_files_test.cc verifies against
+/// the built-in datasets.
+const char* CidxSchemaXmlText();
+const char* ExcelSchemaXmlText();
+const char* RdbSchemaSqlText();
+const char* StarSchemaSqlText();
 /// RDB -> Star with the column-level gold mapping described in Section 9.2
 /// (Orders/OrderDetails -> Sales, Territories+Region -> Geography, three
 /// PostalCode contexts -> Customers.PostalCode, ...).

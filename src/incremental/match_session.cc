@@ -1,0 +1,423 @@
+#include "incremental/match_session.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tree/tree_builder.h"
+
+namespace cupid {
+
+namespace {
+
+bool HasJoinViews(const SchemaTree& tree) {
+  for (TreeNodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (tree.node(n).is_join_view) return true;
+  }
+  return false;
+}
+
+/// All node context paths, built top-down (path(n) = path(parent) + "." +
+/// name) so the whole tree costs O(total path length), not O(depth) walks
+/// per node. Node ids are assigned in DFS pre-order, so parents precede
+/// children.
+std::vector<std::string> NodePaths(const SchemaTree& tree) {
+  std::vector<std::string> paths(static_cast<size_t>(tree.num_nodes()));
+  for (TreeNodeId n = 0; n < tree.num_nodes(); ++n) {
+    TreeNodeId p = tree.node(n).parent;
+    if (p == kNoTreeNode) {
+      paths[static_cast<size_t>(n)] = tree.NodeName(n);
+    } else {
+      paths[static_cast<size_t>(n)] =
+          paths[static_cast<size_t>(p)] + "." + tree.NodeName(n);
+    }
+  }
+  return paths;
+}
+
+/// Node correspondence new -> old by context path. Same-named siblings make
+/// paths non-unique; occurrences are paired BY RANK when both trees hold
+/// the same number (sound: the supported edits preserve the relative order
+/// of surviving nodes, and every value-relevant input is still verified
+/// independently — leaf sets, data types, lsim cells — so even an identity
+/// mix-up between structurally interchangeable duplicates cannot change
+/// values). Groups whose sizes differ map to kNoTreeNode: ambiguity
+/// degrades to recomputation, never to reuse of wrong values.
+void MapByPath(const SchemaTree& nw, const SchemaTree& old,
+               std::vector<TreeNodeId>* map) {
+  std::vector<std::string> old_paths = NodePaths(old);
+  std::vector<std::string> new_paths = NodePaths(nw);
+  std::unordered_map<std::string, std::vector<TreeNodeId>> old_groups;
+  old_groups.reserve(old_paths.size());
+  for (TreeNodeId o = 0; o < old.num_nodes(); ++o) {
+    old_groups[old_paths[static_cast<size_t>(o)]].push_back(o);
+  }
+  std::unordered_map<std::string, std::vector<TreeNodeId>> new_groups;
+  new_groups.reserve(new_paths.size());
+  for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+    new_groups[new_paths[static_cast<size_t>(n)]].push_back(n);
+  }
+  map->assign(static_cast<size_t>(nw.num_nodes()), kNoTreeNode);
+  for (const auto& [path, news] : new_groups) {
+    auto it = old_groups.find(path);
+    if (it == old_groups.end() || it->second.size() != news.size()) continue;
+    for (size_t i = 0; i < news.size(); ++i) {
+      (*map)[static_cast<size_t>(news[i])] = it->second[i];
+    }
+  }
+}
+
+/// reusable[n]: n is mapped and its leaf list corresponds entry-for-entry
+/// to the old node's (same mapped leaf, same relative optionality). This
+/// certifies MEMBERSHIP only — per-cell differences (renamed or retyped
+/// leaves) are the dirty bitset's job, so they do not clear the flag. Leaf
+/// lists are sorted by node id on both sides and the supported edits
+/// preserve the relative order of surviving nodes, so the index-wise
+/// comparison is exact; any order perturbation fails the check and
+/// degrades to recomputation.
+void ComputeReusable(const SchemaTree& nw, const SchemaTree& old,
+                     const std::vector<TreeNodeId>& map,
+                     std::vector<uint8_t>* out) {
+  out->assign(static_cast<size_t>(nw.num_nodes()), 0);
+  for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+    TreeNodeId o = map[static_cast<size_t>(n)];
+    if (o == kNoTreeNode) continue;
+    const std::vector<LeafRef>& ln = nw.leaves(n);
+    const std::vector<LeafRef>& lo = old.leaves(o);
+    if (ln.size() != lo.size()) continue;
+    bool ok = true;
+    for (size_t k = 0; k < ln.size(); ++k) {
+      if (map[static_cast<size_t>(ln[k].leaf)] != lo[k].leaf ||
+          ln[k].optional != lo[k].optional ||
+          !old.IsLeaf(lo[k].leaf)) {
+        ok = false;
+        break;
+      }
+    }
+    (*out)[static_cast<size_t>(n)] = ok ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+/// Assembles the warm-start input: node correspondence, reusable flags, and
+/// the seed dirty set (new/retyped leaves as whole rows/columns, changed
+/// lsim cells pointwise, and the blocks of feedback events fired by old
+/// nodes that have no new counterpart).
+TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& snew,
+                                   const SchemaTree& tnew,
+                                   const Matrix<float>& element_lsim,
+                                   const SchemaTree& sold,
+                                   const SchemaTree& told,
+                                   const NodeSimilarities& prev_sweep,
+                                   const NodeSimilarities& prev_final,
+                                   const StructuralCounts* prev_final_counts,
+                                   const TreeMatchOptions& options) {
+  TreeMatchDelta d;
+  d.prev_source = &sold;
+  d.prev_target = &told;
+  d.prev_sweep = &prev_sweep;
+  d.prev_final = &prev_final;
+  d.prev_final_counts = prev_final_counts;
+  MapByPath(snew, sold, &d.source_map);
+  MapByPath(tnew, told, &d.target_map);
+
+  // Order-based alignment of unmapped children under corresponding
+  // parents: a rename keeps element identity but changes every descendant
+  // path, so path mapping alone loses the whole subtree. Pairing the
+  // unmapped children of mapped parents by position (sibling order is
+  // preserved by the supported edits) recovers it, recursively — parents
+  // precede children in id order, so one ascending pass suffices. A wrong
+  // pairing (say, a remove plus an add in one batch) is harmless: every
+  // value-relevant input is verified independently downstream.
+  auto align_children = [](const SchemaTree& nw, const SchemaTree& old,
+                           std::vector<TreeNodeId>* map) {
+    std::vector<uint8_t> covered(static_cast<size_t>(old.num_nodes()), 0);
+    for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+      TreeNodeId o = (*map)[static_cast<size_t>(n)];
+      if (o != kNoTreeNode) covered[static_cast<size_t>(o)] = 1;
+    }
+    for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+      TreeNodeId o = (*map)[static_cast<size_t>(n)];
+      if (o == kNoTreeNode) continue;
+      std::vector<TreeNodeId> new_unmapped, old_uncovered;
+      for (TreeNodeId c : nw.node(n).children) {
+        if ((*map)[static_cast<size_t>(c)] == kNoTreeNode) {
+          new_unmapped.push_back(c);
+        }
+      }
+      for (TreeNodeId c : old.node(o).children) {
+        if (!covered[static_cast<size_t>(c)]) old_uncovered.push_back(c);
+      }
+      if (new_unmapped.empty() || new_unmapped.size() != old_uncovered.size()) {
+        continue;
+      }
+      for (size_t i = 0; i < new_unmapped.size(); ++i) {
+        (*map)[static_cast<size_t>(new_unmapped[i])] = old_uncovered[i];
+        covered[static_cast<size_t>(old_uncovered[i])] = 1;
+      }
+    }
+  };
+  align_children(snew, sold, &d.source_map);
+  align_children(tnew, told, &d.target_map);
+
+  d.source_leaves = std::make_unique<LeafIndex>(snew);
+  d.target_leaves = std::make_unique<LeafIndex>(tnew);
+  d.dirty =
+      std::make_unique<LeafPairBits>(d.source_leaves.get(),
+                                     d.target_leaves.get());
+  d.dirty_transposed =
+      std::make_unique<LeafPairBits>(d.target_leaves.get(),
+                                     d.source_leaves.get());
+
+  // A leaf is valid iff it maps to an old leaf of the same data type: its
+  // type-seeded init ssim row then starts out equal to the previous run's.
+  auto leaf_valid = [](const SchemaTree& nw, const SchemaTree& old,
+                       const std::vector<TreeNodeId>& map, TreeNodeId x) {
+    TreeNodeId o = map[static_cast<size_t>(x)];
+    if (o == kNoTreeNode || !old.IsLeaf(o)) return false;
+    ElementId en = nw.node(x).source;
+    ElementId eo = old.node(o).source;
+    if (en == kNoElement || eo == kNoElement) return false;
+    return nw.schema().element(en).data_type ==
+           old.schema().element(eo).data_type;
+  };
+  std::vector<uint8_t> s_ok(static_cast<size_t>(snew.num_nodes()), 0);
+  std::vector<uint8_t> t_ok(static_cast<size_t>(tnew.num_nodes()), 0);
+  for (size_t j = 0; j < d.source_leaves->num_leaves(); ++j) {
+    TreeNodeId x = d.source_leaves->leaf(j);
+    if (leaf_valid(snew, sold, d.source_map, x)) {
+      s_ok[static_cast<size_t>(x)] = 1;
+    } else {
+      d.MarkSourceRowDirty(x);
+    }
+  }
+  for (size_t j = 0; j < d.target_leaves->num_leaves(); ++j) {
+    TreeNodeId y = d.target_leaves->leaf(j);
+    if (leaf_valid(tnew, told, d.target_map, y)) {
+      t_ok[static_cast<size_t>(y)] = 1;
+    } else {
+      d.MarkTargetColDirty(y);
+    }
+  }
+
+  // Changed linguistic similarities dirty their leaf pair (renames change
+  // whole rows; categorization ripples are caught cell by cell since the
+  // new lsim is recomputed in full before this diff).
+  for (size_t j = 0; j < d.source_leaves->num_leaves(); ++j) {
+    TreeNodeId x = d.source_leaves->leaf(j);
+    if (!s_ok[static_cast<size_t>(x)]) continue;
+    ElementId es = snew.node(x).source;
+    TreeNodeId ox = d.source_map[static_cast<size_t>(x)];
+    for (size_t k = 0; k < d.target_leaves->num_leaves(); ++k) {
+      TreeNodeId y = d.target_leaves->leaf(k);
+      if (!t_ok[static_cast<size_t>(y)]) continue;
+      ElementId et = tnew.node(y).source;
+      TreeNodeId oy = d.target_map[static_cast<size_t>(y)];
+      if (element_lsim(es, et) !=
+          static_cast<float>(prev_sweep.lsim(ox, oy))) {
+        d.MarkPairDirty(x, y);
+      }
+    }
+  }
+
+  // Reverse coverage: the sweep's runtime divergence check compares each
+  // NEW pair's feedback against its OLD counterpart, so feedback fired by
+  // old nodes with no new counterpart ("orphans" — removed nodes, or nodes
+  // whose path became ambiguous) would go unseen. Re-derive those events
+  // from the previous snapshot and dirty everything they scaled. Orphaned
+  // LEAVES need nothing here: their surviving partners' rows/columns are
+  // handled above, and their own cells are gone.
+  std::vector<uint8_t> covered_s(static_cast<size_t>(sold.num_nodes()), 0);
+  std::vector<uint8_t> covered_t(static_cast<size_t>(told.num_nodes()), 0);
+  for (TreeNodeId n = 0; n < snew.num_nodes(); ++n) {
+    if (d.source_map[static_cast<size_t>(n)] != kNoTreeNode) {
+      covered_s[static_cast<size_t>(d.source_map[static_cast<size_t>(n)])] = 1;
+    }
+  }
+  for (TreeNodeId n = 0; n < tnew.num_nodes(); ++n) {
+    if (d.target_map[static_cast<size_t>(n)] != kNoTreeNode) {
+      covered_t[static_cast<size_t>(d.target_map[static_cast<size_t>(n)])] = 1;
+    }
+  }
+  std::vector<TreeNodeId> old2new_s(static_cast<size_t>(sold.num_nodes()),
+                                    kNoTreeNode);
+  std::vector<TreeNodeId> old2new_t(static_cast<size_t>(told.num_nodes()),
+                                    kNoTreeNode);
+  for (size_t j = 0; j < d.source_leaves->num_leaves(); ++j) {
+    TreeNodeId x = d.source_leaves->leaf(j);
+    TreeNodeId o = d.source_map[static_cast<size_t>(x)];
+    if (o != kNoTreeNode) old2new_s[static_cast<size_t>(o)] = x;
+  }
+  for (size_t j = 0; j < d.target_leaves->num_leaves(); ++j) {
+    TreeNodeId y = d.target_leaves->leaf(j);
+    TreeNodeId o = d.target_map[static_cast<size_t>(y)];
+    if (o != kNoTreeNode) old2new_t[static_cast<size_t>(o)] = y;
+  }
+  // Did the old sweep fire increase/decrease feedback at (os, ot)?
+  // (PrevFeedbackDecision holds ComparePair's exact decision arithmetic.)
+  auto old_feedback_fired = [&](TreeNodeId os, TreeNodeId ot) {
+    return PrevFeedbackDecision(options, sold, told, prev_sweep, os, ot) != 0;
+  };
+  auto dirty_old_block = [&](TreeNodeId os, TreeNodeId ot) {
+    for (const LeafRef& lx : sold.leaves(os)) {
+      TreeNodeId nx = old2new_s[static_cast<size_t>(lx.leaf)];
+      if (nx == kNoTreeNode) continue;  // removed/unmapped: already dirty
+      for (const LeafRef& ly : told.leaves(ot)) {
+        TreeNodeId ny = old2new_t[static_cast<size_t>(ly.leaf)];
+        if (ny == kNoTreeNode) continue;
+        d.MarkPairDirty(nx, ny);
+      }
+    }
+  };
+  for (TreeNodeId os = 0; os < sold.num_nodes(); ++os) {
+    if (covered_s[static_cast<size_t>(os)] || sold.IsLeaf(os)) continue;
+    for (TreeNodeId ot = 0; ot < told.num_nodes(); ++ot) {
+      if (old_feedback_fired(os, ot)) dirty_old_block(os, ot);
+    }
+  }
+  for (TreeNodeId ot = 0; ot < told.num_nodes(); ++ot) {
+    if (covered_t[static_cast<size_t>(ot)] || told.IsLeaf(ot)) continue;
+    for (TreeNodeId os = 0; os < sold.num_nodes(); ++os) {
+      // Orphan-source pairs were handled by the loop above.
+      if (!covered_s[static_cast<size_t>(os)] && !sold.IsLeaf(os)) continue;
+      if (old_feedback_fired(os, ot)) dirty_old_block(os, ot);
+    }
+  }
+
+  ComputeReusable(snew, sold, d.source_map, &d.source_reusable);
+  ComputeReusable(tnew, told, d.target_map, &d.target_reusable);
+  return d;
+}
+
+MatchSession::MatchSession(const Thesaurus* thesaurus, Schema source,
+                           Schema target, CupidConfig config)
+    : thesaurus_(thesaurus),
+      config_(std::move(config)),
+      lsim_cache_(thesaurus, config_.linguistic),
+      work_source_(std::make_unique<Schema>(std::move(source))),
+      work_target_(std::make_unique<Schema>(std::move(target))) {}
+
+const Schema& MatchSession::source() const {
+  return work_source_ ? *work_source_ : *cur_source_;
+}
+
+const Schema& MatchSession::target() const {
+  return work_target_ ? *work_target_ : *cur_target_;
+}
+
+void MatchSession::EnsureEditable(EditSide side) {
+  // Copy only the edited side: the other schema object stays identical, so
+  // Rematch can reuse its tree wholesale.
+  if (side == EditSide::kSource) {
+    if (!work_source_) work_source_ = std::make_unique<Schema>(*cur_source_);
+  } else {
+    if (!work_target_) work_target_ = std::make_unique<Schema>(*cur_target_);
+  }
+}
+
+Status MatchSession::ApplyEdit(const SchemaEdit& edit) {
+  EnsureEditable(edit.side);
+  Schema* schema = edit.side == EditSide::kSource ? work_source_.get()
+                                                  : work_target_.get();
+  return ApplySchemaEdit(schema, edit);
+}
+
+Result<const MatchResult*> MatchSession::Rematch() {
+  CUPID_RETURN_NOT_OK(config_.Validate());
+  if (result_ != nullptr && !work_source_ && !work_target_) {
+    return result_.get();  // nothing edited since the last run
+  }
+
+  // Adopt this run's schemas: edited copies where present, otherwise the
+  // already-matched ones. If anything below fails, the guard puts the
+  // edited copies back so a failed Rematch neither loses queued edits nor
+  // leaves source()/target() dangling before the first successful run.
+  std::unique_ptr<Schema> src_owner = std::move(work_source_);
+  std::unique_ptr<Schema> tgt_owner = std::move(work_target_);
+  struct RestoreOnError {
+    std::unique_ptr<Schema>*dst_src, *dst_tgt, *own_src, *own_tgt;
+    bool committed = false;
+    ~RestoreOnError() {
+      if (committed) return;
+      if (*own_src) *dst_src = std::move(*own_src);
+      if (*own_tgt) *dst_tgt = std::move(*own_tgt);
+    }
+  } guard{&work_source_, &work_target_, &src_owner, &tgt_owner};
+  const Schema* s = src_owner ? src_owner.get() : cur_source_.get();
+  const Schema* t = tgt_owner ? tgt_owner.get() : cur_target_.get();
+
+  // Phase 1 through the persistent name-level cache.
+  LinguisticMatcher linguistic(thesaurus_, config_.linguistic);
+  CUPID_ASSIGN_OR_RETURN(LinguisticResult lres,
+                         linguistic.Match(*s, *t, &lsim_cache_));
+
+  // Phase 2: trees — an unedited side reuses the previous tree (it points
+  // at the same, unchanged Schema object), the edited side rebuilds.
+  SchemaTree source_tree{nullptr};
+  if (!src_owner && result_ != nullptr) {
+    source_tree = result_->source_tree;
+  } else {
+    CUPID_ASSIGN_OR_RETURN(source_tree, BuildSchemaTree(*s, config_.tree_build));
+  }
+  SchemaTree target_tree{nullptr};
+  if (!tgt_owner && result_ != nullptr) {
+    target_tree = result_->target_tree;
+  } else {
+    CUPID_ASSIGN_OR_RETURN(target_tree, BuildSchemaTree(*t, config_.tree_build));
+  }
+
+  bool warm = result_ != nullptr &&
+              SupportsIncrementalTreeMatch(config_.tree_match) &&
+              !HasJoinViews(source_tree) && !HasJoinViews(target_tree) &&
+              !HasJoinViews(result_->source_tree) &&
+              !HasJoinViews(result_->target_tree);
+
+  TreeMatchResult tmres;
+  std::unique_ptr<NodeSimilarities> sweep;
+  if (warm) {
+    TreeMatchDelta delta = BuildTreeMatchDelta(
+        source_tree, target_tree, lres.lsim, result_->source_tree,
+        result_->target_tree, *sweep_, result_->tree_match.sims,
+        &result_->tree_match.counts, config_.tree_match);
+    CUPID_ASSIGN_OR_RETURN(
+        tmres, TreeMatchIncremental(source_tree, target_tree, lres.lsim,
+                                    config_.type_compatibility,
+                                    config_.tree_match, &delta));
+    sweep = std::make_unique<NodeSimilarities>(tmres.sims);
+    CUPID_RETURN_NOT_OK(RecomputeNonLeafSimilaritiesIncremental(
+        source_tree, target_tree, config_.tree_match, delta, &tmres));
+  } else {
+    CUPID_ASSIGN_OR_RETURN(
+        tmres, TreeMatch(source_tree, target_tree, lres.lsim,
+                         config_.type_compatibility, config_.tree_match));
+    sweep = std::make_unique<NodeSimilarities>(tmres.sims);
+    CUPID_RETURN_NOT_OK(RecomputeNonLeafSimilarities(
+        source_tree, target_tree, config_.tree_match, &tmres));
+  }
+
+  // Phase 3: mapping generation, identical to CupidMatcher::Match.
+  Mapping leaf_mapping, nonleaf_mapping;
+  CUPID_RETURN_NOT_OK(GenerateStandardMappings(source_tree, target_tree,
+                                               tmres, config_, &leaf_mapping,
+                                               &nonleaf_mapping));
+
+  // Commit. The old result (and the old schemas it references) die here;
+  // the new result references the schemas owned below.
+  guard.committed = true;
+  auto new_result = std::make_unique<MatchResult>(
+      MatchResult{std::move(source_tree), std::move(target_tree),
+                  std::move(lres), std::move(tmres), std::move(leaf_mapping),
+                  std::move(nonleaf_mapping)});
+  result_ = std::move(new_result);
+  sweep_ = std::move(sweep);
+  if (src_owner) cur_source_ = std::move(src_owner);
+  if (tgt_owner) cur_target_ = std::move(tgt_owner);
+  stats_.incremental = warm;
+  stats_.tree_match = result_->tree_match.stats;
+  stats_.lsim_cached_pairs = lsim_cache_.num_cached_pairs();
+  return result_.get();
+}
+
+}  // namespace cupid

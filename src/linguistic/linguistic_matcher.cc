@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "linguistic/annotations.h"
+#include "linguistic/lsim_cache.h"
 #include "perf/interned_names.h"
 #include "perf/token_interner.h"
 #include "util/thread_pool.h"
@@ -79,13 +80,16 @@ Matrix<float> ComputeBestScale(const LinguisticOptions& options,
 
 /// ComputeBestScale with the category-keyword similarities routed through
 /// the interner + memo (the naive version recomputes thesaurus and affix
-/// work for every one of the |C1|*|C2| category pairs). Same values.
+/// work for every one of the |C1|*|C2| category pairs). Same values. With a
+/// non-null `external_memo` (the cross-run cache path) the keyword
+/// similarities persist across calls; otherwise a run-local memo is used.
 Matrix<float> ComputeBestScaleInterned(const LinguisticOptions& options,
                                        const Thesaurus* thesaurus,
                                        const Categorization& categories1,
                                        const Categorization& categories2,
-                                       TokenInterner* interner, int64_t rows,
-                                       int64_t cols) {
+                                       TokenInterner* interner,
+                                       TokenPairMemo* external_memo,
+                                       int64_t rows, int64_t cols) {
   const auto& cats1 = categories1.categories;
   const auto& cats2 = categories2.categories;
   auto intern_keywords = [&](const std::vector<Category>& cats) {
@@ -101,7 +105,13 @@ Matrix<float> ComputeBestScaleInterned(const LinguisticOptions& options,
   };
   std::vector<std::vector<TokenId>> kw1 = intern_keywords(cats1);
   std::vector<std::vector<TokenId>> kw2 = intern_keywords(cats2);
-  TokenPairMemo memo(interner, thesaurus, options.substring);
+  std::unique_ptr<TokenPairMemo> local_memo;
+  TokenPairMemo* memo = external_memo;
+  if (memo == nullptr) {
+    local_memo = std::make_unique<TokenPairMemo>(interner, thesaurus,
+                                                 options.substring);
+    memo = local_memo.get();
+  }
 
   Matrix<float> cat_sim(static_cast<int64_t>(cats1.size()),
                         static_cast<int64_t>(cats2.size()));
@@ -109,7 +119,7 @@ Matrix<float> ComputeBestScaleInterned(const LinguisticOptions& options,
     for (size_t j = 0; j < cats2.size(); ++j) {
       cat_sim(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
           static_cast<float>(
-              InternedTokenSetSimilarity(kw1[i], kw2[j], &memo));
+              InternedTokenSetSimilarity(kw1[i], kw2[j], memo));
     }
   }
   return ScatterBestScale(options, cat_sim, categories1, categories2, rows,
@@ -189,42 +199,38 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
 }
 
 Result<LinguisticResult> LinguisticMatcher::MatchCached(
-    const Schema& s1, const Schema& s2) const {
+    const Schema& s1, const Schema& s2, LsimCache* cache) const {
   LinguisticResult out;
-  TokenInterner interner;
+  // Run-local interner, used when no cross-run cache is supplied.
+  TokenInterner local_interner;
+  TokenInterner* interner = cache ? &cache->interner_ : &local_interner;
 
   // Distinct raw names, each normalized and interned exactly once. Elements
   // sharing a raw name share the distinct entry (normalization is a pure
-  // function of the raw name).
-  struct DistinctNames {
-    std::vector<int32_t> of_element;  // ElementId -> distinct name index
-    std::vector<NormalizedName> names;
-    std::vector<InternedName> interned;
-  };
-  auto build_distinct = [&](const Schema& s, DistinctNames* d) {
-    std::unordered_map<std::string, int32_t> ids;
-    d->of_element.reserve(static_cast<size_t>(s.num_elements()));
+  // function of the raw name). With a cache, the registries persist across
+  // calls and indices are cumulative — entries of names edited away stay
+  // allocated, bounded by the distinct names ever seen.
+  LsimCache::SideNames local_d1, local_d2;
+  LsimCache::SideNames& d1 = cache ? cache->side1_ : local_d1;
+  LsimCache::SideNames& d2 = cache ? cache->side2_ : local_d2;
+  std::vector<int32_t> of_element1, of_element2;
+  auto build_distinct = [&](const Schema& s, LsimCache::SideNames& d,
+                            std::vector<int32_t>* of_element) {
+    of_element->reserve(static_cast<size_t>(s.num_elements()));
     for (ElementId id : s.AllElements()) {
-      const std::string& raw = s.element(id).name;
-      auto [it, inserted] =
-          ids.emplace(raw, static_cast<int32_t>(d->names.size()));
-      if (inserted) {
-        d->names.push_back(normalizer_.Normalize(raw));
-        d->interned.push_back(InternName(d->names.back(), &interner));
-      }
-      d->of_element.push_back(it->second);
+      of_element->push_back(
+          d.Register(s.element(id).name, normalizer_, interner));
     }
   };
-  DistinctNames d1, d2;
-  build_distinct(s1, &d1);
-  build_distinct(s2, &d2);
+  build_distinct(s1, d1, &of_element1);
+  build_distinct(s2, d2, &of_element2);
 
-  out.names1.reserve(d1.of_element.size());
-  for (int32_t id : d1.of_element) {
+  out.names1.reserve(of_element1.size());
+  for (int32_t id : of_element1) {
     out.names1.push_back(d1.names[static_cast<size_t>(id)]);
   }
-  out.names2.reserve(d2.of_element.size());
-  for (int32_t id : d2.of_element) {
+  out.names2.reserve(of_element2.size());
+  for (int32_t id : of_element2) {
     out.names2.push_back(d2.names[static_cast<size_t>(id)]);
   }
   out.categories1 = CategorizeSchema(s1, out.names1, normalizer_);
@@ -232,8 +238,8 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
   out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
 
   Matrix<float> best_scale = ComputeBestScaleInterned(
-      options_, thesaurus_, out.categories1, out.categories2, &interner,
-      s1.num_elements(), s2.num_elements());
+      options_, thesaurus_, out.categories1, out.categories2, interner,
+      cache ? &cache->memo_ : nullptr, s1.num_elements(), s2.num_elements());
 
   std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
   std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
@@ -248,11 +254,12 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
   const int64_t num_d2 = static_cast<int64_t>(d2.names.size());
   Matrix<uint8_t> needed(num_d1, num_d2);
   for (ElementId e1 = 0; e1 < s1.num_elements(); ++e1) {
-    int32_t i = d1.of_element[static_cast<size_t>(e1)];
-    for (ElementId e2 = 0; e2 < s2.num_elements(); ++e2) {
-      if (best_scale(e1, e2) > 0.0f) {
-        needed(i, d2.of_element[static_cast<size_t>(e2)]) = 1;
-      }
+    uint8_t* needed_row = &needed(of_element1[static_cast<size_t>(e1)], 0);
+    const float* scale_row = &best_scale(e1, 0);
+    const int32_t* idx2 = of_element2.data();
+    const int64_t cols = s2.num_elements();
+    for (int64_t e2 = 0; e2 < cols; ++e2) {
+      if (scale_row[e2] > 0.0f) needed_row[idx2[e2]] = 1;
     }
   }
 
@@ -264,53 +271,107 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
     pool = std::make_unique<ThreadPool>(threads);
   }
 
-  // Name similarity once per needed distinct pair. Each row block carries
-  // its own memo (TokenSimilarity is pure, so per-thread memos change
-  // nothing but hit rates); concurrent memos stay hash-backed so they don't
-  // each pay the dense table's vocab-squared zero-fill.
-  Matrix<double> distinct_ns(num_d1, num_d2);
-  ParallelFor(pool.get(), num_d1, [&](int64_t begin, int64_t end) {
-    TokenPairMemo memo(&interner, thesaurus_, options_.substring,
-                       /*use_dense=*/pool == nullptr);
-    for (int64_t i = begin; i < end; ++i) {
+  // Name similarity once per needed distinct pair. Without a cache, each
+  // row block carries its own memo (TokenSimilarity is pure, so per-thread
+  // memos change nothing but hit rates); concurrent memos stay hash-backed
+  // so they don't each pay the dense table's vocab-squared zero-fill. With
+  // a cache, values persist in it and uncached pairs are filled serially
+  // (the persistent memo is not thread-safe) — after a warm first run only
+  // pairs involving edited names miss.
+  Matrix<double> local_ns;
+  if (cache) {
+    cache->EnsureCapacity(num_d1, num_d2);
+    for (int64_t i = 0; i < num_d1; ++i) {
+      const uint8_t* needed_row = &needed(i, 0);
       for (int64_t j = 0; j < num_d2; ++j) {
-        if (!needed(i, j)) continue;
-        distinct_ns(i, j) = InternedNameSimilarity(
-            d1.interned[static_cast<size_t>(i)],
-            d2.interned[static_cast<size_t>(j)], options_.token_weights,
-            &memo);
+        if (needed_row[j]) {
+          cache->NameSimilarity(static_cast<int32_t>(i),
+                                static_cast<int32_t>(j),
+                                options_.token_weights);
+        }
       }
     }
-  });
+  } else {
+    local_ns = Matrix<double>(num_d1, num_d2);
+    ParallelFor(pool.get(), num_d1, [&](int64_t begin, int64_t end) {
+      TokenPairMemo memo(interner, thesaurus_, options_.substring,
+                         /*use_dense=*/pool == nullptr);
+      for (int64_t i = begin; i < end; ++i) {
+        for (int64_t j = 0; j < num_d2; ++j) {
+          if (!needed(i, j)) continue;
+          local_ns(i, j) = InternedNameSimilarity(
+              d1.interned[static_cast<size_t>(i)],
+              d2.interned[static_cast<size_t>(j)], options_.token_weights,
+              &memo);
+        }
+      }
+    });
+  }
+  const Matrix<double>& distinct_ns = cache ? cache->ns_ : local_ns;
 
   // Scatter the distinct similarities into the element-pair lsim table,
   // applying the per-pair category scale and annotation blend.
   std::atomic<int64_t> comparisons{0};
   ParallelFor(pool.get(), s1.num_elements(), [&](int64_t begin, int64_t end) {
     int64_t local = 0;
+    const int64_t cols = s2.num_elements();
+    const int32_t* idx2 = of_element2.data();
     for (ElementId e1 = static_cast<ElementId>(begin);
          e1 < static_cast<ElementId>(end); ++e1) {
-      int32_t i = d1.of_element[static_cast<size_t>(e1)];
-      for (ElementId e2 = 0; e2 < s2.num_elements(); ++e2) {
-        float scale = best_scale(e1, e2);
+      const double* ns_row =
+          distinct_ns.row(of_element1[static_cast<size_t>(e1)]);
+      const float* scale_row = &best_scale(e1, 0);
+      float* lsim_row = &out.lsim(e1, 0);
+      const bool blend = options_.annotation_weight > 0.0 &&
+                         !docs1[static_cast<size_t>(e1)].empty();
+      for (int64_t e2 = 0; e2 < cols; ++e2) {
+        float scale = scale_row[e2];
         if (scale <= 0.0f) continue;
         ++local;
-        double ns =
-            distinct_ns(i, d2.of_element[static_cast<size_t>(e2)]);
-        double lsim = std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
-        const AnnotationVector& a1 = docs1[static_cast<size_t>(e1)];
-        const AnnotationVector& a2 = docs2[static_cast<size_t>(e2)];
-        if (options_.annotation_weight > 0.0 && !a1.empty() && !a2.empty()) {
+        double lsim = std::clamp(
+            ns_row[idx2[e2]] * static_cast<double>(scale), 0.0, 1.0);
+        if (blend && !docs2[static_cast<size_t>(e2)].empty()) {
           double w = options_.annotation_weight;
-          lsim = (1.0 - w) * lsim + w * AnnotationCosine(a1, a2);
+          lsim = (1.0 - w) * lsim +
+                 w * AnnotationCosine(docs1[static_cast<size_t>(e1)],
+                                      docs2[static_cast<size_t>(e2)]);
         }
-        out.lsim(e1, e2) = static_cast<float>(lsim);
+        lsim_row[e2] = static_cast<float>(lsim);
       }
     }
     comparisons.fetch_add(local, std::memory_order_relaxed);
   });
   out.comparisons = comparisons.load();
   return out;
+}
+
+Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
+                                                  const Schema& s2,
+                                                  LsimCache* cache) const {
+  if (cache == nullptr) return Match(s1, s2);
+  if (cache->thesaurus_ != thesaurus_) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to a different thesaurus");
+  }
+  // Cached name similarities depend on the substring options and token
+  // weights they were computed under; reject a cache bound differently.
+  const LinguisticOptions& co = cache->options_;
+  if (co.substring.scale != options_.substring.scale ||
+      co.substring.min_affix != options_.substring.min_affix ||
+      co.token_weights.w != options_.token_weights.w) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to different linguistic options");
+  }
+  if (options_.thns < 0.0 || options_.thns > 1.0) {
+    return Status::InvalidArgument("thns must be within [0,1]");
+  }
+  if (options_.annotation_weight < 0.0 || options_.annotation_weight > 1.0) {
+    return Status::InvalidArgument("annotation_weight must be within [0,1]");
+  }
+  if (options_.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  return MatchCached(s1, s2, cache);
 }
 
 double LinguisticMatcher::NameSimilarity(std::string_view a,

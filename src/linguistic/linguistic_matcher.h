@@ -21,6 +21,8 @@
 
 namespace cupid {
 
+class LsimCache;
+
 /// Tunables of the linguistic phase.
 struct LinguisticOptions {
   /// Category compatibility threshold thns (Table 1; typical 0.5).
@@ -72,6 +74,15 @@ class LinguisticMatcher {
   /// \brief Computes the full linguistic result for a schema pair.
   Result<LinguisticResult> Match(const Schema& s1, const Schema& s2) const;
 
+  /// \brief Match serving name-level work from a persistent cross-run cache
+  /// (linguistic/lsim_cache.h). Bit-identical to Match with the perf cache
+  /// on: cached values were computed by the same pure functions. The cache
+  /// must be bound to this matcher's thesaurus and options; a null cache
+  /// falls through to Match. Categorization and the lsim scatter are still
+  /// recomputed per run (they are cheap and schema-shape dependent).
+  Result<LinguisticResult> Match(const Schema& s1, const Schema& s2,
+                                 LsimCache* cache) const;
+
   /// \brief Name similarity of two single names under this matcher's
   /// thesaurus and weights (normalization applied). Exposed for tests and
   /// for the path-name matcher used in experiment E5.
@@ -79,9 +90,12 @@ class LinguisticMatcher {
 
  private:
   /// The cached fast path: distinct-name dedup + interning + memoization,
-  /// parallel over row blocks. Same output as the naive path in Match.
-  Result<LinguisticResult> MatchCached(const Schema& s1,
-                                       const Schema& s2) const;
+  /// parallel over row blocks. Same output as the naive path in Match. With
+  /// a non-null `cache`, interner/memo/name registry live in the cache and
+  /// survive across calls; name-pair fills then run serially (the persistent
+  /// memo is not thread-safe), which only costs on the cold first run.
+  Result<LinguisticResult> MatchCached(const Schema& s1, const Schema& s2,
+                                       LsimCache* cache = nullptr) const;
 
   const Thesaurus* thesaurus_;
   LinguisticOptions options_;

@@ -1,0 +1,35 @@
+#include "linguistic/lsim_cache.h"
+
+#include <algorithm>
+
+namespace cupid {
+
+void LsimCache::EnsureCapacity(int64_t rows, int64_t cols) {
+  if (rows <= ns_.rows() && cols <= ns_.cols()) return;
+  // Grow geometrically so an edit stream introducing one name at a time does
+  // not copy the matrices per edit.
+  int64_t new_rows = std::max<int64_t>(rows, ns_.rows() * 2);
+  int64_t new_cols = std::max<int64_t>(cols, ns_.cols() * 2);
+  Matrix<double> ns(new_rows, new_cols);
+  Matrix<uint8_t> known(new_rows, new_cols);
+  for (int64_t i = 0; i < ns_.rows(); ++i) {
+    for (int64_t j = 0; j < ns_.cols(); ++j) {
+      ns(i, j) = ns_(i, j);
+      known(i, j) = known_(i, j);
+    }
+  }
+  ns_ = std::move(ns);
+  known_ = std::move(known);
+}
+
+double LsimCache::ComputeNameSimilarity(int32_t i, int32_t j,
+                                        const TokenTypeWeights& weights) {
+  ns_(i, j) = InternedNameSimilarity(side1_.interned[static_cast<size_t>(i)],
+                                     side2_.interned[static_cast<size_t>(j)],
+                                     weights, &memo_);
+  known_(i, j) = 1;
+  ++cached_pairs_;
+  return ns_(i, j);
+}
+
+}  // namespace cupid

@@ -1,0 +1,103 @@
+// Cross-run linguistic cache: the per-run state of the cached lsim pipeline
+// (token interner, token-pair memo, distinct-name registry, name-pair
+// similarities), made persistent so repeated matching over evolving schemas
+// (incremental/match_session.h) re-pays only the names an edit introduced.
+//
+// Name-pair similarity is a pure function of the two raw names (under a
+// fixed thesaurus and option set), so serving it from this cache is
+// bit-identical to recomputing it: the cached value *was* computed by
+// InternedNameSimilarity on first sight. Element-level state (categories,
+// best-scale pruning, the lsim scatter) is cheap and recomputed every run —
+// only the expensive name-level work is memoized.
+//
+// A cache is bound at construction to one thesaurus and one option set;
+// LinguisticMatcher::Match(s1, s2, cache) rejects a cache bound differently
+// (mixing would serve values computed under other inputs).
+
+#ifndef CUPID_LINGUISTIC_LSIM_CACHE_H_
+#define CUPID_LINGUISTIC_LSIM_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linguistic/linguistic_matcher.h"
+#include "linguistic/normalizer.h"
+#include "perf/interned_names.h"
+#include "perf/token_interner.h"
+#include "util/matrix.h"
+
+namespace cupid {
+
+/// \brief Persistent state of the cached linguistic pipeline.
+class LsimCache {
+ public:
+  /// `thesaurus` must outlive the cache. `options` must equal the options of
+  /// every LinguisticMatcher the cache is used with.
+  LsimCache(const Thesaurus* thesaurus, const LinguisticOptions& options)
+      : thesaurus_(thesaurus),
+        options_(options),
+        // Hash-mode memo: the dense table is sized to the interner at
+        // construction time, which keeps growing here.
+        memo_(&interner_, thesaurus, options.substring, /*use_dense=*/false) {}
+
+  LsimCache(const LsimCache&) = delete;
+  LsimCache& operator=(const LsimCache&) = delete;
+
+  /// Distinct raw names seen so far on each side (diagnostics).
+  size_t num_source_names() const { return side1_.names.size(); }
+  size_t num_target_names() const { return side2_.names.size(); }
+  /// Name pairs whose similarity has been computed and memoized.
+  int64_t num_cached_pairs() const { return cached_pairs_; }
+
+ private:
+  friend class LinguisticMatcher;
+
+  /// One side's registry: every distinct raw name ever seen, normalized and
+  /// interned exactly once. Indices are stable across runs.
+  struct SideNames {
+    std::unordered_map<std::string, int32_t> ids;  // raw name -> index
+    std::vector<NormalizedName> names;
+    std::vector<InternedName> interned;
+
+    int32_t Register(const std::string& raw, const NameNormalizer& normalizer,
+                     TokenInterner* interner) {
+      auto [it, inserted] = ids.emplace(raw, static_cast<int32_t>(names.size()));
+      if (inserted) {
+        names.push_back(normalizer.Normalize(raw));
+        interned.push_back(InternName(names.back(), interner));
+      }
+      return it->second;
+    }
+  };
+
+  /// Grows the ns/known matrices to cover [rows x cols], preserving content.
+  void EnsureCapacity(int64_t rows, int64_t cols);
+
+  /// ns of registered name pair (i, j), computed through the persistent memo
+  /// on first request. Caller must have EnsureCapacity'd. The hit path is
+  /// inline: on a warm rematch nearly every needed pair hits, and the fill
+  /// loop visits all of them.
+  double NameSimilarity(int32_t i, int32_t j,
+                        const TokenTypeWeights& weights) {
+    if (known_(i, j)) return ns_(i, j);
+    return ComputeNameSimilarity(i, j, weights);
+  }
+
+  double ComputeNameSimilarity(int32_t i, int32_t j,
+                               const TokenTypeWeights& weights);
+
+  const Thesaurus* thesaurus_;
+  LinguisticOptions options_;
+  TokenInterner interner_;
+  TokenPairMemo memo_;
+  SideNames side1_, side2_;
+  /// Name-pair similarities indexed by (side1 index, side2 index).
+  Matrix<double> ns_;
+  Matrix<uint8_t> known_;
+  int64_t cached_pairs_ = 0;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_LINGUISTIC_LSIM_CACHE_H_

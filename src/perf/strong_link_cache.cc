@@ -5,67 +5,34 @@
 namespace cupid {
 
 namespace {
-constexpr size_t kWordBits = 64;
-
-size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+constexpr size_t kWordBits = LeafIndex::kWordBits;
 }  // namespace
-
-void StrongLinkCache::BuildSide(const SchemaTree& tree, Side* side) {
-  const size_t n = static_cast<size_t>(tree.num_nodes());
-  side->dense.assign(n, -1);
-  for (TreeNodeId id = 0; id < tree.num_nodes(); ++id) {
-    if (tree.IsLeaf(id)) {
-      side->dense[static_cast<size_t>(id)] =
-          static_cast<int32_t>(side->leaf_ids.size());
-      side->leaf_ids.push_back(id);
-    }
-  }
-  side->own_words = WordsFor(side->leaf_ids.size());
-  side->node_masks.assign(n * side->own_words, 0);
-  side->mask_begin.assign(n, 0);
-  side->mask_end.assign(n, 0);
-  for (TreeNodeId id = 0; id < tree.num_nodes(); ++id) {
-    uint64_t* mask = &side->node_masks[static_cast<size_t>(id) * side->own_words];
-    uint32_t lo = static_cast<uint32_t>(side->own_words), hi = 0;
-    for (const LeafRef& lr : tree.leaves(id)) {
-      size_t j = static_cast<size_t>(side->dense[static_cast<size_t>(lr.leaf)]);
-      uint32_t w = static_cast<uint32_t>(j / kWordBits);
-      mask[w] |= uint64_t{1} << (j % kWordBits);
-      lo = std::min(lo, w);
-      hi = std::max(hi, w + 1);
-    }
-    side->mask_begin[static_cast<size_t>(id)] = lo;
-    side->mask_end[static_cast<size_t>(id)] = hi;
-  }
-}
 
 StrongLinkCache::StrongLinkCache(const SchemaTree& source,
                                  const SchemaTree& target, double th_accept,
                                  double wstruct_leaf)
     : s_(source), t_(target), th_accept_(th_accept),
-      wstruct_leaf_(wstruct_leaf) {
-  BuildSide(source, &src_);
-  BuildSide(target, &tgt_);
-  src_.words = tgt_.own_words;  // source-leaf bitsets span target leaves
-  tgt_.words = src_.own_words;  // target-leaf bitsets span source leaves
-  src_.valid_words = WordsFor(src_.words);
-  tgt_.valid_words = WordsFor(tgt_.words);
-  src_.bits.assign(src_.leaf_ids.size() * src_.words, 0);
-  tgt_.bits.assign(tgt_.leaf_ids.size() * tgt_.words, 0);
-  src_.valid.assign(src_.leaf_ids.size() * src_.valid_words, 0);
-  tgt_.valid.assign(tgt_.leaf_ids.size() * tgt_.valid_words, 0);
+      wstruct_leaf_(wstruct_leaf), src_(source), tgt_(target) {
+  src_.words = tgt_.index.words();  // source-leaf bitsets span target leaves
+  tgt_.words = src_.index.words();  // target-leaf bitsets span source leaves
+  src_.valid_words = LeafIndex::WordsFor(src_.words);
+  tgt_.valid_words = LeafIndex::WordsFor(tgt_.words);
+  src_.bits.assign(src_.index.num_leaves() * src_.words, 0);
+  tgt_.bits.assign(tgt_.index.num_leaves() * tgt_.words, 0);
+  src_.valid.assign(src_.index.num_leaves() * src_.valid_words, 0);
+  tgt_.valid.assign(tgt_.index.num_leaves() * tgt_.valid_words, 0);
   // built < epoch: every bitset starts stale; words materialize on demand.
-  src_.epoch.assign(src_.leaf_ids.size(), event_);
-  src_.built.assign(src_.leaf_ids.size(), 0);
-  tgt_.epoch.assign(tgt_.leaf_ids.size(), event_);
-  tgt_.built.assign(tgt_.leaf_ids.size(), 0);
+  src_.epoch.assign(src_.index.num_leaves(), event_);
+  src_.built.assign(src_.index.num_leaves(), 0);
+  tgt_.epoch.assign(tgt_.index.num_leaves(), event_);
+  tgt_.built.assign(tgt_.index.num_leaves(), 0);
 }
 
 bool StrongLinkCache::HasLink(const NodeSimilarities& sims, Side* own,
                               Side* other, TreeNodeId x,
                               TreeNodeId other_node, bool transposed) {
   ++stats_.queries;
-  size_t row = static_cast<size_t>(own->dense[static_cast<size_t>(x)]);
+  size_t row = static_cast<size_t>(own->index.dense(x));
   if (own->built[row] < own->epoch[row]) {
     // Stale: drop every materialized word, refill lazily below.
     std::fill(own->valid.begin() +
@@ -77,12 +44,10 @@ bool StrongLinkCache::HasLink(const NodeSimilarities& sims, Side* own,
   }
   uint64_t* bits = &own->bits[row * own->words];
   uint64_t* valid = &own->valid[row * own->valid_words];
-  const uint64_t* mask =
-      &other->node_masks[static_cast<size_t>(other_node) * other->own_words];
-  size_t end = other->mask_end[static_cast<size_t>(other_node)];
-  const size_t other_leaves = other->leaf_ids.size();
-  for (size_t w = other->mask_begin[static_cast<size_t>(other_node)]; w < end;
-       ++w) {
+  const uint64_t* mask = other->index.mask(other_node);
+  size_t end = other->index.mask_end(other_node);
+  const size_t other_leaves = other->index.num_leaves();
+  for (size_t w = other->index.mask_begin(other_node); w < end; ++w) {
     if (mask[w] == 0) continue;
     if (!(valid[w / kWordBits] >> (w % kWordBits) & 1)) {
       // Materialize word w: link strengths of 64 consecutive other-side
@@ -90,7 +55,7 @@ bool StrongLinkCache::HasLink(const NodeSimilarities& sims, Side* own,
       uint64_t built_bits = 0;
       size_t j_end = std::min(other_leaves, (w + 1) * kWordBits);
       for (size_t j = w * kWordBits; j < j_end; ++j) {
-        TreeNodeId y = other->leaf_ids[j];
+        TreeNodeId y = other->index.leaf(j);
         double strength =
             transposed ? LeafStrength(sims, y, x) : LeafStrength(sims, x, y);
         if (strength >= th_accept_) {
@@ -118,8 +83,8 @@ bool StrongLinkCache::TargetLeafHasLink(const NodeSimilarities& sims,
 
 void StrongLinkCache::UpdatePair(const NodeSimilarities& sims, TreeNodeId x,
                                  TreeNodeId y) {
-  size_t row = static_cast<size_t>(src_.dense[static_cast<size_t>(x)]);
-  size_t col = static_cast<size_t>(tgt_.dense[static_cast<size_t>(y)]);
+  size_t row = static_cast<size_t>(src_.index.dense(x));
+  size_t col = static_cast<size_t>(tgt_.index.dense(y));
   bool linked = LeafStrength(sims, x, y) >= th_accept_;
   // Patch only fresh, materialized words; stale or unbuilt words will be
   // recomputed from ssim/lsim on their next materialization anyway.
@@ -146,12 +111,10 @@ void StrongLinkCache::UpdatePair(const NodeSimilarities& sims, TreeNodeId x,
 void StrongLinkCache::InvalidateBlock(TreeNodeId ns, TreeNodeId nt) {
   ++event_;
   for (const LeafRef& x : s_.leaves(ns)) {
-    src_.epoch[static_cast<size_t>(src_.dense[static_cast<size_t>(x.leaf)])] =
-        event_;
+    src_.epoch[static_cast<size_t>(src_.index.dense(x.leaf))] = event_;
   }
   for (const LeafRef& y : t_.leaves(nt)) {
-    tgt_.epoch[static_cast<size_t>(tgt_.dense[static_cast<size_t>(y.leaf)])] =
-        event_;
+    tgt_.epoch[static_cast<size_t>(tgt_.index.dense(y.leaf))] = event_;
   }
 }
 

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "perf/leaf_bitset_index.h"
 #include "structural/similarity_matrix.h"
 #include "tree/schema_tree.h"
 
@@ -78,11 +79,13 @@ class StrongLinkCache {
   const Stats& stats() const { return stats_; }
 
  private:
-  /// One direction: a bitset per own-side leaf over the other side's leaves,
-  /// plus per-node masks of the own side's leaf sets.
+  /// One direction: a bitset per own-side leaf over the other side's leaves.
+  /// The dense leaf numbering and per-node leaf-set masks live in the shared
+  /// LeafIndex (perf/leaf_bitset_index.h).
   struct Side {
-    std::vector<int32_t> dense;        ///< TreeNodeId -> dense leaf index
-    std::vector<TreeNodeId> leaf_ids;  ///< dense index -> TreeNodeId
+    explicit Side(const SchemaTree& tree) : index(tree) {}
+
+    LeafIndex index;                   ///< leaves + masks of THIS side
     size_t words = 0;                  ///< bitset width over the OTHER side
     size_t valid_words = 0;            ///< width of one valid mask
     std::vector<uint64_t> bits;        ///< leaf bitsets, `words` per leaf
@@ -90,17 +93,7 @@ class StrongLinkCache {
     std::vector<uint64_t> valid;
     std::vector<uint64_t> epoch;       ///< invalidation epoch per leaf
     std::vector<uint64_t> built;       ///< epoch the bitset was built at
-    /// Per tree node: mask of its leaf set in THIS side's dense space
-    /// (`own_words` per node), plus the [begin, end) word span actually
-    /// occupied — subtree leaves are id-clustered, so queries scan a few
-    /// words instead of the full bitset width.
-    size_t own_words = 0;
-    std::vector<uint64_t> node_masks;
-    std::vector<uint32_t> mask_begin;
-    std::vector<uint32_t> mask_end;
   };
-
-  static void BuildSide(const SchemaTree& tree, Side* side);
 
   /// Shared query kernel: probes `own`'s bitset of leaf `x` against the
   /// mask of `other_node` on `other`, materializing stale words on the way.

@@ -16,6 +16,9 @@ namespace cupid {
 /// All matrices are indexed by (TreeNodeId of source, TreeNodeId of target).
 class NodeSimilarities {
  public:
+  /// Empty (0 x 0) state, for containers filled by assignment.
+  NodeSimilarities() = default;
+
   NodeSimilarities(int64_t source_nodes, int64_t target_nodes)
       : lsim_(source_nodes, target_nodes),
         ssim_(source_nodes, target_nodes),

@@ -152,12 +152,19 @@ class TreeMatcher {
       result.stats.strong_link_queries = cache_->stats().queries;
       result.stats.strong_link_rebuilds = cache_->stats().rebuilds;
     }
+    result.stats.link_tests = link_tests_;
+    result.stats.scale_ops = scale_ops_;
     return result;
   }
 
-  void Recompute(NodeSimilarities* sims) {
+  void Recompute(TreeMatchResult* result) {
     // Second pass (Section 7): leaf similarities are final; refresh every
-    // wsim and recompute non-leaf ssim from the final leaf state.
+    // wsim and recompute non-leaf ssim from the final leaf state. The
+    // integer tallies behind each ssim are recorded so a later incremental
+    // run can adjust them instead of re-scanning.
+    NodeSimilarities* sims = &result->sims;
+    result->counts.strong = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
+    result->counts.included = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
     for (TreeNodeId ns : s_.post_order()) {
       for (TreeNodeId nt : t_.post_order()) {
         if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) {
@@ -166,14 +173,367 @@ class TreeMatcher {
           continue;
         }
         if (PruneByLeafCount(ns, nt)) continue;
-        double ssim = StructuralSimilarity(*sims, ns, nt);
-        sims->set_ssim(ns, nt, ssim);
-        sims->set_wsim(ns, nt, MixWsim(*sims, ns, nt, ssim, false));
+        sims->set_ssim(ns, nt,
+                       StructuralSimilarity(*sims, ns, nt,
+                                            &result->counts.strong(ns, nt),
+                                            &result->counts.included(ns, nt)));
+        // Mix from the float-stored ssim, exactly as ComparePair does; the
+        // incremental recompute copies stored floats across runs and must
+        // reproduce this arithmetic bit for bit.
+        sims->set_wsim(ns, nt,
+                       MixWsim(*sims, ns, nt, sims->ssim(ns, nt), false));
+      }
+    }
+  }
+
+  /// \brief The warm-started sweep: identical pair enumeration and feedback
+  /// to Run, but node pairs whose inputs provably equal the previous run's
+  /// copy their similarities instead of rescanning leaf sets.
+  ///
+  /// Correctness rests on three facts. (1) Surviving nodes keep their
+  /// relative post-order across the supported edits (schema children are
+  /// appended, removals preserve sibling order), so the feedback events
+  /// touching any clean leaf pair happen in the same order as before.
+  /// (2) Feedback scalings are replayed physically, so clean leaf cells
+  /// evolve through exactly the previous run's value sequence and dirty-pair
+  /// rescans always read a state equal to what a from-scratch sweep would
+  /// see at that point. (3) Any feedback decision that diverges from the
+  /// previous run immediately marks its whole leaf block dirty, so
+  /// downstream consumers never reuse values the divergence invalidated.
+  TreeMatchResult RunIncremental(const Matrix<float>& element_lsim,
+                                 TreeMatchDelta* delta) {
+    TreeMatchResult result{NodeSimilarities(s_.num_nodes(), t_.num_nodes()),
+                           {}};
+    {
+      int threads = ThreadPool::EffectiveThreads(opt_.num_threads);
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1 && s_.num_nodes() >= 32) {
+        pool = std::make_unique<ThreadPool>(threads);
+      }
+      ProjectLsim(element_lsim, &result.sims, pool.get());
+      InitLeafSsim(&result.sims, pool.get());
+    }
+    for (TreeNodeId ns : s_.post_order()) {
+      for (TreeNodeId nt : t_.post_order()) {
+        ComparePairIncremental(ns, nt, delta, &result);
+      }
+    }
+    if (cache_) {
+      result.stats.strong_link_queries = cache_->stats().queries;
+      result.stats.strong_link_rebuilds = cache_->stats().rebuilds;
+    }
+    result.stats.link_tests = link_tests_;
+    result.stats.scale_ops = scale_ops_;
+    return result;
+  }
+
+  /// \brief The warm-started Section 7 pass. Clean pairs copy the previous
+  /// run's final similarities and tallies; pairs with sparse dirt adjust
+  /// the previous tallies leaf-by-leaf (the final leaf state is fully
+  /// materialized on both runs, so old and new link booleans are directly
+  /// computable); only pairs without usable previous state rescan.
+  void RecomputeIncremental(const TreeMatchDelta& delta,
+                            TreeMatchResult* result) {
+    NodeSimilarities* sims = &result->sims;
+    TreeMatchStats* stats = &result->stats;
+    result->counts.strong = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
+    result->counts.included = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
+    const StructuralCounts* prev_counts = delta.prev_final_counts;
+    const bool have_counts =
+        prev_counts != nullptr &&
+        prev_counts->strong.rows() == delta.prev_source->num_nodes() &&
+        prev_counts->strong.cols() == delta.prev_target->num_nodes();
+    for (TreeNodeId ns : s_.post_order()) {
+      for (TreeNodeId nt : t_.post_order()) {
+        if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) {
+          sims->set_wsim(ns, nt,
+                         MixWsim(*sims, ns, nt, sims->ssim(ns, nt), true));
+          continue;
+        }
+        if (PruneByLeafCount(ns, nt)) continue;
+        TreeNodeId os = delta.source_map[static_cast<size_t>(ns)];
+        TreeNodeId ot = delta.target_map[static_cast<size_t>(nt)];
+        int32_t& strong = result->counts.strong(ns, nt);
+        int32_t& included = result->counts.included(ns, nt);
+        if (have_counts && CanReuse(*sims, delta, ns, nt)) {
+          sims->set_ssim(ns, nt, delta.prev_final->ssim(os, ot));
+          strong = prev_counts->strong(os, ot);
+          included = prev_counts->included(os, ot);
+          ++stats->pairs_reused;
+        } else if (have_counts && os != kNoTreeNode && ot != kNoTreeNode &&
+                   // The old pair must have been scanned as a non-leaf
+                   // pair for its tallies to exist at all.
+                   !(delta.prev_source->IsLeaf(os) &&
+                     delta.prev_target->IsLeaf(ot)) &&
+                   !PrevPruned(delta, os, ot)) {
+          sims->set_ssim(ns, nt,
+                         DeltaStructuralSimilarity(*sims, delta, ns, nt, os,
+                                                   ot, &strong, &included));
+          ++stats->pairs_reused;
+        } else {
+          sims->set_ssim(ns, nt,
+                         StructuralSimilarity(*sims, ns, nt, &strong,
+                                              &included));
+        }
+        sims->set_wsim(ns, nt,
+                       MixWsim(*sims, ns, nt, sims->ssim(ns, nt), false));
       }
     }
   }
 
  private:
+  enum class Feedback { kNone, kIncrease, kDecrease };
+
+  Feedback Classify(double wsim) const {
+    if (wsim > opt_.th_high) return Feedback::kIncrease;
+    if (wsim < opt_.th_low) return Feedback::kDecrease;
+    return Feedback::kNone;
+  }
+
+  /// Leaf-count pruning replicated on the previous run's trees (true-leaf
+  /// frontiers only — enforced by SupportsIncrementalTreeMatch).
+  bool PrevPruned(const TreeMatchDelta& d, TreeNodeId os,
+                  TreeNodeId ot) const {
+    return PrunedByLeafCount(opt_, d.prev_source->leaves(os).size(),
+                             d.prev_target->leaves(ot).size());
+  }
+
+  /// The previous run's feedback decision at the pair corresponding to
+  /// (ns, nt); kNone when the pair had no counterpart or was pruned. The
+  /// wsim double is rebuilt from the stored floats with ComparePair's exact
+  /// arithmetic, so threshold comparisons reproduce the old decision even
+  /// at rounding boundaries.
+  Feedback PrevFeedback(const TreeMatchDelta& d, TreeNodeId ns,
+                        TreeNodeId nt) const {
+    TreeNodeId os = d.source_map[static_cast<size_t>(ns)];
+    TreeNodeId ot = d.target_map[static_cast<size_t>(nt)];
+    if (os == kNoTreeNode || ot == kNoTreeNode) return Feedback::kNone;
+    int decision = PrevFeedbackDecision(opt_, *d.prev_source, *d.prev_target,
+                                        *d.prev_sweep, os, ot);
+    return decision > 0 ? Feedback::kIncrease
+                        : (decision < 0 ? Feedback::kDecrease
+                                        : Feedback::kNone);
+  }
+
+  /// Clean-pair test: both endpoints reusable, same projected lsim, and no
+  /// dirty leaf pair inside the block.
+  bool CanReuse(const NodeSimilarities& sims, const TreeMatchDelta& d,
+                TreeNodeId ns, TreeNodeId nt) const {
+    if (!d.source_reusable[static_cast<size_t>(ns)] ||
+        !d.target_reusable[static_cast<size_t>(nt)]) {
+      return false;
+    }
+    TreeNodeId os = d.source_map[static_cast<size_t>(ns)];
+    TreeNodeId ot = d.target_map[static_cast<size_t>(nt)];
+    if (sims.lsim(ns, nt) != d.prev_sweep->lsim(os, ot)) return false;
+    return !d.dirty->AnyInBlock(ns, nt);
+  }
+
+  /// Final-state link strength of leaf pair (x, y) in the current run —
+  /// exactly Recompute's LinkStrength arithmetic for true-leaf frontiers.
+  double FinalLeafStrength(const NodeSimilarities& sims, TreeNodeId x,
+                           TreeNodeId y) const {
+    return opt_.wstruct_leaf * sims.ssim(x, y) +
+           (1.0 - opt_.wstruct_leaf) * sims.lsim(x, y);
+  }
+  /// Same over the previous run's final snapshot.
+  double PrevFinalLeafStrength(const TreeMatchDelta& d, TreeNodeId ox,
+                               TreeNodeId oy) const {
+    return opt_.wstruct_leaf * d.prev_final->ssim(ox, oy) +
+           (1.0 - opt_.wstruct_leaf) * d.prev_final->lsim(ox, oy);
+  }
+
+  /// \brief Recompute-pass structural similarity by adjusting the previous
+  /// run's integer tallies: only leaves that were added, removed, or touch
+  /// a dirty cell re-evaluate their link boolean (against the new final
+  /// state), and the matching old boolean (against the previous final
+  /// state) is backed out. Unaffected leaves keep identical contributions
+  /// on both runs, so the adjusted integers — and therefore the division —
+  /// equal what a full rescan would produce.
+  double DeltaStructuralSimilarity(const NodeSimilarities& sims,
+                                   const TreeMatchDelta& d, TreeNodeId ns,
+                                   TreeNodeId nt, TreeNodeId os,
+                                   TreeNodeId ot, int32_t* strong_out,
+                                   int32_t* included_out) const {
+    int64_t strong = d.prev_final_counts->strong(os, ot);
+    int64_t included = d.prev_final_counts->included(os, ot);
+    const double th = opt_.th_accept;
+
+    // Membership changes on one side alter the scan universe of the OTHER
+    // side's booleans (a removed leaf leaves no dirty column behind), so
+    // every opposite-side leaf becomes affected. reusable[] certifies an
+    // unchanged leaf list (conservatively: a type-invalid leaf also clears
+    // it, which only costs a wider re-evaluation, never correctness).
+    const bool src_members_changed =
+        !d.source_reusable[static_cast<size_t>(ns)];
+    const bool tgt_members_changed =
+        !d.target_reusable[static_cast<size_t>(nt)];
+
+    auto new_bool_src = [&](TreeNodeId x) {
+      for (const LeafRef& y : t_.leaves(nt)) {
+        if (FinalLeafStrength(sims, x, y.leaf) >= th) return true;
+      }
+      return false;
+    };
+    auto old_bool_src = [&](TreeNodeId ox) {
+      for (const LeafRef& y : d.prev_target->leaves(ot)) {
+        if (PrevFinalLeafStrength(d, ox, y.leaf) >= th) return true;
+      }
+      return false;
+    };
+    auto new_bool_tgt = [&](TreeNodeId y) {
+      for (const LeafRef& x : s_.leaves(ns)) {
+        if (FinalLeafStrength(sims, x.leaf, y) >= th) return true;
+      }
+      return false;
+    };
+    auto old_bool_tgt = [&](TreeNodeId oy) {
+      for (const LeafRef& x : d.prev_source->leaves(os)) {
+        if (PrevFinalLeafStrength(d, x.leaf, oy) >= th) return true;
+      }
+      return false;
+    };
+    // Contribution of one leaf to (strong, included).
+    auto contrib = [&](bool linked, bool optional, int64_t* str,
+                       int64_t* inc, int64_t sign) {
+      if (linked) {
+        *str += sign;
+        *inc += sign;
+      } else if (!(opt_.optional_discount && optional)) {
+        *inc += sign;
+      }
+    };
+
+    // One side's adjustment: merge the new and old leaf lists in old-id
+    // order; re-evaluate added/removed/flag-changed/dirty leaves.
+    auto adjust_side = [&](const std::vector<LeafRef>& ln,
+                           const std::vector<LeafRef>& lo,
+                           const std::vector<TreeNodeId>& map,
+                           const LeafPairBits& bits, TreeNodeId other_node,
+                           bool other_members_changed, auto&& new_bool,
+                           auto&& old_bool) {
+      size_t i = 0, j = 0;
+      while (i < ln.size() || j < lo.size()) {
+        TreeNodeId mapped =
+            i < ln.size() ? map[static_cast<size_t>(ln[i].leaf)] : kNoTreeNode;
+        if (i < ln.size() &&
+            (mapped == kNoTreeNode ||
+             (j < lo.size() ? mapped < lo[j].leaf : true))) {
+          // Added here (no old counterpart inside this block).
+          contrib(new_bool(ln[i].leaf), ln[i].optional, &strong, &included,
+                  +1);
+          ++i;
+          continue;
+        }
+        if (j < lo.size() && (i >= ln.size() || lo[j].leaf < mapped)) {
+          // Removed from this block.
+          contrib(old_bool(lo[j].leaf), lo[j].optional, &strong, &included,
+                  -1);
+          ++j;
+          continue;
+        }
+        // Common leaf (mapped == lo[j].leaf).
+        if (other_members_changed || ln[i].optional != lo[j].optional ||
+            bits.AnyInRow(ln[i].leaf, other_node)) {
+          contrib(old_bool(lo[j].leaf), lo[j].optional, &strong, &included,
+                  -1);
+          contrib(new_bool(ln[i].leaf), ln[i].optional, &strong, &included,
+                  +1);
+        }
+        ++i;
+        ++j;
+      }
+    };
+    // Fast path: both leaf lists certified unchanged — only rows/columns
+    // carrying dirty bits inside the block re-evaluate. The flags of a
+    // dirty leaf are found by binary search in the (id-sorted) leaf list;
+    // reusable[] guarantees the old flags match the new ones.
+    auto optional_of = [](const std::vector<LeafRef>& list, TreeNodeId leaf) {
+      auto it = std::lower_bound(
+          list.begin(), list.end(), leaf,
+          [](const LeafRef& a, TreeNodeId b) { return a.leaf < b; });
+      return it->optional;
+    };
+    if (!src_members_changed && !tgt_members_changed) {
+      d.dirty->ForEachDirtyRowInBlock(ns, nt, [&](TreeNodeId x) {
+        bool optional = optional_of(s_.leaves(ns), x);
+        contrib(old_bool_src(d.source_map[static_cast<size_t>(x)]), optional,
+                &strong, &included, -1);
+        contrib(new_bool_src(x), optional, &strong, &included, +1);
+      });
+      d.dirty_transposed->ForEachDirtyRowInBlock(nt, ns, [&](TreeNodeId y) {
+        bool optional = optional_of(t_.leaves(nt), y);
+        contrib(old_bool_tgt(d.target_map[static_cast<size_t>(y)]), optional,
+                &strong, &included, -1);
+        contrib(new_bool_tgt(y), optional, &strong, &included, +1);
+      });
+    } else {
+      adjust_side(s_.leaves(ns), d.prev_source->leaves(os), d.source_map,
+                  *d.dirty, nt, tgt_members_changed, new_bool_src,
+                  old_bool_src);
+      adjust_side(t_.leaves(nt), d.prev_target->leaves(ot), d.target_map,
+                  *d.dirty_transposed, ns, src_members_changed, new_bool_tgt,
+                  old_bool_tgt);
+    }
+
+    *strong_out = static_cast<int32_t>(strong);
+    *included_out = static_cast<int32_t>(included);
+    return included == 0 ? 0.0
+                         : static_cast<double>(strong) /
+                               static_cast<double>(included);
+  }
+
+  void ComparePairIncremental(TreeNodeId ns, TreeNodeId nt,
+                              TreeMatchDelta* d, TreeMatchResult* result) {
+    NodeSimilarities& sims = result->sims;
+    const bool leaf_pair = s_.IsLeaf(ns) && t_.IsLeaf(nt);
+    if (leaf_pair) {
+      // Always computed: one mix of the current (replayed) leaf state.
+      ++result->stats.pairs_compared;
+      sims.set_wsim(ns, nt, MixWsim(sims, ns, nt, sims.ssim(ns, nt), true));
+      return;
+    }
+    if (PruneByLeafCount(ns, nt)) {
+      ++result->stats.pairs_pruned_leaf_count;
+      // A leaf-count change can prune a pair that fired feedback in the
+      // previous run; that event cannot be replayed, so everything it
+      // scaled is dirty now.
+      if (PrevFeedback(*d, ns, nt) != Feedback::kNone) {
+        d->MarkBlockDirty(ns, nt);
+        ++result->stats.feedback_divergences;
+      }
+      return;
+    }
+    bool reused = false;
+    if (CanReuse(sims, *d, ns, nt)) {
+      sims.set_ssim(ns, nt,
+                    d->prev_sweep->ssim(
+                        d->source_map[static_cast<size_t>(ns)],
+                        d->target_map[static_cast<size_t>(nt)]));
+      reused = true;
+      ++result->stats.pairs_reused;
+    } else {
+      sims.set_ssim(ns, nt, StructuralSimilarity(sims, ns, nt));
+    }
+    ++result->stats.pairs_compared;
+    double wsim = MixWsim(sims, ns, nt, sims.ssim(ns, nt), false);
+    sims.set_wsim(ns, nt, wsim);
+    Feedback f = Classify(wsim);
+    if (!reused && f != PrevFeedback(*d, ns, nt)) {
+      // The feedback history of every leaf pair under this one now differs
+      // from the previous run; nothing below may be reused any more.
+      d->MarkBlockDirty(ns, nt);
+      ++result->stats.feedback_divergences;
+    }
+    if (f == Feedback::kIncrease) {
+      ScaleSubtreeLeaves(ns, nt, opt_.c_inc, &sims);
+      ++result->stats.increases_applied;
+    } else if (f == Feedback::kDecrease) {
+      ScaleSubtreeLeaves(ns, nt, opt_.c_dec, &sims);
+      ++result->stats.decreases_applied;
+    }
+  }
+
   // Both init fills write disjoint source-node rows, so the row blocks can
   // run on the pool; results are identical at any thread count.
   void ProjectLsim(const Matrix<float>& element_lsim, NodeSimilarities* sims,
@@ -226,13 +586,8 @@ class TreeMatcher {
   }
 
   bool PruneByLeafCount(TreeNodeId ns, TreeNodeId nt) const {
-    if (opt_.leaf_count_ratio <= 0.0) return false;
-    size_t a = s_frontier_.of(ns).size();
-    size_t b = t_frontier_.of(nt).size();
-    size_t lo = std::min(a, b), hi = std::max(a, b);
-    if (lo == 0) return hi != 0;
-    return static_cast<double>(hi) >
-           opt_.leaf_count_ratio * static_cast<double>(lo);
+    return PrunedByLeafCount(opt_, s_frontier_.of(ns).size(),
+                             t_frontier_.of(nt).size());
   }
 
   /// The Section 6 / 8.4 structural similarity: fraction of the union of the
@@ -246,7 +601,9 @@ class TreeMatcher {
   static constexpr size_t kCacheMinScan = 64;
 
   double StructuralSimilarity(const NodeSimilarities& sims, TreeNodeId ns,
-                              TreeNodeId nt) const {
+                              TreeNodeId nt,
+                              int32_t* strong_out = nullptr,
+                              int32_t* included_out = nullptr) const {
     const std::vector<LeafRef>& ls = s_frontier_.of(ns);
     const std::vector<LeafRef>& lt = t_frontier_.of(nt);
     const bool cache_src = cache_ != nullptr && lt.size() >= kCacheMinScan;
@@ -259,6 +616,7 @@ class TreeMatcher {
       } else {
         has_link = false;
         for (const LeafRef& y : lt) {
+          ++link_tests_;
           if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
             has_link = true;
             break;
@@ -279,6 +637,7 @@ class TreeMatcher {
       } else {
         has_link = false;
         for (const LeafRef& x : ls) {
+          ++link_tests_;
           if (LinkStrength(sims, x.leaf, y.leaf) >= opt_.th_accept) {
             has_link = true;
             break;
@@ -291,6 +650,10 @@ class TreeMatcher {
       } else if (!(opt_.optional_discount && y.optional)) {
         ++included;
       }
+    }
+    if (strong_out != nullptr) {
+      *strong_out = static_cast<int32_t>(strong);
+      *included_out = static_cast<int32_t>(included);
     }
     return included == 0 ? 0.0
                          : static_cast<double>(strong) /
@@ -376,6 +739,7 @@ class TreeMatcher {
                           NodeSimilarities* sims) const {
     for (const LeafRef& x : s_.leaves(ns)) {
       for (const LeafRef& y : t_.leaves(nt)) {
+        ++scale_ops_;
         if (cache_) {
           // Patch the link bits in place: this loop already visits the
           // pair, while row-level invalidation would trigger full rebuilds
@@ -420,6 +784,10 @@ class TreeMatcher {
   /// Lazily rebuilt link bitsets; null when disabled or when depth-pruned
   /// frontiers make it inapplicable. Mutated from const query paths.
   std::unique_ptr<StrongLinkCache> cache_;
+  /// Work counters surfaced through TreeMatchStats (mutable: the scans run
+  /// from const query paths).
+  mutable int64_t link_tests_ = 0;
+  mutable int64_t scale_ops_ = 0;
 };
 
 }  // namespace
@@ -482,7 +850,117 @@ Status RecomputeNonLeafSimilarities(const SchemaTree& source,
   }
   TypeCompatibilityTable types = TypeCompatibilityTable::Default();
   TreeMatcher matcher(source, target, types, options);
-  matcher.Recompute(&result->sims);
+  matcher.Recompute(result);
+  return Status::OK();
+}
+
+bool PrunedByLeafCount(const TreeMatchOptions& options, size_t source_leaves,
+                       size_t target_leaves) {
+  if (options.leaf_count_ratio <= 0.0) return false;
+  size_t lo = std::min(source_leaves, target_leaves);
+  size_t hi = std::max(source_leaves, target_leaves);
+  if (lo == 0) return hi != 0;
+  return static_cast<double>(hi) >
+         options.leaf_count_ratio * static_cast<double>(lo);
+}
+
+int PrevFeedbackDecision(const TreeMatchOptions& options,
+                         const SchemaTree& prev_source,
+                         const SchemaTree& prev_target,
+                         const NodeSimilarities& prev_sweep, TreeNodeId os,
+                         TreeNodeId ot) {
+  if (prev_source.IsLeaf(os) && prev_target.IsLeaf(ot)) return 0;
+  if (PrunedByLeafCount(options, prev_source.leaves(os).size(),
+                        prev_target.leaves(ot).size())) {
+    return 0;
+  }
+  double w = options.wstruct_nonleaf;
+  double wsim =
+      w * prev_sweep.ssim(os, ot) + (1.0 - w) * prev_sweep.lsim(os, ot);
+  if (wsim > options.th_high) return 1;
+  if (wsim < options.th_low) return -1;
+  return 0;
+}
+
+bool SupportsIncrementalTreeMatch(const TreeMatchOptions& options) {
+  // Depth-pruned frontiers and the skip-leaves fast path consult interior
+  // wsim snapshots the dirty-leaf-pair analysis cannot see; lazy expansion
+  // propagates whole rows mid-sweep; leaf-pair self-feedback would make
+  // leaf wsims event-dependent. Everything else composes.
+  return options.max_leaf_depth == 0 && options.skip_leaves_threshold == 0.0 &&
+         !options.lazy_expansion && !options.leaf_pair_feedback;
+}
+
+namespace {
+
+Status ValidateDelta(const SchemaTree& source, const SchemaTree& target,
+                     const TreeMatchDelta& delta) {
+  if (delta.prev_source == nullptr || delta.prev_target == nullptr ||
+      delta.prev_sweep == nullptr || delta.prev_final == nullptr ||
+      delta.source_leaves == nullptr || delta.target_leaves == nullptr ||
+      delta.dirty == nullptr || delta.dirty_transposed == nullptr) {
+    return Status::InvalidArgument("TreeMatchDelta is incomplete");
+  }
+  if (delta.source_map.size() != static_cast<size_t>(source.num_nodes()) ||
+      delta.target_map.size() != static_cast<size_t>(target.num_nodes()) ||
+      delta.source_reusable.size() != delta.source_map.size() ||
+      delta.target_reusable.size() != delta.target_map.size()) {
+    return Status::InvalidArgument(
+        "TreeMatchDelta maps do not match the trees");
+  }
+  if (delta.prev_sweep->source_nodes() != delta.prev_source->num_nodes() ||
+      delta.prev_sweep->target_nodes() != delta.prev_target->num_nodes() ||
+      delta.prev_final->source_nodes() != delta.prev_source->num_nodes() ||
+      delta.prev_final->target_nodes() != delta.prev_target->num_nodes()) {
+    return Status::InvalidArgument(
+        "TreeMatchDelta snapshots do not match the previous trees");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TreeMatchResult> TreeMatchIncremental(
+    const SchemaTree& source, const SchemaTree& target,
+    const Matrix<float>& element_lsim, const TypeCompatibilityTable& types,
+    const TreeMatchOptions& options, TreeMatchDelta* delta) {
+  CUPID_RETURN_NOT_OK(ValidateTreeMatchOptions(options));
+  if (!SupportsIncrementalTreeMatch(options)) {
+    return Status::Unsupported(
+        "incremental TreeMatch requires max_leaf_depth == 0, "
+        "skip_leaves_threshold == 0, and lazy_expansion / "
+        "leaf_pair_feedback off");
+  }
+  if (element_lsim.rows() != source.schema().num_elements() ||
+      element_lsim.cols() != target.schema().num_elements()) {
+    return Status::InvalidArgument(
+        "element_lsim dimensions do not match the schemas");
+  }
+  CUPID_RETURN_NOT_OK(ValidateDelta(source, target, *delta));
+  TreeMatcher matcher(source, target, types, options);
+  return matcher.RunIncremental(element_lsim, delta);
+}
+
+Status RecomputeNonLeafSimilaritiesIncremental(const SchemaTree& source,
+                                               const SchemaTree& target,
+                                               const TreeMatchOptions& options,
+                                               const TreeMatchDelta& delta,
+                                               TreeMatchResult* result) {
+  CUPID_RETURN_NOT_OK(ValidateTreeMatchOptions(options));
+  if (!SupportsIncrementalTreeMatch(options)) {
+    return Status::Unsupported(
+        "incremental recompute requires the incremental TreeMatch option "
+        "subset");
+  }
+  if (result->sims.source_nodes() != source.num_nodes() ||
+      result->sims.target_nodes() != target.num_nodes()) {
+    return Status::InvalidArgument(
+        "similarity matrix does not match the trees");
+  }
+  CUPID_RETURN_NOT_OK(ValidateDelta(source, target, delta));
+  TypeCompatibilityTable types = TypeCompatibilityTable::Default();
+  TreeMatcher matcher(source, target, types, options);
+  matcher.RecomputeIncremental(delta, result);
   return Status::OK();
 }
 

@@ -5,6 +5,10 @@
 #ifndef CUPID_STRUCTURAL_TREE_MATCH_H_
 #define CUPID_STRUCTURAL_TREE_MATCH_H_
 
+#include <memory>
+#include <vector>
+
+#include "perf/leaf_bitset_index.h"
 #include "structural/similarity_matrix.h"
 #include "structural/type_compatibility.h"
 #include "tree/schema_tree.h"
@@ -90,14 +94,38 @@ struct TreeMatchStats {
   int64_t leaf_scans_skipped = 0;
   int64_t increases_applied = 0;
   int64_t decreases_applied = 0;
+  /// Leaf-pair link-strength evaluations performed by structural-similarity
+  /// scans (the dominant sweep cost on deep schemas).
+  int64_t link_tests = 0;
+  /// Leaf-pair ssim cells rescaled by increase/decrease feedback.
+  int64_t scale_ops = 0;
+  /// Incremental runs only: node pairs whose similarities were copied from
+  /// the previous run instead of rescanned.
+  int64_t pairs_reused = 0;
+  /// Incremental runs only: node pairs whose feedback decision diverged from
+  /// the previous run (their leaf blocks were re-marked dirty).
+  int64_t feedback_divergences = 0;
   /// Strong-link cache activity (0 when the cache is disabled).
   int64_t strong_link_queries = 0;
   int64_t strong_link_rebuilds = 0;
 };
 
+/// Per-pair integer tallies of the structural-similarity fraction
+/// (ssim = strong / included), recorded for every scanned non-leaf pair.
+/// Incremental re-matching adjusts these counts leaf-by-leaf instead of
+/// re-scanning whole leaf sets; the adjusted integers reproduce the exact
+/// division a full scan would perform.
+struct StructuralCounts {
+  Matrix<int32_t> strong;
+  Matrix<int32_t> included;
+};
+
 /// Result of structural matching.
 struct TreeMatchResult {
   NodeSimilarities sims;
+  /// Counts behind the current ssim values: post-sweep after TreeMatch,
+  /// overwritten with final counts by the Section 7 recompute passes.
+  StructuralCounts counts;
   TreeMatchStats stats;
 };
 
@@ -134,6 +162,117 @@ Status RecomputeNonLeafSimilarities(const SchemaTree& source,
 /// \brief Validates option ranges (thresholds within [0,1], factors
 /// positive, th_low <= th_accept <= th_high).
 Status ValidateTreeMatchOptions(const TreeMatchOptions& options);
+
+// ------------------------------------------------ incremental re-matching --
+
+/// \brief Cross-run warm-start input for TreeMatchIncremental, describing
+/// how the current trees relate to the previous run's trees.
+///
+/// Built by incremental/match_session.cc (BuildTreeMatchDelta); consumed and
+/// MUTATED by TreeMatchIncremental: feedback divergences mark further leaf
+/// blocks dirty, and the post-sweep dirty set is exactly what
+/// RecomputeNonLeafSimilaritiesIncremental must then be called with.
+struct TreeMatchDelta {
+  /// Per NEW tree node, the corresponding node of the previous run's tree
+  /// (matched by unique context path), or kNoTreeNode.
+  std::vector<TreeNodeId> source_map;
+  std::vector<TreeNodeId> target_map;
+  /// Node is mapped AND its leaf set corresponds leaf-for-leaf to the
+  /// previous node's (same mapped leaves, same relative optionality). This
+  /// certifies leaf-set MEMBERSHIP only: per-cell differences — renamed or
+  /// retyped leaves, changed lsim — live in `dirty`, so any reuse decision
+  /// must consult the dirty bits as well, never this flag alone.
+  std::vector<uint8_t> source_reusable;
+  std::vector<uint8_t> target_reusable;
+  /// Dense leaf indexes over the NEW trees.
+  std::unique_ptr<LeafIndex> source_leaves;
+  std::unique_ptr<LeafIndex> target_leaves;
+  /// Leaf pairs whose link-relevant inputs (lsim, type-seeded ssim, or
+  /// feedback history) may differ from the previous run; `dirty` is
+  /// row-major over source leaves, `dirty_transposed` mirrors every mark
+  /// over target leaves so both sides support fast per-row queries.
+  std::unique_ptr<LeafPairBits> dirty;
+  std::unique_ptr<LeafPairBits> dirty_transposed;
+
+  /// Marks leaves(ns) x leaves(nt) dirty in both orientations.
+  void MarkBlockDirty(TreeNodeId ns, TreeNodeId nt) {
+    dirty->SetBlock(ns, nt);
+    dirty_transposed->SetBlock(nt, ns);
+  }
+  void MarkPairDirty(TreeNodeId x, TreeNodeId y) {
+    dirty->Set(x, y);
+    dirty_transposed->Set(y, x);
+  }
+  void MarkSourceRowDirty(TreeNodeId x) {
+    dirty->SetRowAll(x);
+    dirty_transposed->SetColAll(x);
+  }
+  void MarkTargetColDirty(TreeNodeId y) {
+    dirty->SetColAll(y);
+    dirty_transposed->SetRowAll(y);
+  }
+  /// The previous run's trees (for leaf-count prune replication) and
+  /// similarity snapshots: post-sweep (before the Section 7 recompute) and
+  /// final (after it), each with the structural counts recorded at that
+  /// stage. All must outlive the incremental calls.
+  const SchemaTree* prev_source = nullptr;
+  const SchemaTree* prev_target = nullptr;
+  const NodeSimilarities* prev_sweep = nullptr;
+  const NodeSimilarities* prev_final = nullptr;
+  /// Counts behind prev_final's non-leaf ssim values (recorded by the
+  /// recompute passes). May be null when the previous run predates counts
+  /// recording; the incremental recompute then falls back to full scans.
+  const StructuralCounts* prev_final_counts = nullptr;
+};
+
+/// \brief The leaf-count pruning rule of the sweep, over two frontier
+/// sizes. One home for the ratio arithmetic shared by the sweep, the
+/// warm-start's previous-run replication, and the session's orphan-event
+/// coverage.
+bool PrunedByLeafCount(const TreeMatchOptions& options, size_t source_leaves,
+                       size_t target_leaves);
+
+/// \brief The feedback decision the previous sweep took at pair (os, ot),
+/// reconstructed from its post-sweep snapshot with ComparePair's exact
+/// arithmetic: +1 increase, -1 decrease, 0 none (leaf pair, pruned pair,
+/// or wsim between thresholds). Shared by the incremental sweep's
+/// divergence check and the session's orphan-event coverage.
+int PrevFeedbackDecision(const TreeMatchOptions& options,
+                         const SchemaTree& prev_source,
+                         const SchemaTree& prev_target,
+                         const NodeSimilarities& prev_sweep, TreeNodeId os,
+                         TreeNodeId ot);
+
+/// \brief True iff `options` are in the subset the incremental warm start
+/// supports: true-leaf frontiers (max_leaf_depth == 0), no
+/// skip-leaves fast path, no lazy expansion, no leaf-pair self-feedback.
+/// Everything else (threads, strong-link cache, thresholds, optional
+/// discounting, leaf-count pruning) composes with warm starts.
+bool SupportsIncrementalTreeMatch(const TreeMatchOptions& options);
+
+/// \brief TreeMatch warm-started from a previous run.
+///
+/// Produces a result bit-identical to TreeMatch(source, target,
+/// element_lsim, types, options): node pairs whose inputs provably match the
+/// previous run's copy their similarities; only pairs reachable from the
+/// delta's dirty leaf set (plus pairs whose feedback decision diverges,
+/// detected on the fly) are rescanned. `delta->dirty` is updated in place.
+Result<TreeMatchResult> TreeMatchIncremental(const SchemaTree& source,
+                                             const SchemaTree& target,
+                                             const Matrix<float>& element_lsim,
+                                             const TypeCompatibilityTable& types,
+                                             const TreeMatchOptions& options,
+                                             TreeMatchDelta* delta);
+
+/// \brief The Section 7 recompute pass warm-started from the previous run's
+/// final similarities. Must be called with the delta as left by
+/// TreeMatchIncremental (its dirty set reflects the finished sweep).
+/// Bit-identical to RecomputeNonLeafSimilarities.
+Status RecomputeNonLeafSimilaritiesIncremental(const SchemaTree& source,
+                                               const SchemaTree& target,
+                                               const TreeMatchOptions& options,
+                                               const TreeMatchDelta& delta,
+                                               TreeMatchResult* result);
 
 }  // namespace cupid
 

@@ -36,6 +36,16 @@ class Matrix {
 
   void Fill(T value) { data_.assign(data_.size(), value); }
 
+  /// Raw row access for hot loops.
+  const T* row(int64_t r) const {
+    assert(r >= 0 && r < rows_);
+    return &data_[static_cast<size_t>(r * cols_)];
+  }
+  T* row(int64_t r) {
+    assert(r >= 0 && r < rows_);
+    return &data_[static_cast<size_t>(r * cols_)];
+  }
+
  private:
   int64_t rows_;
   int64_t cols_;

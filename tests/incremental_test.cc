@@ -1,0 +1,365 @@
+// MatchSession correctness: after any edit stream, Rematch() must be
+// bit-identical to a from-scratch CupidMatcher run on the edited schemas —
+// the warm start may only skip work, never change results. Random edit
+// streams drive every edit kind through the session and compare lsim, node
+// similarities and both mappings value-for-value at every step, at 1 and N
+// threads, with and without the strong-link cache.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/synthetic.h"
+#include "incremental/match_session.h"
+#include "thesaurus/default_thesaurus.h"
+#include "util/random.h"
+
+namespace cupid {
+namespace {
+
+/// Bitwise comparison of a session result against a from-scratch run.
+/// Returns on the first mismatch to keep failure output readable.
+void ExpectIdentical(const MatchResult& inc, const MatchResult& ref,
+                     const std::string& context) {
+  ASSERT_EQ(inc.linguistic.lsim.rows(), ref.linguistic.lsim.rows()) << context;
+  ASSERT_EQ(inc.linguistic.lsim.cols(), ref.linguistic.lsim.cols()) << context;
+  for (int64_t i = 0; i < inc.linguistic.lsim.rows(); ++i) {
+    for (int64_t j = 0; j < inc.linguistic.lsim.cols(); ++j) {
+      ASSERT_EQ(inc.linguistic.lsim(i, j), ref.linguistic.lsim(i, j))
+          << context << " element lsim(" << i << "," << j << ")";
+    }
+  }
+  const NodeSimilarities& a = inc.tree_match.sims;
+  const NodeSimilarities& b = ref.tree_match.sims;
+  ASSERT_EQ(a.source_nodes(), b.source_nodes()) << context;
+  ASSERT_EQ(a.target_nodes(), b.target_nodes()) << context;
+  for (TreeNodeId s = 0; s < a.source_nodes(); ++s) {
+    for (TreeNodeId t = 0; t < a.target_nodes(); ++t) {
+      ASSERT_EQ(a.lsim(s, t), b.lsim(s, t))
+          << context << " lsim(" << s << "," << t << ")";
+      ASSERT_EQ(a.ssim(s, t), b.ssim(s, t))
+          << context << " ssim(" << s << "," << t << ") "
+          << inc.source_tree.PathName(s) << " / "
+          << inc.target_tree.PathName(t);
+      ASSERT_EQ(a.wsim(s, t), b.wsim(s, t))
+          << context << " wsim(" << s << "," << t << ") "
+          << inc.source_tree.PathName(s) << " / "
+          << inc.target_tree.PathName(t);
+    }
+  }
+  auto expect_mapping = [&](const Mapping& m1, const Mapping& m2,
+                            const char* which) {
+    ASSERT_EQ(m1.size(), m2.size()) << context << " " << which;
+    for (size_t i = 0; i < m1.size(); ++i) {
+      ASSERT_EQ(m1.elements[i].source_path, m2.elements[i].source_path)
+          << context << " " << which << "[" << i << "]";
+      ASSERT_EQ(m1.elements[i].target_path, m2.elements[i].target_path)
+          << context << " " << which << "[" << i << "]";
+      ASSERT_EQ(m1.elements[i].wsim, m2.elements[i].wsim)
+          << context << " " << which << "[" << i << "]";
+      ASSERT_EQ(m1.elements[i].ssim, m2.elements[i].ssim)
+          << context << " " << which << "[" << i << "]";
+      ASSERT_EQ(m1.elements[i].lsim, m2.elements[i].lsim)
+          << context << " " << which << "[" << i << "]";
+    }
+  };
+  expect_mapping(inc.leaf_mapping, ref.leaf_mapping, "leaf mapping");
+  expect_mapping(inc.nonleaf_mapping, ref.nonleaf_mapping, "nonleaf mapping");
+}
+
+/// A random edit over the current schemas: every kind is exercised,
+/// including renames onto vocabulary words (thesaurus hits), type drift,
+/// fresh subtrees, and removals.
+SchemaEdit RandomEdit(SplitMix64* rng, const Schema& source,
+                      const Schema& target, int counter) {
+  EditSide side = rng->NextBounded(2) == 0 ? EditSide::kSource
+                                           : EditSide::kTarget;
+  const Schema& schema = side == EditSide::kSource ? source : target;
+  auto random_element = [&](bool allow_root) {
+    // Root is id 0; non-root elements start at 1 (if any exist).
+    if (schema.num_elements() <= 1) return allow_root ? ElementId{0} : kNoElement;
+    return allow_root
+               ? static_cast<ElementId>(rng->NextBounded(
+                     static_cast<uint64_t>(schema.num_elements())))
+               : static_cast<ElementId>(
+                     1 + rng->NextBounded(
+                             static_cast<uint64_t>(schema.num_elements() - 1)));
+  };
+  static const char* kNames[] = {"Qty",        "CustomerNumber", "UnitPrice",
+                                 "ShipToCity", "OrderDate",      "Amount",
+                                 "ContactPhone", "PostalCode"};
+  static const DataType kTypes[] = {DataType::kString,  DataType::kInteger,
+                                    DataType::kDecimal, DataType::kMoney,
+                                    DataType::kDate,    DataType::kBoolean};
+  switch (rng->NextBounded(4)) {
+    case 0: {  // rename: occasionally onto a vocabulary name (collisions OK)
+      ElementId id = random_element(/*allow_root=*/false);
+      if (id == kNoElement || schema.FindByPath(schema.PathName(id)) != id) {
+        break;  // path-ambiguous element (duplicate sibling names): skip
+      }
+      std::string name =
+          rng->NextBernoulli(0.5)
+              ? std::string(kNames[rng->NextBounded(8)])
+              : schema.element(id).name + "X" + std::to_string(counter);
+      return SchemaEdit::RenameElement(side, schema.PathName(id),
+                                       std::move(name));
+    }
+    case 1: {  // retype a random element
+      ElementId id = random_element(/*allow_root=*/false);
+      if (id == kNoElement || schema.FindByPath(schema.PathName(id)) != id) {
+        break;
+      }
+      return SchemaEdit::ChangeDataType(side, schema.PathName(id),
+                                        kTypes[rng->NextBounded(6)]);
+    }
+    case 2: {  // add a leaf under a random element (leaves become containers)
+      ElementId parent = random_element(/*allow_root=*/true);
+      if (schema.FindByPath(schema.PathName(parent)) != parent) break;
+      Element leaf;
+      leaf.name = std::string(kNames[rng->NextBounded(8)]) +
+                  std::to_string(counter);
+      leaf.kind = ElementKind::kAtomic;
+      leaf.data_type = kTypes[rng->NextBounded(6)];
+      leaf.optional = rng->NextBernoulli(0.3);
+      return SchemaEdit::AddElement(side, schema.PathName(parent),
+                                    std::move(leaf));
+    }
+    default: {  // remove a random subtree (keep schemas from emptying out)
+      if (schema.num_elements() > 10) {
+        ElementId id = random_element(/*allow_root=*/false);
+        if (schema.FindByPath(schema.PathName(id)) != id) break;
+        return SchemaEdit::RemoveElement(side, schema.PathName(id));
+      }
+      break;
+    }
+  }
+  // Fallback: benign rename of the root (dirties everything — also a case
+  // worth covering).
+  return SchemaEdit::RenameElement(side, schema.PathName(0),
+                                   schema.name() + "R");
+}
+
+/// Drives `num_edits` random edits through a session, asserting bitwise
+/// equality with from-scratch matching after every Rematch.
+void RunEditStream(const CupidConfig& config, uint64_t seed, int num_edits) {
+  SyntheticOptions opt;
+  opt.num_elements = 60;
+  opt.seed = seed;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  Thesaurus thesaurus = DefaultThesaurus();
+
+  MatchSession session(&thesaurus, pair.source, pair.target, config);
+  CupidMatcher scratch(&thesaurus, config);
+  SplitMix64 rng(seed * 7919 + 13);
+
+  for (int step = 0; step <= num_edits; ++step) {
+    if (step > 0) {
+      SchemaEdit edit =
+          RandomEdit(&rng, session.source(), session.target(), step);
+      ASSERT_TRUE(session.ApplyEdit(edit).ok())
+          << "seed " << seed << " step " << step << " path " << edit.path;
+    }
+    auto inc = session.Rematch();
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    auto ref = scratch.Match(session.source(), session.target());
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    ExpectIdentical(**inc, *ref,
+                    "seed " + std::to_string(seed) + " step " +
+                        std::to_string(step));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+CupidConfig SingleThreaded() {
+  CupidConfig config;
+  config.SetNumThreads(1);
+  return config;
+}
+
+TEST(MatchSessionPropertyTest, EditStreamBitIdenticalSingleThread) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    RunEditStream(SingleThreaded(), seed, 12);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MatchSessionPropertyTest, EditStreamBitIdenticalMultiThread) {
+  CupidConfig config;
+  config.SetNumThreads(4);
+  RunEditStream(config, 11, 12);
+}
+
+TEST(MatchSessionPropertyTest, EditStreamBitIdenticalStrongLinkCache) {
+  CupidConfig config = SingleThreaded();
+  config.tree_match.use_strong_link_cache = true;
+  RunEditStream(config, 21, 12);
+}
+
+TEST(MatchSessionPropertyTest, EditStreamBitIdenticalNaiveLinguistic) {
+  // The session always runs the cached linguistic pipeline; a scratch run
+  // configured with the naive reference path must still agree bit for bit.
+  CupidConfig config = SingleThreaded();
+  config.linguistic.use_perf_cache = false;
+  RunEditStream(config, 31, 8);
+}
+
+TEST(MatchSessionPropertyTest, UnsupportedOptionsFallBackToFullRecompute) {
+  CupidConfig config = SingleThreaded();
+  config.tree_match.lazy_expansion = true;  // outside the warm-start subset
+  SyntheticOptions opt;
+  opt.num_elements = 40;
+  opt.seed = 5;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  Thesaurus thesaurus = DefaultThesaurus();
+  MatchSession session(&thesaurus, pair.source, pair.target, config);
+  ASSERT_TRUE(session.Rematch().ok());
+  ASSERT_TRUE(session
+                  .ApplyEdit(SchemaEdit::RenameElement(
+                      EditSide::kSource, session.source().PathName(1), "Qty"))
+                  .ok());
+  auto r = session.Rematch();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(session.last_stats().incremental);
+  CupidMatcher scratch(&thesaurus, config);
+  auto ref = scratch.Match(session.source(), session.target());
+  ASSERT_TRUE(ref.ok());
+  ExpectIdentical(**r, *ref, "lazy-expansion fallback");
+}
+
+TEST(MatchSessionTest, SingleRenameUsesWarmStartAndReusesPairs) {
+  SyntheticOptions opt;
+  opt.num_elements = 80;
+  opt.seed = 9;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  Thesaurus thesaurus = DefaultThesaurus();
+  MatchSession session(&thesaurus, pair.source, pair.target,
+                       SingleThreaded());
+  ASSERT_TRUE(session.Rematch().ok());
+  EXPECT_FALSE(session.last_stats().incremental);  // cold start
+
+  ElementId leaf = kNoElement;
+  for (ElementId id = 1; id < session.source().num_elements(); ++id) {
+    if (session.source().IsLeaf(id)) leaf = id;
+  }
+  ASSERT_NE(leaf, kNoElement);
+  ASSERT_TRUE(session
+                  .ApplyEdit(SchemaEdit::RenameElement(
+                      EditSide::kSource, session.source().PathName(leaf),
+                      "RenamedLeaf"))
+                  .ok());
+  ASSERT_TRUE(session.Rematch().ok());
+  EXPECT_TRUE(session.last_stats().incremental);
+  EXPECT_GT(session.last_stats().tree_match.pairs_reused, 0);
+  // Most of the name-level similarity table must have survived the edit.
+  EXPECT_GT(session.last_stats().lsim_cached_pairs, 0);
+}
+
+TEST(MatchSessionTest, ServesCachedResultWhenUnedited) {
+  SyntheticOptions opt;
+  opt.num_elements = 30;
+  opt.seed = 4;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  Thesaurus thesaurus = DefaultThesaurus();
+  MatchSession session(&thesaurus, pair.source, pair.target,
+                       SingleThreaded());
+  auto r1 = session.Rematch();
+  ASSERT_TRUE(r1.ok());
+  auto r2 = session.Rematch();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);  // same owned object, no recompute
+}
+
+TEST(MatchSessionTest, EditErrors) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SyntheticOptions opt;
+  opt.num_elements = 20;
+  opt.seed = 6;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  std::string root = pair.source.name();
+  MatchSession session(&thesaurus, std::move(pair.source),
+                       std::move(pair.target), SingleThreaded());
+
+  EXPECT_FALSE(session
+                   .ApplyEdit(SchemaEdit::RenameElement(
+                       EditSide::kSource, "No.Such.Path", "X"))
+                   .ok());
+  EXPECT_FALSE(
+      session.ApplyEdit(SchemaEdit::RemoveElement(EditSide::kSource, root))
+          .ok());
+  EXPECT_FALSE(session
+                   .ApplyEdit(SchemaEdit::RenameElement(EditSide::kSource,
+                                                        root, ""))
+                   .ok());
+  // RefInt elements cannot get reference edges through SchemaEdit, so
+  // adding one must fail up front instead of detonating at Rematch.
+  Element refint;
+  refint.name = "DanglingRef";
+  refint.kind = ElementKind::kRefInt;
+  EXPECT_FALSE(
+      session.ApplyEdit(SchemaEdit::AddElement(EditSide::kSource, root,
+                                               std::move(refint)))
+          .ok());
+  // Errors must not have corrupted the schemas.
+  EXPECT_TRUE(session.Rematch().ok());
+}
+
+TEST(MatchSessionTest, FailedRematchKeepsEditedSchemas) {
+  SyntheticOptions opt;
+  opt.num_elements = 20;
+  opt.seed = 8;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  Thesaurus thesaurus = DefaultThesaurus();
+  CupidConfig config = SingleThreaded();
+  MatchSession session(&thesaurus, pair.source, pair.target, config);
+  ASSERT_TRUE(session.Rematch().ok());
+
+  std::string renamed = session.source().PathName(1);
+  ASSERT_TRUE(session
+                  .ApplyEdit(SchemaEdit::RenameElement(EditSide::kSource,
+                                                       renamed, "Kept"))
+                  .ok());
+  // Sabotage the config so the next Rematch fails before matching.
+  const_cast<CupidConfig&>(session.config()).tree_match.th_accept = 7.0;
+  EXPECT_FALSE(session.Rematch().ok());
+  // The queued edit must survive the failure...
+  EXPECT_EQ(session.source().element(1).name, "Kept");
+  // ...and a repaired config must pick it up.
+  const_cast<CupidConfig&>(session.config()).tree_match.th_accept = 0.5;
+  auto r = session.Rematch();
+  ASSERT_TRUE(r.ok());
+  CupidMatcher scratch(&thesaurus, session.config());
+  auto ref = scratch.Match(session.source(), session.target());
+  ASSERT_TRUE(ref.ok());
+  ExpectIdentical(**r, *ref, "post-failure rematch");
+}
+
+TEST(MatchSessionTest, JoinViewSchemasFallBackButStayCorrect) {
+  // RDB-style schemas carry referential constraints; their trees get
+  // join-view nodes, which the warm start conservatively refuses — results
+  // must still match from-scratch exactly.
+  Thesaurus thesaurus = RdbStarThesaurus();
+  auto rdb = RdbSchema();
+  auto star = StarSchema();
+  ASSERT_TRUE(rdb.ok() && star.ok());
+  CupidConfig config = SingleThreaded();
+  MatchSession session(&thesaurus, *rdb, *star, config);
+  ASSERT_TRUE(session.Rematch().ok());
+  ASSERT_TRUE(session
+                  .ApplyEdit(SchemaEdit::RenameElement(
+                      EditSide::kSource, "RDB.Products.ProductName",
+                      "ItemName"))
+                  .ok());
+  auto r = session.Rematch();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(session.last_stats().incremental);
+  CupidMatcher scratch(&thesaurus, config);
+  auto ref = scratch.Match(session.source(), session.target());
+  ASSERT_TRUE(ref.ok());
+  ExpectIdentical(**r, *ref, "join-view fallback");
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,0 +1,88 @@
+// dump_datasets — writes the shipped data/ files from the built-in datasets.
+//
+//   dump_datasets [<output-dir>]        (default: data)
+//
+// The generated files are committed to the repository and verified by
+// tests/data_files_test.cc: loading each file through the public importers
+// must reproduce the corresponding built-in dataset. Sources:
+//
+//   cidx.xml, excel.xml        raw XSD-lite texts of CidxSchema/ExcelSchema
+//   rdb.sql, star.sql          raw DDL texts of RdbSchema/StarSchema
+//   po.cupid, purchase_order.cupid
+//                              SerializeNativeSchema over the Figure 2 pair
+//   cidx_excel.thesaurus       SaveThesaurus over CidxExcelThesaurus()
+//   order.dtd                  small DTD exercising ID/IDREF -> key/RefInt
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "eval/datasets.h"
+#include "importers/native_format.h"
+#include "thesaurus/default_thesaurus.h"
+#include "thesaurus/thesaurus_io.h"
+
+namespace {
+
+// Section 8.3 names ID/IDREF pairs in DTDs as referential constraints; this
+// document yields one key (header_id) and one RefInt (orderline_parent_ref).
+constexpr const char kOrderDtd[] =
+    "<!-- Purchase order DTD: exercises the ID/IDREF -> key/RefInt path\n"
+    "     of the DTD importer (see importers/dtd_parser.h). -->\n"
+    "<!ELEMENT order (header, orderline+)>\n"
+    "<!ELEMENT header (#PCDATA)>\n"
+    "<!ATTLIST header id ID #REQUIRED>\n"
+    "<!ELEMENT orderline (qty, uom?)>\n"
+    "<!ATTLIST orderline parent IDREF #IMPLIED>\n";
+
+bool WriteFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cupid;
+  std::filesystem::path dir = argc > 1 ? argv[1] : "data";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  ok &= WriteFile(dir / "cidx.xml", CidxSchemaXmlText());
+  ok &= WriteFile(dir / "excel.xml", ExcelSchemaXmlText());
+  ok &= WriteFile(dir / "rdb.sql", RdbSchemaSqlText());
+  ok &= WriteFile(dir / "star.sql", StarSchemaSqlText());
+  ok &= WriteFile(dir / "po.cupid", SerializeNativeSchema(Fig2Po()));
+  ok &= WriteFile(dir / "purchase_order.cupid",
+                  SerializeNativeSchema(Fig2PurchaseOrder()));
+  ok &= WriteFile(dir / "order.dtd", kOrderDtd);
+
+  Status saved = SaveThesaurus(CidxExcelThesaurus(),
+                               (dir / "cidx_excel.thesaurus").string());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    ok = false;
+  } else {
+    std::printf("wrote %s\n", (dir / "cidx_excel.thesaurus").c_str());
+  }
+  return ok ? 0 : 1;
+}
