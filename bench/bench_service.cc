@@ -1,0 +1,271 @@
+// E10 — the match service layer under request traffic.
+//
+// Measures what the service adds over per-call matching: requests/sec at 1
+// and N scheduler workers on the shipped data/ schema pairs (cidx->excel,
+// rdb->star, po->purchase_order), on three workload shapes:
+//
+//   * BM_ServiceWarmRepeated/T   repeated identical requests — after the
+//                                first round every request is an LRU
+//                                result-cache hit (the steady state of
+//                                read-heavy traffic)
+//   * BM_ServiceSessionOnly/T    result cache off, warm per-pair sessions
+//                                on — every request re-serves the session's
+//                                cached result (the "cache key missed but
+//                                the pair is warm" state)
+//   * BM_ServiceColdDirect/T    result cache and sessions off — every
+//                                request is a full CupidMatcher run (the
+//                                no-service baseline)
+//   * BM_ServiceEditRematch      one repository edit then a re-match per
+//                                iteration — the incremental serving path
+//   * BM_ServiceEqualsDirect     correctness guard: a mixed workload with
+//                                edits where every response must equal the
+//                                direct CupidMatcher::Match bit for bit
+//                                (mapping_mismatches must be exactly 0)
+//
+// CI runs this with --benchmark_out=BENCH_service.json, asserts the guard
+// counter and that warm throughput beats cold throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cupid_matcher.h"
+#include "service/job_scheduler.h"
+#include "service/match_service.h"
+#include "service/schema_repository.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+CupidConfig SingleThreadedConfig() {
+  // Per-match phases stay sequential; parallelism comes from the
+  // scheduler's workers, so the two knobs are not conflated.
+  CupidConfig config;
+  config.SetNumThreads(1);
+  return config;
+}
+
+/// The three shipped schema pairs, loaded from data/ through the importers.
+struct Workload {
+  SchemaRepository repo;
+  std::vector<std::pair<std::string, std::string>> pairs;
+
+  static std::unique_ptr<Workload> Create() {
+    auto w = std::make_unique<Workload>();
+    std::string data = CUPID_DATA_DIR;
+    struct Entry {
+      const char* name;
+      const char* file;
+    };
+    const Entry files[] = {{"cidx", "cidx.xml"}, {"excel", "excel.xml"},
+                           {"rdb", "rdb.sql"},   {"star", "star.sql"},
+                           {"po", "po.cupid"},   {"order",
+                                                  "purchase_order.cupid"}};
+    for (const Entry& e : files) {
+      if (!w->repo.RegisterFile(e.name, data + "/" + e.file).ok()) {
+        return nullptr;
+      }
+    }
+    w->pairs = {{"cidx", "excel"}, {"rdb", "star"}, {"po", "order"}};
+    return w;
+  }
+
+  MatchRequest Request(size_t which, bool use_result_cache,
+                       bool use_session) const {
+    MatchRequest request;
+    request.source = pairs[which % pairs.size()].first;
+    request.target = pairs[which % pairs.size()].second;
+    request.config = SingleThreadedConfig();
+    request.use_result_cache = use_result_cache;
+    request.use_session = use_session;
+    return request;
+  }
+};
+
+constexpr int kRequestsPerIteration = 24;
+
+void RunTrafficBench(benchmark::State& state, bool use_result_cache,
+                     bool use_session) {
+  std::unique_ptr<Workload> workload = Workload::Create();
+  if (workload == nullptr) {
+    state.SkipWithError("data/ schemas failed to load");
+    return;
+  }
+  Thesaurus thesaurus = DefaultThesaurus();
+  MatchService service(&thesaurus, &workload->repo);
+  JobScheduler::Options options;
+  options.num_threads = static_cast<int>(state.range(0));
+  JobScheduler scheduler(&service, options);
+
+  int64_t requests = 0;
+  for (auto _ : state) {
+    std::vector<MatchRequest> batch;
+    batch.reserve(kRequestsPerIteration);
+    for (int i = 0; i < kRequestsPerIteration; ++i) {
+      batch.push_back(
+          workload->Request(static_cast<size_t>(i), use_result_cache,
+                            use_session));
+    }
+    auto responses = scheduler.MatchBatch(std::move(batch));
+    for (const auto& response : responses) {
+      if (!response.ok()) state.SkipWithError("request failed");
+    }
+    requests += kRequestsPerIteration;
+  }
+  state.SetItemsProcessed(requests);
+  MatchService::CacheStats stats = service.cache_stats();
+  int64_t lookups = stats.result_hits + stats.result_misses;
+  state.counters["cache_hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.result_hits) /
+                         static_cast<double>(lookups);
+  state.counters["sessions_created"] =
+      static_cast<double>(stats.sessions_created);
+  state.counters["sessions_reused"] =
+      static_cast<double>(stats.sessions_reused);
+}
+
+void BM_ServiceWarmRepeated(benchmark::State& state) {
+  RunTrafficBench(state, /*use_result_cache=*/true, /*use_session=*/true);
+}
+BENCHMARK(BM_ServiceWarmRepeated)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_ServiceSessionOnly(benchmark::State& state) {
+  RunTrafficBench(state, /*use_result_cache=*/false, /*use_session=*/true);
+}
+BENCHMARK(BM_ServiceSessionOnly)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_ServiceColdDirect(benchmark::State& state) {
+  RunTrafficBench(state, /*use_result_cache=*/false, /*use_session=*/false);
+}
+BENCHMARK(BM_ServiceColdDirect)->Arg(1)->Arg(4)->UseRealTime();
+
+/// One repository edit + re-match per iteration: the serving pattern the
+/// incremental layer exists for, measured end to end through the service.
+void BM_ServiceEditRematch(benchmark::State& state) {
+  std::unique_ptr<Workload> workload = Workload::Create();
+  if (workload == nullptr) {
+    state.SkipWithError("data/ schemas failed to load");
+    return;
+  }
+  Thesaurus thesaurus = DefaultThesaurus();
+  MatchService service(&thesaurus, &workload->repo);
+  // Warm the pair once so every measured iteration is edit + rematch.
+  MatchRequest request = workload->Request(2, /*use_result_cache=*/false,
+                                           /*use_session=*/true);
+  if (!service.Match(request).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  int64_t incremental = 0, total = 0;
+  int counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SchemaEdit edit = SchemaEdit::RenameElement(
+        EditSide::kSource, counter % 2 == 0 ? "PO.POLines.Item.Qty"
+                                            : "PO.POLines.Item.Quantity",
+        counter % 2 == 0 ? "Quantity" : "Qty");
+    ++counter;
+    if (!workload->repo.ApplyEdit("po", edit).ok()) {
+      state.SkipWithError("edit failed");
+      break;
+    }
+    state.ResumeTiming();
+    auto response = service.Match(request);
+    if (!response.ok()) {
+      state.SkipWithError("match failed");
+      break;
+    }
+    ++total;
+    if (response->incremental) ++incremental;
+  }
+  state.SetItemsProcessed(total);
+  state.counters["incremental_rate"] =
+      total == 0 ? 0.0
+                 : static_cast<double>(incremental) /
+                       static_cast<double>(total);
+}
+BENCHMARK(BM_ServiceEditRematch)->UseRealTime();
+
+/// Correctness guard: a mixed workload (all pairs, cache on/off, edits in
+/// between) where every response must reproduce the direct
+/// CupidMatcher::Match mappings exactly. CI requires the counter == 0.
+void BM_ServiceEqualsDirect(benchmark::State& state) {
+  double mapping_mismatches = 0.0;
+  for (auto _ : state) {
+    std::unique_ptr<Workload> workload = Workload::Create();
+    if (workload == nullptr) {
+      state.SkipWithError("data/ schemas failed to load");
+      return;
+    }
+    Thesaurus thesaurus = DefaultThesaurus();
+    MatchService service(&thesaurus, &workload->repo);
+    CupidMatcher matcher(&thesaurus, SingleThreadedConfig());
+    for (int round = 0; round < 12; ++round) {
+      if (round == 4) {
+        if (!workload->repo
+                 .ApplyEdit("po", SchemaEdit::RenameElement(
+                                      EditSide::kSource,
+                                      "PO.POLines.Item.Qty", "Quantity"))
+                 .ok()) {
+          state.SkipWithError("edit failed");
+          return;
+        }
+      }
+      if (round == 8) {
+        if (!workload->repo
+                 .ApplyEdit("star", SchemaEdit::ChangeDataType(
+                                        EditSide::kSource,
+                                        "star.SALES.UnitPrice",
+                                        DataType::kDecimal))
+                 .ok()) {
+          state.SkipWithError("edit failed");
+          return;
+        }
+      }
+      MatchRequest request = workload->Request(
+          static_cast<size_t>(round), /*use_result_cache=*/round % 2 == 0,
+          /*use_session=*/round % 3 != 2);
+      auto response = service.Match(request);
+      if (!response.ok()) {
+        state.SkipWithError("match failed");
+        return;
+      }
+      auto source =
+          workload->repo.Get(response->source, response->source_version);
+      auto target =
+          workload->repo.Get(response->target, response->target_version);
+      auto ref = matcher.Match(**source, **target);
+      if (!ref.ok()) {
+        state.SkipWithError("direct match failed");
+        return;
+      }
+      const Mapping& got = response->leaf_mapping;
+      const Mapping& want = ref->leaf_mapping;
+      if (got.size() != want.size()) {
+        ++mapping_mismatches;
+        continue;
+      }
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (got.elements[i].source_path != want.elements[i].source_path ||
+            got.elements[i].target_path != want.elements[i].target_path ||
+            got.elements[i].wsim != want.elements[i].wsim ||
+            got.elements[i].ssim != want.elements[i].ssim ||
+            got.elements[i].lsim != want.elements[i].lsim) {
+          ++mapping_mismatches;
+          break;
+        }
+      }
+    }
+  }
+  state.counters["mapping_mismatches"] = mapping_mismatches;
+}
+BENCHMARK(BM_ServiceEqualsDirect)->Iterations(1);
+
+}  // namespace
+}  // namespace cupid
+
+BENCHMARK_MAIN();

@@ -23,10 +23,7 @@
 #include <string>
 
 #include "core/cupid_matcher.h"
-#include "importers/dtd_parser.h"
-#include "importers/native_format.h"
-#include "importers/sql_ddl_parser.h"
-#include "importers/xml_schema_loader.h"
+#include "importers/schema_io.h"
 #include "mapping/mapping_render.h"
 #include "thesaurus/default_thesaurus.h"
 #include "thesaurus/thesaurus_io.h"
@@ -35,19 +32,6 @@
 using namespace cupid;
 
 namespace {
-
-Result<Schema> LoadSchemaAuto(const std::string& path) {
-  if (EndsWith(path, ".xml")) return LoadXmlSchemaFile(path);
-  if (EndsWith(path, ".sql") || EndsWith(path, ".ddl")) {
-    return LoadSqlDdlFile(path);
-  }
-  if (EndsWith(path, ".dtd")) return LoadDtdFile(path);
-  if (EndsWith(path, ".cupid")) return LoadNativeSchemaFile(path);
-  return Status::Unsupported(
-      "unrecognized schema extension (want .xml, .sql/.ddl, .dtd or "
-      ".cupid): " +
-      path);
-}
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -78,28 +62,26 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--nonleaf")) {
       nonleaf = true;
     } else if (!std::strcmp(argv[i], "--thaccept") && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      th_accept = std::strtod(arg, &end);
-      // Reject partially consumed ("0.5x") and empty inputs; atof would
-      // silently turn both into 0.0.
-      if (end == arg || *end != '\0') {
-        std::fprintf(stderr, "--thaccept: not a number: %s\n", arg);
+      auto parsed = ParseDouble(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--thaccept: %s\n",
+                     parsed.status().ToString().c_str());
         return Usage(argv[0]);
       }
+      th_accept = *parsed;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return Usage(argv[0]);
     }
   }
 
-  auto source = LoadSchemaAuto(source_path);
+  auto source = LoadSchemaFileAuto(source_path);
   if (!source.ok()) {
     std::fprintf(stderr, "%s: %s\n", source_path.c_str(),
                  source.status().ToString().c_str());
     return 1;
   }
-  auto target = LoadSchemaAuto(target_path);
+  auto target = LoadSchemaFileAuto(target_path);
   if (!target.ok()) {
     std::fprintf(stderr, "%s: %s\n", target_path.c_str(),
                  target.status().ToString().c_str());

@@ -1,0 +1,506 @@
+// cupid_server — JSONL request-batch driver over the match service layer.
+//
+//   cupid_server [options] [< requests.jsonl]
+//
+// Reads one JSON command per line from stdin (or --input <file>), executes
+// it against a long-lived SchemaRepository + MatchService + JobScheduler,
+// and writes one JSON response per line to stdout. This is the "many
+// clients, one warm server" deployment shape: schemas are registered once,
+// match results and per-pair sessions stay warm across requests, and batch
+// commands fan out over the scheduler's worker pool.
+//
+// Commands:
+//   {"cmd":"register","name":"po","file":"data/po.cupid"}
+//   {"cmd":"register","name":"inline","format":"native","text":"schema S\n"}
+//   {"cmd":"edit","name":"po","op":"rename","path":"PO.POLines.Item.Qty",
+//    "to":"Quantity"}
+//   {"cmd":"edit","name":"po","op":"retype","path":"...","type":"integer"}
+//   {"cmd":"edit","name":"po","op":"add","parent":"PO.POLines","leaf":"Tax",
+//    "type":"decimal","optional":true}
+//   {"cmd":"edit","name":"po","op":"remove","path":"PO.POLines.Item.UoM"}
+//   {"cmd":"match","source":"po","target":"order","source_version":0,
+//    "target_version":0,"mappings":true,
+//    "config":{"th_accept":0.5,"one_to_one":false,"num_threads":1},
+//    "use_result_cache":true,"use_session":true}
+//   {"cmd":"batch","requests":[{...match fields...},...]}   // concurrent
+//   {"cmd":"save","dir":"/tmp/repo"}      {"cmd":"load","dir":"/tmp/repo"}
+//   {"cmd":"stats"}
+//
+// Options:
+//   --input <file>     read commands from a file instead of stdin
+//   --threads <n>      scheduler worker threads (default: all hardware)
+//   --queue <n>        max in-flight jobs (default 1024)
+//   --thesaurus <file> thesaurus to match under (default: built-in)
+//   --cache <n>        result-cache capacity (default 128)
+//   --selfcheck        re-run every match directly through CupidMatcher and
+//                      report "selfcheck":"ok"/"mismatch" per response (CI)
+//   --quiet-mappings   default "mappings" to false (sizes only)
+//
+// Exit code 0 when every command succeeded, 1 otherwise (each failing
+// command also reports {"status":"error",...} on its own line).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cupid_matcher.h"
+#include "importers/schema_io.h"
+#include "service/job_scheduler.h"
+#include "service/match_service.h"
+#include "service/schema_repository.h"
+#include "thesaurus/default_thesaurus.h"
+#include "thesaurus/thesaurus_io.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+using namespace cupid;
+
+namespace {
+
+struct ServerOptions {
+  std::string input_path;
+  std::string thesaurus_path;
+  int threads = 0;
+  int queue = 1024;
+  int cache = 128;
+  bool selfcheck = false;
+  bool default_mappings = true;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--input <file>] [--threads <n>] [--queue <n>]\n"
+               "          [--thesaurus <file>] [--cache <n>] [--selfcheck]\n"
+               "          [--quiet-mappings]  < requests.jsonl\n",
+               argv0);
+  return 1;
+}
+
+void EmitError(const std::string& cmd, const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("error");
+  w.Key("cmd");
+  w.String(cmd);
+  w.Key("error");
+  w.String(status.ToString());
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
+/// Builds a MatchRequest from the fields of a match/batch JSON object.
+Result<MatchRequest> ParseMatchRequest(const JsonValue& v) {
+  MatchRequest request;
+  request.source = v.GetString("source");
+  request.target = v.GetString("target");
+  if (request.source.empty() || request.target.empty()) {
+    return Status::InvalidArgument("match needs source and target");
+  }
+  request.source_version = static_cast<int>(v.GetInt("source_version", 0));
+  request.target_version = static_cast<int>(v.GetInt("target_version", 0));
+  request.use_result_cache = v.GetBool("use_result_cache", true);
+  request.use_session = v.GetBool("use_session", true);
+  if (const JsonValue* config = v.Find("config")) {
+    if (!config->is_object()) {
+      return Status::InvalidArgument("config must be an object");
+    }
+    double th = config->GetNumber("th_accept", 0.5);
+    request.config.mapping.th_accept = th;
+    request.config.tree_match.th_accept = th;
+    request.config.tree_match.th_low =
+        std::min(request.config.tree_match.th_low, th);
+    request.config.tree_match.th_high =
+        std::max(request.config.tree_match.th_high, th);
+    if (config->GetBool("one_to_one", false)) {
+      request.config.mapping.cardinality =
+          MappingCardinality::kOneToOneStable;
+    }
+    request.config.SetNumThreads(
+        static_cast<int>(config->GetInt("num_threads", 0)));
+    if (config->GetBool("strong_link_cache", false)) {
+      request.config.tree_match.use_strong_link_cache = true;
+    }
+  } else {
+    // Server default: per-match phases run single-threaded; concurrency
+    // comes from the scheduler's workers.
+    request.config.SetNumThreads(1);
+  }
+  CUPID_RETURN_NOT_OK(request.config.Validate());
+  return request;
+}
+
+/// Re-runs `response`'s request directly through CupidMatcher and compares
+/// mappings value-for-value ("ok" / "mismatch: <detail>").
+std::string Selfcheck(const MatchResponse& response,
+                      const SchemaRepository& repo,
+                      const Thesaurus& thesaurus, const CupidConfig& config) {
+  auto source = repo.Get(response.source, response.source_version);
+  auto target = repo.Get(response.target, response.target_version);
+  if (!source.ok() || !target.ok()) return "mismatch: schema gone";
+  CupidMatcher matcher(&thesaurus, config);
+  auto ref = matcher.Match(**source, **target);
+  if (!ref.ok()) return "mismatch: direct match failed";
+  auto compare = [](const Mapping& got, const Mapping& want,
+                    const char* which) -> std::string {
+    if (got.size() != want.size()) {
+      return StringFormat("mismatch: %s size %zu != %zu", which, got.size(),
+                          want.size());
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got.elements[i].source_path != want.elements[i].source_path ||
+          got.elements[i].target_path != want.elements[i].target_path ||
+          got.elements[i].wsim != want.elements[i].wsim ||
+          got.elements[i].ssim != want.elements[i].ssim ||
+          got.elements[i].lsim != want.elements[i].lsim) {
+        return StringFormat("mismatch: %s element %zu", which, i);
+      }
+    }
+    return "";
+  };
+  std::string leaf = compare(response.leaf_mapping, ref->leaf_mapping, "leaf");
+  if (!leaf.empty()) return leaf;
+  std::string nonleaf =
+      compare(response.nonleaf_mapping, ref->nonleaf_mapping, "nonleaf");
+  if (!nonleaf.empty()) return nonleaf;
+  return "ok";
+}
+
+Result<SchemaEdit> ParseEdit(const JsonValue& v) {
+  std::string name = v.GetString("name");
+  std::string op = v.GetString("op");
+  std::string path = v.GetString("path");
+  if (op == "rename") {
+    std::string to = v.GetString("to");
+    if (path.empty() || to.empty()) {
+      return Status::InvalidArgument("rename needs path and to");
+    }
+    return SchemaEdit::RenameElement(EditSide::kSource, path, to);
+  }
+  if (op == "retype") {
+    CUPID_ASSIGN_OR_RETURN(DataType type,
+                           DataTypeFromName(v.GetString("type")));
+    if (path.empty()) return Status::InvalidArgument("retype needs path");
+    return SchemaEdit::ChangeDataType(EditSide::kSource, path, type);
+  }
+  if (op == "add") {
+    std::string parent = v.GetString("parent");
+    std::string leaf_name = v.GetString("leaf");
+    if (parent.empty() || leaf_name.empty()) {
+      return Status::InvalidArgument("add needs parent and leaf");
+    }
+    Element leaf;
+    leaf.name = leaf_name;
+    leaf.kind = ElementKind::kAtomic;
+    leaf.data_type = DataType::kString;
+    if (const JsonValue* type = v.Find("type")) {
+      CUPID_ASSIGN_OR_RETURN(leaf.data_type, DataTypeFromName(type->string));
+    }
+    leaf.optional = v.GetBool("optional", false);
+    return SchemaEdit::AddElement(EditSide::kSource, parent, std::move(leaf));
+  }
+  if (op == "remove") {
+    if (path.empty()) return Status::InvalidArgument("remove needs path");
+    return SchemaEdit::RemoveElement(EditSide::kSource, path);
+  }
+  return Status::InvalidArgument("unknown edit op: " + op);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto int_flag = [&](const char* flag, int* out) -> bool {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      auto parsed = ParseInt(argv[++i]);
+      if (!parsed.ok() || *parsed < 0) {
+        std::fprintf(stderr, "%s: %s\n", flag,
+                     parsed.ok() ? "must be >= 0"
+                                 : parsed.status().ToString().c_str());
+        std::exit(Usage(argv[0]));
+      }
+      *out = static_cast<int>(*parsed);
+      return true;
+    };
+    int threads = -1, queue = -1, cache = -1;
+    if (!std::strcmp(argv[i], "--input") && i + 1 < argc) {
+      options.input_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--thesaurus") && i + 1 < argc) {
+      options.thesaurus_path = argv[++i];
+    } else if (int_flag("--threads", &threads)) {
+      options.threads = threads;
+    } else if (int_flag("--queue", &queue)) {
+      options.queue = queue;
+    } else if (int_flag("--cache", &cache)) {
+      options.cache = cache;
+    } else if (!std::strcmp(argv[i], "--selfcheck")) {
+      options.selfcheck = true;
+    } else if (!std::strcmp(argv[i], "--quiet-mappings")) {
+      options.default_mappings = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  Thesaurus thesaurus;
+  if (options.thesaurus_path.empty()) {
+    thesaurus = DefaultThesaurus();
+  } else {
+    auto loaded = LoadThesaurus(options.thesaurus_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.thesaurus_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    thesaurus = std::move(loaded).ValueOrDie();
+  }
+
+  SchemaRepository repo;
+  MatchService::Options service_options;
+  service_options.result_cache_capacity = options.cache;
+  MatchService service(&thesaurus, &repo, service_options);
+  JobScheduler::Options scheduler_options;
+  scheduler_options.num_threads = options.threads;
+  scheduler_options.max_pending = options.queue;
+  JobScheduler scheduler(&service, scheduler_options);
+
+  std::ifstream file;
+  if (!options.input_path.empty()) {
+    file.open(options.input_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", options.input_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = options.input_path.empty() ? std::cin : file;
+
+  int errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (TrimWhitespace(line).empty()) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      EmitError("?", parsed.status());
+      ++errors;
+      continue;
+    }
+    std::string cmd = parsed->GetString("cmd");
+
+    auto emit_match_response = [&](const MatchResponse& response,
+                                   const CupidConfig& config,
+                                   bool include_mappings) {
+      std::string json = response.ToJson(include_mappings);
+      // Splice server-side fields into the response object tail.
+      json.pop_back();  // trailing '}'
+      json += ",\"status\":\"ok\"";
+      if (options.selfcheck) {
+        std::string verdict = Selfcheck(response, repo, thesaurus, config);
+        json += ",\"selfcheck\":\"" + JsonEscape(verdict) + "\"";
+        if (verdict != "ok") ++errors;
+      }
+      json += "}";
+      std::printf("%s\n", json.c_str());
+    };
+
+    if (cmd == "register") {
+      std::string name = parsed->GetString("name");
+      if (name.empty()) {
+        EmitError(cmd, Status::InvalidArgument("register needs name"));
+        ++errors;
+        continue;
+      }
+      Result<int> version = Status::Internal("unreachable");
+      if (const JsonValue* text = parsed->Find("text")) {
+        auto format = SchemaFormatFromName(parsed->GetString("format", "native"));
+        if (!format.ok()) {
+          EmitError(cmd, format.status());
+          ++errors;
+          continue;
+        }
+        version = repo.RegisterText(name, *format, text->string);
+      } else {
+        std::string path = parsed->GetString("file");
+        if (path.empty()) {
+          EmitError(cmd, Status::InvalidArgument("register needs file or text"));
+          ++errors;
+          continue;
+        }
+        version = repo.RegisterFile(name, path);
+      }
+      if (!version.ok()) {
+        EmitError(cmd, version.status());
+        ++errors;
+        continue;
+      }
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("status");
+      w.String("ok");
+      w.Key("cmd");
+      w.String(cmd);
+      w.Key("name");
+      w.String(name);
+      w.Key("version");
+      w.Int(*version);
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else if (cmd == "edit") {
+      std::string name = parsed->GetString("name");
+      auto edit = ParseEdit(*parsed);
+      Result<int> version =
+          edit.ok() ? repo.ApplyEdit(name, *edit) : Result<int>(edit.status());
+      if (!version.ok()) {
+        EmitError(cmd, version.status());
+        ++errors;
+        continue;
+      }
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("status");
+      w.String("ok");
+      w.Key("cmd");
+      w.String(cmd);
+      w.Key("name");
+      w.String(name);
+      w.Key("version");
+      w.Int(*version);
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else if (cmd == "match") {
+      auto request = ParseMatchRequest(*parsed);
+      if (!request.ok()) {
+        EmitError(cmd, request.status());
+        ++errors;
+        continue;
+      }
+      bool include_mappings =
+          parsed->GetBool("mappings", options.default_mappings);
+      CupidConfig config = request->config;
+      auto job = scheduler.Submit(*std::move(request));
+      if (!job.ok()) {
+        EmitError(cmd, job.status());
+        ++errors;
+        continue;
+      }
+      const Result<MatchResponse>& response = (*job)->Wait();
+      if (!response.ok()) {
+        EmitError(cmd, response.status());
+        ++errors;
+        continue;
+      }
+      emit_match_response(*response, config, include_mappings);
+    } else if (cmd == "batch") {
+      const JsonValue* requests = parsed->Find("requests");
+      if (requests == nullptr || !requests->is_array()) {
+        EmitError(cmd, Status::InvalidArgument("batch needs requests[]"));
+        ++errors;
+        continue;
+      }
+      std::vector<MatchRequest> batch;
+      std::vector<CupidConfig> configs;
+      std::vector<bool> include;
+      bool bad = false;
+      for (const JsonValue& item : requests->array) {
+        auto request = ParseMatchRequest(item);
+        if (!request.ok()) {
+          EmitError(cmd, request.status());
+          ++errors;
+          bad = true;
+          break;
+        }
+        configs.push_back(request->config);
+        include.push_back(item.GetBool("mappings", options.default_mappings));
+        batch.push_back(*std::move(request));
+      }
+      if (bad) continue;
+      // Concurrent fan-out over the scheduler's workers; responses are
+      // emitted in request order.
+      std::vector<Result<MatchResponse>> responses =
+          scheduler.MatchBatch(std::move(batch));
+      for (size_t i = 0; i < responses.size(); ++i) {
+        if (!responses[i].ok()) {
+          EmitError(cmd, responses[i].status());
+          ++errors;
+          continue;
+        }
+        emit_match_response(*responses[i], configs[i], include[i]);
+      }
+    } else if (cmd == "save" || cmd == "load") {
+      std::string dir = parsed->GetString("dir");
+      Status status = dir.empty()
+                          ? Status::InvalidArgument(cmd + " needs dir")
+                          : Status::OK();
+      if (status.ok() && cmd == "save") status = repo.SaveTo(dir);
+      if (status.ok() && cmd == "load") {
+        auto loaded = SchemaRepository::LoadFrom(dir);
+        if (!loaded.ok()) {
+          status = loaded.status();
+        } else {
+          // Replace wholesale; stale sessions/results must not survive the
+          // version-number restart.
+          repo = std::move(*loaded);
+          service.InvalidateAll();
+        }
+      }
+      if (!status.ok()) {
+        EmitError(cmd, status);
+        ++errors;
+        continue;
+      }
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("status");
+      w.String("ok");
+      w.Key("cmd");
+      w.String(cmd);
+      w.Key("dir");
+      w.String(dir);
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else if (cmd == "stats") {
+      MatchService::CacheStats stats = service.cache_stats();
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("status");
+      w.String("ok");
+      w.Key("cmd");
+      w.String(cmd);
+      w.Key("result_hits");
+      w.Int(stats.result_hits);
+      w.Key("result_misses");
+      w.Int(stats.result_misses);
+      w.Key("result_evictions");
+      w.Int(stats.result_evictions);
+      w.Key("sessions_created");
+      w.Int(stats.sessions_created);
+      w.Key("sessions_reused");
+      w.Int(stats.sessions_reused);
+      w.Key("incremental_rematches");
+      w.Int(stats.incremental_rematches);
+      w.Key("schemas");
+      w.BeginArray();
+      for (const std::string& name : repo.Names()) {
+        w.BeginObject();
+        w.Key("name");
+        w.String(name);
+        w.Key("latest_version");
+        w.Int(repo.LatestVersion(name));
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      EmitError(cmd.empty() ? "?" : cmd,
+                Status::InvalidArgument("unknown cmd"));
+      ++errors;
+    }
+  }
+  return errors == 0 ? 0 : 1;
+}

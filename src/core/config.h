@@ -4,6 +4,7 @@
 #ifndef CUPID_CORE_CONFIG_H_
 #define CUPID_CORE_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,16 @@ struct CupidConfig {
 /// \brief Renders the Table 1 parameters of `config` as an aligned text
 /// table (used by bench_table1_parameters and diagnostics).
 std::string DescribeParameters(const CupidConfig& config);
+
+/// \brief Stable 64-bit digest of every result-affecting tunable (all
+/// thresholds, weights, flags, the type-compatibility table, cardinality
+/// and scope). Two configs with equal fingerprints produce identical match
+/// results on identical inputs, so the fingerprint is a safe result-cache
+/// key component (service/match_service.h). Thread counts and perf-cache
+/// toggles ARE included even though results are invariant to them — a
+/// conservative over-split that can only cost cache hits, never serve a
+/// wrong result.
+uint64_t ConfigFingerprint(const CupidConfig& config);
 
 }  // namespace cupid
 

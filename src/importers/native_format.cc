@@ -71,6 +71,17 @@ Result<Schema> ParseNativeSchema(const std::string& text) {
     }
   }
 
+  // key/ref member names and ref target paths are resolved after the whole
+  // file is parsed (targets may be forward references).
+  struct PendingEdges {
+    int line_number;
+    ElementId owner;
+    ElementId parent;
+    std::vector<std::string> members;  // sibling names to aggregate
+    std::vector<std::string> targets;  // dotted paths to reference (ref only)
+  };
+  std::vector<PendingEdges> pending;
+
   // Pass 2: build the tree. parents[d] = element open at depth d.
   std::vector<ElementId> parents{builder.root()};
   for (size_t i = 1; i < lines.size(); ++i) {
@@ -80,6 +91,52 @@ Result<Schema> ParseNativeSchema(const std::string& text) {
     if (kind == "type") {
       parents.resize(1);
       parents.push_back(types[line.words[1]]);
+      continue;
+    }
+    if (kind == "key" || kind == "ref") {
+      if (line.words.size() < 2) {
+        return Status::ParseError(
+            StringFormat("line %d: missing name", line.number));
+      }
+      if (line.depth >= static_cast<int>(parents.size())) {
+        return Status::ParseError(
+            StringFormat("line %d: indentation jumps a level", line.number));
+      }
+      parents.resize(static_cast<size_t>(line.depth) + 1);
+      PendingEdges edges;
+      edges.line_number = line.number;
+      edges.parent = parents[static_cast<size_t>(line.depth)];
+      // `key N = A B` / `ref N = A B -> P [P ...]` / `ref N -> P`.
+      size_t w = 2;
+      bool in_targets = false;
+      if (w < line.words.size() && line.words[w] == "=") ++w;
+      for (; w < line.words.size(); ++w) {
+        if (line.words[w] == "->") {
+          if (kind == "key" || in_targets) {
+            return Status::ParseError(StringFormat(
+                "line %d: unexpected '->'", line.number));
+          }
+          in_targets = true;
+        } else if (in_targets) {
+          edges.targets.push_back(line.words[w]);
+        } else {
+          edges.members.push_back(line.words[w]);
+        }
+      }
+      if (kind == "ref" && edges.targets.empty()) {
+        return Status::ParseError(StringFormat(
+            "line %d: 'ref' needs '-> <path>'", line.number));
+      }
+      Element el;
+      el.name = line.words[1];
+      el.kind = kind == "key" ? ElementKind::kKey : ElementKind::kRefInt;
+      el.not_instantiated = true;
+      edges.owner = builder.mutable_schema()->AddElement(std::move(el),
+                                                         edges.parent);
+      ElementId owner = edges.owner;
+      pending.push_back(std::move(edges));
+      // Keys/refs never have children; keep depths aligned like leaves do.
+      parents.push_back(owner);
       continue;
     }
     if (kind != "node" && kind != "leaf") {
@@ -152,6 +209,36 @@ Result<Schema> ParseNativeSchema(const std::string& text) {
     }
   }
 
+  // Pass 3: resolve key/ref members (by name among siblings) and ref
+  // targets (by dotted path anywhere in the schema).
+  Schema* s = builder.mutable_schema();
+  for (const PendingEdges& edges : pending) {
+    for (const std::string& member : edges.members) {
+      ElementId resolved = kNoElement;
+      for (ElementId sibling : s->children(edges.parent)) {
+        if (sibling != edges.owner && s->element(sibling).name == member) {
+          resolved = sibling;
+          break;
+        }
+      }
+      if (resolved == kNoElement) {
+        return Status::ParseError(StringFormat(
+            "line %d: unknown member '%s'", edges.line_number,
+            member.c_str()));
+      }
+      CUPID_RETURN_NOT_OK(s->AddAggregation(edges.owner, resolved));
+    }
+    for (const std::string& target : edges.targets) {
+      ElementId resolved = s->FindByPath(target);
+      if (resolved == kNoElement) {
+        return Status::ParseError(StringFormat(
+            "line %d: unresolvable reference target '%s'", edges.line_number,
+            target.c_str()));
+      }
+      CUPID_RETURN_NOT_OK(s->AddReference(edges.owner, resolved));
+    }
+  }
+
   Schema schema = std::move(builder).Build();
   CUPID_RETURN_NOT_OK(schema.Validate());
   return schema;
@@ -162,8 +249,26 @@ namespace {
 void SerializeElement(const Schema& s, ElementId id, int depth,
                       std::string* out) {
   const Element& e = s.element(id);
-  if (e.kind == ElementKind::kKey || e.kind == ElementKind::kRefInt ||
-      e.kind == ElementKind::kView) {
+  if (e.kind == ElementKind::kView) return;  // not representable
+  if (e.kind == ElementKind::kKey || e.kind == ElementKind::kRefInt) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append(e.kind == ElementKind::kKey ? "key " : "ref ");
+    out->append(e.name);
+    if (!s.aggregates(id).empty()) {
+      out->append(" =");
+      for (ElementId member : s.aggregates(id)) {
+        out->append(" ");
+        out->append(s.element(member).name);
+      }
+    }
+    if (e.kind == ElementKind::kRefInt) {
+      out->append(" ->");
+      for (ElementId target : s.references(id)) {
+        out->append(" ");
+        out->append(s.PathName(target));
+      }
+    }
+    out->append("\n");
     return;
   }
   out->append(static_cast<size_t>(depth) * 2, ' ');

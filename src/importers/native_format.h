@@ -1,6 +1,7 @@
 // The native ".cupid" schema text format: a compact, indentation-based
-// notation for hierarchical schemas with shared types. Round-trips through
-// ParseNativeSchema / SerializeNativeSchema.
+// notation for hierarchical schemas with shared types, keys and referential
+// constraints. Round-trips through ParseNativeSchema /
+// SerializeNativeSchema.
 //
 //     schema PurchaseOrder
 //     type Address
@@ -12,12 +13,26 @@
 //       node Item optional
 //         leaf ItemNumber integer
 //         leaf Quantity decimal optional
+//     node Orders
+//       leaf OrderID integer key
+//       key Orders_pk = OrderID
+//       ref Orders_Items_fk = OrderID -> PurchaseOrder.Items.Item
 //
 // Grammar (2-space indentation, '#' comments):
 //   schema <name>                  — first non-comment line
 //   type <name>                    — shared type definition (top level)
 //   node <name> [: <type>] [optional]
 //   leaf <name> <datatype> [optional] [key]
+//   key <name> [= <member> ...]    — key element aggregating sibling members
+//   ref <name> [= <member> ...] -> <path> [<path> ...]
+//                                  — referential constraint; paths are dotted
+//                                    containment paths (root name included)
+//                                    of the referenced key/container, which
+//                                    may be defined later in the file
+//
+// key/ref members are resolved by name among siblings (children of the same
+// parent) after the whole file is parsed. View elements are the one
+// ElementKind the format does not represent (no importer produces them).
 
 #ifndef CUPID_IMPORTERS_NATIVE_FORMAT_H_
 #define CUPID_IMPORTERS_NATIVE_FORMAT_H_

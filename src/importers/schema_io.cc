@@ -1,0 +1,66 @@
+#include "importers/schema_io.h"
+
+#include "importers/dtd_parser.h"
+#include "importers/native_format.h"
+#include "importers/sql_ddl_parser.h"
+#include "importers/xml_schema_loader.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+const char* SchemaFormatName(SchemaFormat format) {
+  switch (format) {
+    case SchemaFormat::kXmlSchema: return "xml";
+    case SchemaFormat::kSqlDdl: return "sql";
+    case SchemaFormat::kDtd: return "dtd";
+    case SchemaFormat::kNative: return "native";
+  }
+  return "?";
+}
+
+Result<SchemaFormat> SchemaFormatFromName(std::string_view name) {
+  std::string n = ToLowerAscii(name);
+  if (n == "xml") return SchemaFormat::kXmlSchema;
+  if (n == "sql" || n == "ddl") return SchemaFormat::kSqlDdl;
+  if (n == "dtd") return SchemaFormat::kDtd;
+  if (n == "native" || n == "cupid") return SchemaFormat::kNative;
+  return Status::Unsupported("unknown schema format: " + n);
+}
+
+Result<SchemaFormat> SchemaFormatFromPath(const std::string& path) {
+  if (EndsWith(path, ".xml")) return SchemaFormat::kXmlSchema;
+  if (EndsWith(path, ".sql") || EndsWith(path, ".ddl")) {
+    return SchemaFormat::kSqlDdl;
+  }
+  if (EndsWith(path, ".dtd")) return SchemaFormat::kDtd;
+  if (EndsWith(path, ".cupid")) return SchemaFormat::kNative;
+  return Status::Unsupported(
+      "unrecognized schema extension (want .xml, .sql/.ddl, .dtd or "
+      ".cupid): " +
+      path);
+}
+
+Result<Schema> ParseSchemaText(SchemaFormat format,
+                               const std::string& schema_name,
+                               const std::string& text) {
+  switch (format) {
+    case SchemaFormat::kXmlSchema: return LoadXmlSchema(text);
+    case SchemaFormat::kSqlDdl: return ParseSqlDdl(schema_name, text);
+    case SchemaFormat::kDtd: return ParseDtd(schema_name, text);
+    case SchemaFormat::kNative: return ParseNativeSchema(text);
+  }
+  return Status::Internal("unhandled schema format");
+}
+
+Result<Schema> LoadSchemaFileAuto(const std::string& path) {
+  CUPID_ASSIGN_OR_RETURN(SchemaFormat format, SchemaFormatFromPath(path));
+  switch (format) {
+    case SchemaFormat::kXmlSchema: return LoadXmlSchemaFile(path);
+    case SchemaFormat::kSqlDdl: return LoadSqlDdlFile(path);
+    case SchemaFormat::kDtd: return LoadDtdFile(path);
+    case SchemaFormat::kNative: return LoadNativeSchemaFile(path);
+  }
+  return Status::Internal("unhandled schema format");
+}
+
+}  // namespace cupid

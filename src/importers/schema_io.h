@@ -1,0 +1,48 @@
+// Format-dispatching schema I/O shared by cupid_cli, the schema repository
+// and the cupid_server JSONL protocol: one place that knows which importer
+// owns which file extension / format name.
+
+#ifndef CUPID_IMPORTERS_SCHEMA_IO_H_
+#define CUPID_IMPORTERS_SCHEMA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// The source dialects the importers understand.
+enum class SchemaFormat {
+  kXmlSchema,  ///< XSD-lite XML (importers/xml_schema_loader.h)
+  kSqlDdl,     ///< SQL DDL (importers/sql_ddl_parser.h)
+  kDtd,        ///< document type definitions (importers/dtd_parser.h)
+  kNative,     ///< native ".cupid" text (importers/native_format.h)
+};
+
+/// \brief Canonical lowercase name ("xml", "sql", "dtd", "native").
+const char* SchemaFormatName(SchemaFormat format);
+
+/// \brief Parses a format name as used by the JSONL protocol: "xml", "sql"
+/// / "ddl", "dtd", "native" / "cupid" (case-insensitive).
+Result<SchemaFormat> SchemaFormatFromName(std::string_view name);
+
+/// \brief Format of `path` by extension: .xml, .sql/.ddl, .dtd, .cupid.
+Result<SchemaFormat> SchemaFormatFromPath(const std::string& path);
+
+/// \brief Parses schema text in the given format. `schema_name` names the
+/// root element for the formats that do not embed a name (SQL, DTD); the
+/// XML and native formats ignore it in favor of the embedded name.
+Result<Schema> ParseSchemaText(SchemaFormat format,
+                               const std::string& schema_name,
+                               const std::string& text);
+
+/// \brief Loads a schema file, dispatching on the extension. SQL/DTD root
+/// names default to the file stem, matching the per-format Load*File
+/// helpers.
+Result<Schema> LoadSchemaFileAuto(const std::string& path);
+
+}  // namespace cupid
+
+#endif  // CUPID_IMPORTERS_SCHEMA_IO_H_

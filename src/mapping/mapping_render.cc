@@ -1,32 +1,9 @@
 #include "mapping/mapping_render.h"
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace cupid {
-
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StringFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string RenderMappingText(const Mapping& mapping) {
   std::string out = StringFormat("Mapping %s -> %s (%zu elements)\n",

@@ -1,0 +1,114 @@
+#include "service/job_scheduler.h"
+
+#include "util/strings.h"
+
+namespace cupid {
+
+const Result<MatchResponse>& MatchJob::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool MatchJob::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void MatchJob::Finish(Result<MatchResponse> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+JobScheduler::JobScheduler(MatchService* service, Options options)
+    : service_(service),
+      options_(options),
+      pool_(ThreadPool::EffectiveThreads(options.num_threads)) {
+  if (options_.max_pending < 1) options_.max_pending = 1;
+}
+
+JobScheduler::~JobScheduler() { Shutdown(); }
+
+void JobScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  pool_.Shutdown();  // drains the queue; every admitted job still finishes
+}
+
+int JobScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+Result<std::shared_ptr<MatchJob>> JobScheduler::SubmitTask(
+    std::function<Result<MatchResponse>()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unsupported("scheduler is shut down");
+    if (pending_ >= options_.max_pending) {
+      return Status::OutOfRange(
+          StringFormat("job queue full (%d pending)", pending_));
+    }
+    ++pending_;
+  }
+  auto job = std::make_shared<MatchJob>();
+  job->enqueued_ = MatchJob::Clock::now();
+  bool accepted = pool_.Submit([this, job, task = std::move(task)] {
+    MatchJob::Clock::time_point started = MatchJob::Clock::now();
+    job->queue_ms_ =
+        std::chrono::duration<double, std::milli>(started - job->enqueued_)
+            .count();
+    Result<MatchResponse> result = task();
+    if (result.ok()) {
+      result.ValueOrDie().timings.queue_ms = job->queue_ms_;
+    }
+    job->run_ms_ = std::chrono::duration<double, std::milli>(
+                       MatchJob::Clock::now() - started)
+                       .count();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    job->Finish(std::move(result));
+  });
+  if (!accepted) {
+    // Raced with Shutdown: undo the admission.
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    return Status::Unsupported("scheduler is shut down");
+  }
+  return job;
+}
+
+Result<std::shared_ptr<MatchJob>> JobScheduler::Submit(MatchRequest request) {
+  return SubmitTask([service = service_, request = std::move(request)] {
+    return service->Match(request);
+  });
+}
+
+std::vector<Result<MatchResponse>> JobScheduler::MatchBatch(
+    std::vector<MatchRequest> requests) {
+  std::vector<Result<std::shared_ptr<MatchJob>>> jobs;
+  jobs.reserve(requests.size());
+  for (MatchRequest& request : requests) {
+    jobs.push_back(Submit(std::move(request)));
+  }
+  std::vector<Result<MatchResponse>> out;
+  out.reserve(jobs.size());
+  for (auto& job : jobs) {
+    if (!job.ok()) {
+      out.push_back(job.status());
+    } else {
+      out.push_back((*job)->Wait());
+    }
+  }
+  return out;
+}
+
+}  // namespace cupid

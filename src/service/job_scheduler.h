@@ -1,0 +1,110 @@
+// JobScheduler — bounded concurrent execution of match requests.
+//
+// A thin admission-controlled layer over util/thread_pool.h: jobs are
+// accepted up to a pending bound (back-pressure instead of unbounded queue
+// growth), each job records queue-wait and run time, and MatchBatch is the
+// submit-all-then-wait convenience the JSONL batch protocol and the service
+// bench use.
+
+#ifndef CUPID_SERVICE_JOB_SCHEDULER_H_
+#define CUPID_SERVICE_JOB_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/match_service.h"
+#include "util/thread_pool.h"
+
+namespace cupid {
+
+/// \brief Handle to one scheduled match; created by JobScheduler::Submit.
+class MatchJob {
+ public:
+  /// Blocks until the job finished; the result stays owned by the job.
+  const Result<MatchResponse>& Wait() const;
+
+  bool done() const;
+  /// Milliseconds spent queued before a worker started the job (valid once
+  /// done; also copied into the response's timings.queue_ms).
+  double queue_ms() const { return queue_ms_; }
+  /// Milliseconds the job ran on its worker (valid once done).
+  double run_ms() const { return run_ms_; }
+
+ private:
+  friend class JobScheduler;
+  using Clock = std::chrono::steady_clock;
+
+  void Finish(Result<MatchResponse> result);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Result<MatchResponse> result_{Status::Internal("job still pending")};
+  Clock::time_point enqueued_;
+  double queue_ms_ = 0.0;
+  double run_ms_ = 0.0;
+};
+
+/// \brief Bounded worker pool executing MatchService requests.
+class JobScheduler {
+ public:
+  struct Options {
+    /// Worker threads; 0 = all hardware threads.
+    int num_threads = 0;
+    /// Maximum jobs admitted but not yet finished; further Submits are
+    /// rejected with OutOfRange (callers retry or shed load).
+    int max_pending = 1024;
+  };
+
+  /// `service` must outlive the scheduler.
+  JobScheduler(MatchService* service, Options options);
+  explicit JobScheduler(MatchService* service)
+      : JobScheduler(service, Options()) {}
+
+  /// Finishes in-flight jobs, rejects the rest (see Shutdown).
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// \brief Admits `request` for asynchronous execution. OutOfRange when
+  /// max_pending jobs are in flight; Unsupported after Shutdown.
+  Result<std::shared_ptr<MatchJob>> Submit(MatchRequest request);
+
+  /// \brief Submits every request, then waits for all of them; results come
+  /// back in request order. Rejected submissions surface as their error
+  /// status in the corresponding slot.
+  std::vector<Result<MatchResponse>> MatchBatch(
+      std::vector<MatchRequest> requests);
+
+  /// \brief Drains queued jobs, then stops accepting new ones. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return pool_.size(); }
+  /// Jobs admitted but not yet finished.
+  int pending() const;
+
+ private:
+  friend class JobSchedulerTestPeer;
+
+  /// Generic admission path; Submit wraps `request` into a closure. Test
+  /// hook: lets tests inject blocking work to pin workers deterministically.
+  Result<std::shared_ptr<MatchJob>> SubmitTask(
+      std::function<Result<MatchResponse>()> task);
+
+  MatchService* service_;
+  Options options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_SERVICE_JOB_SCHEDULER_H_

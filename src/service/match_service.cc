@@ -1,0 +1,325 @@
+#include "service/match_service.h"
+
+#include <chrono>
+
+#include "core/cupid_matcher.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void WriteMapping(const Mapping& mapping, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("source_schema");
+  w->String(mapping.source_schema);
+  w->Key("target_schema");
+  w->String(mapping.target_schema);
+  w->Key("elements");
+  w->BeginArray();
+  for (const MappingElement& e : mapping.elements) {
+    w->BeginObject();
+    w->Key("source");
+    w->String(e.source_path);
+    w->Key("target");
+    w->String(e.target_path);
+    w->Key("wsim");
+    w->FixedDouble(e.wsim, 6);
+    w->Key("ssim");
+    w->FixedDouble(e.ssim, 6);
+    w->Key("lsim");
+    w->FixedDouble(e.lsim, 6);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MatchResponse::ToJson(bool include_mappings) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("source");
+  w.String(source);
+  w.Key("source_version");
+  w.Int(source_version);
+  w.Key("target");
+  w.String(target);
+  w.Key("target_version");
+  w.Int(target_version);
+  w.Key("config_fingerprint");
+  w.String(StringFormat("%016llx",
+                        static_cast<unsigned long long>(config_fingerprint)));
+  w.Key("result_cache_hit");
+  w.Bool(result_cache_hit);
+  w.Key("session_reused");
+  w.Bool(session_reused);
+  w.Key("incremental");
+  w.Bool(incremental);
+  w.Key("timings");
+  w.BeginObject();
+  w.Key("total_ms");
+  w.FixedDouble(timings.total_ms, 3);
+  w.Key("match_ms");
+  w.FixedDouble(timings.match_ms, 3);
+  w.Key("queue_ms");
+  w.FixedDouble(timings.queue_ms, 3);
+  w.EndObject();
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("pairs_reused");
+  w.Int(stats.tree_match.pairs_reused);
+  w.Key("link_tests");
+  w.Int(stats.tree_match.link_tests);
+  w.Key("lsim_cached_pairs");
+  w.Int(stats.lsim_cached_pairs);
+  w.EndObject();
+  if (include_mappings) {
+    w.Key("leaf_mapping");
+    WriteMapping(leaf_mapping, &w);
+    w.Key("nonleaf_mapping");
+    WriteMapping(nonleaf_mapping, &w);
+  } else {
+    w.Key("leaf_elements");
+    w.Int(static_cast<int64_t>(leaf_mapping.size()));
+    w.Key("nonleaf_elements");
+    w.Int(static_cast<int64_t>(nonleaf_mapping.size()));
+  }
+  w.EndObject();
+  return std::move(w).str();
+}
+
+size_t MatchService::ResultKeyHash::operator()(const ResultKey& k) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(std::hash<std::string>{}(k.source));
+  mix(static_cast<uint64_t>(k.source_version));
+  mix(std::hash<std::string>{}(k.target));
+  mix(static_cast<uint64_t>(k.target_version));
+  mix(k.config_fingerprint);
+  return static_cast<size_t>(h);
+}
+
+MatchService::MatchService(const Thesaurus* thesaurus,
+                           SchemaRepository* repository, Options options)
+    : thesaurus_(thesaurus), repository_(repository), options_(options) {}
+
+std::shared_ptr<const MatchResponse> MatchService::CacheLookup(
+    const ResultKey& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = result_cache_.find(key);
+  if (it == result_cache_.end()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.result_misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.result_hits;
+  }
+  return it->second->second;
+}
+
+void MatchService::CacheInsert(const ResultKey& key,
+                               std::shared_ptr<const MatchResponse> response) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = result_cache_.find(key);
+  if (it != result_cache_.end()) {
+    it->second->second = std::move(response);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(response));
+  result_cache_[key] = lru_.begin();
+  while (result_cache_.size() >
+         static_cast<size_t>(options_.result_cache_capacity)) {
+    result_cache_.erase(lru_.back().first);
+    lru_.pop_back();
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.result_evictions;
+  }
+}
+
+Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
+  Clock::time_point t_start = Clock::now();
+  CUPID_RETURN_NOT_OK(request.config.Validate());
+  CUPID_ASSIGN_OR_RETURN(SchemaRepository::SchemaSnapshot source,
+                         repository_->Resolve(request.source,
+                                              request.source_version));
+  CUPID_ASSIGN_OR_RETURN(SchemaRepository::SchemaSnapshot target,
+                         repository_->Resolve(request.target,
+                                              request.target_version));
+  uint64_t fingerprint = ConfigFingerprint(request.config);
+  ResultKey key{request.source, source.version, request.target,
+                target.version, fingerprint};
+
+  bool cacheable =
+      request.use_result_cache && options_.result_cache_capacity > 0;
+  if (cacheable) {
+    if (std::shared_ptr<const MatchResponse> hit = CacheLookup(key)) {
+      MatchResponse response = *hit;  // value copy; the cached one is shared
+      response.result_cache_hit = true;
+      response.session_reused = false;
+      response.incremental = false;
+      response.stats = RematchStats{};
+      response.timings = ServiceTimings{};
+      response.timings.total_ms = MsSince(t_start);
+      return response;
+    }
+  }
+
+  MatchResponse response;
+  response.source = request.source;
+  response.target = request.target;
+  response.source_version = source.version;
+  response.target_version = target.version;
+  response.config_fingerprint = fingerprint;
+
+  if (!request.use_session) {
+    // One-shot path: no state kept beyond the response.
+    CupidMatcher matcher(thesaurus_, request.config);
+    Clock::time_point t_match = Clock::now();
+    CUPID_ASSIGN_OR_RETURN(MatchResult result,
+                           matcher.Match(*source.schema, *target.schema));
+    response.timings.match_ms = MsSince(t_match);
+    response.leaf_mapping = std::move(result.leaf_mapping);
+    response.nonleaf_mapping = std::move(result.nonleaf_mapping);
+  } else {
+    std::shared_ptr<PairEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      // \x1f cannot appear in schema names read from files or protocols.
+      std::string pair_key =
+          request.source + '\x1f' + request.target + '\x1f' +
+          StringFormat("%016llx", static_cast<unsigned long long>(fingerprint));
+      std::shared_ptr<PairEntry>& slot = sessions_[pair_key];
+      if (!slot) slot = std::make_shared<PairEntry>();
+      entry = slot;
+    }
+    std::lock_guard<std::mutex> lock(entry->mu);
+    CUPID_RETURN_NOT_OK(MatchOnSession(request, entry.get(), source.schema,
+                                       target.schema, &response));
+  }
+
+  response.timings.total_ms = MsSince(t_start);
+  if (cacheable) {
+    CacheInsert(key, std::make_shared<const MatchResponse>(response));
+  }
+  return response;
+}
+
+Status MatchService::MatchOnSession(const MatchRequest& request,
+                                    PairEntry* entry,
+                                    std::shared_ptr<const Schema> source,
+                                    std::shared_ptr<const Schema> target,
+                                    MatchResponse* response) {
+  const int source_version = response->source_version;
+  const int target_version = response->target_version;
+  bool reused;
+  if (entry->session != nullptr &&
+      (entry->source_version != source_version ||
+       entry->target_version != target_version)) {
+    // The repository moved under the session. If both sides moved by pure
+    // edit chains, replay them so Rematch can warm-start; anything else
+    // (re-registration, version rollback) rebuilds cold.
+    auto source_chain = repository_->EditChain(
+        request.source, entry->source_version, source_version);
+    auto target_chain = repository_->EditChain(
+        request.target, entry->target_version, target_version);
+    if (source_chain.has_value() && target_chain.has_value()) {
+      bool applied = true;
+      for (SchemaEdit edit : *source_chain) {
+        edit.side = EditSide::kSource;
+        if (!entry->session->ApplyEdit(edit).ok()) {
+          applied = false;
+          break;
+        }
+      }
+      if (applied) {
+        for (SchemaEdit edit : *target_chain) {
+          edit.side = EditSide::kTarget;
+          if (!entry->session->ApplyEdit(edit).ok()) {
+            applied = false;
+            break;
+          }
+        }
+      }
+      if (!applied) {
+        // A partially applied chain leaves the session diverged from the
+        // repository; discard it rather than serve from unknown state.
+        entry->session.reset();
+      }
+    } else {
+      entry->session.reset();
+    }
+  }
+  // Surviving session == warm reuse (same versions, or chain replayed).
+  reused = entry->session != nullptr;
+
+  if (entry->session == nullptr) {
+    entry->session = std::make_unique<MatchSession>(
+        thesaurus_, *source, *target, request.config);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.sessions_created;
+  } else {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.sessions_reused;
+  }
+
+  Clock::time_point t_match = Clock::now();
+  auto rematch = entry->session->Rematch();
+  if (!rematch.ok()) {
+    // Do not leave a session that failed mid-update warm.
+    entry->session.reset();
+    entry->source_version = entry->target_version = 0;
+    return rematch.status();
+  }
+  response->timings.match_ms = MsSince(t_match);
+  entry->source_version = source_version;
+  entry->target_version = target_version;
+
+  const MatchResult* result = *rematch;
+  response->leaf_mapping = result->leaf_mapping;
+  response->nonleaf_mapping = result->nonleaf_mapping;
+  response->session_reused = reused;
+  response->stats = entry->session->last_stats();
+  response->incremental = response->stats.incremental;
+  if (response->incremental) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.incremental_rematches;
+  }
+  return Status::OK();
+}
+
+void MatchService::InvalidateAll() {
+  // Lock order matches Match(): cache_mu_ and sessions_mu_ never nest.
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    lru_.clear();
+    result_cache_.clear();
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // In-flight requests holding a PairEntry shared_ptr finish safely on the
+  // detached entry; new requests build fresh ones.
+  sessions_.clear();
+}
+
+MatchService::CacheStats MatchService::cache_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace cupid

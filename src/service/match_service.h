@@ -1,0 +1,195 @@
+// MatchService — the long-lived front door for matching traffic.
+//
+// Every consumer so far (CLI, examples, benches) builds schemas and a
+// CupidMatcher from scratch per call. MatchService instead fronts a
+// SchemaRepository with the warm state worth keeping between requests:
+//
+//   * an LRU result cache keyed by (source@version, target@version,
+//     ConfigFingerprint) — a repeated request is a lookup;
+//   * one MatchSession per (source, target, ConfigFingerprint) pair,
+//     carrying the session's LsimCache/TokenInterner and similarity
+//     snapshots across requests — when the repository's latest versions
+//     moved by a pure edit chain, the service replays the edits into the
+//     session and Rematch takes the incremental path;
+//   * a direct CupidMatcher path for requests that opt out of session
+//     state (use_session=false).
+//
+// Responses carry value-semantic mappings (safe to cache and share) and
+// are bit-identical to CupidMatcher::Match on the same schema versions
+// regardless of which path served them (tests/service_test.cc hammers this
+// from N concurrent clients).
+
+#ifndef CUPID_SERVICE_MATCH_SERVICE_H_
+#define CUPID_SERVICE_MATCH_SERVICE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "incremental/match_session.h"
+#include "mapping/mapping.h"
+#include "service/schema_repository.h"
+#include "thesaurus/thesaurus.h"
+
+namespace cupid {
+
+/// One match request against repository schemas.
+struct MatchRequest {
+  std::string source;      ///< repository name of the source schema
+  std::string target;      ///< repository name of the target schema
+  int source_version = 0;  ///< 0 = latest
+  int target_version = 0;  ///< 0 = latest
+  CupidConfig config;
+  /// Serve / store this request through the LRU result cache.
+  bool use_result_cache = true;
+  /// Use the per-pair warm MatchSession (incremental path after repository
+  /// edits). When false the request runs a one-shot CupidMatcher.
+  bool use_session = true;
+};
+
+/// Wall-clock phases of one request, milliseconds.
+struct ServiceTimings {
+  double total_ms = 0.0;
+  /// Time inside the matcher (0 for result-cache hits).
+  double match_ms = 0.0;
+  /// Time spent queued before a worker picked the job up (filled by
+  /// JobScheduler; 0 for synchronous calls).
+  double queue_ms = 0.0;
+};
+
+/// Everything a match request returns. Value semantics: safe to copy out,
+/// cache, and serialize after the repository has moved on.
+struct MatchResponse {
+  std::string source, target;
+  int source_version = 0, target_version = 0;
+  uint64_t config_fingerprint = 0;
+
+  Mapping leaf_mapping;
+  Mapping nonleaf_mapping;
+
+  /// Served straight from the LRU result cache.
+  bool result_cache_hit = false;
+  /// A previously warmed session was reused (same or edit-derived versions).
+  bool session_reused = false;
+  /// The session's Rematch took the incremental (warm-start) path.
+  bool incremental = false;
+  /// Session diagnostics of the run that produced the mappings (zeroed for
+  /// result-cache hits and direct runs).
+  RematchStats stats;
+
+  ServiceTimings timings;
+
+  /// \brief Compact JSON object (the JSONL protocol payload). Mapping
+  /// similarity values use 6 fixed decimals, matching RenderMappingJson.
+  std::string ToJson(bool include_mappings = true) const;
+};
+
+/// \brief Concurrent match front door over a SchemaRepository.
+class MatchService {
+ public:
+  struct Options {
+    /// Capacity of the LRU result cache (responses; they are small —
+    /// mappings only). 0 disables result caching entirely.
+    int result_cache_capacity = 128;
+  };
+
+  /// `thesaurus` and `repository` must outlive the service.
+  MatchService(const Thesaurus* thesaurus, SchemaRepository* repository,
+               Options options);
+  MatchService(const Thesaurus* thesaurus, SchemaRepository* repository)
+      : MatchService(thesaurus, repository, Options()) {}
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// \brief Executes one request synchronously. Thread-safe; requests for
+  /// the same (source, target, fingerprint) pair serialize on the pair's
+  /// session, everything else runs concurrently.
+  Result<MatchResponse> Match(const MatchRequest& request);
+
+  SchemaRepository* repository() const { return repository_; }
+
+  /// \brief Drops every cached result and warm session. Required after the
+  /// backing repository is replaced wholesale (e.g. a "load" command):
+  /// version numbers restart, so stale sessions could otherwise collide
+  /// with the new lineage.
+  void InvalidateAll();
+
+  /// Cross-request cache effectiveness counters (monotonic).
+  struct CacheStats {
+    int64_t result_hits = 0;
+    int64_t result_misses = 0;
+    int64_t result_evictions = 0;
+    int64_t sessions_created = 0;
+    int64_t sessions_reused = 0;
+    int64_t incremental_rematches = 0;
+  };
+  CacheStats cache_stats() const;
+
+ private:
+  struct ResultKey {
+    std::string source;
+    int source_version;
+    std::string target;
+    int target_version;
+    uint64_t config_fingerprint;
+    bool operator==(const ResultKey& o) const {
+      return source == o.source && source_version == o.source_version &&
+             target == o.target && target_version == o.target_version &&
+             config_fingerprint == o.config_fingerprint;
+    }
+  };
+  struct ResultKeyHash {
+    size_t operator()(const ResultKey& k) const;
+  };
+
+  /// Warm per-pair state; `mu` serializes matches on the pair.
+  struct PairEntry {
+    std::mutex mu;
+    std::unique_ptr<MatchSession> session;
+    int source_version = 0;
+    int target_version = 0;
+  };
+
+  std::shared_ptr<const MatchResponse> CacheLookup(const ResultKey& key);
+  void CacheInsert(const ResultKey& key,
+                   std::shared_ptr<const MatchResponse> response);
+
+  /// Runs the request on the pair's (possibly warmed) session, filling
+  /// `response`'s mappings/flags/stats (its header fields — names,
+  /// versions, fingerprint — are already set by Match). entry->mu must be
+  /// held.
+  Status MatchOnSession(const MatchRequest& request, PairEntry* entry,
+                        std::shared_ptr<const Schema> source,
+                        std::shared_ptr<const Schema> target,
+                        MatchResponse* response);
+
+  const Thesaurus* thesaurus_;
+  SchemaRepository* repository_;
+  Options options_;
+
+  mutable std::mutex cache_mu_;
+  /// LRU: most recent at front; map values point into the list.
+  std::list<std::pair<ResultKey, std::shared_ptr<const MatchResponse>>> lru_;
+  std::unordered_map<ResultKey,
+                     std::list<std::pair<
+                         ResultKey, std::shared_ptr<const MatchResponse>>>::
+                         iterator,
+                     ResultKeyHash>
+      result_cache_;
+
+  mutable std::mutex sessions_mu_;
+  /// (source \x1f target \x1f fingerprint) -> warm pair state.
+  std::unordered_map<std::string, std::shared_ptr<PairEntry>> sessions_;
+
+  mutable std::mutex stats_mu_;
+  CacheStats stats_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_SERVICE_MATCH_SERVICE_H_

@@ -1,0 +1,238 @@
+#include "service/schema_repository.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "importers/native_format.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Repository names become map keys, session-key components and on-disk
+/// filenames; reject anything that could collide or traverse. Control
+/// bytes cover the service's '\x1f' session-key separator (reachable via
+/// JSONL unicode escapes), separators/dot-names cover SaveTo/LoadFrom
+/// paths.
+Status ValidateRepositoryName(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty schema name");
+  if (name == "." || name == "..") {
+    return Status::InvalidArgument("invalid schema name: " + name);
+  }
+  for (char c : name) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == '/' || c == '\\') {
+      return Status::InvalidArgument(
+          "schema name must not contain control characters or path "
+          "separators: " +
+          name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> SchemaRepository::Register(const std::string& name,
+                                       Schema schema) {
+  CUPID_RETURN_NOT_OK(ValidateRepositoryName(name));
+  CUPID_RETURN_NOT_OK(schema.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(name, std::move(schema));
+}
+
+int SchemaRepository::RegisterLocked(const std::string& name, Schema schema) {
+  std::vector<VersionEntry>& versions = schemas_[name];
+  VersionEntry entry;
+  entry.schema = std::make_shared<const Schema>(std::move(schema));
+  entry.parent_version = 0;  // fresh lineage
+  versions.push_back(std::move(entry));
+  return static_cast<int>(versions.size());
+}
+
+Result<int> SchemaRepository::RegisterFile(const std::string& name,
+                                           const std::string& path) {
+  CUPID_ASSIGN_OR_RETURN(Schema schema, LoadSchemaFileAuto(path));
+  return Register(name, std::move(schema));
+}
+
+Result<int> SchemaRepository::RegisterText(const std::string& name,
+                                           SchemaFormat format,
+                                           const std::string& text) {
+  CUPID_ASSIGN_OR_RETURN(Schema schema, ParseSchemaText(format, name, text));
+  return Register(name, std::move(schema));
+}
+
+Result<int> SchemaRepository::ApplyEdit(const std::string& name,
+                                        const SchemaEdit& edit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(name);
+  if (it == schemas_.end() || it->second.empty()) {
+    return Status::NotFound("no such schema: " + name);
+  }
+  // Copy-on-edit: versions are immutable, so mutate a private copy.
+  Schema edited = *it->second.back().schema;
+  CUPID_RETURN_NOT_OK(ApplySchemaEdit(&edited, edit));
+  VersionEntry entry;
+  entry.schema = std::make_shared<const Schema>(std::move(edited));
+  entry.parent_version = static_cast<int>(it->second.size());
+  entry.edits.push_back(edit);
+  it->second.push_back(std::move(entry));
+  return static_cast<int>(it->second.size());
+}
+
+Result<SchemaRepository::SchemaSnapshot> SchemaRepository::Resolve(
+    const std::string& name, int version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(name);
+  if (it == schemas_.end() || it->second.empty()) {
+    return Status::NotFound("no such schema: " + name);
+  }
+  int latest = static_cast<int>(it->second.size());
+  int v = version == 0 ? latest : version;
+  if (v < 1 || v > latest) {
+    return Status::NotFound(StringFormat("%s has no version %d (latest %d)",
+                                         name.c_str(), version, latest));
+  }
+  return SchemaSnapshot{v, it->second[static_cast<size_t>(v - 1)].schema};
+}
+
+Result<std::shared_ptr<const Schema>> SchemaRepository::Get(
+    const std::string& name, int version) const {
+  CUPID_ASSIGN_OR_RETURN(SchemaSnapshot snap, Resolve(name, version));
+  return snap.schema;
+}
+
+int SchemaRepository::LatestVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(name);
+  return it == schemas_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+std::vector<std::string> SchemaRepository::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(schemas_.size());
+  for (const auto& [name, versions] : schemas_) {
+    if (!versions.empty()) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::vector<SchemaEdit>> SchemaRepository::EditChain(
+    const std::string& name, int from_version, int to_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) return std::nullopt;
+  int latest = static_cast<int>(it->second.size());
+  if (from_version < 1 || to_version < from_version || to_version > latest) {
+    return std::nullopt;
+  }
+  std::vector<SchemaEdit> chain;
+  // Walk backwards via parent links; every hop must be an edit derivation.
+  int v = to_version;
+  std::vector<const VersionEntry*> hops;
+  while (v > from_version) {
+    const VersionEntry& entry = it->second[static_cast<size_t>(v - 1)];
+    if (entry.parent_version != v - 1) return std::nullopt;  // re-registered
+    hops.push_back(&entry);
+    v = entry.parent_version;
+  }
+  for (auto hop = hops.rbegin(); hop != hops.rend(); ++hop) {
+    chain.insert(chain.end(), (*hop)->edits.begin(), (*hop)->edits.end());
+  }
+  return chain;
+}
+
+Status SchemaRepository::SaveTo(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream manifest(fs::path(dir) / "MANIFEST.jsonl");
+  if (!manifest) return Status::IoError("cannot write manifest in " + dir);
+  // Sorted for reproducible manifests.
+  std::vector<std::string> names;
+  for (const auto& [name, versions] : schemas_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::vector<VersionEntry>& versions = schemas_.at(name);
+    for (size_t i = 0; i < versions.size(); ++i) {
+      std::string file =
+          StringFormat("%s@v%d.cupid", name.c_str(), static_cast<int>(i + 1));
+      std::ofstream out(fs::path(dir) / file);
+      if (!out) return Status::IoError("cannot write " + file);
+      out << SerializeNativeSchema(*versions[i].schema);
+      if (!out.flush()) return Status::IoError("short write to " + file);
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("name");
+      w.String(name);
+      w.Key("version");
+      w.Int(static_cast<int64_t>(i + 1));
+      w.Key("file");
+      w.String(file);
+      w.EndObject();
+      manifest << w.str() << "\n";
+    }
+  }
+  if (!manifest.flush()) return Status::IoError("short manifest write");
+  return Status::OK();
+}
+
+Result<SchemaRepository> SchemaRepository::LoadFrom(const std::string& dir) {
+  std::ifstream manifest(fs::path(dir) / "MANIFEST.jsonl");
+  if (!manifest) {
+    return Status::IoError("cannot open " + dir + "/MANIFEST.jsonl");
+  }
+  SchemaRepository repo;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(manifest, line)) {
+    ++line_number;
+    if (TrimWhitespace(line).empty()) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return Status::ParseError(StringFormat("manifest line %d: %s",
+                                             line_number,
+                                             parsed.status().ToString().c_str()));
+    }
+    std::string name = parsed->GetString("name");
+    int version = static_cast<int>(parsed->GetInt("version"));
+    std::string file = parsed->GetString("file");
+    if (name.empty() || version < 1 || file.empty()) {
+      return Status::ParseError(
+          StringFormat("manifest line %d: need name/version/file", line_number));
+    }
+    CUPID_RETURN_NOT_OK(ValidateRepositoryName(name));
+    // Manifests only ever reference flat files inside their own directory;
+    // a traversing 'file' field is hostile input, not a SaveTo product.
+    if (file.find('/') != std::string::npos ||
+        file.find('\\') != std::string::npos) {
+      return Status::ParseError(StringFormat(
+          "manifest line %d: file must be a bare name: %s", line_number,
+          file.c_str()));
+    }
+    auto schema = LoadNativeSchemaFile((fs::path(dir) / file).string());
+    if (!schema.ok()) return schema.status();
+    // Manifests are written in version order; appending reproduces it.
+    int got = repo.RegisterLocked(name, std::move(*schema));
+    if (got != version) {
+      return Status::ParseError(StringFormat(
+          "manifest line %d: %s versions out of order (expected %d, got %d)",
+          line_number, name.c_str(), got, version));
+    }
+  }
+  return repo;
+}
+
+}  // namespace cupid

@@ -1,0 +1,132 @@
+// SchemaRepository — named, versioned, thread-safe schema storage.
+//
+// The serving half of the Section 8.4 story: schemas live in a repository,
+// evolve a few elements at a time, and get re-matched after every change.
+// Every mutation creates a new immutable version (an edit records its
+// lineage, a re-registration starts a fresh line), so concurrent match
+// requests always see a consistent snapshot and MatchService can replay the
+// edit chain between two versions into a warm MatchSession instead of
+// rematching from scratch.
+//
+// Persistence uses the native ".cupid" text format (which round-trips
+// keys and referential constraints; tests/importers_test.cc asserts
+// tree-identity for every importer format) plus a JSONL manifest.
+
+#ifndef CUPID_SERVICE_SCHEMA_REPOSITORY_H_
+#define CUPID_SERVICE_SCHEMA_REPOSITORY_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "importers/schema_io.h"
+#include "incremental/schema_edit.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Thread-safe store of named schema version chains.
+///
+/// Versions are 1-based and immutable once created; Get hands out
+/// shared_ptr snapshots that stay valid regardless of later mutations.
+class SchemaRepository {
+ public:
+  SchemaRepository() = default;
+  SchemaRepository(const SchemaRepository&) = delete;
+  SchemaRepository& operator=(const SchemaRepository&) = delete;
+  /// Movable (for LoadFrom); the mutex itself is not moved. The source must
+  /// not be in concurrent use.
+  SchemaRepository(SchemaRepository&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    schemas_ = std::move(other.schemas_);
+  }
+  SchemaRepository& operator=(SchemaRepository&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      schemas_ = std::move(other.schemas_);
+    }
+    return *this;
+  }
+
+  /// \brief Stores `schema` as the next version of `name` (version 1 for a
+  /// new name). A re-registration starts a fresh lineage: no edit chain
+  /// connects it to prior versions. Returns the new version number.
+  Result<int> Register(const std::string& name, Schema schema);
+
+  /// \brief Loads `path` through the extension-dispatched importers and
+  /// registers the result under `name`.
+  Result<int> RegisterFile(const std::string& name, const std::string& path);
+
+  /// \brief Parses `text` in `format` (root named `name` for SQL/DTD) and
+  /// registers the result.
+  Result<int> RegisterText(const std::string& name, SchemaFormat format,
+                           const std::string& text);
+
+  /// \brief Applies `edit` (its `side` field is ignored) to the latest
+  /// version of `name`, storing the result as a new version whose lineage
+  /// records the edit. Returns the new version number.
+  Result<int> ApplyEdit(const std::string& name, const SchemaEdit& edit);
+
+  /// A pinned (version, schema) pair handed out by Resolve/Get.
+  struct SchemaSnapshot {
+    int version = 0;
+    std::shared_ptr<const Schema> schema;
+  };
+
+  /// \brief Snapshot of `name` at `version`, with 0 resolved to the latest
+  /// version atomically (callers that need the concrete version for cache
+  /// keys must not LatestVersion-then-Get). The pointer is never
+  /// invalidated by later repository activity.
+  Result<SchemaSnapshot> Resolve(const std::string& name,
+                                 int version = 0) const;
+
+  /// \brief Schema-only variant of Resolve.
+  Result<std::shared_ptr<const Schema>> Get(const std::string& name,
+                                            int version = 0) const;
+
+  /// Latest version number of `name`; 0 when absent.
+  int LatestVersion(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// \brief The edits leading from `from_version` to `to_version` of
+  /// `name`, in application order. nullopt when the two versions are not
+  /// connected by a pure edit chain (re-registration in between, unknown
+  /// versions, or from > to).
+  std::optional<std::vector<SchemaEdit>> EditChain(const std::string& name,
+                                                   int from_version,
+                                                   int to_version) const;
+
+  /// \brief Writes every version of every schema into `dir` (created if
+  /// missing): one native-format file per version plus a "MANIFEST.jsonl"
+  /// index. Edit lineage is not persisted — a reloaded repository serves
+  /// full matches first and re-warms.
+  Status SaveTo(const std::string& dir) const;
+
+  /// \brief Loads a repository previously written by SaveTo.
+  static Result<SchemaRepository> LoadFrom(const std::string& dir);
+
+ private:
+  struct VersionEntry {
+    std::shared_ptr<const Schema> schema;
+    /// Version this one was derived from by `edits` (0 = lineage root).
+    int parent_version = 0;
+    std::vector<SchemaEdit> edits;
+  };
+
+  /// Registers under an already-held lock (shared by public mutators).
+  int RegisterLocked(const std::string& name, Schema schema);
+
+  mutable std::mutex mu_;
+  /// name -> versions; versions[i] is version i+1.
+  std::unordered_map<std::string, std::vector<VersionEntry>> schemas_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_SERVICE_SCHEMA_REPOSITORY_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cupid {
 
@@ -171,6 +174,43 @@ std::string StringFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty number");
+  if (std::isspace(static_cast<unsigned char>(s.front()))) {
+    return Status::ParseError("not a number: " + std::string(s));
+  }
+  // strtod needs NUL termination; inputs are short (flags, JSON tokens).
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::ParseError("not a number: " + buf);
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::ParseError("number out of range: " + buf);
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty number");
+  if (std::isspace(static_cast<unsigned char>(s.front()))) {
+    return Status::ParseError("not an integer: " + std::string(s));
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::ParseError("not an integer: " + buf);
+  }
+  if (errno == ERANGE) {
+    return Status::ParseError("integer out of range: " + buf);
+  }
+  return static_cast<int64_t>(v);
 }
 
 }  // namespace cupid

@@ -6,9 +6,12 @@
 #ifndef CUPID_UTIL_STRINGS_H_
 #define CUPID_UTIL_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace cupid {
 
@@ -68,6 +71,15 @@ std::string Stem(std::string_view word);
 /// \brief printf-style formatting into a std::string.
 std::string StringFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// \brief Parses a decimal floating-point number, requiring the whole input
+/// to be consumed ("0.5x", "", "  1" are ParseError; atof/strtod would
+/// silently accept or zero them). Overflow is ParseError too.
+Result<double> ParseDouble(std::string_view s);
+
+/// \brief Parses a base-10 integer with the same full-consumption and range
+/// rules as ParseDouble ("12.5" and "9999999999999999999999" are errors).
+Result<int64_t> ParseInt(std::string_view s);
 
 }  // namespace cupid
 

@@ -34,24 +34,40 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { Shutdown(); }
+
+  /// \brief Stops accepting tasks, drains everything already queued, and
+  /// joins the workers. Idempotent, including from concurrent callers
+  /// (join_mu_ serializes the join loop; late callers see already-joined
+  /// threads). Called by the destructor.
+  void Shutdown() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
-    for (std::thread& w : workers_) w.join();
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
   }
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues `fn` for execution on some worker.
-  void Submit(std::function<void()> fn) {
+  /// \brief Enqueues `fn` for execution on some worker.
+  ///
+  /// Returns false — and does NOT take ownership of running `fn` — once
+  /// Shutdown() has begun. Callers that submit concurrently with shutdown
+  /// must check the result; a rejected task is never silently dropped into
+  /// the queue.
+  [[nodiscard]] bool Submit(std::function<void()> fn) {
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (stop_) return false;
       queue_.push_back(std::move(fn));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Resolves a user-facing thread-count knob: n > 0 is taken literally,
@@ -80,6 +96,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
+  /// Serializes concurrent Shutdown calls (never held with mu_).
+  std::mutex join_mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
@@ -108,11 +126,18 @@ inline void ParallelFor(ThreadPool* pool, int64_t n,
   for (int64_t c = 0; c < chunks; ++c) {
     int64_t begin = c * chunk_size;
     int64_t end = std::min(n, begin + chunk_size);
-    pool->Submit([&, begin, end] {
+    bool accepted = pool->Submit([&, begin, end] {
       body(begin, end);
       std::unique_lock<std::mutex> lock(mu);
       if (--remaining == 0) done.notify_all();
     });
+    if (!accepted) {
+      // Pool shut down mid-loop: run the chunk inline so the barrier below
+      // still completes.
+      body(begin, end);
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    }
   }
   std::unique_lock<std::mutex> lock(mu);
   done.wait(lock, [&] { return remaining == 0; });

@@ -1,10 +1,15 @@
 // Tests for the importers (src/importers): XML parser, XSD-lite loader,
-// SQL DDL parser, native format.
+// SQL DDL parser, native format, format auto-dispatch, and native-format
+// persistence round trips over the shipped data/ fixtures.
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "importers/dtd_parser.h"
 #include "importers/native_format.h"
+#include "importers/schema_io.h"
 #include "importers/sql_ddl_parser.h"
 #include "importers/xml_parser.h"
 #include "importers/xml_schema_loader.h"
@@ -361,6 +366,150 @@ TEST(DtdParserTest, UndeclaredChildBecomesStringLeaf) {
   ASSERT_NE(m, kNoElement);
   EXPECT_EQ(r->element(m).kind, ElementKind::kAtomic);
   EXPECT_EQ(r->element(m).data_type, DataType::kString);
+}
+
+TEST(NativeFormatTest, KeysAndRefsRoundTrip) {
+  // The relational subset: keys aggregating sibling columns and referential
+  // constraints with forward path targets survive a serialize/parse cycle.
+  auto r = ParseNativeSchema(
+      "schema DB\n"
+      "node Orders\n"
+      "  leaf OrderID integer key\n"
+      "  key Orders_pk = OrderID\n"
+      "  leaf CustomerID integer\n"
+      "  ref Orders_Customers_fk = CustomerID -> DB.Customers.Customers_pk\n"
+      "node Customers\n"
+      "  leaf CustomerID integer key\n"
+      "  key Customers_pk = CustomerID\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  auto keys = s.ElementsOfKind(ElementKind::kKey);
+  ASSERT_EQ(keys.size(), 2u);
+  auto refs = s.ElementsOfKind(ElementKind::kRefInt);
+  ASSERT_EQ(refs.size(), 1u);
+  ASSERT_EQ(s.references(refs[0]).size(), 1u);
+  EXPECT_EQ(s.element(s.references(refs[0])[0]).name, "Customers_pk");
+  ASSERT_EQ(s.aggregates(refs[0]).size(), 1u);
+  EXPECT_EQ(s.element(s.aggregates(refs[0])[0]).name, "CustomerID");
+  EXPECT_TRUE(s.element(refs[0]).not_instantiated);
+
+  std::string text = SerializeNativeSchema(s);
+  auto r2 = ParseNativeSchema(text);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString() << "\n" << text;
+  EXPECT_EQ(PrintSchema(s), PrintSchema(*r2));
+  EXPECT_EQ(PrintSchemaEdges(s), PrintSchemaEdges(*r2));
+  // The join-view expansion the references drive must reproduce too.
+  auto t1 = BuildSchemaTree(s);
+  auto t2 = BuildSchemaTree(*r2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(t1->num_nodes(), t2->num_nodes());
+}
+
+TEST(NativeFormatTest, KeyRefRejections) {
+  EXPECT_FALSE(ParseNativeSchema("schema S\nkey\n").ok());  // no name
+  EXPECT_FALSE(  // unknown member
+      ParseNativeSchema("schema S\nnode T\n  key pk = NoSuchColumn\n").ok());
+  EXPECT_FALSE(  // ref without target
+      ParseNativeSchema("schema S\nnode T\n  ref fk\n").ok());
+  EXPECT_FALSE(  // unresolvable target path
+      ParseNativeSchema("schema S\nnode T\n  ref fk -> No.Such.Path\n").ok());
+  EXPECT_FALSE(  // '->' on a key line
+      ParseNativeSchema("schema S\nnode T\n  leaf C integer\n"
+                        "  key pk = C -> S.T\n")
+          .ok());
+}
+
+// ------------------------------------------------------------- schema_io --
+
+TEST(SchemaIoTest, FormatDispatch) {
+  EXPECT_EQ(*SchemaFormatFromPath("a/b/x.xml"), SchemaFormat::kXmlSchema);
+  EXPECT_EQ(*SchemaFormatFromPath("x.sql"), SchemaFormat::kSqlDdl);
+  EXPECT_EQ(*SchemaFormatFromPath("x.ddl"), SchemaFormat::kSqlDdl);
+  EXPECT_EQ(*SchemaFormatFromPath("x.dtd"), SchemaFormat::kDtd);
+  EXPECT_EQ(*SchemaFormatFromPath("x.cupid"), SchemaFormat::kNative);
+  EXPECT_FALSE(SchemaFormatFromPath("x.yaml").ok());
+  EXPECT_EQ(*SchemaFormatFromName("XML"), SchemaFormat::kXmlSchema);
+  EXPECT_EQ(*SchemaFormatFromName("cupid"), SchemaFormat::kNative);
+  EXPECT_FALSE(SchemaFormatFromName("json").ok());
+}
+
+TEST(SchemaIoTest, ParseSchemaTextDispatches) {
+  auto xml = ParseSchemaText(SchemaFormat::kXmlSchema, "ignored",
+                             "<schema name=\"S\"><element name=\"a\" "
+                             "type=\"string\"/></schema>");
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  EXPECT_EQ(xml->name(), "S");
+  auto sql = ParseSchemaText(SchemaFormat::kSqlDdl, "DB",
+                             "CREATE TABLE t ( x INT );");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql->name(), "DB");
+  auto native =
+      ParseSchemaText(SchemaFormat::kNative, "ignored", "schema N\n");
+  ASSERT_TRUE(native.ok());
+  EXPECT_EQ(native->name(), "N");
+}
+
+// --------------------------------------- shipped-fixture round trips ------
+
+/// Flattened identity of an expanded schema tree: node count plus, per node
+/// in pre-order, the context path, the element kind/type and the tree
+/// flags. Two schemas with equal signatures match identically (the matcher
+/// only sees the tree).
+std::vector<std::string> TreeSignature(const Schema& s) {
+  auto tree = BuildSchemaTree(s);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  std::vector<std::string> out;
+  if (!tree.ok()) return out;
+  for (TreeNodeId n = 0; n < tree->num_nodes(); ++n) {
+    const TreeNode& node = tree->node(n);
+    std::string sig = tree->PathName(n);
+    if (node.source != kNoElement) {
+      const Element& e = s.element(node.source);
+      sig += std::string("|") + ElementKindName(e.kind) + "|" +
+             DataTypeName(e.data_type);
+      if (e.optional) sig += "|optional";
+      if (e.is_key) sig += "|key";
+    }
+    if (node.optional) sig += "|tree-optional";
+    if (node.is_join_view) sig += "|join-view";
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
+/// Every importer format -> native_format dump -> reload must be
+/// tree-identical (the persistence contract of service/SchemaRepository).
+void ExpectNativeRoundTripIdentical(const std::string& file) {
+  std::string path = std::string(CUPID_DATA_DIR) + "/" + file;
+  auto original = LoadSchemaFileAuto(path);
+  ASSERT_TRUE(original.ok()) << path << ": " << original.status().ToString();
+  std::string dumped = SerializeNativeSchema(*original);
+  auto reloaded = ParseNativeSchema(dumped);
+  ASSERT_TRUE(reloaded.ok())
+      << path << ": " << reloaded.status().ToString() << "\n" << dumped;
+  EXPECT_EQ(PrintSchema(*original), PrintSchema(*reloaded)) << path;
+  EXPECT_EQ(TreeSignature(*original), TreeSignature(*reloaded)) << path;
+  // A second cycle must be byte-stable (the fixed point of persistence).
+  EXPECT_EQ(dumped, SerializeNativeSchema(*reloaded)) << path;
+}
+
+TEST(NativeRoundTripTest, XmlFixtures) {
+  ExpectNativeRoundTripIdentical("cidx.xml");
+  ExpectNativeRoundTripIdentical("excel.xml");
+}
+
+TEST(NativeRoundTripTest, SqlFixtures) {
+  ExpectNativeRoundTripIdentical("rdb.sql");
+  ExpectNativeRoundTripIdentical("star.sql");
+}
+
+TEST(NativeRoundTripTest, DtdFixture) {
+  ExpectNativeRoundTripIdentical("order.dtd");
+}
+
+TEST(NativeRoundTripTest, NativeFixtures) {
+  ExpectNativeRoundTripIdentical("po.cupid");
+  ExpectNativeRoundTripIdentical("purchase_order.cupid");
 }
 
 TEST(NativeFormatTest, SerializeParseRoundTrip) {

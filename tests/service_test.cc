@@ -1,0 +1,598 @@
+// Tests for src/service: SchemaRepository (versioning, lineage,
+// persistence), MatchService (bit-identical serving across the cached,
+// session and direct paths, under concurrency), and JobScheduler
+// (bounded admission, per-job stats).
+//
+// The service-level contract mirrors the incremental one: no matter which
+// warm path served a request, the mappings must equal a from-scratch
+// CupidMatcher::Match on the same schema versions value-for-value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "importers/native_format.h"
+#include "schema/schema_printer.h"
+#include "service/job_scheduler.h"
+#include "service/match_service.h"
+#include "service/schema_repository.h"
+#include "thesaurus/default_thesaurus.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+/// Test backdoor into JobScheduler's generic admission path, used to pin
+/// workers deterministically with closures the test controls.
+class JobSchedulerTestPeer {
+ public:
+  static Result<std::shared_ptr<MatchJob>> SubmitTask(
+      JobScheduler* scheduler,
+      std::function<Result<MatchResponse>()> task) {
+    return scheduler->SubmitTask(std::move(task));
+  }
+};
+
+namespace {
+
+void ExpectMappingEqual(const Mapping& got, const Mapping& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.elements[i].source_path, want.elements[i].source_path)
+        << context << " [" << i << "]";
+    ASSERT_EQ(got.elements[i].target_path, want.elements[i].target_path)
+        << context << " [" << i << "]";
+    ASSERT_EQ(got.elements[i].wsim, want.elements[i].wsim)
+        << context << " [" << i << "]";
+    ASSERT_EQ(got.elements[i].ssim, want.elements[i].ssim)
+        << context << " [" << i << "]";
+    ASSERT_EQ(got.elements[i].lsim, want.elements[i].lsim)
+        << context << " [" << i << "]";
+  }
+}
+
+/// Asserts `response` matches a from-scratch CupidMatcher run on the
+/// request's schema versions, leaf and non-leaf alike.
+void ExpectIdenticalToDirect(const MatchResponse& response,
+                             const SchemaRepository& repo,
+                             const Thesaurus& thesaurus,
+                             const CupidConfig& config,
+                             const std::string& context) {
+  auto source = repo.Get(response.source, response.source_version);
+  auto target = repo.Get(response.target, response.target_version);
+  ASSERT_TRUE(source.ok() && target.ok()) << context;
+  CupidMatcher matcher(&thesaurus, config);
+  auto ref = matcher.Match(**source, **target);
+  ASSERT_TRUE(ref.ok()) << context << ": " << ref.status().ToString();
+  ExpectMappingEqual(response.leaf_mapping, ref->leaf_mapping,
+                     context + " leaf");
+  ExpectMappingEqual(response.nonleaf_mapping, ref->nonleaf_mapping,
+                     context + " nonleaf");
+}
+
+CupidConfig SingleThreaded() {
+  CupidConfig config;
+  config.SetNumThreads(1);
+  return config;
+}
+
+/// Edge lines sorted: reloading may renumber elements (a foreign key parsed
+/// inline sits at a different id than one linked after all tables), which
+/// permutes PrintSchemaEdges line order without changing the edge set.
+std::vector<std::string> SortedEdges(const Schema& s) {
+  std::vector<std::string> lines = SplitAny(PrintSchemaEdges(s), "\n");
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// ------------------------------------------------------------- repository --
+
+TEST(SchemaRepositoryTest, RegisterResolveVersions) {
+  SchemaRepository repo;
+  ASSERT_EQ(*repo.Register("po", Fig2Po()), 1);
+  ASSERT_EQ(*repo.Register("po", Fig2Po()), 2);
+  EXPECT_EQ(repo.LatestVersion("po"), 2);
+  EXPECT_EQ(repo.LatestVersion("nosuch"), 0);
+
+  auto latest = repo.Resolve("po");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 2);
+  auto v1 = repo.Resolve("po", 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->version, 1);
+  EXPECT_TRUE(repo.Resolve("po", 3).status().IsNotFound());
+  EXPECT_TRUE(repo.Resolve("nosuch").status().IsNotFound());
+  EXPECT_FALSE(repo.Register("", Fig2Po()).ok());
+
+  EXPECT_EQ(repo.Names(), std::vector<std::string>{"po"});
+}
+
+TEST(SchemaRepositoryTest, SnapshotsSurviveLaterMutations) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  auto v1 = repo.Get("po", 1);
+  ASSERT_TRUE(v1.ok());
+  std::string before = PrintSchema(**v1);
+  ASSERT_TRUE(
+      repo.ApplyEdit("po", SchemaEdit::RenameElement(EditSide::kSource,
+                                                     "PO.POLines", "Lines"))
+          .ok());
+  // The v1 snapshot is immutable; only v2 carries the rename.
+  EXPECT_EQ(PrintSchema(**v1), before);
+  auto v2 = repo.Get("po", 2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_NE(PrintSchema(**v2), before);
+}
+
+TEST(SchemaRepositoryTest, EditChainLineage) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(
+      repo.ApplyEdit("po", SchemaEdit::RenameElement(EditSide::kSource,
+                                                     "PO.POLines", "Lines"))
+          .ok());
+  ASSERT_TRUE(repo.ApplyEdit("po", SchemaEdit::ChangeDataType(
+                                       EditSide::kSource, "PO.POShipTo.City",
+                                       DataType::kText))
+                  .ok());
+  auto chain = repo.EditChain("po", 1, 3);
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->size(), 2u);
+  EXPECT_EQ((*chain)[0].kind, SchemaEdit::Kind::kRenameElement);
+  EXPECT_EQ((*chain)[1].kind, SchemaEdit::Kind::kChangeDataType);
+  auto empty = repo.EditChain("po", 2, 2);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(repo.EditChain("po", 3, 1).has_value());   // backwards
+  EXPECT_FALSE(repo.EditChain("po", 0, 2).has_value());   // bad versions
+  EXPECT_FALSE(repo.EditChain("nosuch", 1, 1).has_value());
+
+  // A re-registration severs the lineage.
+  ASSERT_EQ(*repo.Register("po", Fig2Po()), 4);
+  EXPECT_FALSE(repo.EditChain("po", 3, 4).has_value());
+  EXPECT_FALSE(repo.EditChain("po", 1, 4).has_value());
+}
+
+TEST(SchemaRepositoryTest, RejectsHostileNames) {
+  // Names become session-key components ('\x1f'-joined) and on-disk file
+  // names; control bytes and path separators must be rejected at the door.
+  SchemaRepository repo;
+  EXPECT_FALSE(repo.Register(std::string("a\x1f") + "b", Fig2Po()).ok());
+  EXPECT_FALSE(repo.Register("../escape", Fig2Po()).ok());
+  EXPECT_FALSE(repo.Register("a/b", Fig2Po()).ok());
+  EXPECT_FALSE(repo.Register("a\\b", Fig2Po()).ok());
+  EXPECT_FALSE(repo.Register(".", Fig2Po()).ok());
+  EXPECT_FALSE(repo.Register("..", Fig2Po()).ok());
+  EXPECT_TRUE(repo.Register("fine-name_2", Fig2Po()).ok());
+}
+
+TEST(SchemaRepositoryTest, LoadFromRejectsTraversingManifests) {
+  std::string dir = (std::filesystem::path(::testing::TempDir()) /
+                     "cupid_repo_hostile")
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream manifest(std::filesystem::path(dir) / "MANIFEST.jsonl");
+    manifest << R"({"name":"x","version":1,"file":"../outside.cupid"})"
+             << "\n";
+  }
+  EXPECT_FALSE(SchemaRepository::LoadFrom(dir).ok());
+}
+
+TEST(SchemaRepositoryTest, ApplyEditErrors) {
+  SchemaRepository repo;
+  EXPECT_TRUE(repo.ApplyEdit("nosuch", SchemaEdit::RenameElement(
+                                           EditSide::kSource, "X", "Y"))
+                  .status()
+                  .IsNotFound());
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  EXPECT_FALSE(
+      repo.ApplyEdit("po", SchemaEdit::RenameElement(EditSide::kSource,
+                                                     "No.Such.Path", "Y"))
+          .ok());
+  // Failed edits must not create versions.
+  EXPECT_EQ(repo.LatestVersion("po"), 1);
+}
+
+TEST(SchemaRepositoryTest, PersistenceRoundTripAllImporterFormats) {
+  std::string data = CUPID_DATA_DIR;
+  SchemaRepository repo;
+  // Every importer format, loaded exactly as a server would load them.
+  ASSERT_TRUE(repo.RegisterFile("cidx", data + "/cidx.xml").ok());
+  ASSERT_TRUE(repo.RegisterFile("excel", data + "/excel.xml").ok());
+  ASSERT_TRUE(repo.RegisterFile("rdb", data + "/rdb.sql").ok());
+  ASSERT_TRUE(repo.RegisterFile("star", data + "/star.sql").ok());
+  ASSERT_TRUE(repo.RegisterFile("order", data + "/order.dtd").ok());
+  ASSERT_TRUE(repo.RegisterFile("po", data + "/po.cupid").ok());
+  // A second version so the manifest covers version chains.
+  ASSERT_TRUE(
+      repo.ApplyEdit("po", SchemaEdit::RenameElement(EditSide::kSource,
+                                                     "PO.POLines", "Lines"))
+          .ok());
+
+  std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "cupid_repo").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(repo.SaveTo(dir).ok());
+  auto reloaded = SchemaRepository::LoadFrom(dir);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  ASSERT_EQ(reloaded->Names(), repo.Names());
+  for (const std::string& name : repo.Names()) {
+    ASSERT_EQ(reloaded->LatestVersion(name), repo.LatestVersion(name));
+    for (int v = 1; v <= repo.LatestVersion(name); ++v) {
+      auto a = repo.Get(name, v);
+      auto b = reloaded->Get(name, v);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(PrintSchema(**a), PrintSchema(**b)) << name << "@" << v;
+      EXPECT_EQ(SortedEdges(**a), SortedEdges(**b)) << name << "@" << v;
+    }
+  }
+  EXPECT_FALSE(SchemaRepository::LoadFrom(dir + "/nosuch").ok());
+}
+
+// ---------------------------------------------------------- match service --
+
+struct ServiceFixture {
+  ServiceFixture() : thesaurus(DefaultThesaurus()), service(&thesaurus, &repo) {
+    EXPECT_TRUE(repo.Register("po", Fig2Po()).ok());
+    EXPECT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  }
+
+  MatchRequest Request(const CupidConfig& config = SingleThreaded()) {
+    MatchRequest request;
+    request.source = "po";
+    request.target = "order";
+    request.config = config;
+    return request;
+  }
+
+  Thesaurus thesaurus;
+  SchemaRepository repo;
+  MatchService service;
+};
+
+TEST(MatchServiceTest, ServesBitIdenticalMappings) {
+  ServiceFixture fx;
+  auto r1 = fx.service.Match(fx.Request());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(r1->result_cache_hit);
+  EXPECT_FALSE(r1->session_reused);
+  EXPECT_EQ(r1->source_version, 1);
+  EXPECT_EQ(r1->target_version, 1);
+  ExpectIdenticalToDirect(*r1, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "cold");
+
+  // Identical request: served from the result cache, same mappings.
+  auto r2 = fx.service.Match(fx.Request());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->result_cache_hit);
+  ExpectMappingEqual(r2->leaf_mapping, r1->leaf_mapping, "cache hit leaf");
+
+  // Cache opt-out: recomputed on the warm session, still identical.
+  MatchRequest no_cache = fx.Request();
+  no_cache.use_result_cache = false;
+  auto r3 = fx.service.Match(no_cache);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(r3->result_cache_hit);
+  EXPECT_TRUE(r3->session_reused);
+  ExpectIdenticalToDirect(*r3, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "warm session");
+
+  // Session opt-out: one-shot matcher, still identical.
+  MatchRequest direct = fx.Request();
+  direct.use_result_cache = false;
+  direct.use_session = false;
+  auto r4 = fx.service.Match(direct);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_FALSE(r4->session_reused);
+  ExpectIdenticalToDirect(*r4, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "direct");
+
+  MatchService::CacheStats stats = fx.service.cache_stats();
+  EXPECT_EQ(stats.result_hits, 1);
+  EXPECT_EQ(stats.sessions_created, 1);
+  EXPECT_EQ(stats.sessions_reused, 1);
+}
+
+TEST(MatchServiceTest, RepositoryEditTakesIncrementalPath) {
+  ServiceFixture fx;
+  ASSERT_TRUE(fx.service.Match(fx.Request()).ok());  // warm the session
+
+  ASSERT_TRUE(fx.repo
+                  .ApplyEdit("po", SchemaEdit::RenameElement(
+                                       EditSide::kSource,
+                                       "PO.POLines.Item.Qty", "Quantity"))
+                  .ok());
+  auto r = fx.service.Match(fx.Request());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->source_version, 2);
+  EXPECT_TRUE(r->session_reused);
+  EXPECT_TRUE(r->incremental);  // the edit chain warm-started Rematch
+  EXPECT_FALSE(r->result_cache_hit);
+  EXPECT_GT(r->stats.tree_match.pairs_reused, 0);
+  ExpectIdenticalToDirect(*r, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "post-edit");
+
+  // Multi-edit chain (two repository edits between requests).
+  ASSERT_TRUE(fx.repo
+                  .ApplyEdit("order", SchemaEdit::ChangeDataType(
+                                          EditSide::kSource,
+                                          "PurchaseOrder.Items.Item.Quantity",
+                                          DataType::kInteger))
+                  .ok());
+  ASSERT_TRUE(fx.repo
+                  .ApplyEdit("po", SchemaEdit::RenameElement(
+                                       EditSide::kSource, "PO.POShipTo",
+                                       "ShipDestination"))
+                  .ok());
+  auto r2 = fx.service.Match(fx.Request());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->incremental);
+  ExpectIdenticalToDirect(*r2, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "post-edit-chain");
+  EXPECT_GE(fx.service.cache_stats().incremental_rematches, 2);
+}
+
+TEST(MatchServiceTest, ReRegistrationRebuildsCold) {
+  ServiceFixture fx;
+  ASSERT_TRUE(fx.service.Match(fx.Request()).ok());
+  // Re-register (no edit lineage): the warm session must be discarded, not
+  // fed a schema it cannot reconcile.
+  ASSERT_TRUE(fx.repo.Register("po", Fig2Po()).ok());
+  auto r = fx.service.Match(fx.Request());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->source_version, 2);
+  EXPECT_FALSE(r->session_reused);
+  EXPECT_FALSE(r->incremental);
+  ExpectIdenticalToDirect(*r, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "re-registered");
+}
+
+TEST(MatchServiceTest, ExplicitVersionsServeOldSnapshots) {
+  ServiceFixture fx;
+  ASSERT_TRUE(fx.repo
+                  .ApplyEdit("po", SchemaEdit::RenameElement(
+                                       EditSide::kSource,
+                                       "PO.POLines.Item.Qty", "Quantity"))
+                  .ok());
+  MatchRequest old = fx.Request();
+  old.source_version = 1;
+  auto r = fx.service.Match(old);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->source_version, 1);
+  ExpectIdenticalToDirect(*r, fx.repo, fx.thesaurus, SingleThreaded(),
+                          "pinned version");
+  // Distinct cache keys: latest is not served from the pinned entry.
+  auto latest = fx.service.Match(fx.Request());
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->source_version, 2);
+  EXPECT_FALSE(latest->result_cache_hit);
+}
+
+TEST(MatchServiceTest, UnknownSchemasAndBadConfigsAreRejected) {
+  ServiceFixture fx;
+  MatchRequest unknown = fx.Request();
+  unknown.source = "nosuch";
+  EXPECT_TRUE(fx.service.Match(unknown).status().IsNotFound());
+  MatchRequest bad = fx.Request();
+  bad.config.tree_match.th_accept = 7.0;
+  EXPECT_TRUE(fx.service.Match(bad).status().IsInvalidArgument());
+}
+
+TEST(MatchServiceTest, LruEvictionAtCapacity) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  MatchService::Options options;
+  options.result_cache_capacity = 1;
+  MatchService service(&thesaurus, &repo, options);
+
+  MatchRequest forward;
+  forward.source = "po";
+  forward.target = "order";
+  forward.config = SingleThreaded();
+  MatchRequest backward = forward;
+  backward.source = "order";
+  backward.target = "po";
+
+  ASSERT_TRUE(service.Match(forward).ok());
+  ASSERT_TRUE(service.Match(backward).ok());  // evicts the forward entry
+  auto again = service.Match(forward);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->result_cache_hit);
+  EXPECT_GT(service.cache_stats().result_evictions, 0);
+}
+
+TEST(MatchServiceTest, ConcurrentClientsBitIdentical) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  auto cidx = CidxSchema();
+  auto excel = ExcelSchema();
+  ASSERT_TRUE(cidx.ok() && excel.ok());
+  ASSERT_TRUE(repo.Register("cidx", std::move(*cidx)).ok());
+  ASSERT_TRUE(repo.Register("excel", std::move(*excel)).ok());
+  MatchService service(&thesaurus, &repo);
+
+  const CupidConfig config = SingleThreaded();
+  struct Pair {
+    const char* source;
+    const char* target;
+  };
+  const Pair pairs[] = {{"po", "order"}, {"cidx", "excel"}, {"order", "po"}};
+
+  // Reference mappings computed up front, single-threaded.
+  std::vector<Mapping> want_leaf, want_nonleaf;
+  for (const Pair& p : pairs) {
+    CupidMatcher matcher(&thesaurus, config);
+    auto ref = matcher.Match(**repo.Get(p.source), **repo.Get(p.target));
+    ASSERT_TRUE(ref.ok());
+    want_leaf.push_back(ref->leaf_mapping);
+    want_nonleaf.push_back(ref->nonleaf_mapping);
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        size_t which = static_cast<size_t>(c + i) % 3;
+        MatchRequest request;
+        request.source = pairs[which].source;
+        request.target = pairs[which].target;
+        request.config = config;
+        // Mix cache hits, session reuse and one-shot paths.
+        request.use_result_cache = (i % 3) != 1;
+        request.use_session = (i % 4) != 3;
+        auto r = service.Match(request);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        const Mapping& leaf = want_leaf[which];
+        if (r->leaf_mapping.size() != leaf.size()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t e = 0; e < leaf.size(); ++e) {
+          if (r->leaf_mapping.elements[e].source_path !=
+                  leaf.elements[e].source_path ||
+              r->leaf_mapping.elements[e].target_path !=
+                  leaf.elements[e].target_path ||
+              r->leaf_mapping.elements[e].wsim != leaf.elements[e].wsim) {
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  MatchService::CacheStats stats = service.cache_stats();
+  EXPECT_GT(stats.result_hits, 0);   // the cache actually served traffic
+  EXPECT_GT(stats.sessions_reused, 0);
+}
+
+// ----------------------------------------------------------- job scheduler --
+
+TEST(JobSchedulerTest, BatchesAtOneAndManyWorkersBitIdentical) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+
+  const CupidConfig config = SingleThreaded();
+  CupidMatcher matcher(&thesaurus, config);
+  auto ref = matcher.Match(**repo.Get("po"), **repo.Get("order"));
+  ASSERT_TRUE(ref.ok());
+
+  for (int workers : {1, 4}) {
+    MatchService service(&thesaurus, &repo);
+    JobScheduler::Options options;
+    options.num_threads = workers;
+    JobScheduler scheduler(&service, options);
+    EXPECT_EQ(scheduler.num_threads(), workers);
+
+    std::vector<MatchRequest> batch;
+    for (int i = 0; i < 12; ++i) {
+      MatchRequest request;
+      request.source = "po";
+      request.target = "order";
+      request.config = config;
+      request.use_result_cache = i % 2 == 0;
+      batch.push_back(request);
+    }
+    std::vector<Result<MatchResponse>> results =
+        scheduler.MatchBatch(std::move(batch));
+    ASSERT_EQ(results.size(), 12u);
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << workers << " workers, job " << i << ": "
+          << results[i].status().ToString();
+      ExpectMappingEqual(results[i]->leaf_mapping, ref->leaf_mapping,
+                         StringFormat("workers=%d job=%zu", workers, i));
+      EXPECT_GE(results[i]->timings.queue_ms, 0.0);
+    }
+  }
+}
+
+TEST(JobSchedulerTest, BatchSurfacesPerRequestErrors) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  MatchService service(&thesaurus, &repo);
+  JobScheduler scheduler(&service);
+
+  MatchRequest good;
+  good.source = "po";
+  good.target = "order";
+  good.config = SingleThreaded();
+  MatchRequest bad = good;
+  bad.target = "nosuch";
+  auto results = scheduler.MatchBatch({good, bad, good});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(JobSchedulerTest, BoundedAdmissionAndShutdown) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  MatchService service(&thesaurus, &repo);
+  JobScheduler::Options options;
+  options.num_threads = 1;
+  options.max_pending = 2;
+  JobScheduler scheduler(&service, options);
+
+  // Pin the single worker on a latch so admission counts are deterministic.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  auto blocking = [released]() -> Result<MatchResponse> {
+    released.wait();
+    return MatchResponse{};
+  };
+  auto quick = []() -> Result<MatchResponse> { return MatchResponse{}; };
+
+  auto job1 = JobSchedulerTestPeer::SubmitTask(&scheduler, blocking);
+  ASSERT_TRUE(job1.ok());
+  auto job2 = JobSchedulerTestPeer::SubmitTask(&scheduler, quick);
+  ASSERT_TRUE(job2.ok());  // queued behind the pinned worker
+  auto job3 = JobSchedulerTestPeer::SubmitTask(&scheduler, quick);
+  ASSERT_EQ(job3.status().code(), StatusCode::kOutOfRange);  // bound hit
+
+  release.set_value();
+  EXPECT_TRUE((*job1)->Wait().ok());
+  EXPECT_TRUE((*job2)->Wait().ok());
+  EXPECT_TRUE((*job1)->done());
+  EXPECT_GE((*job2)->queue_ms(), 0.0);
+  EXPECT_EQ(scheduler.pending(), 0);
+
+  scheduler.Shutdown();
+  auto after = JobSchedulerTestPeer::SubmitTask(&scheduler, quick);
+  EXPECT_EQ(after.status().code(), StatusCode::kUnsupported);
+  scheduler.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace cupid

@@ -1,11 +1,16 @@
-// Tests for src/util: Status/Result, string utilities, PRNG, Matrix.
+// Tests for src/util: Status/Result, string utilities, PRNG, Matrix,
+// ThreadPool shutdown semantics, JSON writer/parser, number parsing.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "util/json.h"
 #include "util/matrix.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace cupid {
 namespace {
@@ -205,6 +210,145 @@ TEST(MatrixTest, ReadWrite) {
   m.Fill(9);
   EXPECT_EQ(m(0, 0), 9);
   EXPECT_EQ(m(1, 1), 9);
+}
+
+// ---------------------------------------------------------- number parsing --
+
+TEST(ParseNumbersTest, ParseDouble) {
+  EXPECT_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("0.5x").ok());   // partial consumption
+  EXPECT_FALSE(ParseDouble(" 1").ok());     // leading space not consumed out
+  EXPECT_FALSE(ParseDouble("1 ").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1e999999").ok());  // overflow
+}
+
+TEST(ParseNumbersTest, ParseInt) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_EQ(*ParseInt("0"), 0);
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12.5").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("9999999999999999999999").ok());  // overflow
+}
+
+// -------------------------------------------------------------- thread pool --
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ++ran; }));
+  }
+  pool.Shutdown();  // drains the queue before joining
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  // The regression: this used to enqueue silently into a dead pool; the
+  // task would never run and the caller had no way to notice.
+  EXPECT_FALSE(pool.Submit([&ran] { ran = true; }));
+  EXPECT_FALSE(ran.load());
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ParallelForSurvivesShutdownPool) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  // All chunks run inline on the caller when the pool rejects them; the
+  // barrier must still complete with every index visited exactly once
+  // (chunks are disjoint, so plain ints suffice).
+  std::vector<int> hits(256, 0);
+  ParallelFor(&pool, 256, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// -------------------------------------------------------------------- json --
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("a\"b\\c\n");
+  w.Key("i");
+  w.Int(-3);
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.Bool(true);
+  w.Null();
+  w.BeginObject();
+  w.EndObject();
+  w.EndArray();
+  w.Key("f");
+  w.FixedDouble(0.5, 3);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"i\":-3,"
+            "\"list\":[1,true,null,{}],\"f\":0.500}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape(std::string("a\x01" "b\tc", 5)), "a\\u0001b\\tc");
+}
+
+TEST(JsonParserTest, ParsesDocuments) {
+  auto r = ParseJson(
+      R"({"cmd":"match","n":2.5,"deep":{"list":[1,-2,3e2]},"on":true,"x":null})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->GetString("cmd"), "match");
+  EXPECT_EQ(r->GetNumber("n"), 2.5);
+  EXPECT_TRUE(r->GetBool("on"));
+  const JsonValue* deep = r->Find("deep");
+  ASSERT_NE(deep, nullptr);
+  const JsonValue* list = deep->Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 3u);
+  EXPECT_EQ(list->array[1].number, -2.0);
+  EXPECT_EQ(list->array[2].number, 300.0);
+  EXPECT_EQ(r->Find("x")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(r->Find("nosuch"), nullptr);
+  EXPECT_EQ(r->GetString("n", "fallback"), "fallback");  // wrong type
+}
+
+TEST(JsonParserTest, StringEscapesRoundTrip) {
+  std::string original = "quote\" slash\\ tab\t newline\n unicode\xE2\x82\xAC";
+  JsonWriter w;
+  w.String(original);
+  auto r = ParseJson(w.str());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->string, original);
+}
+
+TEST(JsonParserTest, UnicodeEscapes) {
+  auto r = ParseJson("\"\\u20acA\"");  // euro sign
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string, "\xE2\x82\xAC" "A");
+  auto pair = ParseJson("\"\\ud83d\\ude00\"");  // surrogate pair (emoji)
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  EXPECT_EQ(pair->string, "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());  // unpaired high surrogate
+}
+
+TEST(JsonParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("01x").ok());
+  EXPECT_FALSE(ParseJson("{'single':1}").ok());
 }
 
 }  // namespace
