@@ -481,6 +481,8 @@ int main(int argc, char** argv) {
       w.Int(stats.sessions_created);
       w.Key("sessions_reused");
       w.Int(stats.sessions_reused);
+      w.Key("sessions_evicted");
+      w.Int(stats.sessions_evicted);
       w.Key("incremental_rematches");
       w.Int(stats.incremental_rematches);
       w.Key("schemas");

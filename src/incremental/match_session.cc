@@ -1,5 +1,10 @@
 #include "incremental/match_session.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -21,7 +26,9 @@ bool HasJoinViews(const SchemaTree& tree) {
 /// All node context paths, built top-down (path(n) = path(parent) + "." +
 /// name) so the whole tree costs O(total path length), not O(depth) walks
 /// per node. Node ids are assigned in DFS pre-order, so parents precede
-/// children.
+/// children. Path SYNTAX must stay in sync with SchemaTree::PathName
+/// (tree/schema_tree.cc) and the element-level ElementPaths in
+/// linguistic/linguistic_matcher.cc.
 std::vector<std::string> NodePaths(const SchemaTree& tree) {
   std::vector<std::string> paths(static_cast<size_t>(tree.num_nodes()));
   for (TreeNodeId n = 0; n < tree.num_nodes(); ++n) {
@@ -46,6 +53,41 @@ std::vector<std::string> NodePaths(const SchemaTree& tree) {
 /// degrades to recomputation, never to reuse of wrong values.
 void MapByPath(const SchemaTree& nw, const SchemaTree& old,
                std::vector<TreeNodeId>* map) {
+  // An unedited side's tree is a copy of the previous run's tree over the
+  // SAME Schema object (Rematch only rebuilds edited sides), so node ids
+  // coincide and the map is the identity — no paths needed.
+  if (&nw.schema() == &old.schema() && nw.num_nodes() == old.num_nodes()) {
+    map->resize(static_cast<size_t>(nw.num_nodes()));
+    for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+      (*map)[static_cast<size_t>(n)] = n;
+    }
+    return;
+  }
+  // Identity-first for equal-size rebuilt trees: in-place edits (renames,
+  // retypes) keep node ids stable, and a renamed node's identity image IS
+  // its old self — which path mapping only recovers via child alignment.
+  // Any map is sound (every value-relevant input is verified
+  // independently downstream), so the name-mismatch threshold is purely a
+  // reuse-quality heuristic; adds/removes change the node count and fall
+  // through to path mapping.
+  if (nw.num_nodes() == old.num_nodes()) {
+    const int64_t thr =
+        std::max<int64_t>(4, static_cast<int64_t>(nw.num_nodes()) / 64);
+    int64_t mismatches = 0;
+    for (TreeNodeId n = 0; n < nw.num_nodes() && mismatches <= thr; ++n) {
+      if (nw.NodeName(n) != old.NodeName(n) ||
+          nw.node(n).parent != old.node(n).parent) {
+        ++mismatches;
+      }
+    }
+    if (mismatches <= thr) {
+      map->resize(static_cast<size_t>(nw.num_nodes()));
+      for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+        (*map)[static_cast<size_t>(n)] = n;
+      }
+      return;
+    }
+  }
   std::vector<std::string> old_paths = NodePaths(old);
   std::vector<std::string> new_paths = NodePaths(nw);
   std::unordered_map<std::string, std::vector<TreeNodeId>> old_groups;
@@ -110,14 +152,15 @@ TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& snew,
                                    const Matrix<float>& element_lsim,
                                    const SchemaTree& sold,
                                    const SchemaTree& told,
-                                   const NodeSimilarities& prev_sweep,
+                                   const Matrix<float>& prev_sweep_ssim,
                                    const NodeSimilarities& prev_final,
+                                   const Matrix<float>& prev_element_lsim,
                                    const StructuralCounts* prev_final_counts,
                                    const TreeMatchOptions& options) {
   TreeMatchDelta d;
   d.prev_source = &sold;
   d.prev_target = &told;
-  d.prev_sweep = &prev_sweep;
+  d.prev_sweep_ssim = &prev_sweep_ssim;
   d.prev_final = &prev_final;
   d.prev_final_counts = prev_final_counts;
   MapByPath(snew, sold, &d.source_map);
@@ -170,6 +213,36 @@ TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& snew,
   d.dirty_transposed =
       std::make_unique<LeafPairBits>(d.target_leaves.get(),
                                      d.source_leaves.get());
+  d.source_leaf_dirty.assign(d.source_leaves->num_leaves(), 0);
+  d.target_leaf_dirty.assign(d.target_leaves->num_leaves(), 0);
+
+  // Lsim-locality flags: a node whose element kept every lsim-relevant
+  // local feature (and maps to a previous node) has bit-equal lsim against
+  // any other flagged node — the per-node half of the gather engine's
+  // clean-pair test (linguistic/linguistic_matcher.h). Computed before the
+  // lsim diff below so changed cells can be dirt-attributed to the side
+  // whose element actually changed.
+  auto lsim_same = [](const SchemaTree& nw, const SchemaTree& old,
+                      const std::vector<TreeNodeId>& map,
+                      std::vector<uint8_t>* out) {
+    out->assign(static_cast<size_t>(nw.num_nodes()), 0);
+    for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+      TreeNodeId o = map[static_cast<size_t>(n)];
+      if (o == kNoTreeNode) continue;
+      ElementId en = nw.node(n).source;
+      ElementId eo = old.node(o).source;
+      if (en == kNoElement || eo == kNoElement) {
+        // Element-less nodes project no lsim at all; both-less is a match.
+        (*out)[static_cast<size_t>(n)] =
+            (en == kNoElement && eo == kNoElement) ? 1 : 0;
+        continue;
+      }
+      (*out)[static_cast<size_t>(n)] =
+          SameLsimElementFeatures(nw.schema(), en, old.schema(), eo) ? 1 : 0;
+    }
+  };
+  lsim_same(snew, sold, d.source_map, &d.source_lsim_same);
+  lsim_same(tnew, told, d.target_map, &d.target_lsim_same);
 
   // A leaf is valid iff it maps to an old leaf of the same data type: its
   // type-seeded init ssim row then starts out equal to the previous run's.
@@ -204,20 +277,70 @@ TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& snew,
 
   // Changed linguistic similarities dirty their leaf pair (renames change
   // whole rows; categorization ripples are caught cell by cell since the
-  // new lsim is recomputed in full before this diff).
-  for (size_t j = 0; j < d.source_leaves->num_leaves(); ++j) {
-    TreeNodeId x = d.source_leaves->leaf(j);
-    if (!s_ok[static_cast<size_t>(x)]) continue;
-    ElementId es = snew.node(x).source;
-    TreeNodeId ox = d.source_map[static_cast<size_t>(x)];
+  // new lsim is available in full before this diff). The comparison runs
+  // over the ELEMENT matrices of the two runs: per valid source leaf, the
+  // new element row is checked against the previous run's — one memcmp
+  // dismisses a bitwise-identical row when the valid target columns align
+  // position-for-position (the common case: target untouched), and only
+  // rows that differ walk their cells.
+  {
+    struct TgtCol {
+      TreeNodeId y;
+      ElementId et, oet;
+    };
+    std::vector<TgtCol> cols;
+    cols.reserve(d.target_leaves->num_leaves());
+    bool cols_aligned =
+        element_lsim.cols() == prev_element_lsim.cols();
     for (size_t k = 0; k < d.target_leaves->num_leaves(); ++k) {
       TreeNodeId y = d.target_leaves->leaf(k);
       if (!t_ok[static_cast<size_t>(y)]) continue;
-      ElementId et = tnew.node(y).source;
       TreeNodeId oy = d.target_map[static_cast<size_t>(y)];
-      if (element_lsim(es, et) !=
-          static_cast<float>(prev_sweep.lsim(ox, oy))) {
-        d.MarkPairDirty(x, y);
+      ElementId et = tnew.node(y).source;
+      ElementId oet = told.node(oy).source;
+      cols.push_back({y, et, oet});
+      if (et != oet) cols_aligned = false;
+    }
+    const size_t row_bytes =
+        static_cast<size_t>(element_lsim.cols()) * sizeof(float);
+    // A changed cell is dirt-attributed to the side whose element features
+    // changed (a row-shaped change flags only its source leaf, a
+    // column-shaped one only its target leaf): any pair block containing
+    // the cell contains that row/column, so one side always suffices for
+    // the clean-pair test, and a single rename cannot smear "dirty" across
+    // every node of the other side. Unattributable differences (both
+    // sides feature-identical, which the locality contract rules out) flag
+    // both sides defensively.
+    auto mark_lsim_cell = [&](TreeNodeId x, TreeNodeId y) {
+      d.dirty->Set(x, y);
+      d.dirty_transposed->Set(y, x);
+      const bool src_changed = !d.source_lsim_same[static_cast<size_t>(x)];
+      const bool tgt_changed = !d.target_lsim_same[static_cast<size_t>(y)];
+      if (src_changed || !tgt_changed) {
+        d.source_leaf_dirty[static_cast<size_t>(
+            d.source_leaves->dense(x))] = 1;
+      }
+      if (tgt_changed || !src_changed) {
+        d.target_leaf_dirty[static_cast<size_t>(
+            d.target_leaves->dense(y))] = 1;
+      }
+    };
+    for (size_t j = 0; j < d.source_leaves->num_leaves(); ++j) {
+      TreeNodeId x = d.source_leaves->leaf(j);
+      if (!s_ok[static_cast<size_t>(x)]) continue;
+      ElementId es = snew.node(x).source;
+      ElementId oes = sold.node(
+          d.source_map[static_cast<size_t>(x)]).source;
+      const float* new_row = element_lsim.row(es);
+      const float* old_row = prev_element_lsim.row(oes);
+      if (cols_aligned &&
+          std::memcmp(new_row, old_row, row_bytes) == 0) {
+        continue;
+      }
+      for (const TgtCol& col : cols) {
+        if (new_row[col.et] != old_row[col.oet]) {
+          mark_lsim_cell(x, col.y);
+        }
       }
     }
   }
@@ -258,7 +381,8 @@ TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& snew,
   // Did the old sweep fire increase/decrease feedback at (os, ot)?
   // (PrevFeedbackDecision holds ComparePair's exact decision arithmetic.)
   auto old_feedback_fired = [&](TreeNodeId os, TreeNodeId ot) {
-    return PrevFeedbackDecision(options, sold, told, prev_sweep, os, ot) != 0;
+    return PrevFeedbackDecision(options, sold, told, prev_sweep_ssim,
+                                prev_final, os, ot) != 0;
   };
   auto dirty_old_block = [&](TreeNodeId os, TreeNodeId ot) {
     for (const LeafRef& lx : sold.leaves(os)) {
@@ -288,6 +412,26 @@ TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& snew,
 
   ComputeReusable(snew, sold, d.source_map, &d.source_reusable);
   ComputeReusable(tnew, told, d.target_map, &d.target_reusable);
+
+  // Leaf-count change flags (mapped nodes whose true-leaf frontier size
+  // differs from the previous counterpart's): the only rows/columns where
+  // a leaf-count prune decision can flip, so the gather engine restricts
+  // its prune-divergence checks and stale-cell fixups to them.
+  auto size_changed = [](const SchemaTree& nw, const SchemaTree& old,
+                         const std::vector<TreeNodeId>& map,
+                         std::vector<uint8_t>* out) {
+    out->assign(static_cast<size_t>(nw.num_nodes()), 0);
+    for (TreeNodeId n = 0; n < nw.num_nodes(); ++n) {
+      TreeNodeId o = map[static_cast<size_t>(n)];
+      if (o != kNoTreeNode &&
+          nw.leaves(n).size() != old.leaves(o).size()) {
+        (*out)[static_cast<size_t>(n)] = 1;
+      }
+    }
+  };
+  size_changed(snew, sold, d.source_map, &d.source_size_changed);
+  size_changed(tnew, told, d.target_map, &d.target_size_changed);
+
   return d;
 }
 
@@ -348,10 +492,29 @@ Result<const MatchResult*> MatchSession::Rematch() {
   const Schema* s = src_owner ? src_owner.get() : cur_source_.get();
   const Schema* t = tgt_owner ? tgt_owner.get() : cur_target_.get();
 
-  // Phase 1 through the persistent name-level cache.
+  // Phase 1 through the persistent name-level cache. Warm runs go down the
+  // lsim gather: unchanged element rows are bulk-copied from the previous
+  // run's lsim and only changed rows/columns recompute (bit-identical
+  // either way). With the perf cache disabled, the naive reference
+  // pipeline runs instead — the session then exercises the incremental
+  // structural path against uncached linguistic fills.
+  const bool trace = getenv("CUPID_TRACE_INCREMENTAL") != nullptr;
+  auto t0 = std::chrono::steady_clock::now();
   LinguisticMatcher linguistic(thesaurus_, config_.linguistic);
-  CUPID_ASSIGN_OR_RETURN(LinguisticResult lres,
-                         linguistic.Match(*s, *t, &lsim_cache_));
+  LinguisticResult lres;
+  if (!config_.linguistic.use_perf_cache) {
+    CUPID_ASSIGN_OR_RETURN(lres, linguistic.Match(*s, *t));
+  } else if (result_ != nullptr) {
+    LsimGatherPlan plan =
+        BuildLsimGatherPlan(*s, *t, *cur_source_, *cur_target_);
+    CUPID_ASSIGN_OR_RETURN(
+        lres, linguistic.MatchGather(*s, *t, &lsim_cache_, plan,
+                                     result_->linguistic));
+  } else {
+    CUPID_ASSIGN_OR_RETURN(lres, linguistic.Match(*s, *t, &lsim_cache_));
+  }
+
+  auto t1 = std::chrono::steady_clock::now();
 
   // Phase 2: trees — an unedited side reuses the previous tree (it points
   // at the same, unchanged Schema object), the edited side rebuilds.
@@ -374,25 +537,32 @@ Result<const MatchResult*> MatchSession::Rematch() {
               !HasJoinViews(result_->source_tree) &&
               !HasJoinViews(result_->target_tree);
 
+  auto t2 = std::chrono::steady_clock::now();
+  auto t3 = t2, t4 = t2, t5 = t2;
   TreeMatchResult tmres;
-  std::unique_ptr<NodeSimilarities> sweep;
+  std::unique_ptr<Matrix<float>> sweep;
   if (warm) {
     TreeMatchDelta delta = BuildTreeMatchDelta(
         source_tree, target_tree, lres.lsim, result_->source_tree,
-        result_->target_tree, *sweep_, result_->tree_match.sims,
-        &result_->tree_match.counts, config_.tree_match);
+        result_->target_tree, *sweep_ssim_, result_->tree_match.sims,
+        result_->linguistic.lsim, &result_->tree_match.counts,
+        config_.tree_match);
+    delta.prev_events = &result_->tree_match.events;
+    t3 = std::chrono::steady_clock::now();
     CUPID_ASSIGN_OR_RETURN(
         tmres, TreeMatchIncremental(source_tree, target_tree, lres.lsim,
                                     config_.type_compatibility,
                                     config_.tree_match, &delta));
-    sweep = std::make_unique<NodeSimilarities>(tmres.sims);
+    t4 = std::chrono::steady_clock::now();
+    sweep = std::make_unique<Matrix<float>>(tmres.sims.ssim_matrix());
     CUPID_RETURN_NOT_OK(RecomputeNonLeafSimilaritiesIncremental(
-        source_tree, target_tree, config_.tree_match, delta, &tmres));
+        source_tree, target_tree, config_.tree_match, &delta, &tmres));
+    t5 = std::chrono::steady_clock::now();
   } else {
     CUPID_ASSIGN_OR_RETURN(
         tmres, TreeMatch(source_tree, target_tree, lres.lsim,
                          config_.type_compatibility, config_.tree_match));
-    sweep = std::make_unique<NodeSimilarities>(tmres.sims);
+    sweep = std::make_unique<Matrix<float>>(tmres.sims.ssim_matrix());
     CUPID_RETURN_NOT_OK(RecomputeNonLeafSimilarities(
         source_tree, target_tree, config_.tree_match, &tmres));
   }
@@ -402,6 +572,7 @@ Result<const MatchResult*> MatchSession::Rematch() {
   CUPID_RETURN_NOT_OK(GenerateStandardMappings(source_tree, target_tree,
                                                tmres, config_, &leaf_mapping,
                                                &nonleaf_mapping));
+  auto t6 = std::chrono::steady_clock::now();
 
   // Commit. The old result (and the old schemas it references) die here;
   // the new result references the schemas owned below.
@@ -411,12 +582,25 @@ Result<const MatchResult*> MatchSession::Rematch() {
                   std::move(lres), std::move(tmres), std::move(leaf_mapping),
                   std::move(nonleaf_mapping)});
   result_ = std::move(new_result);
-  sweep_ = std::move(sweep);
+  sweep_ssim_ = std::move(sweep);
   if (src_owner) cur_source_ = std::move(src_owner);
   if (tgt_owner) cur_target_ = std::move(tgt_owner);
   stats_.incremental = warm;
   stats_.tree_match = result_->tree_match.stats;
   stats_.lsim_cached_pairs = lsim_cache_.num_cached_pairs();
+  stats_.lsim_gathered_rows = result_->linguistic.gathered_rows;
+  if (trace) {
+    auto t7 = std::chrono::steady_clock::now();
+    auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    fprintf(stderr,
+            "[rematch] linguistic=%.2f trees=%.2f delta=%.2f sweep=%.2f "
+            "recompute=%.2f mapping=%.2f commit=%.2f gathered_rows=%lld\n",
+            ms(t0, t1), ms(t1, t2), ms(t2, t3), ms(t3, t4), ms(t4, t5),
+            ms(t5, t6), ms(t6, t7),
+            static_cast<long long>(result_->linguistic.gathered_rows));
+  }
   return result_.get();
 }
 

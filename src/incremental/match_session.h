@@ -42,15 +42,20 @@ namespace cupid {
 
 /// \brief Builds the warm-start input relating the new trees to the
 /// previous run's state: node correspondence, reusable flags, seeded dirty
-/// leaf pairs, and snapshot pointers. Exposed for tests and benchmarks;
-/// MatchSession calls it internally on every warm Rematch.
+/// leaf pairs, and snapshot pointers. `prev_element_lsim` is the previous
+/// run's ELEMENT-level lsim table; changed cells are found by diffing it
+/// row-wise against `element_lsim` under the element correspondence (rows
+/// that are bitwise identical are dismissed with one memcmp). Exposed for
+/// tests and benchmarks; MatchSession calls it internally on every warm
+/// Rematch.
 TreeMatchDelta BuildTreeMatchDelta(const SchemaTree& new_source,
                                    const SchemaTree& new_target,
                                    const Matrix<float>& element_lsim,
                                    const SchemaTree& prev_source,
                                    const SchemaTree& prev_target,
-                                   const NodeSimilarities& prev_sweep,
+                                   const Matrix<float>& prev_sweep_ssim,
                                    const NodeSimilarities& prev_final,
+                                   const Matrix<float>& prev_element_lsim,
                                    const StructuralCounts* prev_final_counts,
                                    const TreeMatchOptions& options);
 
@@ -64,6 +69,10 @@ struct RematchStats {
   TreeMatchStats tree_match;
   /// Cumulative distinct name pairs memoized by the session's LsimCache.
   int64_t lsim_cached_pairs = 0;
+  /// Lsim rows bulk-copied from the previous run by the gather (0 on cold
+  /// runs, with the perf cache off, or when the gather fell back to the
+  /// batch pipeline because too many elements changed).
+  int64_t lsim_gathered_rows = 0;
 };
 
 /// \brief A stateful matching session over one evolving schema pair.
@@ -106,11 +115,12 @@ class MatchSession {
   std::unique_ptr<Schema> work_source_, work_target_;
   /// Schemas of the last match, alive as long as result_ references them.
   std::unique_ptr<Schema> cur_source_, cur_target_;
-  /// Last match output plus the post-sweep similarity snapshot the next
-  /// warm start seeds from (result_->tree_match.sims is the *final*,
-  /// post-recompute state).
+  /// Last match output plus the post-sweep ssim snapshot the next warm
+  /// start seeds from (result_->tree_match.sims is the *final*,
+  /// post-recompute state; only the sweep-stage ssim matrix is consulted
+  /// across runs, so only it is kept).
   std::unique_ptr<MatchResult> result_;
-  std::unique_ptr<NodeSimilarities> sweep_;
+  std::unique_ptr<Matrix<float>> sweep_ssim_;
   RematchStats stats_;
 };
 

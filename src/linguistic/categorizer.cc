@@ -77,11 +77,14 @@ Categorization CategorizeSchema(const Schema& schema,
     // Name-keyword categories (Section 5.2: keywords are derived "from
     // concepts, data types, and element names"): every content token of the
     // element's name keys a category, e.g. both Items and Item fall into
-    // category name:item.
+    // category name:item. The keyword is the stem itself, not the token that
+    // happened to create the category: keywords must be a pure function of
+    // the category label (see the locality contract below), and "Items" vs
+    // "Item" as keyword would depend on element iteration order.
     for (const Token& tok : name.tokens) {
       if (tok.type != TokenType::kContent) continue;
-      int cat = category_for("name:" + Stem(tok.text),
-                             {{tok.text, TokenType::kContent}});
+      std::string stem = Stem(tok.text);
+      int cat = category_for("name:" + stem, {{stem, TokenType::kContent}});
       add_member(cat, id);
     }
 

@@ -10,6 +10,16 @@
 // Categories prune linguistic comparison: only elements of *compatible*
 // categories (keyword-set name similarity above thns) get compared, and the
 // best compatible-category similarity scales lsim.
+//
+// Locality contract (relied on by the incremental lsim gather,
+// linguistic/linguistic_matcher.h): every category an element belongs to,
+// and that category's keyword set, is a pure function of the element's own
+// local features — its raw name (concepts and name tokens derive from it),
+// its data type, and its containment parent's raw name and kind. Keywords
+// are a pure function of the category label, never of which element was
+// seen first. Therefore lsim(e1, e2) depends only on the local features of
+// e1 and e2, and an edit can only change lsim cells in the rows/columns of
+// elements whose local features changed.
 
 #ifndef CUPID_LINGUISTIC_CATEGORIZER_H_
 #define CUPID_LINGUISTIC_CATEGORIZER_H_

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -9,6 +13,7 @@
 #include "linguistic/lsim_cache.h"
 #include "perf/interned_names.h"
 #include "perf/token_interner.h"
+#include "util/id_runs.h"
 #include "util/thread_pool.h"
 
 namespace cupid {
@@ -141,7 +146,168 @@ std::vector<AnnotationVector> BuildDocs(const Schema& schema,
   return docs;
 }
 
+/// All element containment paths ("Root.Address.Street"). Ids are assigned
+/// parent-before-child by Schema::AddElement, so one ascending pass builds
+/// every path in O(total path length); detached elements use their bare
+/// name (and a defensive bare-name fallback covers any out-of-order parent,
+/// which at worst degrades mapping to recomputation, never to wrong reuse —
+/// the feature check below is what licenses a copy, not the map).
+/// Path SYNTAX (dot-joined names) must stay in sync with the node-level
+/// builders: NodePaths in incremental/match_session.cc and the path index
+/// in tree/schema_tree.cc (SchemaTree::PathName / Finalize).
+std::vector<std::string> ElementPaths(const Schema& s) {
+  std::vector<std::string> paths(static_cast<size_t>(s.num_elements()));
+  for (ElementId id = 0; id < s.num_elements(); ++id) {
+    ElementId p = s.parent(id);
+    if (p == kNoElement || p >= id) {
+      paths[static_cast<size_t>(id)] = s.element(id).name;
+    } else {
+      paths[static_cast<size_t>(id)] =
+          paths[static_cast<size_t>(p)] + "." + s.element(id).name;
+    }
+  }
+  return paths;
+}
+
 }  // namespace
+
+/// Equal features imply bit-equal lsim against any other feature-equal
+/// element — regardless of whether the correspondence paired "the same"
+/// element (the categorizer's locality contract, linguistic/categorizer.h).
+bool SameLsimElementFeatures(const Schema& s, ElementId e, const Schema& ps,
+                             ElementId pe) {
+  const Element& a = s.element(e);
+  const Element& b = ps.element(pe);
+  if (a.kind != b.kind || a.data_type != b.data_type ||
+      a.not_instantiated != b.not_instantiated || a.name != b.name ||
+      a.documentation != b.documentation) {
+    return false;
+  }
+  ElementId pa = s.parent(e);
+  ElementId pb = ps.parent(pe);
+  const bool none_a = pa == kNoElement, none_b = pb == kNoElement;
+  if (none_a != none_b) return false;
+  if (none_a) return true;
+  const bool root_a = pa == s.root(), root_b = pb == ps.root();
+  if (root_a != root_b) return false;
+  if (root_a) return true;
+  return s.element(pa).name == ps.element(pb).name &&
+         s.element(pa).kind == ps.element(pb).kind;
+}
+
+namespace {
+
+/// One side of the plan: map current -> previous elements by containment
+/// path (same-named occurrences paired by rank, unmapped children of mapped
+/// parents aligned by sibling order — the element-level mirror of the tree
+/// correspondence in incremental/match_session.cc), then flag every element
+/// that is unmapped or whose lsim-relevant features changed.
+int64_t PlanSide(const Schema& s, const Schema& prev,
+                 std::vector<ElementId>* map, std::vector<uint8_t>* changed) {
+  const int64_t n = s.num_elements();
+  // The session passes the identical Schema object for an unedited side;
+  // every element then trivially maps to itself with equal features.
+  if (&s == &prev) {
+    map->resize(static_cast<size_t>(n));
+    for (ElementId e = 0; e < n; ++e) (*map)[static_cast<size_t>(e)] = e;
+    changed->assign(static_cast<size_t>(n), 0);
+    return 0;
+  }
+  // Identity-first: the supported edits keep surviving element ids stable
+  // (renames/retypes mutate in place, adds append), so most edited sides
+  // map by identity with a handful of changed flags. Any pairing is sound
+  // — the feature flags are what license reuse — so the fallback to path
+  // mapping below is purely about reuse QUALITY after wholesale id shifts
+  // (removals rebuild the schema with compacted ids).
+  if (n >= prev.num_elements()) {
+    map->assign(static_cast<size_t>(n), kNoElement);
+    changed->assign(static_cast<size_t>(n), 0);
+    int64_t num_changed = 0;
+    for (ElementId e = 0; e < n; ++e) {
+      // Ids shared with the previous schema map to themselves
+      // unconditionally (the flag, not the map, gates reuse); appended ids
+      // stay unmapped. Either way a flagged element counts as changed.
+      const bool in_prev = e < prev.num_elements();
+      if (in_prev) (*map)[static_cast<size_t>(e)] = e;
+      if (!in_prev || !SameLsimElementFeatures(s, e, prev, e)) {
+        (*changed)[static_cast<size_t>(e)] = 1;
+        ++num_changed;
+      }
+    }
+    if (num_changed <= std::max<int64_t>(4, n / 64)) return num_changed;
+  }
+  std::vector<std::string> new_paths = ElementPaths(s);
+  std::vector<std::string> old_paths = ElementPaths(prev);
+  std::unordered_map<std::string, std::vector<ElementId>> old_groups;
+  old_groups.reserve(old_paths.size());
+  for (ElementId o = 0; o < prev.num_elements(); ++o) {
+    old_groups[old_paths[static_cast<size_t>(o)]].push_back(o);
+  }
+  std::unordered_map<std::string, std::vector<ElementId>> new_groups;
+  new_groups.reserve(new_paths.size());
+  for (ElementId e = 0; e < n; ++e) {
+    new_groups[new_paths[static_cast<size_t>(e)]].push_back(e);
+  }
+  map->assign(static_cast<size_t>(n), kNoElement);
+  for (const auto& [path, news] : new_groups) {
+    auto it = old_groups.find(path);
+    if (it == old_groups.end() || it->second.size() != news.size()) continue;
+    for (size_t i = 0; i < news.size(); ++i) {
+      (*map)[static_cast<size_t>(news[i])] = it->second[i];
+    }
+  }
+  // Order-based alignment of unmapped children under mapped parents: a
+  // rename keeps element identity but changes every descendant path.
+  // Parents precede children in id order, so one ascending pass recurses.
+  std::vector<uint8_t> covered(static_cast<size_t>(prev.num_elements()), 0);
+  for (ElementId e = 0; e < n; ++e) {
+    ElementId o = (*map)[static_cast<size_t>(e)];
+    if (o != kNoElement) covered[static_cast<size_t>(o)] = 1;
+  }
+  for (ElementId e = 0; e < n; ++e) {
+    ElementId o = (*map)[static_cast<size_t>(e)];
+    if (o == kNoElement) continue;
+    std::vector<ElementId> new_unmapped, old_uncovered;
+    for (ElementId c : s.children(e)) {
+      if ((*map)[static_cast<size_t>(c)] == kNoElement) {
+        new_unmapped.push_back(c);
+      }
+    }
+    for (ElementId c : prev.children(o)) {
+      if (!covered[static_cast<size_t>(c)]) old_uncovered.push_back(c);
+    }
+    if (new_unmapped.empty() || new_unmapped.size() != old_uncovered.size()) {
+      continue;
+    }
+    for (size_t i = 0; i < new_unmapped.size(); ++i) {
+      (*map)[static_cast<size_t>(new_unmapped[i])] = old_uncovered[i];
+      covered[static_cast<size_t>(old_uncovered[i])] = 1;
+    }
+  }
+  changed->assign(static_cast<size_t>(n), 0);
+  int64_t num_changed = 0;
+  for (ElementId e = 0; e < n; ++e) {
+    ElementId o = (*map)[static_cast<size_t>(e)];
+    if (o == kNoElement || !SameLsimElementFeatures(s, e, prev, o)) {
+      (*changed)[static_cast<size_t>(e)] = 1;
+      ++num_changed;
+    }
+  }
+  return num_changed;
+}
+
+}  // namespace
+
+LsimGatherPlan BuildLsimGatherPlan(const Schema& s1, const Schema& s2,
+                                   const Schema& prev_s1,
+                                   const Schema& prev_s2) {
+  LsimGatherPlan plan;
+  plan.changed_sources =
+      PlanSide(s1, prev_s1, &plan.source_map, &plan.source_changed);
+  plan.changed_targets =
+      PlanSide(s2, prev_s2, &plan.target_map, &plan.target_changed);
+  return plan;
+}
 
 Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
                                                   const Schema& s2) const {
@@ -159,15 +325,20 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
   // Naive path: every element pair is compared from scratch. Kept as the
   // reference implementation for equivalence tests and benchmarks.
   LinguisticResult out;
-  out.names1 = NormalizeAll(s1, normalizer_);
-  out.names2 = NormalizeAll(s2, normalizer_);
-  out.categories1 = CategorizeSchema(s1, out.names1, normalizer_);
-  out.categories2 = CategorizeSchema(s2, out.names2, normalizer_);
+  out.names1 = std::make_shared<const std::vector<NormalizedName>>(
+      NormalizeAll(s1, normalizer_));
+  out.names2 = std::make_shared<const std::vector<NormalizedName>>(
+      NormalizeAll(s2, normalizer_));
+  out.categories1 = std::make_shared<const Categorization>(
+      CategorizeSchema(s1, *out.names1, normalizer_));
+  out.categories2 = std::make_shared<const Categorization>(
+      CategorizeSchema(s2, *out.names2, normalizer_));
   out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
 
   Matrix<float> best_scale =
-      ComputeBestScale(options_, *thesaurus_, out.categories1,
-                       out.categories2, s1.num_elements(), s2.num_elements());
+      ComputeBestScale(options_, *thesaurus_, *out.categories1,
+                       *out.categories2, s1.num_elements(),
+                       s2.num_elements());
 
   std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
   std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
@@ -182,8 +353,8 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
       if (scale <= 0.0f) continue;
       ++out.comparisons;
       double ns = ElementNameSimilarity(
-          out.names1[static_cast<size_t>(e1)],
-          out.names2[static_cast<size_t>(e2)], *thesaurus_,
+          (*out.names1)[static_cast<size_t>(e1)],
+          (*out.names2)[static_cast<size_t>(e2)], *thesaurus_,
           options_.token_weights, options_.substring);
       double lsim = std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
       const AnnotationVector& d1 = docs1[static_cast<size_t>(e1)];
@@ -225,20 +396,25 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
   build_distinct(s1, d1, &of_element1);
   build_distinct(s2, d2, &of_element2);
 
-  out.names1.reserve(of_element1.size());
-  for (int32_t id : of_element1) {
-    out.names1.push_back(d1.names[static_cast<size_t>(id)]);
-  }
-  out.names2.reserve(of_element2.size());
-  for (int32_t id : of_element2) {
-    out.names2.push_back(d2.names[static_cast<size_t>(id)]);
-  }
-  out.categories1 = CategorizeSchema(s1, out.names1, normalizer_);
-  out.categories2 = CategorizeSchema(s2, out.names2, normalizer_);
+  auto collect_names = [](const std::vector<int32_t>& of_element,
+                          const LsimCache::SideNames& d) {
+    auto names = std::make_shared<std::vector<NormalizedName>>();
+    names->reserve(of_element.size());
+    for (int32_t id : of_element) {
+      names->push_back(d.names[static_cast<size_t>(id)]);
+    }
+    return names;
+  };
+  out.names1 = collect_names(of_element1, d1);
+  out.names2 = collect_names(of_element2, d2);
+  out.categories1 = std::make_shared<const Categorization>(
+      CategorizeSchema(s1, *out.names1, normalizer_));
+  out.categories2 = std::make_shared<const Categorization>(
+      CategorizeSchema(s2, *out.names2, normalizer_));
   out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
 
   Matrix<float> best_scale = ComputeBestScaleInterned(
-      options_, thesaurus_, out.categories1, out.categories2, interner,
+      options_, thesaurus_, *out.categories1, *out.categories2, interner,
       cache ? &cache->memo_ : nullptr, s1.num_elements(), s2.num_elements());
 
   std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
@@ -372,6 +548,303 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
     return Status::InvalidArgument("num_threads must be >= 0");
   }
   return MatchCached(s1, s2, cache);
+}
+
+Result<LinguisticResult> LinguisticMatcher::MatchGather(
+    const Schema& s1, const Schema& s2, LsimCache* cache,
+    const LsimGatherPlan& plan, const LinguisticResult& prev) const {
+  const Matrix<float>& prev_lsim = prev.lsim;
+  if (cache == nullptr) {
+    return Status::InvalidArgument("MatchGather requires an LsimCache");
+  }
+  const int64_t n1 = s1.num_elements(), n2 = s2.num_elements();
+  if (plan.source_map.size() != static_cast<size_t>(n1) ||
+      plan.target_map.size() != static_cast<size_t>(n2) ||
+      plan.source_changed.size() != plan.source_map.size() ||
+      plan.target_changed.size() != plan.target_map.size()) {
+    return Status::InvalidArgument(
+        "LsimGatherPlan does not match the schemas");
+  }
+  // Above the rebuild fraction the per-row patching has a worse constant
+  // than the batch pipeline; the batch call also revalidates everything.
+  const double frac = options_.gather_full_rebuild_fraction;
+  if (static_cast<double>(plan.changed_sources) >
+          frac * static_cast<double>(n1) ||
+      static_cast<double>(plan.changed_targets) >
+          frac * static_cast<double>(n2)) {
+    return Match(s1, s2, cache);
+  }
+  // Cache-binding and option validation, as in Match(s1, s2, cache).
+  if (cache->thesaurus_ != thesaurus_) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to a different thesaurus");
+  }
+  const LinguisticOptions& co = cache->options_;
+  if (co.substring.scale != options_.substring.scale ||
+      co.substring.min_affix != options_.substring.min_affix ||
+      co.token_weights.w != options_.token_weights.w) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to different linguistic options");
+  }
+  if (options_.thns < 0.0 || options_.thns > 1.0) {
+    return Status::InvalidArgument("thns must be within [0,1]");
+  }
+  if (options_.annotation_weight < 0.0 || options_.annotation_weight > 1.0) {
+    return Status::InvalidArgument("annotation_weight must be within [0,1]");
+  }
+
+  auto g0 = std::chrono::steady_clock::now();
+  LinguisticResult out;
+  TokenInterner* interner = &cache->interner_;
+  std::vector<int32_t> of_element1, of_element2;
+  auto build_distinct = [&](const Schema& s, LsimCache::SideNames& d,
+                            std::vector<int32_t>* of_element) {
+    of_element->reserve(static_cast<size_t>(s.num_elements()));
+    for (ElementId id : s.AllElements()) {
+      of_element->push_back(
+          d.Register(s.element(id).name, normalizer_, interner));
+    }
+  };
+  build_distinct(s1, cache->side1_, &of_element1);
+  build_distinct(s2, cache->side2_, &of_element2);
+  auto g1 = std::chrono::steady_clock::now();
+  // Names and categorization are pure functions of the elements' local
+  // features in id order, so a side with zero changed elements under an
+  // identity map shares the previous run's vectors outright; only an
+  // edited side walks the categorizer again.
+  auto identity_side = [](const std::vector<ElementId>& map, int64_t changed,
+                          int64_t prev_elements) {
+    if (changed != 0 ||
+        prev_elements != static_cast<int64_t>(map.size())) {
+      return false;
+    }
+    for (size_t i = 0; i < map.size(); ++i) {
+      if (map[i] != static_cast<ElementId>(i)) return false;
+    }
+    return true;
+  };
+  auto collect_names = [](const std::vector<int32_t>& of_element,
+                          const LsimCache::SideNames& d) {
+    auto names = std::make_shared<std::vector<NormalizedName>>();
+    names->reserve(of_element.size());
+    for (int32_t id : of_element) {
+      names->push_back(d.names[static_cast<size_t>(id)]);
+    }
+    return names;
+  };
+  const bool src_identity =
+      prev.names1 != nullptr && prev.categories1 != nullptr &&
+      identity_side(plan.source_map, plan.changed_sources,
+                    static_cast<int64_t>(prev.names1->size()));
+  const bool tgt_identity =
+      prev.names2 != nullptr && prev.categories2 != nullptr &&
+      identity_side(plan.target_map, plan.changed_targets,
+                    static_cast<int64_t>(prev.names2->size()));
+  if (src_identity) {
+    out.names1 = prev.names1;
+    out.categories1 = prev.categories1;
+  } else {
+    out.names1 = collect_names(of_element1, cache->side1_);
+    out.categories1 = std::make_shared<const Categorization>(
+        CategorizeSchema(s1, *out.names1, normalizer_));
+  }
+  if (tgt_identity) {
+    out.names2 = prev.names2;
+    out.categories2 = prev.categories2;
+  } else {
+    out.names2 = collect_names(of_element2, cache->side2_);
+    out.categories2 = std::make_shared<const Categorization>(
+        CategorizeSchema(s2, *out.names2, normalizer_));
+  }
+  auto g2 = std::chrono::steady_clock::now();
+  out.lsim = Matrix<float>(n1, n2);
+
+  // ---- gather: bulk row copies for unchanged sources --------------------
+  // One memcpy per (row, mapped-target run). Cells in changed-target
+  // columns are copied stale here and overwritten exactly by the column
+  // pass below; unmapped target columns (changed by definition) are never
+  // copied and stay zero until then.
+  std::vector<IdRun> runs = BuildMappedIdRuns(plan.target_map);
+  for (ElementId e1 = 0; e1 < n1; ++e1) {
+    if (plan.source_changed[static_cast<size_t>(e1)]) continue;
+    ElementId o1 = plan.source_map[static_cast<size_t>(e1)];
+    float* dst = out.lsim.row(e1);
+    const float* src = prev_lsim.row(o1);
+    for (const IdRun& run : runs) {
+      std::memcpy(dst + run.dst, src + run.src,
+                  static_cast<size_t>(run.len) * sizeof(float));
+    }
+    ++out.gathered_rows;
+  }
+
+  auto g3 = std::chrono::steady_clock::now();
+  // ---- recompute changed rows and columns, batch arithmetic exactly -----
+  std::vector<AnnotationVector> docs1(static_cast<size_t>(n1));
+  std::vector<AnnotationVector> docs2(static_cast<size_t>(n2));
+  if (options_.annotation_weight > 0.0) {
+    docs1 = BuildDocs(s1, *thesaurus_);
+    docs2 = BuildDocs(s2, *thesaurus_);
+  }
+  cache->EnsureCapacity(static_cast<int64_t>(cache->side1_.names.size()),
+                        static_cast<int64_t>(cache->side2_.names.size()));
+
+  const auto& cats1v = out.categories1->categories;
+  const auto& cats2v = out.categories2->categories;
+  auto intern_keywords = [&](const std::vector<Category>& cats) {
+    std::vector<std::vector<TokenId>> kw;
+    kw.reserve(cats.size());
+    for (const Category& c : cats) {
+      std::vector<TokenId> ids;
+      ids.reserve(c.keywords.size());
+      for (const Token& t : c.keywords) ids.push_back(interner->Intern(t));
+      kw.push_back(std::move(ids));
+    }
+    return kw;
+  };
+  std::vector<std::vector<TokenId>> kw1 = intern_keywords(cats1v);
+  std::vector<std::vector<TokenId>> kw2 = intern_keywords(cats2v);
+  TokenPairMemo* memo = &cache->memo_;
+
+  // Category-similarity rows/columns on demand (a changed element belongs
+  // to a handful of categories; only those rows/columns are ever computed,
+  // through the persistent token-pair memo). Values are exactly the cat_sim
+  // cells ComputeBestScaleInterned would produce.
+  std::unordered_map<int, std::vector<float>> c1_rows, c2_cols;
+  auto cat_row = [&](int c1) -> const std::vector<float>& {
+    auto [it, inserted] = c1_rows.try_emplace(c1);
+    if (inserted) {
+      it->second.resize(cats2v.size());
+      for (size_t j = 0; j < cats2v.size(); ++j) {
+        it->second[j] = static_cast<float>(InternedTokenSetSimilarity(
+            kw1[static_cast<size_t>(c1)], kw2[j], memo));
+      }
+    }
+    return it->second;
+  };
+  auto cat_col = [&](int c2) -> const std::vector<float>& {
+    auto [it, inserted] = c2_cols.try_emplace(c2);
+    if (inserted) {
+      it->second.resize(cats1v.size());
+      for (size_t i = 0; i < cats1v.size(); ++i) {
+        it->second[i] = static_cast<float>(InternedTokenSetSimilarity(
+            kw1[i], kw2[static_cast<size_t>(c2)], memo));
+      }
+    }
+    return it->second;
+  };
+
+  const double w = options_.annotation_weight;
+  const TokenTypeWeights& tw = options_.token_weights;
+  std::vector<float> best;
+
+  // A changed source's whole row: per-row best compatible-category scale
+  // (max over the element's categories — the same max, threshold and float
+  // casts as ScatterBestScale), then the scale/ns/annotation mix of the
+  // batch scatter. Zero cells are written explicitly: a changed row was
+  // never copied, but fill_col also runs over copied rows.
+  auto fill_row = [&](ElementId e1) {
+    best.assign(static_cast<size_t>(n2), 0.0f);
+    if (!options_.use_categories) {
+      best.assign(static_cast<size_t>(n2), 1.0f);
+    } else {
+      for (int c1 :
+           out.categories1->element_categories[static_cast<size_t>(e1)]) {
+        const std::vector<float>& row = cat_row(c1);
+        for (size_t j = 0; j < cats2v.size(); ++j) {
+          float scale = row[j];
+          if (scale <= options_.thns) continue;
+          for (ElementId e2 : cats2v[j].members) {
+            float& cell = best[static_cast<size_t>(e2)];
+            cell = std::max(cell, scale);
+          }
+        }
+      }
+    }
+    const int32_t d1 = of_element1[static_cast<size_t>(e1)];
+    float* lrow = out.lsim.row(e1);
+    const bool blend = w > 0.0 && !docs1[static_cast<size_t>(e1)].empty();
+    for (int64_t e2 = 0; e2 < n2; ++e2) {
+      float scale = best[static_cast<size_t>(e2)];
+      if (scale <= 0.0f) {
+        lrow[e2] = 0.0f;
+        continue;
+      }
+      ++out.comparisons;
+      double ns =
+          cache->NameSimilarity(d1, of_element2[static_cast<size_t>(e2)], tw);
+      double lsim =
+          std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
+      if (blend && !docs2[static_cast<size_t>(e2)].empty()) {
+        lsim = (1.0 - w) * lsim +
+               w * AnnotationCosine(docs1[static_cast<size_t>(e1)],
+                                    docs2[static_cast<size_t>(e2)]);
+      }
+      lrow[e2] = static_cast<float>(lsim);
+    }
+  };
+
+  // A changed target's column over the UNCHANGED rows (changed rows were
+  // fully produced by fill_row); overwrites every visited cell, erasing
+  // whatever the bulk copy left there.
+  auto fill_col = [&](ElementId e2) {
+    best.assign(static_cast<size_t>(n1), 0.0f);
+    if (!options_.use_categories) {
+      best.assign(static_cast<size_t>(n1), 1.0f);
+    } else {
+      for (int c2 :
+           out.categories2->element_categories[static_cast<size_t>(e2)]) {
+        const std::vector<float>& col = cat_col(c2);
+        for (size_t i = 0; i < cats1v.size(); ++i) {
+          float scale = col[i];
+          if (scale <= options_.thns) continue;
+          for (ElementId e1 : cats1v[i].members) {
+            float& cell = best[static_cast<size_t>(e1)];
+            cell = std::max(cell, scale);
+          }
+        }
+      }
+    }
+    const int32_t d2 = of_element2[static_cast<size_t>(e2)];
+    const bool has_doc2 = w > 0.0 && !docs2[static_cast<size_t>(e2)].empty();
+    for (int64_t e1 = 0; e1 < n1; ++e1) {
+      if (plan.source_changed[static_cast<size_t>(e1)]) continue;
+      float scale = best[static_cast<size_t>(e1)];
+      if (scale <= 0.0f) {
+        out.lsim(e1, e2) = 0.0f;
+        continue;
+      }
+      ++out.comparisons;
+      double ns =
+          cache->NameSimilarity(of_element1[static_cast<size_t>(e1)], d2, tw);
+      double lsim =
+          std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
+      if (has_doc2 && !docs1[static_cast<size_t>(e1)].empty()) {
+        lsim = (1.0 - w) * lsim +
+               w * AnnotationCosine(docs1[static_cast<size_t>(e1)],
+                                    docs2[static_cast<size_t>(e2)]);
+      }
+      out.lsim(e1, e2) = static_cast<float>(lsim);
+    }
+  };
+
+  auto g4 = std::chrono::steady_clock::now();
+  for (ElementId e1 = 0; e1 < n1; ++e1) {
+    if (plan.source_changed[static_cast<size_t>(e1)]) fill_row(e1);
+  }
+  for (ElementId e2 = 0; e2 < n2; ++e2) {
+    if (plan.target_changed[static_cast<size_t>(e2)]) fill_col(e2);
+  }
+  if (getenv("CUPID_TRACE_INCREMENTAL") != nullptr) {
+    auto g5 = std::chrono::steady_clock::now();
+    auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    fprintf(stderr,
+            "[lsim] names=%.2f categorize=%.2f copy=%.2f prep=%.2f "
+            "fill=%.2f\n",
+            ms(g0, g1), ms(g1, g2), ms(g2, g3), ms(g3, g4), ms(g4, g5));
+  }
+  return out;
 }
 
 double LinguisticMatcher::NameSimilarity(std::string_view a,

@@ -10,6 +10,7 @@
 #ifndef CUPID_LINGUISTIC_LINGUISTIC_MATCHER_H_
 #define CUPID_LINGUISTIC_LINGUISTIC_MATCHER_H_
 
+#include <memory>
 #include <vector>
 
 #include "linguistic/categorizer.h"
@@ -45,6 +46,12 @@ struct LinguisticOptions {
   /// resulting lsim is bit-identical to the naive path; off only to
   /// benchmark the naive implementation.
   bool use_perf_cache = true;
+  /// Incremental runs only (MatchGather): when the fraction of elements
+  /// with changed lsim-relevant features exceeds this on either side, the
+  /// gather stops patching rows and falls back to the batch pipeline (the
+  /// per-row scatter has a worse constant once most rows need recomputing).
+  /// Results are identical either way.
+  double gather_full_rebuild_fraction = 0.25;
   /// Worker threads for the lsim matrix fill; 0 = all hardware threads.
   /// Results are identical at any thread count.
   int num_threads = 0;
@@ -52,17 +59,64 @@ struct LinguisticOptions {
 
 /// Output of the linguistic phase.
 struct LinguisticResult {
-  /// Normalized names, indexed by ElementId, for each schema.
-  std::vector<NormalizedName> names1;
-  std::vector<NormalizedName> names2;
-  Categorization categories1;
-  Categorization categories2;
+  /// Normalized names, indexed by ElementId, for each schema, and the
+  /// categorizations derived from them. Shared pointers: an incremental
+  /// re-match whose side is unchanged reuses the previous run's vectors
+  /// without copying the underlying strings (they are immutable once
+  /// built); always non-null after a successful Match/MatchGather.
+  std::shared_ptr<const std::vector<NormalizedName>> names1;
+  std::shared_ptr<const std::vector<NormalizedName>> names2;
+  std::shared_ptr<const Categorization> categories1;
+  std::shared_ptr<const Categorization> categories2;
   /// lsim, indexed by (ElementId of schema1, ElementId of schema2).
   Matrix<float> lsim;
   /// Element-to-element comparisons actually performed (diagnostics: how
-  /// much categorization pruned).
+  /// much categorization pruned). On a MatchGather run that patched rows
+  /// this counts only the recomputed cells, not the gathered ones.
   int64_t comparisons = 0;
+  /// MatchGather runs only: lsim rows bulk-copied from the previous run
+  /// (0 when the gather fell back to the batch pipeline).
+  int64_t gathered_rows = 0;
 };
+
+/// \brief Element correspondence between the current schema pair and the
+/// previous run's, with changed-feature flags — the input of the
+/// incremental lsim gather (LinguisticMatcher::MatchGather).
+///
+/// lsim(e1, e2) is a pure function of the two elements' LOCAL features —
+/// raw name, data type, kind, not-instantiated flag, documentation, and the
+/// containment parent's raw name/kind (the categorizer's locality contract,
+/// linguistic/categorizer.h). An element whose features are unchanged since
+/// the previous run therefore keeps its entire lsim row/column against any
+/// other unchanged element, bit for bit.
+struct LsimGatherPlan {
+  /// Per CURRENT element, the corresponding previous element (matched by
+  /// containment path, same-named occurrences paired by rank, unmapped
+  /// children of mapped parents aligned by sibling order), or kNoElement.
+  std::vector<ElementId> source_map;
+  std::vector<ElementId> target_map;
+  /// Element is unmapped or its lsim-relevant features changed.
+  std::vector<uint8_t> source_changed;
+  std::vector<uint8_t> target_changed;
+  int64_t changed_sources = 0;
+  int64_t changed_targets = 0;
+};
+
+/// \brief Relates (s1, s2) to the previous run's schemas and flags the
+/// elements whose lsim-relevant features changed.
+LsimGatherPlan BuildLsimGatherPlan(const Schema& s1, const Schema& s2,
+                                   const Schema& prev_s1,
+                                   const Schema& prev_s2);
+
+/// \brief True iff element `e` of `s` and element `pe` of `ps` agree on
+/// every lsim-relevant local feature (raw name, kind, data type,
+/// not-instantiated flag, documentation, containment parent's
+/// root-ness/raw name/kind). By the categorizer's locality contract, lsim
+/// between two feature-equal elements is bitwise equal to lsim between
+/// their counterparts — shared by the lsim gather and the structural
+/// delta's clean-pair analysis.
+bool SameLsimElementFeatures(const Schema& s, ElementId e, const Schema& ps,
+                             ElementId pe);
 
 /// \brief Runs normalization, categorization and comparison.
 class LinguisticMatcher {
@@ -82,6 +136,22 @@ class LinguisticMatcher {
   /// recomputed per run (they are cheap and schema-shape dependent).
   Result<LinguisticResult> Match(const Schema& s1, const Schema& s2,
                                  LsimCache* cache) const;
+
+  /// \brief The incremental lsim gather: rows/columns of unchanged elements
+  /// are bulk-copied from `prev.lsim` (the previous run's result under the
+  /// schemas `plan` was built against) and only the rows/columns of changed
+  /// elements are recomputed — through the same category-scatter, name-pair
+  /// and annotation arithmetic as the batch pipeline, so the result is
+  /// bit-identical to Match(s1, s2, cache). A side with zero changed
+  /// elements under an identity map also reuses `prev`'s categorization
+  /// (a pure function of the unchanged element features). Falls back to
+  /// the full call when the changed fraction exceeds
+  /// gather_full_rebuild_fraction on either side. `cache` is required (the
+  /// recomputed cells are served from the persistent name-pair table).
+  Result<LinguisticResult> MatchGather(const Schema& s1, const Schema& s2,
+                                       LsimCache* cache,
+                                       const LsimGatherPlan& plan,
+                                       const LinguisticResult& prev) const;
 
   /// \brief Name similarity of two single names under this matcher's
   /// thesaurus and weights (normalization applied). Exposed for tests and

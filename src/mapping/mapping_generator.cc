@@ -70,16 +70,36 @@ MappingElement MakeElement(const SchemaTree& source, const SchemaTree& target,
 }
 
 /// The paper's naive scheme: best acceptable source per target node.
+/// Scope lists are hoisted and the wsim submatrix is transposed into a
+/// target-major buffer once, so the per-target argmax scans stream
+/// sequential floats instead of striding a column through the full matrix.
+/// Candidate visit order (ascending source id per target) is unchanged, so
+/// the selected pairs are identical to the naive double loop's.
 void GenerateOneToMany(const SchemaTree& source, const SchemaTree& target,
                        const NodeSimilarities& sims,
                        const MappingGeneratorOptions& opt, Mapping* out) {
   CandidateRank rank(source, target, sims);
+  std::vector<TreeNodeId> srcs, tgts;
+  for (TreeNodeId s = 0; s < source.num_nodes(); ++s) {
+    if (InScope(source, s, opt.scope)) srcs.push_back(s);
+  }
   for (TreeNodeId t = 0; t < target.num_nodes(); ++t) {
-    if (!InScope(target, t, opt.scope)) continue;
+    if (InScope(target, t, opt.scope)) tgts.push_back(t);
+  }
+  std::vector<float> wsim_t(srcs.size() * tgts.size());
+  for (size_t si = 0; si < srcs.size(); ++si) {
+    for (size_t ti = 0; ti < tgts.size(); ++ti) {
+      wsim_t[ti * srcs.size() + si] =
+          static_cast<float>(sims.wsim(srcs[si], tgts[ti]));
+    }
+  }
+  for (size_t ti = 0; ti < tgts.size(); ++ti) {
+    const TreeNodeId t = tgts[ti];
+    const float* row = &wsim_t[ti * srcs.size()];
     TreeNodeId best = kNoTreeNode;
-    for (TreeNodeId s = 0; s < source.num_nodes(); ++s) {
-      if (!InScope(source, s, opt.scope)) continue;
-      if (sims.wsim(s, t) < opt.th_accept) continue;
+    for (size_t si = 0; si < srcs.size(); ++si) {
+      if (static_cast<double>(row[si]) < opt.th_accept) continue;
+      TreeNodeId s = srcs[si];
       if (best == kNoTreeNode || rank.Better(s, best, t)) best = s;
     }
     if (best != kNoTreeNode) {
@@ -140,12 +160,17 @@ void GenerateOneToOneStable(const SchemaTree& source, const SchemaTree& target,
   // context) first.
   CandidateRank rank(source, target, sims);
   std::vector<std::vector<TreeNodeId>> prefs(targets.size());
-  for (size_t ti = 0; ti < targets.size(); ++ti) {
-    for (TreeNodeId s : sources) {
+  // Row-major candidate collection (sequential wsim reads); per-target push
+  // order stays ascending source id, so the stable sorts see the same
+  // input sequence as a per-target column scan would.
+  for (TreeNodeId s : sources) {
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
       if (sims.wsim(s, targets[ti]) >= opt.th_accept) {
         prefs[ti].push_back(s);
       }
     }
+  }
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
     std::stable_sort(prefs[ti].begin(), prefs[ti].end(),
                      [&](TreeNodeId a, TreeNodeId b) {
                        return rank.Better(a, b, targets[ti]);

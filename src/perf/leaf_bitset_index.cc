@@ -17,18 +17,35 @@ LeafIndex::LeafIndex(const SchemaTree& tree) {
   node_masks_.assign(n * words_, 0);
   mask_begin_.assign(n, 0);
   mask_end_.assign(n, 0);
+  range_begin_.assign(n, 0);
+  range_end_.assign(n, 0);
+  range_contiguous_.assign(n, 0);
   for (TreeNodeId id = 0; id < tree.num_nodes(); ++id) {
     uint64_t* mask = &node_masks_[static_cast<size_t>(id) * words_];
     uint32_t lo = static_cast<uint32_t>(words_), hi = 0;
+    int32_t dlo = static_cast<int32_t>(leaf_ids_.size()), dhi = 0;
+    size_t count = 0;
     for (const LeafRef& lr : tree.leaves(id)) {
-      size_t j = static_cast<size_t>(dense_[static_cast<size_t>(lr.leaf)]);
-      uint32_t w = static_cast<uint32_t>(j / kWordBits);
-      mask[w] |= uint64_t{1} << (j % kWordBits);
+      int32_t j = dense_[static_cast<size_t>(lr.leaf)];
+      uint32_t w = static_cast<uint32_t>(j) / kWordBits;
+      mask[w] |= uint64_t{1} << (static_cast<uint32_t>(j) % kWordBits);
       lo = std::min(lo, w);
       hi = std::max(hi, w + 1);
+      dlo = std::min(dlo, j);
+      dhi = std::max(dhi, j + 1);
+      ++count;
     }
     mask_begin_[static_cast<size_t>(id)] = lo;
     mask_end_[static_cast<size_t>(id)] = hi;
+    if (count == 0) {
+      dlo = dhi = 0;
+    }
+    range_begin_[static_cast<size_t>(id)] = dlo;
+    range_end_[static_cast<size_t>(id)] = dhi;
+    // Gapless iff the bounding interval holds exactly the member count
+    // (DFS id clustering makes this the common case; DAG sharing breaks it).
+    range_contiguous_[static_cast<size_t>(id)] =
+        static_cast<size_t>(dhi - dlo) == count ? 1 : 0;
   }
 }
 

@@ -59,6 +59,21 @@ class LeafIndex {
     return mask_end_[static_cast<size_t>(id)];
   }
 
+  /// [begin, end) of node `id`'s leaf set in dense space. Subtree node ids
+  /// are contiguous in DFS trees, so the range is normally gapless and
+  /// dense-matrix consumers (the gather engine's block scaling and scans)
+  /// can iterate it directly; range_contiguous distinguishes the DAG-shaped
+  /// exceptions (join views), where the range is a bounding interval only.
+  int32_t range_begin(TreeNodeId id) const {
+    return range_begin_[static_cast<size_t>(id)];
+  }
+  int32_t range_end(TreeNodeId id) const {
+    return range_end_[static_cast<size_t>(id)];
+  }
+  bool range_contiguous(TreeNodeId id) const {
+    return range_contiguous_[static_cast<size_t>(id)] != 0;
+  }
+
  private:
   std::vector<int32_t> dense_;        // TreeNodeId -> dense leaf index
   std::vector<TreeNodeId> leaf_ids_;  // dense index -> TreeNodeId
@@ -66,6 +81,9 @@ class LeafIndex {
   std::vector<uint64_t> node_masks_;  // per node, `words_` words
   std::vector<uint32_t> mask_begin_;
   std::vector<uint32_t> mask_end_;
+  std::vector<int32_t> range_begin_;  // dense leaf range per node
+  std::vector<int32_t> range_end_;
+  std::vector<uint8_t> range_contiguous_;
 };
 
 /// \brief Bit matrix over (row-side leaf, column-side leaf) pairs with
@@ -121,6 +139,31 @@ class LeafPairBits {
           if (bits[w] & col_mask[w]) {
             fn(rows_->leaf(r));
             break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Calls `fn(row leaf id, col leaf id)` for every marked pair. Skips
+  /// clean rows through the summary bitset, then word-scans only marked
+  /// rows: cost is proportional to the marked pairs, not the matrix.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t rw = 0; rw < row_any_.size(); ++rw) {
+      uint64_t flagged = row_any_[rw];
+      while (flagged != 0) {
+        size_t r = rw * LeafIndex::kWordBits +
+                   static_cast<size_t>(__builtin_ctzll(flagged));
+        flagged &= flagged - 1;
+        const uint64_t* bits = row(r);
+        for (size_t w = 0; w < cols_->words(); ++w) {
+          uint64_t word = bits[w];
+          while (word != 0) {
+            size_t c = w * LeafIndex::kWordBits +
+                       static_cast<size_t>(__builtin_ctzll(word));
+            word &= word - 1;
+            fn(rows_->leaf(r), cols_->leaf(c));
           }
         }
       }

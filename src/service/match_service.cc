@@ -205,9 +205,26 @@ Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
       std::string pair_key =
           request.source + '\x1f' + request.target + '\x1f' +
           StringFormat("%016llx", static_cast<unsigned long long>(fingerprint));
-      std::shared_ptr<PairEntry>& slot = sessions_[pair_key];
-      if (!slot) slot = std::make_shared<PairEntry>();
-      entry = slot;
+      auto it = sessions_.find(pair_key);
+      if (it != sessions_.end()) {
+        // Touch: most recently used pair moves to the front.
+        session_lru_.splice(session_lru_.begin(), session_lru_, it->second);
+      } else {
+        session_lru_.emplace_front(pair_key, std::make_shared<PairEntry>());
+        sessions_[pair_key] = session_lru_.begin();
+        if (options_.session_capacity > 0 &&
+            static_cast<int>(session_lru_.size()) >
+                options_.session_capacity) {
+          // Drop the idlest pair. In-flight holders of the shared_ptr
+          // finish on the detached entry; the next request for that pair
+          // warms a fresh session (bit-identical results, cold cost once).
+          sessions_.erase(session_lru_.back().first);
+          session_lru_.pop_back();
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.sessions_evicted;
+        }
+      }
+      entry = session_lru_.front().second;
     }
     std::lock_guard<std::mutex> lock(entry->mu);
     CUPID_RETURN_NOT_OK(MatchOnSession(request, entry.get(), source.schema,
@@ -315,6 +332,7 @@ void MatchService::InvalidateAll() {
   // In-flight requests holding a PairEntry shared_ptr finish safely on the
   // detached entry; new requests build fresh ones.
   sessions_.clear();
+  session_lru_.clear();
 }
 
 MatchService::CacheStats MatchService::cache_stats() const {

@@ -95,6 +95,13 @@ class MatchService {
     /// Capacity of the LRU result cache (responses; they are small —
     /// mappings only). 0 disables result caching entirely.
     int result_cache_capacity = 128;
+    /// Bound on warm pair sessions kept between requests. Sessions hold
+    /// full similarity snapshots (megabytes at large schema sizes), so an
+    /// idle pair's state must not live forever: the least recently used
+    /// pair is dropped beyond this. A re-requested evicted pair just warms
+    /// a fresh session — results stay bit-identical, only the first
+    /// request pays the cold cost again. 0 = unbounded.
+    int session_capacity = 64;
   };
 
   /// `thesaurus` and `repository` must outlive the service.
@@ -126,6 +133,7 @@ class MatchService {
     int64_t result_evictions = 0;
     int64_t sessions_created = 0;
     int64_t sessions_reused = 0;
+    int64_t sessions_evicted = 0;
     int64_t incremental_rematches = 0;
   };
   CacheStats cache_stats() const;
@@ -183,8 +191,16 @@ class MatchService {
       result_cache_;
 
   mutable std::mutex sessions_mu_;
-  /// (source \x1f target \x1f fingerprint) -> warm pair state.
-  std::unordered_map<std::string, std::shared_ptr<PairEntry>> sessions_;
+  /// Bounded LRU over warm pair state, keyed (source \x1f target \x1f
+  /// fingerprint): most recently requested pair at the front of
+  /// session_lru_; map values point into the list. Evicting a pair only
+  /// drops the map's reference — an in-flight request holding the
+  /// shared_ptr finishes safely on the detached entry.
+  std::list<std::pair<std::string, std::shared_ptr<PairEntry>>> session_lru_;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, std::shared_ptr<PairEntry>>>::iterator>
+      sessions_;
 
   mutable std::mutex stats_mu_;
   CacheStats stats_;

@@ -48,6 +48,17 @@ class NodeSimilarities {
   int64_t source_nodes() const { return lsim_.rows(); }
   int64_t target_nodes() const { return lsim_.cols(); }
 
+  /// Whole-matrix access for the gather engine (structural/tree_match.cc):
+  /// clean regions are copied row-wise between runs instead of refilled, so
+  /// the raw float storage must be reachable. Values read or written through
+  /// these are the same floats the typed accessors above see.
+  const Matrix<float>& lsim_matrix() const { return lsim_; }
+  const Matrix<float>& ssim_matrix() const { return ssim_; }
+  const Matrix<float>& wsim_matrix() const { return wsim_; }
+  Matrix<float>* mutable_lsim_matrix() { return &lsim_; }
+  Matrix<float>* mutable_ssim_matrix() { return &ssim_; }
+  Matrix<float>* mutable_wsim_matrix() { return &wsim_; }
+
  private:
   Matrix<float> lsim_;
   Matrix<float> ssim_;

@@ -1,11 +1,15 @@
 #include "structural/tree_match.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
 #include "perf/strong_link_cache.h"
 #include "tree/lazy_expansion.h"
+#include "util/id_runs.h"
 #include "util/thread_pool.h"
 
 namespace cupid {
@@ -105,19 +109,20 @@ class TreeMatcher {
         types_(types),
         opt_(options),
         s_frontier_(source, options.max_leaf_depth),
-        t_frontier_(target, options.max_leaf_depth) {
+        t_frontier_(target, options.max_leaf_depth) {}
+
+  TreeMatchResult Run(const Matrix<float>& element_lsim) {
     // The bitset cache tracks the evolving leaf-pair link strengths only;
     // depth-pruned frontiers consult interior wsim snapshots, which it
-    // cannot see, so it is restricted to true-leaf frontiers.
+    // cannot see, so it is restricted to true-leaf frontiers. The gather
+    // engine (RunIncremental) keeps leaf state in its own dense matrices
+    // the cache cannot observe, so only the from-scratch sweep builds one.
     if (opt_.use_strong_link_cache && opt_.max_leaf_depth == 0) {
       cache_ = std::make_unique<StrongLinkCache>(
           s_, t_, opt_.th_accept, opt_.wstruct_leaf);
     }
-  }
-
-  TreeMatchResult Run(const Matrix<float>& element_lsim) {
-    TreeMatchResult result{NodeSimilarities(s_.num_nodes(), t_.num_nodes()),
-                           {}};
+    TreeMatchResult result;
+    result.sims = NodeSimilarities(s_.num_nodes(), t_.num_nodes());
     {
       int threads = ThreadPool::EffectiveThreads(opt_.num_threads);
       std::unique_ptr<ThreadPool> pool;
@@ -162,6 +167,10 @@ class TreeMatcher {
     // wsim and recompute non-leaf ssim from the final leaf state. The
     // integer tallies behind each ssim are recorded so a later incremental
     // run can adjust them instead of re-scanning.
+    if (opt_.use_strong_link_cache && opt_.max_leaf_depth == 0 && !cache_) {
+      cache_ = std::make_unique<StrongLinkCache>(
+          s_, t_, opt_.th_accept, opt_.wstruct_leaf);
+    }
     NodeSimilarities* sims = &result->sims;
     result->counts.strong = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
     result->counts.included = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
@@ -186,86 +195,306 @@ class TreeMatcher {
     }
   }
 
-  /// \brief The warm-started sweep: identical pair enumeration and feedback
-  /// to Run, but node pairs whose inputs provably equal the previous run's
-  /// copy their similarities instead of rescanning leaf sets.
+  /// \brief The warm-started sweep, rebuilt as a gather/visit-list engine:
+  /// identical feedback decisions and leaf-state evolution to Run, but the
+  /// dense O(N^2) per-run assembly is gone. Leaf-pair state lives in dense
+  /// (source leaf x target leaf) matrices whose subtree blocks are
+  /// contiguous, the per-pair loop iterates a precomputed visit list (the
+  /// non-leaf pairs surviving the leaf-count prune) instead of the full
+  /// pair grid, and feedback replay scales contiguous blocks.
   ///
-  /// Correctness rests on three facts. (1) Surviving nodes keep their
-  /// relative post-order across the supported edits (schema children are
-  /// appended, removals preserve sibling order), so the feedback events
-  /// touching any clean leaf pair happen in the same order as before.
-  /// (2) Feedback scalings are replayed physically, so clean leaf cells
-  /// evolve through exactly the previous run's value sequence and dirty-pair
-  /// rescans always read a state equal to what a from-scratch sweep would
-  /// see at that point. (3) Any feedback decision that diverges from the
-  /// previous run immediately marks its whole leaf block dirty, so
-  /// downstream consumers never reuse values the divergence invalidated.
+  /// Correctness rests on the same three facts as before. (1) Surviving
+  /// nodes keep their relative post-order across the supported edits
+  /// (schema children are appended, removals preserve sibling order), so
+  /// the feedback events touching any clean leaf pair happen in the same
+  /// order as before. (2) Feedback scalings are replayed physically, so
+  /// clean leaf cells evolve through exactly the previous run's value
+  /// sequence and dirty-pair rescans always read a state equal to what a
+  /// from-scratch sweep would see at that point. (3) Any feedback decision
+  /// that diverges from the previous run immediately marks its whole leaf
+  /// block dirty, so downstream consumers never reuse values the divergence
+  /// invalidated. Leaf pairs themselves never enter the loop: with
+  /// leaf_pair_feedback off (enforced by SupportsIncrementalTreeMatch) a
+  /// leaf pair fires nothing, and its sweep-stage wsim is consumed by
+  /// no one — the final leaf wsim is produced by the recompute pass.
   TreeMatchResult RunIncremental(const Matrix<float>& element_lsim,
                                  TreeMatchDelta* delta) {
-    TreeMatchResult result{NodeSimilarities(s_.num_nodes(), t_.num_nodes()),
-                           {}};
-    {
-      int threads = ThreadPool::EffectiveThreads(opt_.num_threads);
-      std::unique_ptr<ThreadPool> pool;
-      if (threads > 1 && s_.num_nodes() >= 32) {
-        pool = std::make_unique<ThreadPool>(threads);
+    TreeMatchResult result;
+    result.sims = NodeSimilarities(s_.num_nodes(), t_.num_nodes());
+    auto t0 = std::chrono::steady_clock::now();
+    ProjectLsimGather(element_lsim, *delta, &result.sims);
+    auto t1 = std::chrono::steady_clock::now();
+    InitLeafSsimDense(*delta);
+    auto t2 = std::chrono::steady_clock::now();
+    BuildVisitList(delta, &result.stats);
+    auto t3 = std::chrono::steady_clock::now();
+    PruneDivergencePrepass(delta, &result.stats);
+    auto t4 = std::chrono::steady_clock::now();
+    // With the previous sweep's event list and per-node clean flags, only
+    // non-clean pairs re-enter the full per-pair body: clean pairs either
+    // replay their recorded event (one block scaling) or are skipped
+    // outright — their decision provably reproduces, and the bulk-copied
+    // snapshot rows already hold their post-sweep ssim. Without events
+    // (tests driving the engine directly), every visit pair runs the body.
+    // The replay merge additionally assumes mapped nodes keep their
+    // RELATIVE post-order across runs (fact (1)). A correspondence that
+    // violates it — conceivable after shape-changing remove+add batches
+    // under the identity-first maps — could let the merge's skip pointer
+    // run past a clean pair's recorded event and silently drop its
+    // replay. Verify the invariant in O(N) per side and fall back to the
+    // full per-pair loop when it fails (bit-identical, just slower).
+    auto order_preserved = [](const std::vector<TreeNodeId>& order,
+                              const std::vector<TreeNodeId>& map,
+                              const SchemaTree& prev) {
+      std::vector<int32_t> opos(static_cast<size_t>(prev.num_nodes()), 0);
+      int32_t i = 0;
+      for (TreeNodeId o : prev.post_order()) {
+        opos[static_cast<size_t>(o)] = i++;
       }
-      ProjectLsim(element_lsim, &result.sims, pool.get());
-      InitLeafSsim(&result.sims, pool.get());
-    }
-    for (TreeNodeId ns : s_.post_order()) {
-      for (TreeNodeId nt : t_.post_order()) {
-        ComparePairIncremental(ns, nt, delta, &result);
+      int32_t last = -1;
+      for (TreeNodeId n : order) {
+        TreeNodeId o = map[static_cast<size_t>(n)];
+        if (o == kNoTreeNode) continue;
+        if (opos[static_cast<size_t>(o)] < last) return false;
+        last = opos[static_cast<size_t>(o)];
+      }
+      return true;
+    };
+    const bool can_replay =
+        delta->prev_events != nullptr &&
+        !delta->source_lsim_same.empty() &&
+        !delta->target_lsim_same.empty() &&
+        order_preserved(s_.post_order(), delta->source_map,
+                        *delta->prev_source) &&
+        order_preserved(t_.post_order(), delta->target_map,
+                        *delta->prev_target);
+    if (can_replay) {
+      GatherSweepSsim(*delta, &result.sims);
+      DeriveCleanFlags(*delta);
+      ReplayLoop(delta, &result);
+    } else {
+      for (TreeNodeId ns : s_.post_order()) {
+        const int32_t begin = delta->visit_begin[static_cast<size_t>(ns)];
+        const int32_t end = delta->visit_end[static_cast<size_t>(ns)];
+        for (int32_t i = begin; i < end; ++i) {
+          VisitPair(ns, delta->visit_data[static_cast<size_t>(i)], delta,
+                    &result);
+        }
       }
     }
-    if (cache_) {
-      result.stats.strong_link_queries = cache_->stats().queries;
-      result.stats.strong_link_rebuilds = cache_->stats().rebuilds;
+    auto t5 = std::chrono::steady_clock::now();
+    ScatterLeafSsim(*delta, &result.sims);
+    auto t6 = std::chrono::steady_clock::now();
+    if (getenv("CUPID_TRACE_INCREMENTAL") != nullptr) {
+      auto ms = [](auto a, auto b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+      };
+      fprintf(stderr,
+              "[sweep] alloc+proj=%.2f init=%.2f visitbuild=%.2f prepass=%.2f "
+              "loop=%.2f scatter=%.2f visit=%lld inc=%lld dec=%lld "
+              "reused=%lld scale_ops=%lld link_tests=%lld\n",
+              ms(t0, t1), ms(t1, t2), ms(t2, t3), ms(t3, t4), ms(t4, t5),
+              ms(t5, t6),
+              static_cast<long long>(result.stats.visit_list_pairs),
+              static_cast<long long>(result.stats.increases_applied),
+              static_cast<long long>(result.stats.decreases_applied),
+              static_cast<long long>(result.stats.pairs_reused),
+              static_cast<long long>(scale_ops_),
+              static_cast<long long>(link_tests_));
     }
     result.stats.link_tests = link_tests_;
     result.stats.scale_ops = scale_ops_;
     return result;
   }
 
-  /// \brief The warm-started Section 7 pass. Clean pairs copy the previous
-  /// run's final similarities and tallies; pairs with sparse dirt adjust
-  /// the previous tallies leaf-by-leaf (the final leaf state is fully
-  /// materialized on both runs, so old and new link booleans are directly
-  /// computable); only pairs without usable previous state rescan.
-  void RecomputeIncremental(const TreeMatchDelta& delta,
+  /// \brief The warm-started Section 7 pass as a gather engine.
+  ///
+  /// Instead of revisiting the full pair grid, clean regions of the final
+  /// matrices are bulk-copied row-wise from the previous run under the
+  /// correspondence maps (memcpy per maximal run of consecutively-mapped
+  /// target nodes — one memcpy per row when the maps are identities), and
+  /// only three sparse sets are then touched:
+  ///   * dirty leaf pairs re-mix their wsim from the final leaf state
+  ///     (clean leaf pairs have bit-identical ssim and lsim, hence wsim);
+  ///   * rows/columns of nodes whose leaf-count changed re-check the prune
+  ///     decision and zero cells a from-scratch run would never write;
+  ///   * the visit list (non-pruned non-leaf pairs) is walked once — a
+  ///     reusable pair's gathered values already equal what the legacy
+  ///     per-pair pass would copy, so it costs one clean-block test; the
+  ///     rest adjust the previous tallies leaf-by-leaf or rescan.
+  void RecomputeIncremental(TreeMatchDelta* delta_in,
                             TreeMatchResult* result) {
+    auto r0 = std::chrono::steady_clock::now();
+    BuildVisitList(delta_in, /*stats=*/nullptr);
+    const TreeMatchDelta& delta = *delta_in;
     NodeSimilarities* sims = &result->sims;
     TreeMatchStats* stats = &result->stats;
-    result->counts.strong = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
-    result->counts.included = Matrix<int32_t>(s_.num_nodes(), t_.num_nodes());
+    const int64_t num_s = s_.num_nodes(), num_t = t_.num_nodes();
     const StructuralCounts* prev_counts = delta.prev_final_counts;
     const bool have_counts =
         prev_counts != nullptr &&
         prev_counts->strong.rows() == delta.prev_source->num_nodes() &&
         prev_counts->strong.cols() == delta.prev_target->num_nodes();
-    for (TreeNodeId ns : s_.post_order()) {
-      for (TreeNodeId nt : t_.post_order()) {
-        if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) {
-          sims->set_wsim(ns, nt,
-                         MixWsim(*sims, ns, nt, sims->ssim(ns, nt), true));
+    // Identity maps (rename/retype edit streams) let the counts start as a
+    // straight copy of the previous run's — one memcpy each instead of a
+    // zero fill plus per-row copies. Cells the copy "seeds wrong" are
+    // exactly the non-clean ones, all rewritten below.
+    auto identity = [](const std::vector<TreeNodeId>& map, int64_t prev_n) {
+      if (static_cast<int64_t>(map.size()) != prev_n) return false;
+      for (size_t i = 0; i < map.size(); ++i) {
+        if (map[i] != static_cast<TreeNodeId>(i)) return false;
+      }
+      return true;
+    };
+    const bool identity_maps =
+        have_counts &&
+        identity(delta.source_map, delta.prev_source->num_nodes()) &&
+        identity(delta.target_map, delta.prev_target->num_nodes());
+    if (identity_maps) {
+      result->counts.strong = prev_counts->strong;
+      result->counts.included = prev_counts->included;
+    } else {
+      result->counts.strong = Matrix<int32_t>(num_s, num_t);
+      result->counts.included = Matrix<int32_t>(num_s, num_t);
+    }
+
+    // ---- gather: bulk row copies from the previous final state ----------
+    // One memcpy per (row, mapped-target run). Leaf rows restrict the ssim
+    // copy to non-leaf target segments: their leaf-pair cells already hold
+    // the final replayed leaf state scattered by RunIncremental.
+    std::vector<IdRun> runs = BuildMappedIdRuns(delta.target_map);
+    struct SubSeg {
+      TreeNodeId nt, ot;
+      int32_t len;
+    };
+    std::vector<SubSeg> nonleaf_segs;
+    for (const IdRun& run : runs) {
+      for (int32_t k = 0; k < run.len;) {
+        if (t_.IsLeaf(run.dst + k)) {
+          ++k;
           continue;
         }
-        if (PruneByLeafCount(ns, nt)) continue;
+        int32_t e = k + 1;
+        while (e < run.len && !t_.IsLeaf(run.dst + e)) ++e;
+        nonleaf_segs.push_back({run.dst + k, run.src + k, e - k});
+        k = e;
+      }
+    }
+    Matrix<float>* ssim_m = sims->mutable_ssim_matrix();
+    Matrix<float>* wsim_m = sims->mutable_wsim_matrix();
+    const Matrix<float>& prev_ssim = delta.prev_final->ssim_matrix();
+    const Matrix<float>& prev_wsim = delta.prev_final->wsim_matrix();
+    for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+      TreeNodeId os = delta.source_map[static_cast<size_t>(ns)];
+      if (os == kNoTreeNode) continue;
+      const bool leaf_row = s_.IsLeaf(ns);
+      for (const IdRun& run : runs) {
+        size_t bytes = static_cast<size_t>(run.len) * sizeof(float);
+        std::memcpy(wsim_m->row(ns) + run.dst, prev_wsim.row(os) + run.src,
+                    bytes);
+        if (!leaf_row) {
+          std::memcpy(ssim_m->row(ns) + run.dst, prev_ssim.row(os) + run.src,
+                      bytes);
+        }
+        if (have_counts && !identity_maps) {
+          size_t ibytes = static_cast<size_t>(run.len) * sizeof(int32_t);
+          std::memcpy(result->counts.strong.row(ns) + run.dst,
+                      prev_counts->strong.row(os) + run.src, ibytes);
+          std::memcpy(result->counts.included.row(ns) + run.dst,
+                      prev_counts->included.row(os) + run.src, ibytes);
+        }
+      }
+      if (leaf_row) {
+        for (const SubSeg& seg : nonleaf_segs) {
+          std::memcpy(ssim_m->row(ns) + seg.nt, prev_ssim.row(os) + seg.ot,
+                      static_cast<size_t>(seg.len) * sizeof(float));
+        }
+      }
+      stats->rows_gathered += 2;
+    }
+
+    auto r1 = std::chrono::steady_clock::now();
+    // ---- dirty leaf pairs: re-mix wsim from the final leaf state --------
+    // Clean leaf pairs keep the gathered previous wsim (same final ssim and
+    // lsim bits => same mix); unmapped rows/columns are fully dirty by
+    // construction, so every cell the gather could not cover is re-mixed.
+    delta.dirty->ForEachSet([&](TreeNodeId x, TreeNodeId y) {
+      sims->set_wsim(x, y, MixWsim(*sims, x, y, sims->ssim(x, y), true));
+    });
+
+    auto r2 = std::chrono::steady_clock::now();
+    // ---- prune-status fixup ---------------------------------------------
+    // Only rows/columns of size-changed nodes can flip a prune decision;
+    // cells pruned NOW must read as never-written (zero), whatever the
+    // previous run stored there.
+    auto zero_row_stale = [&](TreeNodeId ns) {
+      for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+        if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) continue;
+        if (!PruneByLeafCount(ns, nt)) continue;
+        (*ssim_m)(ns, nt) = 0.0f;
+        (*wsim_m)(ns, nt) = 0.0f;
+        result->counts.strong(ns, nt) = 0;
+        result->counts.included(ns, nt) = 0;
+      }
+    };
+    for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+      if (delta.source_size_changed[static_cast<size_t>(ns)]) {
+        zero_row_stale(ns);
+      }
+    }
+    for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+      if (!delta.target_size_changed[static_cast<size_t>(nt)]) continue;
+      for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+        if (delta.source_size_changed[static_cast<size_t>(ns)]) continue;
+        if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) continue;
+        if (!PruneByLeafCount(ns, nt)) continue;
+        (*ssim_m)(ns, nt) = 0.0f;
+        (*wsim_m)(ns, nt) = 0.0f;
+        result->counts.strong(ns, nt) = 0;
+        result->counts.included(ns, nt) = 0;
+      }
+    }
+
+    auto r3 = std::chrono::steady_clock::now();
+    // ---- visit list: clean-skip / reuse / tally adjustment / rescan -----
+    // Clean-pair test as in the sweep, over the POST-sweep dirty state: a
+    // clean x clean pair's gathered ssim/wsim/counts are bitwise what the
+    // reuse branch would write, so the pair costs two flag loads. Without
+    // previous counts nothing can be reused at all (matching the branch
+    // conditions below), so the skip is disabled too.
+    const bool can_skip = have_counts && !delta.source_lsim_same.empty() &&
+                          !delta.target_lsim_same.empty();
+    if (can_skip) DeriveCleanFlags(delta);
+    for (TreeNodeId ns : s_.post_order()) {
+      const int32_t begin = delta.visit_begin[static_cast<size_t>(ns)];
+      const int32_t end = delta.visit_end[static_cast<size_t>(ns)];
+      const bool row_clean = can_skip && s_clean_[static_cast<size_t>(ns)];
+      for (int32_t i = begin; i < end; ++i) {
+        TreeNodeId nt = delta.visit_data[static_cast<size_t>(i)];
+        if (row_clean && t_clean_[static_cast<size_t>(nt)]) {
+          ++stats->pairs_reused;
+          continue;
+        }
         TreeNodeId os = delta.source_map[static_cast<size_t>(ns)];
         TreeNodeId ot = delta.target_map[static_cast<size_t>(nt)];
         int32_t& strong = result->counts.strong(ns, nt);
         int32_t& included = result->counts.included(ns, nt);
         if (have_counts && CanReuse(*sims, delta, ns, nt)) {
-          sims->set_ssim(ns, nt, delta.prev_final->ssim(os, ot));
-          strong = prev_counts->strong(os, ot);
-          included = prev_counts->included(os, ot);
+          // Gathered ssim/wsim/counts already hold the previous final
+          // values this branch would copy; only a leaf row's skipped ssim
+          // cell still needs the explicit write.
+          if (s_.IsLeaf(ns)) {
+            sims->set_ssim(ns, nt, delta.prev_final->ssim(os, ot));
+          }
           ++stats->pairs_reused;
-        } else if (have_counts && os != kNoTreeNode && ot != kNoTreeNode &&
-                   // The old pair must have been scanned as a non-leaf
-                   // pair for its tallies to exist at all.
-                   !(delta.prev_source->IsLeaf(os) &&
-                     delta.prev_target->IsLeaf(ot)) &&
-                   !PrevPruned(delta, os, ot)) {
+          continue;
+        }
+        if (have_counts && os != kNoTreeNode && ot != kNoTreeNode &&
+            // The old pair must have been scanned as a non-leaf pair for
+            // its tallies to exist at all.
+            !(delta.prev_source->IsLeaf(os) &&
+              delta.prev_target->IsLeaf(ot)) &&
+            !PrevPruned(delta, os, ot)) {
           sims->set_ssim(ns, nt,
                          DeltaStructuralSimilarity(*sims, delta, ns, nt, os,
                                                    ot, &strong, &included));
@@ -278,6 +507,15 @@ class TreeMatcher {
         sims->set_wsim(ns, nt,
                        MixWsim(*sims, ns, nt, sims->ssim(ns, nt), false));
       }
+    }
+    if (getenv("CUPID_TRACE_INCREMENTAL") != nullptr) {
+      auto r4 = std::chrono::steady_clock::now();
+      auto ms = [](auto a, auto b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+      };
+      fprintf(stderr,
+              "[recompute] gather=%.2f dirtymix=%.2f fixup=%.2f walk=%.2f\n",
+              ms(r0, r1), ms(r1, r2), ms(r2, r3), ms(r3, r4));
     }
   }
 
@@ -308,15 +546,17 @@ class TreeMatcher {
     TreeNodeId os = d.source_map[static_cast<size_t>(ns)];
     TreeNodeId ot = d.target_map[static_cast<size_t>(nt)];
     if (os == kNoTreeNode || ot == kNoTreeNode) return Feedback::kNone;
-    int decision = PrevFeedbackDecision(opt_, *d.prev_source, *d.prev_target,
-                                        *d.prev_sweep, os, ot);
+    int decision =
+        PrevFeedbackDecision(opt_, *d.prev_source, *d.prev_target,
+                             *d.prev_sweep_ssim, *d.prev_final, os, ot);
     return decision > 0 ? Feedback::kIncrease
                         : (decision < 0 ? Feedback::kDecrease
                                         : Feedback::kNone);
   }
 
   /// Clean-pair test: both endpoints reusable, same projected lsim, and no
-  /// dirty leaf pair inside the block.
+  /// dirty leaf pair inside the block. lsim is immutable once projected, so
+  /// the previous FINAL matrix supplies the old value.
   bool CanReuse(const NodeSimilarities& sims, const TreeMatchDelta& d,
                 TreeNodeId ns, TreeNodeId nt) const {
     if (!d.source_reusable[static_cast<size_t>(ns)] ||
@@ -325,7 +565,7 @@ class TreeMatcher {
     }
     TreeNodeId os = d.source_map[static_cast<size_t>(ns)];
     TreeNodeId ot = d.target_map[static_cast<size_t>(nt)];
-    if (sims.lsim(ns, nt) != d.prev_sweep->lsim(os, ot)) return false;
+    if (sims.lsim(ns, nt) != d.prev_final->lsim(os, ot)) return false;
     return !d.dirty->AnyInBlock(ns, nt);
   }
 
@@ -483,54 +723,542 @@ class TreeMatcher {
                                static_cast<double>(included);
   }
 
-  void ComparePairIncremental(TreeNodeId ns, TreeNodeId nt,
-                              TreeMatchDelta* d, TreeMatchResult* result) {
-    NodeSimilarities& sims = result->sims;
-    const bool leaf_pair = s_.IsLeaf(ns) && t_.IsLeaf(nt);
-    if (leaf_pair) {
-      // Always computed: one mix of the current (replayed) leaf state.
-      ++result->stats.pairs_compared;
-      sims.set_wsim(ns, nt, MixWsim(sims, ns, nt, sims.ssim(ns, nt), true));
-      return;
+  // -------------------------------------------------- the gather engine --
+  //
+  // Per-run dense leaf-pair state: ssim/lsim over (dense source leaf, dense
+  // target leaf). Subtree leaf sets occupy contiguous dense ranges (DFS id
+  // clustering, certified per node by LeafIndex::range_contiguous), so
+  // structural-similarity scans stream rows and feedback replay scales
+  // whole blocks with tight clamp loops.
+
+  /// Fresh lsim projection (hoisted column->element index, no per-cell
+  /// pointer chasing) plus the dense leaf-pair lsim mirror. A fresh fill is
+  /// trivially bit-identical to ProjectLsim; gathering it from the previous
+  /// run would need per-cell change flags for the same bandwidth.
+  void ProjectLsimGather(const Matrix<float>& element_lsim,
+                         const TreeMatchDelta& d, NodeSimilarities* sims) {
+    const int64_t num_t = t_.num_nodes();
+    std::vector<ElementId> t_el(static_cast<size_t>(num_t));
+    for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+      t_el[static_cast<size_t>(nt)] = t_.node(nt).source;
     }
-    if (PruneByLeafCount(ns, nt)) {
-      ++result->stats.pairs_pruned_leaf_count;
-      // A leaf-count change can prune a pair that fired feedback in the
-      // previous run; that event cannot be replayed, so everything it
-      // scaled is dirty now.
+    Matrix<float>* lsim_m = sims->mutable_lsim_matrix();
+    // Feature-same rows under mapped runs are memcpy'd from the previous
+    // final lsim (bit-equal by the locality contract); cells at unmapped or
+    // feature-changed target columns — the only ones a copied row could get
+    // wrong — are re-projected individually, and every other row falls
+    // back to the fresh projection.
+    const bool can_copy = !d.source_lsim_same.empty() &&
+                          !d.target_lsim_same.empty() &&
+                          d.prev_final != nullptr;
+    std::vector<IdRun> runs;
+    std::vector<TreeNodeId> fix_cols;
+    if (can_copy) {
+      runs = BuildMappedIdRuns(d.target_map);
+      // Unmapped columns (outside every run) and feature-changed mapped
+      // columns both need the fresh projection.
+      for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+        if (!d.target_lsim_same[static_cast<size_t>(nt)] &&
+            t_el[static_cast<size_t>(nt)] != kNoElement) {
+          fix_cols.push_back(nt);
+        }
+      }
+    }
+    const Matrix<float>* prev_lsim =
+        can_copy ? &d.prev_final->lsim_matrix() : nullptr;
+    for (TreeNodeId ns = 0; ns < s_.num_nodes(); ++ns) {
+      ElementId es = s_.node(ns).source;
+      if (es == kNoElement) continue;
+      const float* erow = element_lsim.row(es);
+      float* lrow = lsim_m->row(ns);
+      if (can_copy && d.source_lsim_same[static_cast<size_t>(ns)]) {
+        const float* prow =
+            prev_lsim->row(d.source_map[static_cast<size_t>(ns)]);
+        for (const IdRun& run : runs) {
+          std::memcpy(lrow + run.dst, prow + run.src,
+                      static_cast<size_t>(run.len) * sizeof(float));
+        }
+        // fix_cols covers unmapped columns too: lsim_same is 0 for them.
+        for (TreeNodeId nt : fix_cols) {
+          lrow[nt] = erow[t_el[static_cast<size_t>(nt)]];
+        }
+        continue;
+      }
+      for (int64_t nt = 0; nt < num_t; ++nt) {
+        ElementId et = t_el[static_cast<size_t>(nt)];
+        if (et != kNoElement) lrow[nt] = erow[et];
+      }
+    }
+    const size_t nsl = d.source_leaves->num_leaves();
+    const size_t ntl = d.target_leaves->num_leaves();
+    leaf_lsim_ = Matrix<float>(static_cast<int64_t>(nsl),
+                               static_cast<int64_t>(ntl));
+    for (size_t r = 0; r < nsl; ++r) {
+      const float* lrow = lsim_m->row(d.source_leaves->leaf(r));
+      float* drow = leaf_lsim_.row(static_cast<int64_t>(r));
+      for (size_t c = 0; c < ntl; ++c) {
+        drow[c] = lrow[d.target_leaves->leaf(c)];
+      }
+    }
+  }
+
+  /// Type-seeded dense leaf ssim: one template row per distinct source leaf
+  /// data type (the values InitLeafSsim would store), memcpy'd into every
+  /// leaf row of that type.
+  void InitLeafSsimDense(const TreeMatchDelta& d) {
+    const size_t nsl = d.source_leaves->num_leaves();
+    const size_t ntl = d.target_leaves->num_leaves();
+    leaf_ssim_ = Matrix<float>(static_cast<int64_t>(nsl),
+                               static_cast<int64_t>(ntl));
+    std::vector<DataType> tgt_type(ntl);
+    for (size_t c = 0; c < ntl; ++c) {
+      tgt_type[c] =
+          t_.schema().element(t_.node(d.target_leaves->leaf(c)).source)
+              .data_type;
+    }
+    std::map<DataType, std::vector<float>> templates;
+    for (size_t r = 0; r < nsl; ++r) {
+      DataType ds =
+          s_.schema().element(s_.node(d.source_leaves->leaf(r)).source)
+              .data_type;
+      auto [it, inserted] = templates.try_emplace(ds);
+      if (inserted) {
+        it->second.resize(ntl);
+        for (size_t c = 0; c < ntl; ++c) {
+          it->second[c] = static_cast<float>(types_.Get(ds, tgt_type[c]));
+        }
+      }
+      std::memcpy(leaf_ssim_.row(static_cast<int64_t>(r)), it->second.data(),
+                  ntl * sizeof(float));
+    }
+  }
+
+  /// The sweep/recompute visit list: per source node, the target nodes
+  /// forming a non-leaf pair with it that survive the leaf-count prune, in
+  /// target post-order. Everything off the list is either a leaf pair
+  /// (fires nothing, final wsim produced by the recompute gather) or pruned
+  /// (never written by a from-scratch run). Stored on the delta so the
+  /// sweep and the recompute pass build it once between them.
+  void BuildVisitList(TreeMatchDelta* d, TreeMatchStats* stats) {
+    const int64_t num_s = s_.num_nodes(), num_t = t_.num_nodes();
+    int64_t src_leaves = 0;
+    if (d->visit_begin.size() != static_cast<size_t>(num_s)) {
+      d->visit_begin.assign(static_cast<size_t>(num_s), 0);
+      d->visit_end.assign(static_cast<size_t>(num_s), 0);
+      d->visit_data.clear();
+      // Target post-order with sizes hoisted; plus the non-leaf-only subset
+      // (the only qualifying partners of a source leaf).
+      struct Tgt {
+        TreeNodeId nt;
+        size_t leaves;
+      };
+      std::vector<Tgt> all, nonleaf;
+      all.reserve(static_cast<size_t>(num_t));
+      for (TreeNodeId nt : t_.post_order()) {
+        size_t sz = t_.leaves(nt).size();
+        all.push_back({nt, sz});
+        if (!t_.IsLeaf(nt)) nonleaf.push_back({nt, sz});
+      }
+      // Rows depend only on (source leaf count, source is-leaf): the prune
+      // test sees sizes alone, and a leaf source just excludes leaf
+      // targets. Equal-key rows share one span in visit_data (read-only
+      // downstream), so the build is O(distinct keys x targets).
+      std::map<std::pair<size_t, bool>, std::pair<int32_t, int32_t>> spans;
+      for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+        const size_t s_sz = s_.leaves(ns).size();
+        const bool is_leaf = s_.IsLeaf(ns);
+        auto [it, inserted] = spans.try_emplace({s_sz, is_leaf});
+        if (inserted) {
+          it->second.first = static_cast<int32_t>(d->visit_data.size());
+          const std::vector<Tgt>& cands = is_leaf ? nonleaf : all;
+          for (const Tgt& c : cands) {
+            if (!PrunedByLeafCount(opt_, s_sz, c.leaves)) {
+              d->visit_data.push_back(c.nt);
+            }
+          }
+          it->second.second = static_cast<int32_t>(d->visit_data.size());
+        }
+        d->visit_begin[static_cast<size_t>(ns)] = it->second.first;
+        d->visit_end[static_cast<size_t>(ns)] = it->second.second;
+      }
+    }
+    if (stats != nullptr) {
+      for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+        if (s_.IsLeaf(ns)) ++src_leaves;
+      }
+      int64_t tgt_leaves = 0;
+      int64_t list_pairs = 0;
+      for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+        if (t_.IsLeaf(nt)) ++tgt_leaves;
+      }
+      for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+        list_pairs += d->visit_end[static_cast<size_t>(ns)] -
+                      d->visit_begin[static_cast<size_t>(ns)];
+      }
+      stats->visit_list_pairs = list_pairs;
+      // Pairs a full enumeration would have visited and pruned.
+      stats->pairs_pruned_leaf_count =
+          num_s * num_t - src_leaves * tgt_leaves - list_pairs;
+    }
+  }
+
+  /// Leaf-count prune divergence: a pair pruned NOW whose previous
+  /// counterpart fired feedback cannot replay that event, so everything it
+  /// scaled is dirty. A prune decision only flips when an endpoint's leaf
+  /// count changed, so only those rows/columns are checked — the legacy
+  /// per-pair sweep ran this test on every pruned pair. Marking before the
+  /// sweep instead of at the pair's post-order position is sound: dirty
+  /// bits only ever force recomputation, and a rescan of a truly clean pair
+  /// reproduces the reusable value bit for bit.
+  void PruneDivergencePrepass(TreeMatchDelta* d, TreeMatchStats* stats) {
+    const int64_t num_s = s_.num_nodes(), num_t = t_.num_nodes();
+    auto check_pair = [&](TreeNodeId ns, TreeNodeId nt) {
+      if (s_.IsLeaf(ns) && t_.IsLeaf(nt)) return;
+      if (!PruneByLeafCount(ns, nt)) return;
       if (PrevFeedback(*d, ns, nt) != Feedback::kNone) {
         d->MarkBlockDirty(ns, nt);
-        ++result->stats.feedback_divergences;
+        if (stats != nullptr) ++stats->feedback_divergences;
       }
-      return;
+    };
+    for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+      if (!d->source_size_changed[static_cast<size_t>(ns)]) continue;
+      for (TreeNodeId nt = 0; nt < num_t; ++nt) check_pair(ns, nt);
     }
+    for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+      if (!d->target_size_changed[static_cast<size_t>(nt)]) continue;
+      for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+        if (d->source_size_changed[static_cast<size_t>(ns)]) continue;
+        check_pair(ns, nt);
+      }
+    }
+  }
+
+  /// One visit-list pair of the warm sweep: reuse or rescan, divergence
+  /// check, feedback replay. Identical decisions and leaf-state evolution
+  /// to the legacy ComparePairIncremental; sweep-stage wsim is computed for
+  /// the feedback decision but not stored (nothing consumes it — the
+  /// recompute pass produces every final wsim).
+  void VisitPair(TreeNodeId ns, TreeNodeId nt, TreeMatchDelta* d,
+                 TreeMatchResult* result) {
+    NodeSimilarities& sims = result->sims;
     bool reused = false;
     if (CanReuse(sims, *d, ns, nt)) {
       sims.set_ssim(ns, nt,
-                    d->prev_sweep->ssim(
+                    (*d->prev_sweep_ssim)(
                         d->source_map[static_cast<size_t>(ns)],
                         d->target_map[static_cast<size_t>(nt)]));
       reused = true;
       ++result->stats.pairs_reused;
     } else {
-      sims.set_ssim(ns, nt, StructuralSimilarity(sims, ns, nt));
+      sims.set_ssim(ns, nt, SweepStructuralSimilarity(*d, ns, nt));
     }
     ++result->stats.pairs_compared;
     double wsim = MixWsim(sims, ns, nt, sims.ssim(ns, nt), false);
-    sims.set_wsim(ns, nt, wsim);
     Feedback f = Classify(wsim);
     if (!reused && f != PrevFeedback(*d, ns, nt)) {
       // The feedback history of every leaf pair under this one now differs
-      // from the previous run; nothing below may be reused any more.
+      // from the previous run; nothing below may be reused any more — the
+      // per-node clean flags must be re-derived before the next skip.
       d->MarkBlockDirty(ns, nt);
+      clean_flags_stale_ = true;
       ++result->stats.feedback_divergences;
     }
     if (f == Feedback::kIncrease) {
-      ScaleSubtreeLeaves(ns, nt, opt_.c_inc, &sims);
+      ScaleBlockDense(*d, ns, nt, opt_.c_inc);
+      result->events.push_back({ns, nt, int8_t{1}});
       ++result->stats.increases_applied;
     } else if (f == Feedback::kDecrease) {
-      ScaleSubtreeLeaves(ns, nt, opt_.c_dec, &sims);
+      ScaleBlockDense(*d, ns, nt, opt_.c_dec);
+      result->events.push_back({ns, nt, int8_t{-1}});
       ++result->stats.decreases_applied;
+    }
+  }
+
+  /// Bulk-copies the previous post-sweep ssim into the new matrix for every
+  /// mapped row. The replay loop then writes only non-clean pairs; every
+  /// skipped pair's snapshot cell already holds its bit-identical value.
+  /// Cells of pairs pruned or leaf-paired NOW are never consulted by the
+  /// next run's divergence checks (they test prune/leaf status before
+  /// reading), so stale copies there are harmless, and leaf-pair cells are
+  /// overwritten by ScatterLeafSsim at the end of the sweep.
+  void GatherSweepSsim(const TreeMatchDelta& d, NodeSimilarities* sims) {
+    Matrix<float>* ssim_m = sims->mutable_ssim_matrix();
+    const Matrix<float>& prev = *d.prev_sweep_ssim;
+    std::vector<IdRun> runs = BuildMappedIdRuns(d.target_map);
+    for (TreeNodeId ns = 0; ns < s_.num_nodes(); ++ns) {
+      TreeNodeId os = d.source_map[static_cast<size_t>(ns)];
+      if (os == kNoTreeNode) continue;
+      float* dst = ssim_m->row(ns);
+      const float* src = prev.row(os);
+      for (const IdRun& run : runs) {
+        std::memcpy(dst + run.dst, src + run.src,
+                    static_cast<size_t>(run.len) * sizeof(float));
+      }
+    }
+  }
+
+  /// Per-node clean flags: a pair of clean nodes provably satisfies
+  /// CanReuse (both reusable, bit-equal lsim by the locality contract, no
+  /// dirty leaf pair anywhere in either node's leaf range — a superset of
+  /// the pair's block) and keeps its leaf-count prune decision (sizes
+  /// unchanged). Divergences mark new dirty blocks mid-sweep, so the flags
+  /// are re-derived lazily whenever that happens (divergences are rare;
+  /// re-derivation is O(nodes) word tests).
+  void DeriveCleanFlags(const TreeMatchDelta& d) {
+    clean_flags_stale_ = false;
+    const int64_t num_s = s_.num_nodes(), num_t = t_.num_nodes();
+    s_clean_.assign(static_cast<size_t>(num_s), 0);
+    t_clean_.assign(static_cast<size_t>(num_t), 0);
+    // The dirty test uses the side-attributed leaf flags: a clean x clean
+    // pair provably has an empty dirty block (see TreeMatchDelta), and a
+    // single edited row/column only poisons its own side's nodes. Bounding
+    // dense intervals over-approximate for DAG-shaped trees, which only
+    // forces recomputation.
+    auto range_dirty = [](const std::vector<uint8_t>& flags, int32_t begin,
+                          int32_t end) {
+      for (int32_t r = begin; r < end; ++r) {
+        if (flags[static_cast<size_t>(r)]) return true;
+      }
+      return false;
+    };
+    for (TreeNodeId ns = 0; ns < num_s; ++ns) {
+      if (!d.source_reusable[static_cast<size_t>(ns)] ||
+          d.source_size_changed[static_cast<size_t>(ns)] ||
+          !d.source_lsim_same[static_cast<size_t>(ns)]) {
+        continue;
+      }
+      if (range_dirty(d.source_leaf_dirty, d.source_leaves->range_begin(ns),
+                      d.source_leaves->range_end(ns))) {
+        continue;
+      }
+      s_clean_[static_cast<size_t>(ns)] = 1;
+    }
+    for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+      if (!d.target_reusable[static_cast<size_t>(nt)] ||
+          d.target_size_changed[static_cast<size_t>(nt)] ||
+          !d.target_lsim_same[static_cast<size_t>(nt)]) {
+        continue;
+      }
+      if (range_dirty(d.target_leaf_dirty, d.target_leaves->range_begin(nt),
+                      d.target_leaves->range_end(nt))) {
+        continue;
+      }
+      t_clean_[static_cast<size_t>(nt)] = 1;
+    }
+  }
+
+  /// The event-replay sweep: post-order over the visit list, merged with
+  /// the previous run's event stream (surviving nodes keep their relative
+  /// post-order, so both sequences advance monotonically). Clean pairs with
+  /// an event replay it directly; clean pairs without one are skipped;
+  /// everything else runs the full per-pair body.
+  void ReplayLoop(TreeMatchDelta* d, TreeMatchResult* result) {
+    const std::vector<FeedbackEvent>& events = *d->prev_events;
+    const int64_t num_t = t_.num_nodes();
+    std::vector<int32_t> tpos(static_cast<size_t>(num_t), 0);
+    {
+      int32_t i = 0;
+      for (TreeNodeId nt : t_.post_order()) {
+        tpos[static_cast<size_t>(nt)] = i++;
+      }
+    }
+    std::vector<int32_t> opos(
+        static_cast<size_t>(d->prev_source->num_nodes()), 0);
+    {
+      int32_t i = 0;
+      for (TreeNodeId os : d->prev_source->post_order()) {
+        opos[static_cast<size_t>(os)] = i++;
+      }
+    }
+    std::vector<TreeNodeId> old2new_t(
+        static_cast<size_t>(d->prev_target->num_nodes()), kNoTreeNode);
+    for (TreeNodeId nt = 0; nt < num_t; ++nt) {
+      TreeNodeId ot = d->target_map[static_cast<size_t>(nt)];
+      if (ot != kNoTreeNode) old2new_t[static_cast<size_t>(ot)] = nt;
+    }
+    size_t ei = 0;
+    for (TreeNodeId ns : s_.post_order()) {
+      const int32_t begin = d->visit_begin[static_cast<size_t>(ns)];
+      const int32_t end = d->visit_end[static_cast<size_t>(ns)];
+      int32_t i = begin;
+      TreeNodeId os = d->source_map[static_cast<size_t>(ns)];
+      if (os != kNoTreeNode) {
+        // Events of earlier old nodes without a surviving counterpart were
+        // dirtied by the delta's reverse coverage; drop them here.
+        while (ei < events.size() && events[ei].source != os &&
+               opos[static_cast<size_t>(events[ei].source)] <
+                   opos[static_cast<size_t>(os)]) {
+          ++ei;
+        }
+        while (ei < events.size() && events[ei].source == os) {
+          const FeedbackEvent& e = events[ei];
+          ++ei;
+          TreeNodeId ntv = old2new_t[static_cast<size_t>(e.target)];
+          if (ntv == kNoTreeNode) continue;  // orphaned: covered by delta
+          while (i < end &&
+                 tpos[static_cast<size_t>(
+                     d->visit_data[static_cast<size_t>(i)])] <
+                     tpos[static_cast<size_t>(ntv)]) {
+            ProcessNonEventPair(ns, d->visit_data[static_cast<size_t>(i)], d,
+                                result);
+            ++i;
+          }
+          if (i < end && d->visit_data[static_cast<size_t>(i)] == ntv) {
+            ++i;
+            if (clean_flags_stale_) DeriveCleanFlags(*d);
+            if (s_clean_[static_cast<size_t>(ns)] &&
+                t_clean_[static_cast<size_t>(ntv)]) {
+              // Clean: the decision reproduces bit-for-bit; replay it.
+              ScaleBlockDense(*d, ns, ntv,
+                              e.direction > 0 ? opt_.c_inc : opt_.c_dec);
+              result->events.push_back({ns, ntv, e.direction});
+              if (e.direction > 0) {
+                ++result->stats.increases_applied;
+              } else {
+                ++result->stats.decreases_applied;
+              }
+              ++result->stats.pairs_reused;
+            } else {
+              VisitPair(ns, ntv, d, result);
+            }
+          }
+          // Off the visit list: the pair is pruned now; the prune
+          // divergence prepass already dirtied everything it scaled.
+        }
+      }
+      for (; i < end; ++i) {
+        ProcessNonEventPair(ns, d->visit_data[static_cast<size_t>(i)], d,
+                            result);
+      }
+    }
+  }
+
+  /// One visit-list pair with no previous event: a clean pair fired
+  /// nothing before, so it fires nothing now (same inputs, same decision)
+  /// and its gathered snapshot cell already holds the value the body would
+  /// copy — skip. Everything else runs the body.
+  void ProcessNonEventPair(TreeNodeId ns, TreeNodeId nt, TreeMatchDelta* d,
+                           TreeMatchResult* result) {
+    if (clean_flags_stale_) DeriveCleanFlags(*d);
+    if (s_clean_[static_cast<size_t>(ns)] &&
+        t_clean_[static_cast<size_t>(nt)]) {
+      ++result->stats.pairs_reused;
+      return;
+    }
+    VisitPair(ns, nt, d, result);
+  }
+
+  /// Structural similarity over the dense leaf state — LinkStrength's exact
+  /// arithmetic (w * ssim + (1.0 - w) * lsim on float loads) streamed over
+  /// contiguous dense rows.
+  double SweepStructuralSimilarity(const TreeMatchDelta& d, TreeNodeId ns,
+                                   TreeNodeId nt) const {
+    const std::vector<LeafRef>& ls = s_.leaves(ns);
+    const std::vector<LeafRef>& lt = t_.leaves(nt);
+    const double w = opt_.wstruct_leaf;
+    const double th = opt_.th_accept;
+    const bool col_contig = d.target_leaves->range_contiguous(nt);
+    const int32_t cb = d.target_leaves->range_begin(nt);
+    const int32_t ce = d.target_leaves->range_end(nt);
+    int64_t strong = 0, included = 0;
+    for (const LeafRef& x : ls) {
+      const int64_t r = d.source_leaves->dense(x.leaf);
+      const float* srow = leaf_ssim_.row(r);
+      const float* lrow = leaf_lsim_.row(r);
+      bool has_link = false;
+      if (col_contig) {
+        for (int32_t c = cb; c < ce; ++c) {
+          ++link_tests_;
+          if (w * srow[c] + (1.0 - w) * lrow[c] >= th) {
+            has_link = true;
+            break;
+          }
+        }
+      } else {
+        for (const LeafRef& y : lt) {
+          ++link_tests_;
+          int32_t c = d.target_leaves->dense(y.leaf);
+          if (w * srow[c] + (1.0 - w) * lrow[c] >= th) {
+            has_link = true;
+            break;
+          }
+        }
+      }
+      if (has_link) {
+        ++strong;
+        ++included;
+      } else if (!(opt_.optional_discount && x.optional)) {
+        ++included;
+      }
+    }
+    for (const LeafRef& y : lt) {
+      const int32_t c = d.target_leaves->dense(y.leaf);
+      bool has_link = false;
+      for (const LeafRef& x : ls) {
+        ++link_tests_;
+        const int64_t r = d.source_leaves->dense(x.leaf);
+        if (w * leaf_ssim_(r, c) + (1.0 - w) * leaf_lsim_(r, c) >= th) {
+          has_link = true;
+          break;
+        }
+      }
+      if (has_link) {
+        ++strong;
+        ++included;
+      } else if (!(opt_.optional_discount && y.optional)) {
+        ++included;
+      }
+    }
+    return included == 0 ? 0.0
+                         : static_cast<double>(strong) /
+                               static_cast<double>(included);
+  }
+
+  /// Feedback replay as contiguous block scaling over the dense leaf ssim —
+  /// ScaleSsim's exact cast-then-clamp arithmetic, without per-cell 2D
+  /// indexing or cache-patching branches.
+  void ScaleBlockDense(const TreeMatchDelta& d, TreeNodeId ns, TreeNodeId nt,
+                       double factor) {
+    const bool contig = d.source_leaves->range_contiguous(ns) &&
+                        d.target_leaves->range_contiguous(nt);
+    if (contig) {
+      const int32_t rb = d.source_leaves->range_begin(ns);
+      const int32_t re = d.source_leaves->range_end(ns);
+      const int32_t cb = d.target_leaves->range_begin(nt);
+      const int32_t ce = d.target_leaves->range_end(nt);
+      for (int32_t r = rb; r < re; ++r) {
+        float* row = leaf_ssim_.row(r);
+        for (int32_t c = cb; c < ce; ++c) {
+          float v = static_cast<float>(row[c] * factor);
+          row[c] = v > 1.0f ? 1.0f : (v < 0.0f ? 0.0f : v);
+        }
+      }
+      scale_ops_ += static_cast<int64_t>(re - rb) * (ce - cb);
+      return;
+    }
+    for (const LeafRef& x : s_.leaves(ns)) {
+      float* row = leaf_ssim_.row(d.source_leaves->dense(x.leaf));
+      for (const LeafRef& y : t_.leaves(nt)) {
+        ++scale_ops_;
+        int32_t c = d.target_leaves->dense(y.leaf);
+        float v = static_cast<float>(row[c] * factor);
+        row[c] = v > 1.0f ? 1.0f : (v < 0.0f ? 0.0f : v);
+      }
+    }
+  }
+
+  /// Writes the replayed final leaf state back into the node-pair matrix
+  /// (the only leaf-pair ssim cells a from-scratch run materializes there).
+  void ScatterLeafSsim(const TreeMatchDelta& d, NodeSimilarities* sims) {
+    Matrix<float>* ssim_m = sims->mutable_ssim_matrix();
+    const size_t nsl = d.source_leaves->num_leaves();
+    const size_t ntl = d.target_leaves->num_leaves();
+    for (size_t r = 0; r < nsl; ++r) {
+      float* row = ssim_m->row(d.source_leaves->leaf(r));
+      const float* drow = leaf_ssim_.row(static_cast<int64_t>(r));
+      for (size_t c = 0; c < ntl; ++c) {
+        row[d.target_leaves->leaf(c)] = drow[c];
+      }
     }
   }
 
@@ -728,9 +1456,11 @@ class TreeMatcher {
     if (leaf_pair && !opt_.leaf_pair_feedback) return;
     if (wsim > opt_.th_high) {
       ScaleSubtreeLeaves(ns, nt, opt_.c_inc, &sims);
+      result->events.push_back({ns, nt, int8_t{1}});
       ++result->stats.increases_applied;
     } else if (wsim < opt_.th_low) {
       ScaleSubtreeLeaves(ns, nt, opt_.c_dec, &sims);
+      result->events.push_back({ns, nt, int8_t{-1}});
       ++result->stats.decreases_applied;
     }
   }
@@ -784,6 +1514,16 @@ class TreeMatcher {
   /// Lazily rebuilt link bitsets; null when disabled or when depth-pruned
   /// frontiers make it inapplicable. Mutated from const query paths.
   std::unique_ptr<StrongLinkCache> cache_;
+  /// Gather-engine state (incremental runs only): dense leaf-pair ssim and
+  /// lsim over (dense source leaf, dense target leaf), plus the per-node
+  /// clean flags of the event-replay fast path (the visit list itself lives
+  /// on the TreeMatchDelta, shared between the sweep and the recompute).
+  Matrix<float> leaf_ssim_;
+  Matrix<float> leaf_lsim_;
+  std::vector<uint8_t> s_clean_, t_clean_;
+  /// A mid-sweep divergence dirtied new leaf blocks; re-derive the clean
+  /// flags before trusting them again.
+  bool clean_flags_stale_ = false;
   /// Work counters surfaced through TreeMatchStats (mutable: the scans run
   /// from const query paths).
   mutable int64_t link_tests_ = 0;
@@ -867,7 +1607,8 @@ bool PrunedByLeafCount(const TreeMatchOptions& options, size_t source_leaves,
 int PrevFeedbackDecision(const TreeMatchOptions& options,
                          const SchemaTree& prev_source,
                          const SchemaTree& prev_target,
-                         const NodeSimilarities& prev_sweep, TreeNodeId os,
+                         const Matrix<float>& prev_sweep_ssim,
+                         const NodeSimilarities& prev_final, TreeNodeId os,
                          TreeNodeId ot) {
   if (prev_source.IsLeaf(os) && prev_target.IsLeaf(ot)) return 0;
   if (PrunedByLeafCount(options, prev_source.leaves(os).size(),
@@ -875,8 +1616,10 @@ int PrevFeedbackDecision(const TreeMatchOptions& options,
     return 0;
   }
   double w = options.wstruct_nonleaf;
-  double wsim =
-      w * prev_sweep.ssim(os, ot) + (1.0 - w) * prev_sweep.lsim(os, ot);
+  // lsim is immutable after projection, so the final matrix holds the same
+  // bits the sweep mixed from.
+  double wsim = w * prev_sweep_ssim(os, ot) +
+                (1.0 - w) * prev_final.lsim(os, ot);
   if (wsim > options.th_high) return 1;
   if (wsim < options.th_low) return -1;
   return 0;
@@ -896,7 +1639,7 @@ namespace {
 Status ValidateDelta(const SchemaTree& source, const SchemaTree& target,
                      const TreeMatchDelta& delta) {
   if (delta.prev_source == nullptr || delta.prev_target == nullptr ||
-      delta.prev_sweep == nullptr || delta.prev_final == nullptr ||
+      delta.prev_sweep_ssim == nullptr || delta.prev_final == nullptr ||
       delta.source_leaves == nullptr || delta.target_leaves == nullptr ||
       delta.dirty == nullptr || delta.dirty_transposed == nullptr) {
     return Status::InvalidArgument("TreeMatchDelta is incomplete");
@@ -904,12 +1647,23 @@ Status ValidateDelta(const SchemaTree& source, const SchemaTree& target,
   if (delta.source_map.size() != static_cast<size_t>(source.num_nodes()) ||
       delta.target_map.size() != static_cast<size_t>(target.num_nodes()) ||
       delta.source_reusable.size() != delta.source_map.size() ||
-      delta.target_reusable.size() != delta.target_map.size()) {
+      delta.target_reusable.size() != delta.target_map.size() ||
+      delta.source_size_changed.size() != delta.source_map.size() ||
+      delta.target_size_changed.size() != delta.target_map.size()) {
     return Status::InvalidArgument(
         "TreeMatchDelta maps do not match the trees");
   }
-  if (delta.prev_sweep->source_nodes() != delta.prev_source->num_nodes() ||
-      delta.prev_sweep->target_nodes() != delta.prev_target->num_nodes() ||
+  // The lsim-locality flags and event list are optional (their absence
+  // just disables the replay fast path), but when present they must match.
+  if ((!delta.source_lsim_same.empty() &&
+       delta.source_lsim_same.size() != delta.source_map.size()) ||
+      (!delta.target_lsim_same.empty() &&
+       delta.target_lsim_same.size() != delta.target_map.size())) {
+    return Status::InvalidArgument(
+        "TreeMatchDelta lsim flags do not match the trees");
+  }
+  if (delta.prev_sweep_ssim->rows() != delta.prev_source->num_nodes() ||
+      delta.prev_sweep_ssim->cols() != delta.prev_target->num_nodes() ||
       delta.prev_final->source_nodes() != delta.prev_source->num_nodes() ||
       delta.prev_final->target_nodes() != delta.prev_target->num_nodes()) {
     return Status::InvalidArgument(
@@ -944,7 +1698,7 @@ Result<TreeMatchResult> TreeMatchIncremental(
 Status RecomputeNonLeafSimilaritiesIncremental(const SchemaTree& source,
                                                const SchemaTree& target,
                                                const TreeMatchOptions& options,
-                                               const TreeMatchDelta& delta,
+                                               TreeMatchDelta* delta,
                                                TreeMatchResult* result) {
   CUPID_RETURN_NOT_OK(ValidateTreeMatchOptions(options));
   if (!SupportsIncrementalTreeMatch(options)) {
@@ -957,7 +1711,7 @@ Status RecomputeNonLeafSimilaritiesIncremental(const SchemaTree& source,
     return Status::InvalidArgument(
         "similarity matrix does not match the trees");
   }
-  CUPID_RETURN_NOT_OK(ValidateDelta(source, target, delta));
+  CUPID_RETURN_NOT_OK(ValidateDelta(source, target, *delta));
   TypeCompatibilityTable types = TypeCompatibilityTable::Default();
   TreeMatcher matcher(source, target, types, options);
   matcher.RecomputeIncremental(delta, result);

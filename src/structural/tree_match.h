@@ -102,6 +102,13 @@ struct TreeMatchStats {
   /// Incremental runs only: node pairs whose similarities were copied from
   /// the previous run instead of rescanned.
   int64_t pairs_reused = 0;
+  /// Incremental runs only: matrix rows bulk-copied from the previous run's
+  /// final state by the gather engine (ssim/wsim/count rows combined).
+  int64_t rows_gathered = 0;
+  /// Incremental runs only: node pairs on the sweep's visit list (non-leaf
+  /// pairs surviving the leaf-count prune). The dense leaf-pair block —
+  /// (leaves x leaves) minus this — never enters the per-pair loop at all.
+  int64_t visit_list_pairs = 0;
   /// Incremental runs only: node pairs whose feedback decision diverged from
   /// the previous run (their leaf blocks were re-marked dirty).
   int64_t feedback_divergences = 0;
@@ -120,12 +127,26 @@ struct StructuralCounts {
   Matrix<int32_t> included;
 };
 
+/// One increase/decrease feedback event of a structural sweep, recorded in
+/// firing order (source, then target, post-order). The next incremental run
+/// replays the events of provably-clean pairs directly — one block scaling
+/// each — instead of recomputing every visit-list decision.
+struct FeedbackEvent {
+  TreeNodeId source = kNoTreeNode;
+  TreeNodeId target = kNoTreeNode;
+  /// +1 = increase (c_inc), -1 = decrease (c_dec).
+  int8_t direction = 0;
+};
+
 /// Result of structural matching.
 struct TreeMatchResult {
   NodeSimilarities sims;
   /// Counts behind the current ssim values: post-sweep after TreeMatch,
   /// overwritten with final counts by the Section 7 recompute passes.
   StructuralCounts counts;
+  /// The sweep's feedback events in firing order (input of the next
+  /// incremental run's clean-pair replay; empty after Recompute-only calls).
+  std::vector<FeedbackEvent> events;
   TreeMatchStats stats;
 };
 
@@ -193,31 +214,81 @@ struct TreeMatchDelta {
   /// over target leaves so both sides support fast per-row queries.
   std::unique_ptr<LeafPairBits> dirty;
   std::unique_ptr<LeafPairBits> dirty_transposed;
+  /// Side-attributed dirt, by DENSE leaf index: a full-row mark dirties
+  /// only its source leaf, a full-column mark only its target leaf, and
+  /// sparse/block marks both sides. A node pair whose source range has no
+  /// attributed source dirt AND whose target range has no attributed target
+  /// dirt provably has an empty dirty block (every mark shape implies one
+  /// of the two) — the factorized dirty half of the clean-pair test, which
+  /// keeps a single edited row from smearing "dirty" across every node of
+  /// the other side.
+  std::vector<uint8_t> source_leaf_dirty;
+  std::vector<uint8_t> target_leaf_dirty;
 
   /// Marks leaves(ns) x leaves(nt) dirty in both orientations.
   void MarkBlockDirty(TreeNodeId ns, TreeNodeId nt) {
     dirty->SetBlock(ns, nt);
     dirty_transposed->SetBlock(nt, ns);
+    // Bounding dense ranges: a superset for DAG-shaped trees, which only
+    // forces recomputation.
+    for (int32_t r = source_leaves->range_begin(ns);
+         r < source_leaves->range_end(ns); ++r) {
+      source_leaf_dirty[static_cast<size_t>(r)] = 1;
+    }
+    for (int32_t c = target_leaves->range_begin(nt);
+         c < target_leaves->range_end(nt); ++c) {
+      target_leaf_dirty[static_cast<size_t>(c)] = 1;
+    }
   }
   void MarkPairDirty(TreeNodeId x, TreeNodeId y) {
     dirty->Set(x, y);
     dirty_transposed->Set(y, x);
+    source_leaf_dirty[static_cast<size_t>(source_leaves->dense(x))] = 1;
+    target_leaf_dirty[static_cast<size_t>(target_leaves->dense(y))] = 1;
   }
   void MarkSourceRowDirty(TreeNodeId x) {
     dirty->SetRowAll(x);
     dirty_transposed->SetColAll(x);
+    source_leaf_dirty[static_cast<size_t>(source_leaves->dense(x))] = 1;
   }
   void MarkTargetColDirty(TreeNodeId y) {
     dirty->SetColAll(y);
     dirty_transposed->SetRowAll(y);
+    target_leaf_dirty[static_cast<size_t>(target_leaves->dense(y))] = 1;
   }
+  /// Per NEW tree node: the node is unmapped, or its true-leaf frontier
+  /// SIZE differs from its previous counterpart's. Only such nodes can
+  /// change a pair's leaf-count prune decision, so the gather engine runs
+  /// prune-divergence checks and stale-cell fixups over these rows/columns
+  /// alone instead of the full pair grid.
+  std::vector<uint8_t> source_size_changed;
+  std::vector<uint8_t> target_size_changed;
+  /// Per NEW tree node: the node maps to a previous node whose element has
+  /// identical lsim-relevant local features (the categorizer's locality
+  /// contract, linguistic/categorizer.h), so every lsim cell between two
+  /// flagged nodes is bitwise equal to its previous counterpart. False is
+  /// always safe (it only forces recomputation).
+  std::vector<uint8_t> source_lsim_same;
+  std::vector<uint8_t> target_lsim_same;
+  /// The previous sweep's feedback events in firing order (optional; null
+  /// disables the clean-pair replay fast path and every visit-list pair is
+  /// recomputed instead — same results either way).
+  const std::vector<FeedbackEvent>* prev_events = nullptr;
+  /// The sweep/recompute visit list: per source node, [visit_begin[ns],
+  /// visit_end[ns]) spans into visit_data (target nodes in post-order that
+  /// form a non-pruned non-leaf pair with ns). Built by TreeMatchIncremental
+  /// and shared with RecomputeNonLeafSimilaritiesIncremental.
+  std::vector<int32_t> visit_begin, visit_end;
+  std::vector<TreeNodeId> visit_data;
   /// The previous run's trees (for leaf-count prune replication) and
-  /// similarity snapshots: post-sweep (before the Section 7 recompute) and
-  /// final (after it), each with the structural counts recorded at that
-  /// stage. All must outlive the incremental calls.
+  /// similarity snapshots: the post-sweep ssim matrix (before the Section 7
+  /// recompute; its lsim/wsim companions are never consulted, so only ssim
+  /// is kept) and the final NodeSimilarities (after the recompute), plus the
+  /// structural counts recorded at the final stage. All must outlive the
+  /// incremental calls.
   const SchemaTree* prev_source = nullptr;
   const SchemaTree* prev_target = nullptr;
-  const NodeSimilarities* prev_sweep = nullptr;
+  const Matrix<float>* prev_sweep_ssim = nullptr;
   const NodeSimilarities* prev_final = nullptr;
   /// Counts behind prev_final's non-leaf ssim values (recorded by the
   /// recompute passes). May be null when the previous run predates counts
@@ -233,14 +304,16 @@ bool PrunedByLeafCount(const TreeMatchOptions& options, size_t source_leaves,
                        size_t target_leaves);
 
 /// \brief The feedback decision the previous sweep took at pair (os, ot),
-/// reconstructed from its post-sweep snapshot with ComparePair's exact
+/// reconstructed from its post-sweep ssim snapshot (lsim is immutable after
+/// projection, so the final matrix supplies it) with ComparePair's exact
 /// arithmetic: +1 increase, -1 decrease, 0 none (leaf pair, pruned pair,
 /// or wsim between thresholds). Shared by the incremental sweep's
 /// divergence check and the session's orphan-event coverage.
 int PrevFeedbackDecision(const TreeMatchOptions& options,
                          const SchemaTree& prev_source,
                          const SchemaTree& prev_target,
-                         const NodeSimilarities& prev_sweep, TreeNodeId os,
+                         const Matrix<float>& prev_sweep_ssim,
+                         const NodeSimilarities& prev_final, TreeNodeId os,
                          TreeNodeId ot);
 
 /// \brief True iff `options` are in the subset the incremental warm start
@@ -266,12 +339,13 @@ Result<TreeMatchResult> TreeMatchIncremental(const SchemaTree& source,
 
 /// \brief The Section 7 recompute pass warm-started from the previous run's
 /// final similarities. Must be called with the delta as left by
-/// TreeMatchIncremental (its dirty set reflects the finished sweep).
+/// TreeMatchIncremental (its dirty set reflects the finished sweep; the
+/// visit list it built is reused, and built here when absent).
 /// Bit-identical to RecomputeNonLeafSimilarities.
 Status RecomputeNonLeafSimilaritiesIncremental(const SchemaTree& source,
                                                const SchemaTree& target,
                                                const TreeMatchOptions& options,
-                                               const TreeMatchDelta& delta,
+                                               TreeMatchDelta* delta,
                                                TreeMatchResult* result);
 
 }  // namespace cupid

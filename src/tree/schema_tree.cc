@@ -95,19 +95,27 @@ Status SchemaTree::Finalize() {
       out.push_back({v, false});
       continue;
     }
-    std::unordered_map<TreeNodeId, bool> merged;  // leaf -> optional
+    // Concatenate the children's (sorted) leaf lists, sort, and fold runs
+    // of the same leaf with AND — the same merge a leaf->optional map
+    // would produce, without a hash table per node. Duplicates only exist
+    // under shared children (join views / type sharing).
     for (TreeNodeId c : nv.children) {
       bool child_opt = nodes_[static_cast<size_t>(c)].optional;
       for (const LeafRef& lr : leaves_[static_cast<size_t>(c)]) {
-        bool opt_via_c = child_opt || lr.optional;
-        auto [it, inserted] = merged.emplace(lr.leaf, opt_via_c);
-        if (!inserted) it->second = it->second && opt_via_c;
+        out.push_back({lr.leaf, child_opt || lr.optional});
       }
     }
-    out.reserve(merged.size());
-    for (const auto& [leaf, opt] : merged) out.push_back({leaf, opt});
     std::sort(out.begin(), out.end(),
               [](const LeafRef& a, const LeafRef& b) { return a.leaf < b.leaf; });
+    size_t w = 0;
+    for (size_t r = 0; r < out.size();) {
+      LeafRef folded = out[r];
+      for (++r; r < out.size() && out[r].leaf == folded.leaf; ++r) {
+        folded.optional = folded.optional && out[r].optional;
+      }
+      out[w++] = folded;
+    }
+    out.resize(w);
   }
 
   // Element -> nodes index.
@@ -121,11 +129,26 @@ Status SchemaTree::Finalize() {
   }
 
   // Path -> node index; first (lowest-id) node wins on duplicate paths.
+  // Paths are built top-down reusing the parent's string (parents have
+  // lower ids than their primary children in AddNode order) — the same
+  // strings PathName produces, in O(total path length).
   path_index_.clear();
   path_index_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    path_index_.emplace(PathName(static_cast<TreeNodeId>(i)),
-                        static_cast<TreeNodeId>(i));
+  {
+    std::vector<std::string> paths(n);
+    for (size_t i = 0; i < n; ++i) {
+      TreeNodeId p = nodes_[i].parent;
+      if (p == kNoTreeNode) {
+        paths[i] = NodeName(static_cast<TreeNodeId>(i));
+      } else if (static_cast<size_t>(p) < i) {
+        paths[i] = paths[static_cast<size_t>(p)];
+        paths[i] += '.';
+        paths[i] += NodeName(static_cast<TreeNodeId>(i));
+      } else {
+        paths[i] = PathName(static_cast<TreeNodeId>(i));
+      }
+      path_index_.emplace(paths[i], static_cast<TreeNodeId>(i));
+    }
   }
   return Status::OK();
 }

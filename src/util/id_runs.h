@@ -1,0 +1,46 @@
+// Maximal runs of consecutively-mapped ids — the unit of the gather
+// engines' bulk row copies (one memcpy per run per row). Shared by the
+// structural gather (structural/tree_match.cc, over TreeNodeId maps) and
+// the lsim gather (linguistic/linguistic_matcher.cc, over ElementId maps);
+// both id types are int32_t with -1 as the "unmapped" sentinel.
+
+#ifndef CUPID_UTIL_ID_RUNS_H_
+#define CUPID_UTIL_ID_RUNS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cupid {
+
+/// One maximal run: map[dst + k] == src + k for k in [0, len).
+struct IdRun {
+  int32_t dst = 0;
+  int32_t src = 0;
+  int32_t len = 0;
+};
+
+/// Coalesces `map` (new id -> previous id, -1 = unmapped) into maximal
+/// consecutively-mapped runs, in ascending dst order. Unmapped ids are in
+/// no run.
+inline std::vector<IdRun> BuildMappedIdRuns(const std::vector<int32_t>& map) {
+  std::vector<IdRun> runs;
+  const int32_t n = static_cast<int32_t>(map.size());
+  for (int32_t dst = 0; dst < n;) {
+    int32_t src = map[static_cast<size_t>(dst)];
+    if (src < 0) {
+      ++dst;
+      continue;
+    }
+    int32_t end = dst + 1;
+    while (end < n && map[static_cast<size_t>(end)] == src + (end - dst)) {
+      ++end;
+    }
+    runs.push_back({dst, src, end - dst});
+    dst = end;
+  }
+  return runs;
+}
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_ID_RUNS_H_

@@ -14,133 +14,12 @@
 #include "eval/datasets.h"
 #include "eval/synthetic.h"
 #include "incremental/match_session.h"
+#include "tests/match_diff_testutil.h"
 #include "thesaurus/default_thesaurus.h"
 #include "util/random.h"
 
 namespace cupid {
 namespace {
-
-/// Bitwise comparison of a session result against a from-scratch run.
-/// Returns on the first mismatch to keep failure output readable.
-void ExpectIdentical(const MatchResult& inc, const MatchResult& ref,
-                     const std::string& context) {
-  ASSERT_EQ(inc.linguistic.lsim.rows(), ref.linguistic.lsim.rows()) << context;
-  ASSERT_EQ(inc.linguistic.lsim.cols(), ref.linguistic.lsim.cols()) << context;
-  for (int64_t i = 0; i < inc.linguistic.lsim.rows(); ++i) {
-    for (int64_t j = 0; j < inc.linguistic.lsim.cols(); ++j) {
-      ASSERT_EQ(inc.linguistic.lsim(i, j), ref.linguistic.lsim(i, j))
-          << context << " element lsim(" << i << "," << j << ")";
-    }
-  }
-  const NodeSimilarities& a = inc.tree_match.sims;
-  const NodeSimilarities& b = ref.tree_match.sims;
-  ASSERT_EQ(a.source_nodes(), b.source_nodes()) << context;
-  ASSERT_EQ(a.target_nodes(), b.target_nodes()) << context;
-  for (TreeNodeId s = 0; s < a.source_nodes(); ++s) {
-    for (TreeNodeId t = 0; t < a.target_nodes(); ++t) {
-      ASSERT_EQ(a.lsim(s, t), b.lsim(s, t))
-          << context << " lsim(" << s << "," << t << ")";
-      ASSERT_EQ(a.ssim(s, t), b.ssim(s, t))
-          << context << " ssim(" << s << "," << t << ") "
-          << inc.source_tree.PathName(s) << " / "
-          << inc.target_tree.PathName(t);
-      ASSERT_EQ(a.wsim(s, t), b.wsim(s, t))
-          << context << " wsim(" << s << "," << t << ") "
-          << inc.source_tree.PathName(s) << " / "
-          << inc.target_tree.PathName(t);
-    }
-  }
-  auto expect_mapping = [&](const Mapping& m1, const Mapping& m2,
-                            const char* which) {
-    ASSERT_EQ(m1.size(), m2.size()) << context << " " << which;
-    for (size_t i = 0; i < m1.size(); ++i) {
-      ASSERT_EQ(m1.elements[i].source_path, m2.elements[i].source_path)
-          << context << " " << which << "[" << i << "]";
-      ASSERT_EQ(m1.elements[i].target_path, m2.elements[i].target_path)
-          << context << " " << which << "[" << i << "]";
-      ASSERT_EQ(m1.elements[i].wsim, m2.elements[i].wsim)
-          << context << " " << which << "[" << i << "]";
-      ASSERT_EQ(m1.elements[i].ssim, m2.elements[i].ssim)
-          << context << " " << which << "[" << i << "]";
-      ASSERT_EQ(m1.elements[i].lsim, m2.elements[i].lsim)
-          << context << " " << which << "[" << i << "]";
-    }
-  };
-  expect_mapping(inc.leaf_mapping, ref.leaf_mapping, "leaf mapping");
-  expect_mapping(inc.nonleaf_mapping, ref.nonleaf_mapping, "nonleaf mapping");
-}
-
-/// A random edit over the current schemas: every kind is exercised,
-/// including renames onto vocabulary words (thesaurus hits), type drift,
-/// fresh subtrees, and removals.
-SchemaEdit RandomEdit(SplitMix64* rng, const Schema& source,
-                      const Schema& target, int counter) {
-  EditSide side = rng->NextBounded(2) == 0 ? EditSide::kSource
-                                           : EditSide::kTarget;
-  const Schema& schema = side == EditSide::kSource ? source : target;
-  auto random_element = [&](bool allow_root) {
-    // Root is id 0; non-root elements start at 1 (if any exist).
-    if (schema.num_elements() <= 1) return allow_root ? ElementId{0} : kNoElement;
-    return allow_root
-               ? static_cast<ElementId>(rng->NextBounded(
-                     static_cast<uint64_t>(schema.num_elements())))
-               : static_cast<ElementId>(
-                     1 + rng->NextBounded(
-                             static_cast<uint64_t>(schema.num_elements() - 1)));
-  };
-  static const char* kNames[] = {"Qty",        "CustomerNumber", "UnitPrice",
-                                 "ShipToCity", "OrderDate",      "Amount",
-                                 "ContactPhone", "PostalCode"};
-  static const DataType kTypes[] = {DataType::kString,  DataType::kInteger,
-                                    DataType::kDecimal, DataType::kMoney,
-                                    DataType::kDate,    DataType::kBoolean};
-  switch (rng->NextBounded(4)) {
-    case 0: {  // rename: occasionally onto a vocabulary name (collisions OK)
-      ElementId id = random_element(/*allow_root=*/false);
-      if (id == kNoElement || schema.FindByPath(schema.PathName(id)) != id) {
-        break;  // path-ambiguous element (duplicate sibling names): skip
-      }
-      std::string name =
-          rng->NextBernoulli(0.5)
-              ? std::string(kNames[rng->NextBounded(8)])
-              : schema.element(id).name + "X" + std::to_string(counter);
-      return SchemaEdit::RenameElement(side, schema.PathName(id),
-                                       std::move(name));
-    }
-    case 1: {  // retype a random element
-      ElementId id = random_element(/*allow_root=*/false);
-      if (id == kNoElement || schema.FindByPath(schema.PathName(id)) != id) {
-        break;
-      }
-      return SchemaEdit::ChangeDataType(side, schema.PathName(id),
-                                        kTypes[rng->NextBounded(6)]);
-    }
-    case 2: {  // add a leaf under a random element (leaves become containers)
-      ElementId parent = random_element(/*allow_root=*/true);
-      if (schema.FindByPath(schema.PathName(parent)) != parent) break;
-      Element leaf;
-      leaf.name = std::string(kNames[rng->NextBounded(8)]) +
-                  std::to_string(counter);
-      leaf.kind = ElementKind::kAtomic;
-      leaf.data_type = kTypes[rng->NextBounded(6)];
-      leaf.optional = rng->NextBernoulli(0.3);
-      return SchemaEdit::AddElement(side, schema.PathName(parent),
-                                    std::move(leaf));
-    }
-    default: {  // remove a random subtree (keep schemas from emptying out)
-      if (schema.num_elements() > 10) {
-        ElementId id = random_element(/*allow_root=*/false);
-        if (schema.FindByPath(schema.PathName(id)) != id) break;
-        return SchemaEdit::RemoveElement(side, schema.PathName(id));
-      }
-      break;
-    }
-  }
-  // Fallback: benign rename of the root (dirties everything — also a case
-  // worth covering).
-  return SchemaEdit::RenameElement(side, schema.PathName(0),
-                                   schema.name() + "R");
-}
 
 /// Drives `num_edits` random edits through a session, asserting bitwise
 /// equality with from-scratch matching after every Rematch.
@@ -158,7 +37,7 @@ void RunEditStream(const CupidConfig& config, uint64_t seed, int num_edits) {
   for (int step = 0; step <= num_edits; ++step) {
     if (step > 0) {
       SchemaEdit edit =
-          RandomEdit(&rng, session.source(), session.target(), step);
+          RandomSessionEdit(&rng, session.source(), session.target(), step);
       ASSERT_TRUE(session.ApplyEdit(edit).ok())
           << "seed " << seed << " step " << step << " path " << edit.path;
     }
@@ -166,7 +45,7 @@ void RunEditStream(const CupidConfig& config, uint64_t seed, int num_edits) {
     ASSERT_TRUE(inc.ok()) << inc.status().ToString();
     auto ref = scratch.Match(session.source(), session.target());
     ASSERT_TRUE(ref.ok()) << ref.status().ToString();
-    ExpectIdentical(**inc, *ref,
+    ExpectIdenticalResults(**inc, *ref,
                     "seed " + std::to_string(seed) + " step " +
                         std::to_string(step));
     if (::testing::Test::HasFatalFailure()) return;
@@ -226,7 +105,7 @@ TEST(MatchSessionPropertyTest, UnsupportedOptionsFallBackToFullRecompute) {
   CupidMatcher scratch(&thesaurus, config);
   auto ref = scratch.Match(session.source(), session.target());
   ASSERT_TRUE(ref.ok());
-  ExpectIdentical(**r, *ref, "lazy-expansion fallback");
+  ExpectIdenticalResults(**r, *ref, "lazy-expansion fallback");
 }
 
 TEST(MatchSessionTest, SingleRenameUsesWarmStartAndReusesPairs) {
@@ -333,7 +212,7 @@ TEST(MatchSessionTest, FailedRematchKeepsEditedSchemas) {
   CupidMatcher scratch(&thesaurus, session.config());
   auto ref = scratch.Match(session.source(), session.target());
   ASSERT_TRUE(ref.ok());
-  ExpectIdentical(**r, *ref, "post-failure rematch");
+  ExpectIdenticalResults(**r, *ref, "post-failure rematch");
 }
 
 TEST(MatchSessionTest, JoinViewSchemasFallBackButStayCorrect) {
@@ -358,7 +237,7 @@ TEST(MatchSessionTest, JoinViewSchemasFallBackButStayCorrect) {
   CupidMatcher scratch(&thesaurus, config);
   auto ref = scratch.Match(session.source(), session.target());
   ASSERT_TRUE(ref.ok());
-  ExpectIdentical(**r, *ref, "join-view fallback");
+  ExpectIdenticalResults(**r, *ref, "join-view fallback");
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Golden regression tests for the paper experiments: the Figure 2 running
+// example (Section 4) and the Table 3 CIDX/Excel study (Section 9.2),
+// promoted from bench_fig2_running_example / bench_table3_cidx_excel into
+// ctest so a paper-fidelity break fails CI instead of only changing bench
+// output nobody reads. Assertions encode the claims the paper makes plus
+// the quality this implementation is known to reach: recall may not drop,
+// precision may not fall below the current measurement (improvements pass).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/cupid_matcher.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+// ------------------------------------ Figure 2 running example (Section 4) --
+
+TEST(PaperGoldenTest, Fig2Section4Claims) {
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher matcher(&th);
+  auto r = matcher.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // The Section 4 walkthrough pairs.
+  EXPECT_TRUE(r->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity"))
+      << "Qty -> Quantity (thesaurus short-form)";
+  EXPECT_TRUE(r->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure"))
+      << "UoM -> UnitOfMeasure (acronym)";
+  EXPECT_TRUE(r->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.Line", "PurchaseOrder.Items.Item.ItemNumber"))
+      << "Line -> ItemNumber (structure only)";
+
+  // Context binding: the identically-named City leaves must bind to the
+  // structurally right addresses (the paper's key structural claim).
+  EXPECT_GT(r->WsimByPath("PO.POBillTo.City",
+                          "PurchaseOrder.InvoiceTo.Address.City"),
+            r->WsimByPath("PO.POBillTo.City",
+                          "PurchaseOrder.DeliverTo.Address.City"))
+      << "POBillTo city must bind to the InvoiceTo context";
+  EXPECT_GT(r->WsimByPath("PO.POShipTo.City",
+                          "PurchaseOrder.DeliverTo.Address.City"),
+            r->WsimByPath("PO.POShipTo.City",
+                          "PurchaseOrder.InvoiceTo.Address.City"))
+      << "POShipTo city must bind to the DeliverTo context";
+}
+
+TEST(PaperGoldenTest, Fig2LeafMappingIsPerfect) {
+  Dataset d = Fig2Dataset();
+  Thesaurus th = DefaultThesaurus();
+  CupidMatcher matcher(&th);
+  auto r = matcher.Match(d.source, d.target);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  MatchQuality q = Evaluate(r->leaf_mapping, d.gold);
+  EXPECT_EQ(q.false_negatives, 0) << FormatQuality(q);
+  EXPECT_EQ(q.false_positives, 0) << FormatQuality(q);
+  EXPECT_EQ(q.true_positives, 8) << FormatQuality(q);
+}
+
+// --------------------------------- Table 3: CIDX vs Excel (Section 9.2) --
+
+class Table3Golden : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto dr = CidxExcelDataset();
+    ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+    dataset_.emplace(*std::move(dr));
+    thesaurus_ = CidxExcelThesaurus();
+    CupidMatcher matcher(&thesaurus_);
+    auto r = matcher.Match(dataset_->source, dataset_->target);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    result_.emplace(*std::move(r));
+  }
+
+  std::optional<Dataset> dataset_;
+  Thesaurus thesaurus_;
+  std::optional<MatchResult> result_;
+};
+
+TEST_F(Table3Golden, CupidElementMappingsMatchThePaper) {
+  // Table 3's Cupid column: every element pair the paper reports Cupid
+  // finding, as best-target matches above the acceptance threshold.
+  const struct {
+    const char* src;
+    const char* tgt;
+  } rows[] = {
+      {"PO.POHeader", "PurchaseOrder.Header"},
+      {"PO.POLines.Item", "PurchaseOrder.Items.Item"},
+      {"PO.POLines", "PurchaseOrder.Items"},
+      {"PO.POBillTo", "PurchaseOrder.InvoiceTo"},
+      {"PO.POShipTo", "PurchaseOrder.DeliverTo"},
+      {"PO.Contact", "PurchaseOrder.DeliverTo.Contact"},
+      {"PO", "PurchaseOrder"},
+  };
+  for (const auto& row : rows) {
+    EXPECT_EQ(result_->BestTargetFor(row.src), row.tgt) << row.src;
+    EXPECT_GE(result_->WsimByPath(row.src, row.tgt), 0.5)
+        << row.src << " -> " << row.tgt;
+  }
+}
+
+TEST_F(Table3Golden, LineToItemNumberFoundWithoutThesaurusSupport) {
+  // Section 9.2 highlights line -> itemNumber as a purely structural match
+  // (no thesaurus entry relates the two names).
+  EXPECT_TRUE(result_->leaf_mapping.ContainsPair(
+      "PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber"));
+}
+
+TEST_F(Table3Golden, AttributeMappingQualityHolds) {
+  // The paper: all correct attribute pairs found (recall 1), with a couple
+  // of naive-generator false positives. Guard recall exactly and cap the
+  // false positives at today's measurement so precision cannot silently
+  // erode (currently 30 tp, 6 fp).
+  MatchQuality q = Evaluate(result_->leaf_mapping, dataset_->gold);
+  EXPECT_EQ(q.false_negatives, 0) << FormatQuality(q);
+  EXPECT_EQ(q.true_positives, 30) << FormatQuality(q);
+  EXPECT_LE(q.false_positives, 6) << FormatQuality(q);
+}
+
+}  // namespace
+}  // namespace cupid

@@ -3,13 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/cupid_matcher.h"
 #include "eval/metrics.h"
 #include "eval/synthetic.h"
+#include "incremental/match_session.h"
 #include "linguistic/linguistic_matcher.h"
 #include "structural/tree_match.h"
+#include "tests/match_diff_testutil.h"
 #include "thesaurus/default_thesaurus.h"
 #include "tree/tree_builder.h"
+#include "util/random.h"
 
 namespace cupid {
 namespace {
@@ -217,6 +222,99 @@ TEST_P(ThresholdProperty, HigherAcceptanceThresholdNeverAddsPairs) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdProperty,
                          testing::Values(0.6, 0.7, 0.8, 0.9));
+
+// ------------------------------ incremental differential fuzz harness ----
+//
+// The gather/visit-list engine's contract: every warm Rematch is
+// bit-identical to from-scratch matching — matrices AND mappings — under
+// every cache combination (strong-link cache on/off, persistent lsim cache
+// on/off) and at 1/N threads. Seeded random schemas take random 20-edit
+// streams applied in batches of 1-3 edits per Rematch (incremental_test.cc
+// covers the one-edit-per-rematch cadence), and the harness additionally
+// asserts the gather fast paths actually engaged, so a silent fallback to
+// the slow path cannot masquerade as coverage.
+
+struct DiffCase {
+  bool strong_link_cache;
+  bool lsim_cache;  // persistent perf/lsim cache; off = naive reference
+  int threads;
+  uint64_t seed;
+};
+
+std::string DiffCaseName(const testing::TestParamInfo<DiffCase>& info) {
+  const DiffCase& c = info.param;
+  return std::string("sl") + (c.strong_link_cache ? "on" : "off") + "_lc" +
+         (c.lsim_cache ? "on" : "off") + "_t" + std::to_string(c.threads) +
+         "_seed" + std::to_string(c.seed);
+}
+
+class IncrementalDifferentialProperty
+    : public testing::TestWithParam<DiffCase> {};
+
+TEST_P(IncrementalDifferentialProperty, TwentyEditStreamBitIdentical) {
+  const DiffCase& c = GetParam();
+  CupidConfig config;
+  config.SetNumThreads(c.threads);
+  config.tree_match.use_strong_link_cache = c.strong_link_cache;
+  config.linguistic.use_perf_cache = c.lsim_cache;
+
+  SyntheticOptions opt;
+  opt.num_elements = 55;
+  opt.seed = c.seed;
+  SyntheticPair pair = GenerateSyntheticPair(opt);
+  Thesaurus thesaurus = DefaultThesaurus();
+
+  MatchSession session(&thesaurus, pair.source, pair.target, config);
+  CupidMatcher scratch(&thesaurus, config);
+  SplitMix64 rng(c.seed * 104729 + 17);
+
+  ASSERT_TRUE(session.Rematch().ok());
+  bool gathered_lsim = false;
+  bool warm_used = false;
+  int edits_applied = 0;
+  int step = 0;
+  while (edits_applied < 20) {
+    int batch = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int b = 0; b < batch && edits_applied < 20; ++b) {
+      SchemaEdit edit = RandomSessionEdit(&rng, session.source(),
+                                          session.target(), ++edits_applied);
+      ASSERT_TRUE(session.ApplyEdit(edit).ok())
+          << "seed " << c.seed << " edit " << edits_applied << " path "
+          << edit.path;
+    }
+    auto inc = session.Rematch();
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    auto ref = scratch.Match(session.source(), session.target());
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    ExpectIdenticalResults(
+        **inc, *ref,
+        "seed " + std::to_string(c.seed) + " step " + std::to_string(++step) +
+            " (edits " + std::to_string(edits_applied) + ")");
+    if (::testing::Test::HasFatalFailure()) return;
+    warm_used |= session.last_stats().incremental;
+    gathered_lsim |= session.last_stats().lsim_gathered_rows > 0;
+  }
+  // The stream must have exercised the warm structural path, and — with the
+  // persistent cache on — the lsim gather (copied rows on at least one
+  // step). Otherwise the equality above proved nothing about the fast
+  // paths under test.
+  EXPECT_TRUE(warm_used) << "no Rematch took the incremental path";
+  if (c.lsim_cache) {
+    EXPECT_TRUE(gathered_lsim) << "no Rematch went down the lsim gather";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CacheMatrix, IncrementalDifferentialProperty,
+    testing::Values(
+        // Every cache combination at one thread...
+        DiffCase{false, false, 1, 101}, DiffCase{false, true, 1, 102},
+        DiffCase{true, false, 1, 103}, DiffCase{true, true, 1, 104},
+        // ...the full-cache and no-cache corners at N threads...
+        DiffCase{true, true, 4, 105}, DiffCase{false, false, 4, 106},
+        // ...and extra seeds on the production configuration.
+        DiffCase{true, true, 1, 107}, DiffCase{false, true, 1, 108}),
+    DiffCaseName);
 
 }  // namespace
 }  // namespace cupid

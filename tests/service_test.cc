@@ -415,6 +415,85 @@ TEST(MatchServiceTest, LruEvictionAtCapacity) {
   EXPECT_GT(service.cache_stats().result_evictions, 0);
 }
 
+TEST(MatchServiceTest, SessionLruEvictionRewarmsBitIdentically) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  MatchService::Options options;
+  options.result_cache_capacity = 0;  // isolate session behavior
+  options.session_capacity = 1;
+  MatchService service(&thesaurus, &repo, options);
+
+  MatchRequest forward;
+  forward.source = "po";
+  forward.target = "order";
+  forward.config = SingleThreaded();
+  MatchRequest backward = forward;
+  backward.source = "order";
+  backward.target = "po";
+
+  // Warm (po, order); the reverse pair then evicts it at capacity 1.
+  ASSERT_TRUE(service.Match(forward).ok());
+  ASSERT_TRUE(service.Match(backward).ok());
+  EXPECT_EQ(service.cache_stats().sessions_evicted, 1);
+
+  // The evicted pair re-warms a fresh (cold) session — a new session is
+  // created, and the result is still bit-identical to a direct match.
+  auto rewarmed = service.Match(forward);
+  ASSERT_TRUE(rewarmed.ok()) << rewarmed.status().ToString();
+  EXPECT_FALSE(rewarmed->session_reused);
+  EXPECT_EQ(service.cache_stats().sessions_created, 3);
+  ExpectIdenticalToDirect(*rewarmed, repo, thesaurus, SingleThreaded(),
+                          "re-warmed after eviction");
+
+  // The re-warmed session keeps working incrementally: a repository edit
+  // followed by a re-request goes down the warm path, bit-identically.
+  ASSERT_TRUE(repo.ApplyEdit("po", SchemaEdit::RenameElement(
+                                       EditSide::kSource,
+                                       "PO.POLines.Item.Qty", "Quantity"))
+                  .ok());
+  auto after_edit = service.Match(forward);
+  ASSERT_TRUE(after_edit.ok()) << after_edit.status().ToString();
+  EXPECT_TRUE(after_edit->session_reused);
+  EXPECT_TRUE(after_edit->incremental);
+  ExpectIdenticalToDirect(*after_edit, repo, thesaurus, SingleThreaded(),
+                          "incremental on re-warmed session");
+}
+
+TEST(MatchServiceTest, SessionLruTouchKeepsHotPairs) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  MatchService::Options options;
+  options.result_cache_capacity = 0;
+  options.session_capacity = 2;
+  MatchService service(&thesaurus, &repo, options);
+
+  MatchRequest ab;  // pair A
+  ab.source = "po";
+  ab.target = "order";
+  ab.config = SingleThreaded();
+  MatchRequest ba = ab;  // pair B
+  ba.source = "order";
+  ba.target = "po";
+  MatchRequest aa = ab;  // pair C (self-match)
+  aa.target = "po";
+
+  ASSERT_TRUE(service.Match(ab).ok());  // A
+  ASSERT_TRUE(service.Match(ba).ok());  // B
+  ASSERT_TRUE(service.Match(ab).ok());  // touch A: B becomes LRU
+  ASSERT_TRUE(service.Match(aa).ok());  // C evicts B, not A
+  auto warm_a = service.Match(ab);
+  ASSERT_TRUE(warm_a.ok());
+  EXPECT_TRUE(warm_a->session_reused) << "touched pair must stay warm";
+  auto cold_b = service.Match(ba);
+  ASSERT_TRUE(cold_b.ok());
+  EXPECT_FALSE(cold_b->session_reused) << "idle pair must have been evicted";
+  EXPECT_EQ(service.cache_stats().sessions_evicted, 2);
+}
+
 TEST(MatchServiceTest, ConcurrentClientsBitIdentical) {
   Thesaurus thesaurus = DefaultThesaurus();
   SchemaRepository repo;
