@@ -28,6 +28,9 @@
 //
 // Options:
 //   --input <file>     read commands from a file instead of stdin
+//   --wal-dir <dir>    durable mode: recover the repository from <dir> on
+//                      boot and write-ahead-log every mutation (see
+//                      docs/DURABILITY.md). "load" is rejected in this mode.
 //   --threads <n>      scheduler worker threads (default: all hardware)
 //   --queue <n>        max in-flight jobs (default 1024)
 //   --thesaurus <file> thesaurus to match under (default: built-in)
@@ -36,9 +39,16 @@
 //                      report "selfcheck":"ok"/"mismatch" per response (CI)
 //   --quiet-mappings   default "mappings" to false (sizes only)
 //
+// Responses are line-buffered so the server can sit behind a FIFO or pipe
+// (the CI recovery smoke drives it interactively). SIGINT/SIGTERM interrupt
+// the read loop, flush the durable state (snapshot compaction) and exit 0
+// after a final {"cmd":"shutdown",...} stats line; SIGKILL is the crash the
+// WAL recovers from.
+//
 // Exit code 0 when every command succeeded, 1 otherwise (each failing
 // command also reports {"status":"error",...} on its own line).
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +74,7 @@ namespace {
 struct ServerOptions {
   std::string input_path;
   std::string thesaurus_path;
+  std::string wal_dir;
   int threads = 0;
   int queue = 1024;
   int cache = 128;
@@ -73,11 +84,52 @@ struct ServerOptions {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--input <file>] [--threads <n>] [--queue <n>]\n"
-               "          [--thesaurus <file>] [--cache <n>] [--selfcheck]\n"
-               "          [--quiet-mappings]  < requests.jsonl\n",
+               "usage: %s [--input <file>] [--wal-dir <dir>] [--threads <n>]\n"
+               "          [--queue <n>] [--thesaurus <file>] [--cache <n>]\n"
+               "          [--selfcheck] [--quiet-mappings]  < requests.jsonl\n",
                argv0);
   return 1;
+}
+
+/// Last shutdown signal received; the handler only sets this. Installed
+/// without SA_RESTART so a blocked stdin read fails with EINTR and the main
+/// loop falls through to the clean-shutdown path.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void HandleShutdownSignal(int sig) { g_shutdown_signal = sig; }
+
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt the read loop
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void WriteDurabilityJson(const DurabilityStats& stats, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("degraded");
+  w->Bool(stats.degraded);
+  w->Key("applied_seq");
+  w->UInt(stats.applied_seq);
+  w->Key("snapshot_seq");
+  w->UInt(stats.snapshot_seq);
+  w->Key("wal_records");
+  w->UInt(stats.wal_records);
+  w->Key("wal_bytes");
+  w->Int(stats.wal_bytes);
+  w->Key("snapshots_written");
+  w->UInt(stats.snapshots_written);
+  w->Key("snapshot_failures");
+  w->UInt(stats.snapshot_failures);
+  w->Key("recovered_records");
+  w->UInt(stats.recovered_records);
+  w->Key("recovered_bytes_dropped");
+  w->Int(stats.recovered_bytes_dropped);
+  w->Key("recovered_tail_dropped");
+  w->Bool(stats.recovered_tail_dropped);
+  w->EndObject();
 }
 
 void EmitError(const std::string& cmd, const Status& status) {
@@ -230,6 +282,8 @@ int main(int argc, char** argv) {
     int threads = -1, queue = -1, cache = -1;
     if (!std::strcmp(argv[i], "--input") && i + 1 < argc) {
       options.input_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--wal-dir") && i + 1 < argc) {
+      options.wal_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--thesaurus") && i + 1 < argc) {
       options.thesaurus_path = argv[++i];
     } else if (int_flag("--threads", &threads)) {
@@ -261,7 +315,31 @@ int main(int argc, char** argv) {
     thesaurus = std::move(loaded).ValueOrDie();
   }
 
+  // Line-buffer responses so a FIFO/pipe consumer sees each one as soon as
+  // it is written (stdio fully buffers non-terminal stdout by default).
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  InstallSignalHandlers();
+
   SchemaRepository repo;
+  if (!options.wal_dir.empty()) {
+    auto recovered = SchemaRepository::Recover(options.wal_dir);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery of %s failed: %s\n",
+                   options.wal_dir.c_str(),
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    repo = std::move(*recovered);
+    DurabilityStats stats = repo.durability_stats();
+    std::fprintf(stderr,
+                 "recovered %s: applied_seq=%llu snapshot_seq=%llu "
+                 "wal_records=%llu tail_dropped=%d\n",
+                 options.wal_dir.c_str(),
+                 static_cast<unsigned long long>(stats.applied_seq),
+                 static_cast<unsigned long long>(stats.snapshot_seq),
+                 static_cast<unsigned long long>(stats.wal_records),
+                 stats.recovered_tail_dropped ? 1 : 0);
+  }
   MatchService::Options service_options;
   service_options.result_cache_capacity = options.cache;
   MatchService service(&thesaurus, &repo, service_options);
@@ -282,7 +360,8 @@ int main(int argc, char** argv) {
 
   int errors = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  while (g_shutdown_signal == 0 && std::getline(in, line)) {
+    if (g_shutdown_signal != 0) break;
     if (TrimWhitespace(line).empty()) continue;
     auto parsed = ParseJson(line);
     if (!parsed.ok()) {
@@ -437,6 +516,13 @@ int main(int argc, char** argv) {
                           ? Status::InvalidArgument(cmd + " needs dir")
                           : Status::OK();
       if (status.ok() && cmd == "save") status = repo.SaveTo(dir);
+      if (status.ok() && cmd == "load" && repo.durable()) {
+        // Swapping in a non-durable repository would silently stop
+        // logging mutations; durable servers only ever load their WAL dir.
+        status = Status::Unsupported(
+            "load is not supported on a durable server; restart with "
+            "--wal-dir pointing at the directory to recover");
+      }
       if (status.ok() && cmd == "load") {
         auto loaded = SchemaRepository::LoadFrom(dir);
         if (!loaded.ok()) {
@@ -485,6 +571,14 @@ int main(int argc, char** argv) {
       w.Int(stats.sessions_evicted);
       w.Key("incremental_rematches");
       w.Int(stats.incremental_rematches);
+      w.Key("scheduler_threads");
+      w.Int(scheduler.num_threads());
+      w.Key("scheduler_pending");
+      w.Int(static_cast<int64_t>(scheduler.pending()));
+      if (repo.durable()) {
+        w.Key("durability");
+        WriteDurabilityJson(repo.durability_stats(), &w);
+      }
       w.Key("schemas");
       w.BeginArray();
       for (const std::string& name : repo.Names()) {
@@ -503,6 +597,37 @@ int main(int argc, char** argv) {
                 Status::InvalidArgument("unknown cmd"));
       ++errors;
     }
+  }
+
+  if (g_shutdown_signal != 0) {
+    // Clean shutdown: everything acknowledged is already fsync'd in the
+    // WAL; compacting it into a snapshot just makes the next boot fast.
+    Status flushed = repo.ForceSnapshot();
+    MatchService::CacheStats stats = service.cache_stats();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("status");
+    w.String(flushed.ok() ? "ok" : "error");
+    w.Key("cmd");
+    w.String("shutdown");
+    w.Key("signal");
+    w.String(g_shutdown_signal == SIGINT ? "SIGINT" : "SIGTERM");
+    if (!flushed.ok()) {
+      w.Key("error");
+      w.String(flushed.ToString());
+    }
+    w.Key("sessions_created");
+    w.Int(stats.sessions_created);
+    w.Key("incremental_rematches");
+    w.Int(stats.incremental_rematches);
+    if (repo.durable()) {
+      w.Key("durability");
+      WriteDurabilityJson(repo.durability_stats(), &w);
+    }
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    std::fflush(stdout);
+    return flushed.ok() && errors == 0 ? 0 : 1;
   }
   return errors == 0 ? 0 : 1;
 }

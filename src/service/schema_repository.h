@@ -1,4 +1,5 @@
-// SchemaRepository — named, versioned, thread-safe schema storage.
+// SchemaRepository — named, versioned, thread-safe schema storage with
+// optional database-grade durability.
 //
 // The serving half of the Section 8.4 story: schemas live in a repository,
 // evolve a few elements at a time, and get re-matched after every change.
@@ -8,13 +9,27 @@
 // edit chain between two versions into a warm MatchSession instead of
 // rematching from scratch.
 //
+// Durability (src/storage/): a repository opened with Recover() appends
+// every mutation to a write-ahead log (CRC32-framed records, fsync on
+// commit) *before* applying it, compacts the log into SaveTo-format
+// snapshots once it grows past the configured thresholds, and reloads
+// after a crash by loading the latest valid snapshot and replaying the WAL
+// tail — dropping a torn trailing record gracefully. Edit lineage is
+// persisted (WAL records and snapshot manifests both carry the edits), so
+// a recovered repository re-warms MatchService sessions instead of
+// serving cold re-matches. A failed log write flips the repository into
+// degraded read-only mode: reads keep working, mutations return
+// Status::Unavailable, the process never aborts.
+//
 // Persistence uses the native ".cupid" text format (which round-trips
 // keys and referential constraints; tests/importers_test.cc asserts
-// tree-identity for every importer format) plus a JSONL manifest.
+// tree-identity for every importer format) plus a JSONL manifest with
+// per-file CRC32 checksums and lineage entries.
 
 #ifndef CUPID_SERVICE_SCHEMA_REPOSITORY_H_
 #define CUPID_SERVICE_SCHEMA_REPOSITORY_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,9 +40,51 @@
 #include "importers/schema_io.h"
 #include "incremental/schema_edit.h"
 #include "schema/schema.h"
+#include "storage/wal.h"
 #include "util/status.h"
+#include "util/storage_env.h"
 
 namespace cupid {
+
+/// Knobs of the durable write path (see docs/DURABILITY.md).
+struct DurabilityOptions {
+  /// Filesystem to operate through; nullptr = DefaultStorageEnv(). Tests
+  /// substitute a FaultInjectionEnv here.
+  StorageEnv* env = nullptr;
+  /// Snapshot-compact once this many records accumulated past the last
+  /// snapshot (<= 0 disables the record trigger).
+  int snapshot_every_records = 256;
+  /// ... or once the live WAL exceeds this many bytes (<= 0 disables).
+  int64_t snapshot_every_bytes = 8 << 20;
+  /// fsync the log on every commit (the durability guarantee). Turning
+  /// this off trades the "acknowledged => survives power loss" invariant
+  /// for throughput; a crash may then lose a suffix of acknowledged
+  /// mutations (never corrupt state — recovery still yields a prefix).
+  bool sync_every_commit = true;
+};
+
+/// Observable state of the durability subsystem (server "stats" command,
+/// tests).
+struct DurabilityStats {
+  bool durable = false;
+  /// A log write failed; the repository is read-only until reopened.
+  bool degraded = false;
+  /// Sequence number of the last applied mutation record.
+  uint64_t applied_seq = 0;
+  /// Sequence covered by the latest snapshot (records <= this are
+  /// compacted).
+  uint64_t snapshot_seq = 0;
+  /// Records / bytes in the live (uncompacted) log.
+  uint64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t snapshot_failures = 0;
+  /// Filled by Recover: records replayed from the WAL tail, and bytes of
+  /// torn/corrupt tail discarded.
+  uint64_t recovered_records = 0;
+  int64_t recovered_bytes_dropped = 0;
+  bool recovered_tail_dropped = false;
+};
 
 /// \brief Thread-safe store of named schema version chains.
 ///
@@ -38,23 +95,31 @@ class SchemaRepository {
   SchemaRepository() = default;
   SchemaRepository(const SchemaRepository&) = delete;
   SchemaRepository& operator=(const SchemaRepository&) = delete;
-  /// Movable (for LoadFrom); the mutex itself is not moved. The source must
-  /// not be in concurrent use.
+  /// Movable (for LoadFrom/Recover); the mutex itself is not moved. The
+  /// source must not be in concurrent use.
   SchemaRepository(SchemaRepository&& other) noexcept {
     std::lock_guard<std::mutex> lock(other.mu_);
     schemas_ = std::move(other.schemas_);
+    dur_ = std::move(other.dur_);
   }
   SchemaRepository& operator=(SchemaRepository&& other) noexcept {
     if (this != &other) {
       std::scoped_lock lock(mu_, other.mu_);
       schemas_ = std::move(other.schemas_);
+      dur_ = std::move(other.dur_);
     }
     return *this;
   }
+  ~SchemaRepository();
 
   /// \brief Stores `schema` as the next version of `name` (version 1 for a
   /// new name). A re-registration starts a fresh lineage: no edit chain
   /// connects it to prior versions. Returns the new version number.
+  ///
+  /// On a durable repository the registration is WAL-logged (and fsync'd)
+  /// before it is applied; schemas that do not round-trip through the
+  /// native format are rejected with Unsupported rather than logged
+  /// lossily.
   Result<int> Register(const std::string& name, Schema schema);
 
   /// \brief Loads `path` through the extension-dispatched importers and
@@ -68,7 +133,8 @@ class SchemaRepository {
 
   /// \brief Applies `edit` (its `side` field is ignored) to the latest
   /// version of `name`, storing the result as a new version whose lineage
-  /// records the edit. Returns the new version number.
+  /// records the edit. Returns the new version number. WAL-logged before
+  /// application on durable repositories.
   Result<int> ApplyEdit(const std::string& name, const SchemaEdit& edit);
 
   /// A pinned (version, schema) pair handed out by Resolve/Get.
@@ -97,19 +163,44 @@ class SchemaRepository {
   /// \brief The edits leading from `from_version` to `to_version` of
   /// `name`, in application order. nullopt when the two versions are not
   /// connected by a pure edit chain (re-registration in between, unknown
-  /// versions, or from > to).
+  /// versions, or from > to). Lineage survives SaveTo/LoadFrom and crash
+  /// recovery.
   std::optional<std::vector<SchemaEdit>> EditChain(const std::string& name,
                                                    int from_version,
                                                    int to_version) const;
 
-  /// \brief Writes every version of every schema into `dir` (created if
-  /// missing): one native-format file per version plus a "MANIFEST.jsonl"
-  /// index. Edit lineage is not persisted — a reloaded repository serves
-  /// full matches first and re-warms.
+  /// \brief Writes every version of every schema into `dir`: one
+  /// native-format file per version plus a "MANIFEST.jsonl" index carrying
+  /// per-file CRC32 checksums and edit lineage. Atomic: the snapshot is
+  /// assembled in a temp directory and renamed into place, so a crash
+  /// mid-save never corrupts a previous good snapshot at `dir` (in the
+  /// worst case the previous state survives at `dir + ".old"`).
   Status SaveTo(const std::string& dir) const;
+  Status SaveTo(const std::string& dir, StorageEnv* env) const;
 
-  /// \brief Loads a repository previously written by SaveTo.
+  /// \brief Loads a repository previously written by SaveTo, verifying
+  /// checksums and restoring edit lineage. The result is not durable;
+  /// use Recover to (re)open a WAL-backed repository.
   static Result<SchemaRepository> LoadFrom(const std::string& dir);
+  static Result<SchemaRepository> LoadFrom(const std::string& dir,
+                                           StorageEnv* env);
+
+  /// \brief Opens (or creates) the durable repository rooted at `dir`:
+  /// loads the latest valid snapshot, replays the WAL tail (a torn
+  /// trailing record is dropped gracefully; corruption earlier in the log
+  /// is an error), rebuilds edit lineage, and starts a fresh log segment
+  /// for subsequent mutations.
+  static Result<SchemaRepository> Recover(const std::string& dir,
+                                          DurabilityOptions options = {});
+
+  /// \brief Forces snapshot compaction now (clean-shutdown flush; also the
+  /// SIGTERM path of cupid_server). No-op on non-durable repositories.
+  Status ForceSnapshot();
+
+  /// True when backed by a write-ahead log.
+  bool durable() const;
+
+  DurabilityStats durability_stats() const;
 
  private:
   struct VersionEntry {
@@ -119,12 +210,51 @@ class SchemaRepository {
     std::vector<SchemaEdit> edits;
   };
 
+  /// Durable-mode state; null for plain in-memory repositories.
+  struct Durability {
+    DurabilityOptions options;
+    StorageEnv* env = nullptr;
+    std::string dir;
+    std::unique_ptr<WalWriter> wal;
+    uint64_t applied_seq = 0;
+    uint64_t snapshot_seq = 0;
+    /// Live WAL bytes in segments older than the current writer (after a
+    /// recovery that did not compact).
+    int64_t carried_wal_bytes = 0;
+    bool degraded = false;
+    uint64_t snapshots_written = 0;
+    uint64_t snapshot_failures = 0;
+    uint64_t recovered_records = 0;
+    int64_t recovered_bytes_dropped = 0;
+    bool recovered_tail_dropped = false;
+  };
+
   /// Registers under an already-held lock (shared by public mutators).
   int RegisterLocked(const std::string& name, Schema schema);
+
+  /// Rejects mutations on degraded durable repositories.
+  Status CheckWritableLocked() const;
+  /// Appends one record to the WAL (fsync per options); a failure flips
+  /// the repository into degraded read-only mode.
+  Status LogMutationLocked(const std::string& payload);
+  /// Snapshot + rotate when the live log passed a threshold; failures are
+  /// counted but do not fail the triggering mutation (its record is
+  /// already durable in the log).
+  void MaybeCompactLocked();
+  Status WriteSnapshotLocked();
+  /// Writes the SaveTo layout into `dir` (no atomicity dance; callers
+  /// rename). Assumes mu_ is held.
+  Status SaveContentsLocked(const std::string& dir, StorageEnv* env) const;
+  /// Loads a SaveTo layout from `dir` into `repo` (fresh, lock-free).
+  static Status LoadInto(const std::string& dir, StorageEnv* env,
+                         SchemaRepository* repo);
+  /// Applies one WAL record during recovery.
+  Status ApplyWalRecordLocked(const WalRecord& record);
 
   mutable std::mutex mu_;
   /// name -> versions; versions[i] is version i+1.
   std::unordered_map<std::string, std::vector<VersionEntry>> schemas_;
+  std::unique_ptr<Durability> dur_;
 };
 
 }  // namespace cupid

@@ -1,0 +1,148 @@
+#include "storage/edit_codec.h"
+
+#include <cstring>
+
+#include "schema/data_type.h"
+
+namespace cupid {
+
+namespace {
+
+const char* EditKindName(SchemaEdit::Kind kind) {
+  switch (kind) {
+    case SchemaEdit::Kind::kAddElement:
+      return "add";
+    case SchemaEdit::Kind::kRemoveElement:
+      return "remove";
+    case SchemaEdit::Kind::kRenameElement:
+      return "rename";
+    case SchemaEdit::Kind::kChangeDataType:
+      return "retype";
+  }
+  return "?";
+}
+
+Result<SchemaEdit::Kind> EditKindFromName(std::string_view name) {
+  if (name == "add") return SchemaEdit::Kind::kAddElement;
+  if (name == "remove") return SchemaEdit::Kind::kRemoveElement;
+  if (name == "rename") return SchemaEdit::Kind::kRenameElement;
+  if (name == "retype") return SchemaEdit::Kind::kChangeDataType;
+  return Status::ParseError("unknown edit kind: " + std::string(name));
+}
+
+}  // namespace
+
+Result<ElementKind> ElementKindFromName(std::string_view name) {
+  static constexpr ElementKind kKinds[] = {
+      ElementKind::kRoot,   ElementKind::kContainer,
+      ElementKind::kAtomic, ElementKind::kTypeDef,
+      ElementKind::kKey,    ElementKind::kRefInt,
+      ElementKind::kView,   ElementKind::kEntity,
+      ElementKind::kRelationship};
+  for (ElementKind kind : kKinds) {
+    if (name == ElementKindName(kind)) return kind;
+  }
+  return Status::ParseError("unknown element kind: " + std::string(name));
+}
+
+void WriteSchemaEditJson(const SchemaEdit& edit, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("kind");
+  w->String(EditKindName(edit.kind));
+  w->Key("side");
+  w->String(edit.side == EditSide::kSource ? "source" : "target");
+  w->Key("path");
+  w->String(edit.path);
+  switch (edit.kind) {
+    case SchemaEdit::Kind::kAddElement: {
+      const Element& e = edit.element;
+      w->Key("element");
+      w->BeginObject();
+      w->Key("name");
+      w->String(e.name);
+      w->Key("ekind");
+      w->String(ElementKindName(e.kind));
+      w->Key("type");
+      w->String(DataTypeName(e.data_type));
+      if (e.optional) {
+        w->Key("optional");
+        w->Bool(true);
+      }
+      if (e.not_instantiated) {
+        w->Key("not_instantiated");
+        w->Bool(true);
+      }
+      if (e.is_key) {
+        w->Key("is_key");
+        w->Bool(true);
+      }
+      if (!e.documentation.empty()) {
+        w->Key("doc");
+        w->String(e.documentation);
+      }
+      w->EndObject();
+      break;
+    }
+    case SchemaEdit::Kind::kRenameElement:
+      w->Key("to");
+      w->String(edit.new_name);
+      break;
+    case SchemaEdit::Kind::kChangeDataType:
+      w->Key("type");
+      w->String(DataTypeName(edit.new_type));
+      break;
+    case SchemaEdit::Kind::kRemoveElement:
+      break;
+  }
+  w->EndObject();
+}
+
+Result<SchemaEdit> ParseSchemaEditJson(const JsonValue& v) {
+  if (!v.is_object()) return Status::ParseError("edit must be an object");
+  SchemaEdit edit;
+  CUPID_ASSIGN_OR_RETURN(edit.kind, EditKindFromName(v.GetString("kind")));
+  std::string side = v.GetString("side", "source");
+  if (side != "source" && side != "target") {
+    return Status::ParseError("bad edit side: " + side);
+  }
+  edit.side = side == "source" ? EditSide::kSource : EditSide::kTarget;
+  edit.path = v.GetString("path");
+  if (edit.path.empty()) return Status::ParseError("edit needs path");
+  switch (edit.kind) {
+    case SchemaEdit::Kind::kAddElement: {
+      const JsonValue* element = v.Find("element");
+      if (element == nullptr || !element->is_object()) {
+        return Status::ParseError("add edit needs element object");
+      }
+      Element e;
+      e.name = element->GetString("name");
+      if (e.name.empty()) return Status::ParseError("element needs name");
+      CUPID_ASSIGN_OR_RETURN(
+          e.kind, ElementKindFromName(element->GetString("ekind", "Atomic")));
+      CUPID_ASSIGN_OR_RETURN(
+          e.data_type, DataTypeFromName(element->GetString("type", "unknown")));
+      e.optional = element->GetBool("optional", false);
+      e.not_instantiated = element->GetBool("not_instantiated", false);
+      e.is_key = element->GetBool("is_key", false);
+      e.documentation = element->GetString("doc");
+      edit.element = std::move(e);
+      break;
+    }
+    case SchemaEdit::Kind::kRenameElement:
+      edit.new_name = v.GetString("to");
+      if (edit.new_name.empty()) {
+        return Status::ParseError("rename edit needs to");
+      }
+      break;
+    case SchemaEdit::Kind::kChangeDataType: {
+      CUPID_ASSIGN_OR_RETURN(edit.new_type,
+                             DataTypeFromName(v.GetString("type")));
+      break;
+    }
+    case SchemaEdit::Kind::kRemoveElement:
+      break;
+  }
+  return edit;
+}
+
+}  // namespace cupid

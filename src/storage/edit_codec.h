@@ -1,0 +1,29 @@
+// JSON (de)serialization of SchemaEdit — the payload vocabulary shared by
+// the write-ahead log (src/storage/wal.h) and the snapshot manifest's
+// lineage entries (SchemaRepository::SaveTo). Round-trips every edit kind
+// and the full Element payload of kAddElement, so a recovered repository
+// rebuilds bit-identical EditChain lineage.
+
+#ifndef CUPID_STORAGE_EDIT_CODEC_H_
+#define CUPID_STORAGE_EDIT_CODEC_H_
+
+#include "incremental/schema_edit.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief Writes `edit` as one JSON object on `w` (caller brackets it with
+/// Key()/array context as needed).
+void WriteSchemaEditJson(const SchemaEdit& edit, JsonWriter* w);
+
+/// \brief Parses an object written by WriteSchemaEditJson. Unknown kinds,
+/// missing payload fields, and bad enum names are ParseErrors.
+Result<SchemaEdit> ParseSchemaEditJson(const JsonValue& v);
+
+/// \brief Parses a canonical ElementKind name ("Atomic", "Container", ...).
+Result<ElementKind> ElementKindFromName(std::string_view name);
+
+}  // namespace cupid
+
+#endif  // CUPID_STORAGE_EDIT_CODEC_H_

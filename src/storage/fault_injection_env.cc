@@ -1,0 +1,290 @@
+#include "storage/fault_injection_env.h"
+
+#include <algorithm>
+
+namespace cupid {
+
+namespace {
+
+/// True when `path` names `dir` itself or something beneath it.
+bool IsUnder(const std::string& path, const std::string& dir) {
+  if (path == dir) return true;
+  return path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
+         path[dir.size()] == '/';
+}
+
+}  // namespace
+
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    bool short_write = false;
+    Status injected = env_->CountOp(&short_write);
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return Status::IoError("crashed");
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::IoError("append to removed file " + path_);
+    }
+    if (!injected.ok()) {
+      if (short_write) {
+        it->second.content.append(data.substr(0, data.size() / 2));
+      }
+      return injected;
+    }
+    it->second.content.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    CUPID_RETURN_NOT_OK(env_->CountOp(nullptr));
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return Status::IoError("crashed");
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::IoError("sync of removed file " + path_);
+    }
+    it->second.synced_size = it->second.content.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+};
+
+void FaultInjectionEnv::SetFailPolicy(FailPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_ = std::move(policy);
+}
+
+void FaultInjectionEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CrashLocked();
+}
+
+void FaultInjectionEnv::CrashLocked() {
+  crashed_ = true;
+  for (auto& [path, state] : files_) {
+    state.content.resize(state.synced_size);
+  }
+}
+
+void FaultInjectionEnv::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  policy_ = FailPolicy{};
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int64_t FaultInjectionEnv::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+Status FaultInjectionEnv::CountOp(bool* short_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  ++ops_;
+  if (policy_.fail_after_ops > 0 && --policy_.fail_after_ops == 0) {
+    if (short_write != nullptr) *short_write = policy_.short_write;
+    if (policy_.crash_on_failure) {
+      CrashLocked();
+      return Status::IoError("crashed");
+    }
+    return Status::IoError(policy_.message);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CheckReadable() const {
+  if (crashed_) return Status::IoError("crashed");
+  return Status::OK();
+}
+
+std::string FaultInjectionEnv::Normalize(const std::string& path) {
+  std::string out = path;
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+bool FaultInjectionEnv::DirExistsLocked(const std::string& path) const {
+  return dirs_.count(path) > 0;
+}
+
+bool FaultInjectionEnv::ParentDirExistsLocked(const std::string& path) const {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return true;  // top level
+  return DirExistsLocked(path.substr(0, slash));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& raw_path, bool truncate) {
+  CUPID_RETURN_NOT_OK(CountOp(nullptr));
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  if (!ParentDirExistsLocked(path)) {
+    return Status::IoError("no such directory for " + path);
+  }
+  FileState& state = files_[path];
+  if (truncate) {
+    state.content.clear();
+    state.synced_size = 0;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(this, path));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFile(const std::string& raw_path) {
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  CUPID_RETURN_NOT_OK(CheckReadable());
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::IoError("cannot open " + path);
+  return it->second.content;
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& raw_path) {
+  CUPID_RETURN_NOT_OK(CountOp(nullptr));
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  // Create every prefix, mirroring fs::create_directories.
+  for (size_t i = 1; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      dirs_.insert(path.substr(0, i));
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& raw_from,
+                                     const std::string& raw_to) {
+  CUPID_RETURN_NOT_OK(CountOp(nullptr));
+  std::string from = Normalize(raw_from);
+  std::string to = Normalize(raw_to);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  if (auto it = files_.find(from); it != files_.end()) {
+    // Renames are modeled as atomic + durable: the moved bytes keep their
+    // synced status.
+    files_[to] = std::move(it->second);
+    files_.erase(it);
+    return Status::OK();
+  }
+  if (DirExistsLocked(from)) {
+    if (DirExistsLocked(to) || files_.count(to) > 0) {
+      return Status::IoError("rename target exists: " + to);
+    }
+    std::map<std::string, FileState> moved;
+    for (auto it = files_.begin(); it != files_.end();) {
+      if (IsUnder(it->first, from)) {
+        moved[to + it->first.substr(from.size())] = std::move(it->second);
+        it = files_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    files_.insert(std::make_move_iterator(moved.begin()),
+                  std::make_move_iterator(moved.end()));
+    std::vector<std::string> dir_renames;
+    for (const std::string& d : dirs_) {
+      if (IsUnder(d, from)) dir_renames.push_back(d);
+    }
+    for (const std::string& d : dir_renames) {
+      dirs_.erase(d);
+      dirs_.insert(to + d.substr(from.size()));
+    }
+    return Status::OK();
+  }
+  return Status::IoError("rename source missing: " + from);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& raw_path) {
+  CUPID_RETURN_NOT_OK(CountOp(nullptr));
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  if (files_.erase(path) == 0) {
+    return Status::IoError("remove " + path + ": no such file");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveAll(const std::string& raw_path) {
+  CUPID_RETURN_NOT_OK(CountOp(nullptr));
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  for (auto it = files_.begin(); it != files_.end();) {
+    it = IsUnder(it->first, path) ? files_.erase(it) : std::next(it);
+  }
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    it = IsUnder(*it, path) ? dirs_.erase(it) : std::next(it);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& raw_path) {
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  CUPID_RETURN_NOT_OK(CheckReadable());
+  if (!DirExistsLocked(path)) {
+    return Status::IoError("list " + path + ": no such directory");
+  }
+  std::set<std::string> names;
+  auto add_child = [&](const std::string& entry) {
+    if (!IsUnder(entry, path) || entry == path) return;
+    std::string rest = entry.substr(path.size() + 1);
+    names.insert(rest.substr(0, rest.find('/')));
+  };
+  for (const auto& [file, state] : files_) add_child(file);
+  for (const std::string& dir : dirs_) add_child(dir);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& raw_path) {
+  std::string path = Normalize(raw_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return false;
+  return files_.count(path) > 0 || DirExistsLocked(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& raw_path) {
+  CUPID_RETURN_NOT_OK(CountOp(nullptr));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("crashed");
+  std::string path = Normalize(raw_path);
+  // "." and "/" are the implicit top level every path hangs off.
+  if (path != "." && path != "/" && !DirExistsLocked(path)) {
+    return Status::IoError("sync dir " + raw_path + ": no such directory");
+  }
+  return Status::OK();
+}
+
+std::string FaultInjectionEnv::FileContentForTest(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(Normalize(path));
+  return it == files_.end() ? std::string() : it->second.content;
+}
+
+void FaultInjectionEnv::SetFileContentForTest(const std::string& path,
+                                              std::string content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[Normalize(path)];
+  state.content = std::move(content);
+  state.synced_size = state.content.size();
+}
+
+}  // namespace cupid

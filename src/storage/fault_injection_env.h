@@ -1,0 +1,115 @@
+// FaultInjectionEnv — an in-memory StorageEnv with failpoints, used by the
+// storage tests to inject short writes, fsync failures, ENOSPC, and
+// crash-at-every-syscall schedules (tests/crash_recovery_test.cc sweeps
+// fail_after_ops over every mutating call of a whole edit stream).
+//
+// Durability model (deliberately pessimistic, mirroring what a kernel may
+// do on power loss):
+//   * Appended bytes become durable only when Sync() succeeds; Crash()
+//     truncates every file back to its last synced length — a crash mid
+//     append leaves a torn frame, exactly what ReadWal must tolerate.
+//   * RenameFile is atomic and durable once it returns (the rename-as-
+//     commit-point idiom the snapshot writer relies on).
+//   * While crashed, every operation — including reads — fails, like a
+//     dead process's file descriptors. Heal() models the restart after
+//     which recovery runs over the surviving state.
+//
+// Lives in src/storage (not tests/) the way LevelDB ships its test env:
+// the failpoint seam is part of the subsystem's contract.
+
+#ifndef CUPID_STORAGE_FAULT_INJECTION_ENV_H_
+#define CUPID_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/storage_env.h"
+
+namespace cupid {
+
+class FaultInjectionEnv : public StorageEnv {
+ public:
+  struct FailPolicy {
+    /// Fail the Nth mutating call from now (1 = the very next one);
+    /// <= 0 disables the countdown.
+    int64_t fail_after_ops = 0;
+    /// When the countdown fires: simulate power loss (drop unsynced data,
+    /// all subsequent calls fail until Heal) instead of a plain error.
+    bool crash_on_failure = false;
+    /// A failing Append writes the first half of its data before erroring
+    /// (short write), instead of writing nothing.
+    bool short_write = false;
+    /// Message of injected non-crash errors (e.g. "no space left on
+    /// device").
+    std::string message = "injected fault";
+  };
+
+  FaultInjectionEnv() = default;
+
+  void SetFailPolicy(FailPolicy policy);
+
+  /// \brief Simulates power loss now: unsynced appends are discarded and
+  /// every subsequent call fails until Heal().
+  void Crash();
+
+  /// \brief Clears the crashed state (the "restart" before recovery).
+  void Heal();
+
+  bool crashed() const;
+
+  /// Mutating calls observed so far (Append/Sync/rename/remove/mkdir/...);
+  /// the crash-point sweep uses this as its upper bound.
+  int64_t mutating_ops() const;
+
+  // StorageEnv:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+  // Test inspection / tampering hooks (operate on the durable image).
+  /// Raw current content of `path` (synced + unsynced), empty if absent.
+  std::string FileContentForTest(const std::string& path);
+  /// Overwrites `path` (marking the content synced) — corruption injection.
+  void SetFileContentForTest(const std::string& path, std::string content);
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    std::string content;
+    /// Prefix of `content` guaranteed to survive Crash().
+    size_t synced_size = 0;
+  };
+
+  /// Counts one mutating call; returns the injected failure, if any, and
+  /// whether the caller should still perform a partial (short) write.
+  Status CountOp(bool* short_write);
+  Status CheckReadable() const;  // locked
+  void CrashLocked();
+
+  static std::string Normalize(const std::string& path);
+  bool DirExistsLocked(const std::string& path) const;
+  bool ParentDirExistsLocked(const std::string& path) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  std::set<std::string> dirs_;
+  FailPolicy policy_;
+  bool crashed_ = false;
+  int64_t ops_ = 0;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_STORAGE_FAULT_INJECTION_ENV_H_

@@ -1,0 +1,136 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace cupid {
+
+namespace {
+
+constexpr size_t kFrameHeaderSize = kWalFrameHeaderSize;
+/// Upper bound on one record; a length field beyond this is corruption,
+/// not a gigantic schema (the largest snapshot-worthy schemas serialize to
+/// a few megabytes).
+constexpr uint32_t kMaxPayloadSize = 64u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeWalFrame(uint64_t seq, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  std::string checked;
+  checked.reserve(8 + payload.size());
+  PutU64(&checked, seq);
+  checked.append(payload);
+  PutU32(&frame, Crc32(checked));
+  frame.append(checked);
+  return frame;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(StorageEnv* env,
+                                                     const std::string& path,
+                                                     uint64_t next_seq) {
+  CUPID_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(path, /*truncate=*/true));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), path, next_seq));
+}
+
+Status WalWriter::Append(std::string_view payload, bool sync) {
+  if (payload.size() > kMaxPayloadSize) {
+    return Status::InvalidArgument(
+        StringFormat("WAL payload of %zu bytes exceeds the %u-byte bound",
+                     payload.size(), kMaxPayloadSize));
+  }
+  std::string frame = EncodeWalFrame(next_seq_, payload);
+  CUPID_RETURN_NOT_OK(file_->Append(frame));
+  if (sync) CUPID_RETURN_NOT_OK(file_->Sync());
+  ++next_seq_;
+  bytes_written_ += static_cast<int64_t>(frame.size());
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Result<WalReadResult> ReadWal(StorageEnv* env, const std::string& path,
+                              uint64_t expected_first_seq) {
+  CUPID_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+  WalReadResult result;
+  size_t offset = 0;
+  uint64_t expected_seq = expected_first_seq;
+  auto drop_rest = [&](const std::string& reason) {
+    result.bytes_dropped = static_cast<int64_t>(data.size() - offset);
+    result.tail_dropped = true;
+    result.drop_reason =
+        StringFormat("%s at offset %zu of %s", reason.c_str(), offset,
+                     path.c_str());
+  };
+  while (offset < data.size()) {
+    if (data.size() - offset < kFrameHeaderSize) {
+      drop_rest("torn frame header");
+      break;
+    }
+    const char* frame = data.data() + offset;
+    uint32_t payload_len = GetU32(frame);
+    if (payload_len > kMaxPayloadSize) {
+      drop_rest("corrupt frame length");
+      break;
+    }
+    if (data.size() - offset - kFrameHeaderSize < payload_len) {
+      drop_rest("torn frame payload");
+      break;
+    }
+    uint32_t stored_crc = GetU32(frame + 4);
+    // The checksum covers seq || payload.
+    uint32_t actual_crc =
+        Crc32(static_cast<const void*>(frame + 8), 8 + payload_len);
+    if (stored_crc != actual_crc) {
+      drop_rest("checksum mismatch");
+      break;
+    }
+    uint64_t seq = GetU64(frame + 8);
+    if (expected_seq == 0) expected_seq = seq;  // anchor on the first record
+    if (seq != expected_seq) {
+      drop_rest(StringFormat("sequence break (record %llu, expected %llu)",
+                             static_cast<unsigned long long>(seq),
+                             static_cast<unsigned long long>(expected_seq)));
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    record.payload.assign(frame + kFrameHeaderSize, payload_len);
+    result.records.push_back(std::move(record));
+    offset += kFrameHeaderSize + payload_len;
+    ++expected_seq;
+  }
+  return result;
+}
+
+}  // namespace cupid

@@ -1,0 +1,103 @@
+// WriteAheadLog — CRC32-framed, length-prefixed mutation records with
+// fsync-on-commit, the durability backbone of SchemaRepository.
+//
+// Record frame (all integers little-endian):
+//
+//   +----------------+----------------+----------------+---------------+
+//   | u32 payload_len| u32 crc32      | u64 seq        | payload bytes |
+//   +----------------+----------------+----------------+---------------+
+//
+// The checksum covers seq || payload, so a bit flip anywhere in the frame
+// body, a truncated tail, or a record stitched in from another log is
+// detected. `seq` is the global mutation sequence number of the record
+// (1-based, monotonically increasing across log rotations); readers verify
+// contiguity, so duplicated or reordered frames are rejected rather than
+// replayed twice.
+//
+// Read policy (ReadWal): records are accepted until the first frame that
+// is torn (file ends mid-frame) or corrupt (bad checksum, insane length,
+// sequence break). Everything before that point is returned, everything
+// from it on is reported as dropped bytes — prefix recovery, never
+// silently accepting garbage. A torn *trailing* record is the expected
+// artifact of a crash mid-append and is not an error.
+
+#ifndef CUPID_STORAGE_WAL_H_
+#define CUPID_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/storage_env.h"
+
+namespace cupid {
+
+/// Bytes of the fixed frame prefix (len + crc + seq).
+inline constexpr size_t kWalFrameHeaderSize = 4 + 4 + 8;
+
+/// One durable mutation record.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// \brief Appends framed records to one log file.
+class WalWriter {
+ public:
+  /// \brief Creates (truncates) `path`; the first appended record gets
+  /// sequence number `next_seq`.
+  static Result<std::unique_ptr<WalWriter>> Create(StorageEnv* env,
+                                                   const std::string& path,
+                                                   uint64_t next_seq);
+
+  /// \brief Frames and writes one record. With `sync` the record is fsync'd
+  /// before returning — the commit point of the mutation. On any error the
+  /// writer must be considered broken (the file may hold a torn frame);
+  /// the owning repository degrades to read-only.
+  Status Append(std::string_view payload, bool sync);
+
+  /// \brief fsyncs everything appended so far.
+  Status Sync();
+
+  uint64_t next_seq() const { return next_seq_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+            uint64_t next_seq)
+      : file_(std::move(file)), path_(std::move(path)), next_seq_(next_seq) {}
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  uint64_t next_seq_;
+  int64_t bytes_written_ = 0;
+};
+
+/// Outcome of scanning one log file.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes discarded from the first bad frame to end-of-file.
+  int64_t bytes_dropped = 0;
+  /// A frame was dropped (torn tail or corruption); see drop_reason.
+  bool tail_dropped = false;
+  std::string drop_reason;
+};
+
+/// \brief Scans `path`, accepting the longest valid record prefix.
+/// `expected_first_seq` anchors the contiguity check (pass 0 to accept
+/// whatever the first record carries). IoError only when the file cannot
+/// be read at all; corruption is reported via the result, not a Status.
+Result<WalReadResult> ReadWal(StorageEnv* env, const std::string& path,
+                              uint64_t expected_first_seq);
+
+/// \brief Frames `payload` with `seq` exactly as WalWriter::Append does
+/// (exposed so tests can craft duplicated / corrupted frames).
+std::string EncodeWalFrame(uint64_t seq, std::string_view payload);
+
+}  // namespace cupid
+
+#endif  // CUPID_STORAGE_WAL_H_

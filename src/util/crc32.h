@@ -1,0 +1,24 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) used to frame write-ahead-log
+// records and to checksum snapshot files. Table-driven software
+// implementation: deterministic across platforms, no hardware dependency.
+
+#ifndef CUPID_UTIL_CRC32_H_
+#define CUPID_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cupid {
+
+/// \brief CRC32 of `data`. `seed` chains incremental computations: pass the
+/// previous call's return value to continue a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_CRC32_H_

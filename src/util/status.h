@@ -27,6 +27,7 @@ enum class StatusCode {
   kParseError,
   kIoError,
   kInternal,
+  kUnavailable,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -72,6 +73,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// The operation cannot currently be served (e.g. a durable repository
+  /// in degraded read-only mode after a log-write failure).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +92,8 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCycleDetected() const { return code_ == StatusCode::kCycleDetected; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

@@ -1,0 +1,161 @@
+#include "util/storage_env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cupid {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IoError("append to closed " + path_);
+    if (data.empty()) return Status::OK();
+    size_t written = std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) return ErrnoStatus("write", path_);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::IoError("sync of closed " + path_);
+    if (std::fflush(file_) != 0) return ErrnoStatus("flush", path_);
+#ifndef _WIN32
+    if (::fsync(fileno(file_)) != 0) return ErrnoStatus("fsync", path_);
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixStorageEnv : public StorageEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (f == nullptr) return ErrnoStatus("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IoError("read failed: " + path);
+    return std::move(buffer).str();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) {
+      return Status::IoError("mkdir " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IoError("rename " + from + " -> " + to + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      if (ec) return Status::IoError("remove " + path + ": " + ec.message());
+      return Status::IoError("remove " + path + ": no such file");
+    }
+    return Status::OK();
+  }
+
+  Status RemoveAll(const std::string& path) override {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    if (ec) {
+      return Status::IoError("remove_all " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    fs::directory_iterator it(path, ec);
+    if (ec) {
+      return Status::IoError("list " + path + ": " + ec.message());
+    }
+    std::vector<std::string> names;
+    for (const fs::directory_entry& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Status SyncDir(const std::string& path) override {
+#ifndef _WIN32
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open dir", path);
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync dir", path);
+#else
+    (void)path;
+#endif
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+StorageEnv* DefaultStorageEnv() {
+  static PosixStorageEnv* env = new PosixStorageEnv();
+  return env;
+}
+
+}  // namespace cupid

@@ -1,0 +1,82 @@
+// StorageEnv — the filesystem seam of the durability subsystem
+// (src/storage/). Every byte the write-ahead log and the snapshot writer
+// touch goes through this interface, so tests can substitute a
+// fault-injecting implementation (src/storage/fault_injection_env.h) that
+// produces short writes, fsync failures, ENOSPC, and crash-at-every-syscall
+// schedules, while production uses the POSIX-backed DefaultStorageEnv().
+//
+// Durability contract of the default implementation:
+//   * WritableFile::Sync flushes user-space buffers and fsyncs the file;
+//     data appended but not yet synced may be lost on a crash.
+//   * RenameFile is atomic (POSIX rename) and is the commit point for
+//     snapshot publication; pair it with SyncDir on the parent directory
+//     to make the new directory entry itself durable.
+
+#ifndef CUPID_UTIL_STORAGE_ENV_H_
+#define CUPID_UTIL_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cupid {
+
+/// \brief An append-only file handle. Close() without Sync() leaves the
+/// written data vulnerable to crashes; callers that need durability must
+/// Sync first.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes application buffers and fsyncs to stable storage.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief Abstract filesystem used by the durable repository's write path.
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  /// \brief Opens `path` for writing. `truncate` discards existing
+  /// contents; otherwise writes append to the current end.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// \brief Whole-file read (WAL files and snapshot artifacts are small).
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// \brief Atomic rename of a file or directory; the durability commit
+  /// point of snapshot publication.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// \brief Recursive removal (retired snapshots, temp dirs). Removing a
+  /// missing path is OK.
+  virtual Status RemoveAll(const std::string& path) = 0;
+
+  /// \brief Entry names (not full paths) in `path`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// \brief fsyncs the directory itself so created/renamed entries survive
+  /// a crash.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+/// \brief The process-wide POSIX-backed environment.
+StorageEnv* DefaultStorageEnv();
+
+}  // namespace cupid
+
+#endif  // CUPID_UTIL_STORAGE_ENV_H_

@@ -25,6 +25,7 @@
 #include "service/job_scheduler.h"
 #include "service/match_service.h"
 #include "service/schema_repository.h"
+#include "storage/fault_injection_env.h"
 #include "thesaurus/default_thesaurus.h"
 #include "util/strings.h"
 
@@ -378,6 +379,65 @@ TEST(MatchServiceTest, ExplicitVersionsServeOldSnapshots) {
   ASSERT_TRUE(latest.ok());
   EXPECT_EQ(latest->source_version, 2);
   EXPECT_FALSE(latest->result_cache_hit);
+}
+
+TEST(MatchServiceTest, RecoveredRepositoryRewarmsIncrementalSessions) {
+  // The edit lineage written to WAL + snapshot must survive a crash well
+  // enough for MatchService to keep taking the incremental path: a session
+  // warmed on version 1 of the *recovered* repository fast-forwards along
+  // the recovered edit chain instead of rebuilding cold.
+  FaultInjectionEnv env;
+  {
+    DurabilityOptions options;
+    options.env = &env;
+    auto repo = SchemaRepository::Recover("wal", options);
+    ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+    ASSERT_TRUE(repo->Register("po", Fig2Po()).ok());
+    ASSERT_TRUE(repo->Register("order", Fig2PurchaseOrder()).ok());
+    ASSERT_TRUE(repo->ApplyEdit("po", SchemaEdit::RenameElement(
+                                          EditSide::kSource,
+                                          "PO.POLines.Item.Qty", "Quantity"))
+                    .ok());
+    ASSERT_TRUE(repo->ApplyEdit("po", SchemaEdit::RenameElement(
+                                          EditSide::kSource, "PO.POShipTo",
+                                          "ShipDestination"))
+                    .ok());
+  }
+  // The process dies without a clean shutdown; only synced bytes survive.
+  env.Crash();
+  env.Heal();
+
+  DurabilityOptions options;
+  options.env = &env;
+  auto recovered = SchemaRepository::Recover("wal", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->LatestVersion("po"), 3);
+
+  Thesaurus thesaurus = DefaultThesaurus();
+  MatchService service(&thesaurus, &*recovered);
+  MatchRequest request;
+  request.source = "po";
+  request.target = "order";
+  request.config = SingleThreaded();
+
+  // Warm a session on the oldest version pair...
+  MatchRequest pinned = request;
+  pinned.source_version = 1;
+  auto cold = service.Match(pinned);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->session_reused);
+
+  // ...then ask for latest: the recovered lineage must carry the session
+  // from v1 to v3 incrementally, and the result must still be identical
+  // to a from-scratch match.
+  auto warm = service.Match(request);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->source_version, 3);
+  EXPECT_TRUE(warm->session_reused);
+  EXPECT_TRUE(warm->incremental);
+  ExpectIdenticalToDirect(*warm, *recovered, thesaurus, SingleThreaded(),
+                          "post-recovery incremental");
+  EXPECT_GE(service.cache_stats().incremental_rematches, 1);
 }
 
 TEST(MatchServiceTest, UnknownSchemasAndBadConfigsAreRejected) {
