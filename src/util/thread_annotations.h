@@ -1,0 +1,79 @@
+// Clang thread-safety-analysis macros (-Wthread-safety), LevelDB/Abseil
+// style. Under any other compiler — or Clang without the attributes — every
+// macro expands to nothing, so annotated headers stay portable.
+//
+// The annotations turn the repo's lock discipline into compile-time checked
+// contracts:
+//
+//   * members carry GUARDED_BY(mu_): every access must hold mu_;
+//   * "*Locked()" helpers carry REQUIRES(mu_): callers must already hold it;
+//   * util/mutex.h provides the CAPABILITY-annotated Mutex, the
+//     SCOPED_CAPABILITY MutexLock RAII wrapper, and a CondVar whose Wait
+//     REQUIRES the mutex it atomically releases.
+//
+// CI builds src/ with `clang++ -Wthread-safety -Werror` (see
+// docs/STATIC_ANALYSIS.md), so an unannotated access to a guarded member is
+// a build break, not a latent race.
+
+#ifndef CUPID_UTIL_THREAD_ANNOTATIONS_H_
+#define CUPID_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CUPID_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CUPID_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// The annotated type is a lockable capability ("mutex").
+#define CAPABILITY(x) CUPID_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define SCOPED_CAPABILITY CUPID_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) CUPID_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose pointee is protected by `x` (the pointer itself is
+/// not).
+#define PT_GUARDED_BY(x) CUPID_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given capabilities;
+/// they are held on entry and still held on exit.
+#define REQUIRES(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while NOT holding the given
+/// capabilities (it acquires them itself).
+#define EXCLUDES(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define RELEASE(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares one capability must be acquired after/before another
+/// (deadlock-ordering documentation, checked by the analysis).
+#define ACQUIRED_AFTER(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis. Use sparingly and say why at the call site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CUPID_UTIL_THREAD_ANNOTATIONS_H_

@@ -9,13 +9,14 @@
 #define CUPID_UTIL_THREAD_POOL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cupid {
 
@@ -40,13 +41,13 @@ class ThreadPool {
   /// joins the workers. Idempotent, including from concurrent callers
   /// (join_mu_ serializes the join loop; late callers see already-joined
   /// threads). Called by the destructor.
-  void Shutdown() {
+  void Shutdown() EXCLUDES(mu_, join_mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
-    std::lock_guard<std::mutex> join_lock(join_mu_);
+    cv_.SignalAll();
+    MutexLock join_lock(&join_mu_);
     for (std::thread& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -60,13 +61,13 @@ class ThreadPool {
   /// Shutdown() has begun. Callers that submit concurrently with shutdown
   /// must check the result; a rejected task is never silently dropped into
   /// the queue.
-  [[nodiscard]] bool Submit(std::function<void()> fn) {
+  [[nodiscard]] bool Submit(std::function<void()> fn) EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stop_) return false;
       queue_.push_back(std::move(fn));
     }
-    cv_.notify_one();
+    cv_.Signal();
     return true;
   }
 
@@ -79,12 +80,12 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -93,13 +94,15 @@ class ThreadPool {
     }
   }
 
+  /// Immutable after the constructor returns (never resized), so size()
+  /// reads it without a lock; joining is serialized by join_mu_.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  Mutex mu_;
   /// Serializes concurrent Shutdown calls (never held with mu_).
-  std::mutex join_mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex join_mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs body(begin, end) over [0, n) split into contiguous chunks.
@@ -120,27 +123,27 @@ inline void ParallelFor(ThreadPool* pool, int64_t n,
   chunks = std::max<int64_t>(chunks, 1);
   int64_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::mutex mu;
-  std::condition_variable done;
-  int64_t remaining = chunks;
+  Mutex mu;
+  CondVar done;
+  int64_t remaining = chunks;  // guarded by mu (local, so not annotatable)
   for (int64_t c = 0; c < chunks; ++c) {
     int64_t begin = c * chunk_size;
     int64_t end = std::min(n, begin + chunk_size);
     bool accepted = pool->Submit([&, begin, end] {
       body(begin, end);
-      std::unique_lock<std::mutex> lock(mu);
-      if (--remaining == 0) done.notify_all();
+      MutexLock lock(&mu);
+      if (--remaining == 0) done.SignalAll();
     });
     if (!accepted) {
       // Pool shut down mid-loop: run the chunk inline so the barrier below
       // still completes.
       body(begin, end);
-      std::unique_lock<std::mutex> lock(mu);
-      if (--remaining == 0) done.notify_all();
+      MutexLock lock(&mu);
+      if (--remaining == 0) done.SignalAll();
     }
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(&mu);
+  while (remaining != 0) done.Wait(&mu);
 }
 
 }  // namespace cupid
