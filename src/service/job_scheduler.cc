@@ -5,23 +5,36 @@
 namespace cupid {
 
 const Result<MatchResponse>& MatchJob::Wait() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(&mu_);
+  while (!done_) cv_.Wait(&mu_);
   return result_;
 }
 
 bool MatchJob::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return done_;
 }
 
-void MatchJob::Finish(Result<MatchResponse> result) {
+double MatchJob::queue_ms() const {
+  MutexLock lock(&mu_);
+  return queue_ms_;
+}
+
+double MatchJob::run_ms() const {
+  MutexLock lock(&mu_);
+  return run_ms_;
+}
+
+void MatchJob::Finish(Result<MatchResponse> result, double queue_ms,
+                      double run_ms) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     result_ = std::move(result);
+    queue_ms_ = queue_ms;
+    run_ms_ = run_ms;
     done_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 }
 
 JobScheduler::JobScheduler(MatchService* service, Options options)
@@ -35,21 +48,21 @@ JobScheduler::~JobScheduler() { Shutdown(); }
 
 void JobScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   pool_.Shutdown();  // drains the queue; every admitted job still finishes
 }
 
 int JobScheduler::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_;
 }
 
 Result<std::shared_ptr<MatchJob>> JobScheduler::SubmitTask(
     std::function<Result<MatchResponse>()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return Status::Unsupported("scheduler is shut down");
     if (pending_ >= options_.max_pending) {
       return Status::OutOfRange(
@@ -61,25 +74,25 @@ Result<std::shared_ptr<MatchJob>> JobScheduler::SubmitTask(
   job->enqueued_ = MatchJob::Clock::now();
   bool accepted = pool_.Submit([this, job, task = std::move(task)] {
     MatchJob::Clock::time_point started = MatchJob::Clock::now();
-    job->queue_ms_ =
+    double queue_ms =
         std::chrono::duration<double, std::milli>(started - job->enqueued_)
             .count();
     Result<MatchResponse> result = task();
     if (result.ok()) {
-      result.ValueOrDie().timings.queue_ms = job->queue_ms_;
+      result.ValueOrDie().timings.queue_ms = queue_ms;
     }
-    job->run_ms_ = std::chrono::duration<double, std::milli>(
-                       MatchJob::Clock::now() - started)
-                       .count();
+    double run_ms = std::chrono::duration<double, std::milli>(
+                        MatchJob::Clock::now() - started)
+                        .count();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --pending_;
     }
-    job->Finish(std::move(result));
+    job->Finish(std::move(result), queue_ms, run_ms);
   });
   if (!accepted) {
     // Raced with Shutdown: undo the admission.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --pending_;
     return Status::Unsupported("scheduler is shut down");
   }

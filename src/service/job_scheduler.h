@@ -10,13 +10,13 @@
 #define CUPID_SERVICE_JOB_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "service/match_service.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace cupid {
@@ -28,25 +28,28 @@ class MatchJob {
   const Result<MatchResponse>& Wait() const;
 
   bool done() const;
-  /// Milliseconds spent queued before a worker started the job (valid once
+  /// Milliseconds spent queued before a worker started the job (0.0 until
   /// done; also copied into the response's timings.queue_ms).
-  double queue_ms() const { return queue_ms_; }
-  /// Milliseconds the job ran on its worker (valid once done).
-  double run_ms() const { return run_ms_; }
+  double queue_ms() const;
+  /// Milliseconds the job ran on its worker (0.0 until done).
+  double run_ms() const;
 
  private:
   friend class JobScheduler;
   using Clock = std::chrono::steady_clock;
 
-  void Finish(Result<MatchResponse> result);
+  void Finish(Result<MatchResponse> result, double queue_ms, double run_ms);
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  bool done_ = false;
-  Result<MatchResponse> result_{Status::Internal("job still pending")};
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  Result<MatchResponse> result_ GUARDED_BY(mu_){
+      Status::Internal("job still pending")};
+  /// Written by the submitting thread before the job is published to the
+  /// pool (the pool's queue lock orders it before the worker's read).
   Clock::time_point enqueued_;
-  double queue_ms_ = 0.0;
-  double run_ms_ = 0.0;
+  double queue_ms_ GUARDED_BY(mu_) = 0.0;
+  double run_ms_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// \brief Bounded worker pool executing MatchService requests.
@@ -100,9 +103,9 @@ class JobScheduler {
   Options options_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  int pending_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  int pending_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cupid
