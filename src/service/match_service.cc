@@ -118,16 +118,16 @@ MatchService::MatchService(const Thesaurus* thesaurus,
 
 std::shared_ptr<const MatchResponse> MatchService::CacheLookup(
     const ResultKey& key) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   auto it = result_cache_.find(key);
   if (it == result_cache_.end()) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++stats_.result_misses;
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++stats_.result_hits;
   }
   return it->second->second;
@@ -135,7 +135,7 @@ std::shared_ptr<const MatchResponse> MatchService::CacheLookup(
 
 void MatchService::CacheInsert(const ResultKey& key,
                                std::shared_ptr<const MatchResponse> response) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   auto it = result_cache_.find(key);
   if (it != result_cache_.end()) {
     it->second->second = std::move(response);
@@ -148,7 +148,7 @@ void MatchService::CacheInsert(const ResultKey& key,
          static_cast<size_t>(options_.result_cache_capacity)) {
     result_cache_.erase(lru_.back().first);
     lru_.pop_back();
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++stats_.result_evictions;
   }
 }
@@ -200,7 +200,7 @@ Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
   } else {
     std::shared_ptr<PairEntry> entry;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      MutexLock lock(&sessions_mu_);
       // \x1f cannot appear in schema names read from files or protocols.
       std::string pair_key =
           request.source + '\x1f' + request.target + '\x1f' +
@@ -220,15 +220,16 @@ Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
           // warms a fresh session (bit-identical results, cold cost once).
           sessions_.erase(session_lru_.back().first);
           session_lru_.pop_back();
-          std::lock_guard<std::mutex> slock(stats_mu_);
+          MutexLock slock(&stats_mu_);
           ++stats_.sessions_evicted;
         }
       }
       entry = session_lru_.front().second;
     }
-    std::lock_guard<std::mutex> lock(entry->mu);
-    CUPID_RETURN_NOT_OK(MatchOnSession(request, entry.get(), source.schema,
-                                       target.schema, &response));
+    PairEntry* e = entry.get();
+    MutexLock lock(&e->mu);
+    CUPID_RETURN_NOT_OK(
+        MatchOnSession(request, e, source.schema, target.schema, &response));
   }
 
   response.timings.total_ms = MsSince(t_start);
@@ -289,10 +290,10 @@ Status MatchService::MatchOnSession(const MatchRequest& request,
   if (entry->session == nullptr) {
     entry->session = std::make_unique<MatchSession>(
         thesaurus_, *source, *target, request.config);
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++stats_.sessions_created;
   } else {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++stats_.sessions_reused;
   }
 
@@ -315,7 +316,7 @@ Status MatchService::MatchOnSession(const MatchRequest& request,
   response->stats = entry->session->last_stats();
   response->incremental = response->stats.incremental;
   if (response->incremental) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(&stats_mu_);
     ++stats_.incremental_rematches;
   }
   return Status::OK();
@@ -324,11 +325,11 @@ Status MatchService::MatchOnSession(const MatchRequest& request,
 void MatchService::InvalidateAll() {
   // Lock order matches Match(): cache_mu_ and sessions_mu_ never nest.
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     lru_.clear();
     result_cache_.clear();
   }
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   // In-flight requests holding a PairEntry shared_ptr finish safely on the
   // detached entry; new requests build fresh ones.
   sessions_.clear();
@@ -336,7 +337,7 @@ void MatchService::InvalidateAll() {
 }
 
 MatchService::CacheStats MatchService::cache_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -34,6 +33,8 @@
 #include "mapping/mapping.h"
 #include "service/schema_repository.h"
 #include "thesaurus/thesaurus.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cupid {
 
@@ -157,10 +158,10 @@ class MatchService {
 
   /// Warm per-pair state; `mu` serializes matches on the pair.
   struct PairEntry {
-    std::mutex mu;
-    std::unique_ptr<MatchSession> session;
-    int source_version = 0;
-    int target_version = 0;
+    Mutex mu;
+    std::unique_ptr<MatchSession> session GUARDED_BY(mu);
+    int source_version GUARDED_BY(mu) = 0;
+    int target_version GUARDED_BY(mu) = 0;
   };
 
   std::shared_ptr<const MatchResponse> CacheLookup(const ResultKey& key);
@@ -174,36 +175,38 @@ class MatchService {
   Status MatchOnSession(const MatchRequest& request, PairEntry* entry,
                         std::shared_ptr<const Schema> source,
                         std::shared_ptr<const Schema> target,
-                        MatchResponse* response);
+                        MatchResponse* response) REQUIRES(entry->mu);
 
   const Thesaurus* thesaurus_;
   SchemaRepository* repository_;
   Options options_;
 
-  mutable std::mutex cache_mu_;
+  mutable Mutex cache_mu_;
   /// LRU: most recent at front; map values point into the list.
-  std::list<std::pair<ResultKey, std::shared_ptr<const MatchResponse>>> lru_;
+  std::list<std::pair<ResultKey, std::shared_ptr<const MatchResponse>>> lru_
+      GUARDED_BY(cache_mu_);
   std::unordered_map<ResultKey,
                      std::list<std::pair<
                          ResultKey, std::shared_ptr<const MatchResponse>>>::
                          iterator,
                      ResultKeyHash>
-      result_cache_;
+      result_cache_ GUARDED_BY(cache_mu_);
 
-  mutable std::mutex sessions_mu_;
+  mutable Mutex sessions_mu_;
   /// Bounded LRU over warm pair state, keyed (source \x1f target \x1f
   /// fingerprint): most recently requested pair at the front of
   /// session_lru_; map values point into the list. Evicting a pair only
   /// drops the map's reference — an in-flight request holding the
   /// shared_ptr finishes safely on the detached entry.
-  std::list<std::pair<std::string, std::shared_ptr<PairEntry>>> session_lru_;
+  std::list<std::pair<std::string, std::shared_ptr<PairEntry>>> session_lru_
+      GUARDED_BY(sessions_mu_);
   std::unordered_map<
       std::string,
       std::list<std::pair<std::string, std::shared_ptr<PairEntry>>>::iterator>
-      sessions_;
+      sessions_ GUARDED_BY(sessions_mu_);
 
-  mutable std::mutex stats_mu_;
-  CacheStats stats_;
+  mutable Mutex stats_mu_;
+  CacheStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cupid

@@ -91,7 +91,7 @@ Result<int> SchemaRepository::Register(const std::string& name,
                                        Schema schema) {
   CUPID_RETURN_NOT_OK(ValidateRepositoryName(name));
   CUPID_RETURN_NOT_OK(schema.Validate());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CUPID_RETURN_NOT_OK(CheckWritableLocked());
   if (dur_ != nullptr) {
     // A durable registration is persisted in the native text format; a
@@ -148,7 +148,7 @@ Result<int> SchemaRepository::RegisterText(const std::string& name,
 
 Result<int> SchemaRepository::ApplyEdit(const std::string& name,
                                         const SchemaEdit& edit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CUPID_RETURN_NOT_OK(CheckWritableLocked());
   auto it = schemas_.find(name);
   if (it == schemas_.end() || it->second.empty()) {
@@ -183,7 +183,7 @@ Result<int> SchemaRepository::ApplyEdit(const std::string& name,
 
 Result<SchemaRepository::SchemaSnapshot> SchemaRepository::Resolve(
     const std::string& name, int version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = schemas_.find(name);
   if (it == schemas_.end() || it->second.empty()) {
     return Status::NotFound("no such schema: " + name);
@@ -204,13 +204,13 @@ Result<std::shared_ptr<const Schema>> SchemaRepository::Get(
 }
 
 int SchemaRepository::LatestVersion(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = schemas_.find(name);
   return it == schemas_.end() ? 0 : static_cast<int>(it->second.size());
 }
 
 std::vector<std::string> SchemaRepository::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(schemas_.size());
   for (const auto& [name, versions] : schemas_) {
@@ -222,7 +222,7 @@ std::vector<std::string> SchemaRepository::Names() const {
 
 std::optional<std::vector<SchemaEdit>> SchemaRepository::EditChain(
     const std::string& name, int from_version, int to_version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = schemas_.find(name);
   if (it == schemas_.end()) return std::nullopt;
   int latest = static_cast<int>(it->second.size());
@@ -305,7 +305,7 @@ Status SchemaRepository::SaveTo(const std::string& dir,
   const std::string old = dir + ".old";
   (void)env->RemoveAll(tmp);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CUPID_RETURN_NOT_OK(SaveContentsLocked(tmp, env));
   }
   if (env->FileExists(dir)) {
@@ -319,7 +319,7 @@ Status SchemaRepository::SaveTo(const std::string& dir,
 }
 
 Status SchemaRepository::LoadInto(const std::string& dir, StorageEnv* env,
-                                  SchemaRepository* repo) {
+                                  VersionMap* schemas) {
   CUPID_ASSIGN_OR_RETURN(std::string manifest,
                          env->ReadFile(dir + "/" + kManifestName));
   int line_number = 0;
@@ -386,7 +386,7 @@ Status SchemaRepository::LoadInto(const std::string& dir, StorageEnv* env,
       }
     }
     // Manifests are written in version order; appending reproduces it.
-    std::vector<VersionEntry>& versions = repo->schemas_[name];
+    std::vector<VersionEntry>& versions = (*schemas)[name];
     if (static_cast<int>(versions.size()) + 1 != version) {
       return Status::ParseError(StringFormat(
           "manifest line %d: %s versions out of order (expected %d, got %d)",
@@ -404,8 +404,13 @@ Result<SchemaRepository> SchemaRepository::LoadFrom(const std::string& dir) {
 
 Result<SchemaRepository> SchemaRepository::LoadFrom(const std::string& dir,
                                                     StorageEnv* env) {
+  VersionMap schemas;
+  CUPID_RETURN_NOT_OK(LoadInto(dir, env, &schemas));
   SchemaRepository repo;
-  CUPID_RETURN_NOT_OK(LoadInto(dir, env, &repo));
+  {
+    MutexLock lock(&repo.mu_);
+    repo.schemas_ = std::move(schemas);
+  }
   return repo;
 }
 
@@ -558,106 +563,113 @@ Result<SchemaRepository> SchemaRepository::Recover(const std::string& dir,
   for (const std::string& entry : entries) {
     if (EndsWith(entry, ".tmp")) {
       leftovers.push_back(entry);
-    } else if (auto seq = ParseSeqFromName(entry, "snapshot-", "")) {
-      snapshots.emplace_back(*seq, entry);
-    } else if (auto seq = ParseSeqFromName(entry, "wal-", ".log")) {
-      wals.emplace_back(*seq, entry);
+    } else if (auto snap_seq = ParseSeqFromName(entry, "snapshot-", "")) {
+      snapshots.emplace_back(*snap_seq, entry);
+    } else if (auto wal_seq = ParseSeqFromName(entry, "wal-", ".log")) {
+      wals.emplace_back(*wal_seq, entry);
     }
   }
   std::sort(snapshots.begin(), snapshots.end());
   std::sort(wals.begin(), wals.end());
 
   SchemaRepository repo;
-  repo.dur_ = std::make_unique<Durability>();
-  Durability* d = repo.dur_.get();
-  d->options = options;
-  d->env = env;
-  d->dir = dir;
+  // The repository is private to this thread until returned, but its
+  // members are lock-annotated, so recovery holds the (uncontended) lock;
+  // released before the return statement's move construction relocks it.
+  {
+    MutexLock lock(&repo.mu_);
+    repo.dur_ = std::make_unique<Durability>();
+    Durability* d = repo.dur_.get();
+    d->options = options;
+    d->env = env;
+    d->dir = dir;
 
-  // Pick the snapshot: the CURRENT pointer first, then any other snapshot
-  // newest-first. If snapshots exist but none loads, fail hard — silently
-  // recovering from an older state would drop acknowledged mutations.
-  bool loaded = false;
-  Status last_error = Status::OK();
-  std::string current_target;
-  if (env->FileExists(dir + "/" + kCurrentName)) {
-    if (auto current = env->ReadFile(dir + "/" + kCurrentName);
-        current.ok()) {
-      current_target = std::string(TrimWhitespace(*current));
+    // Pick the snapshot: the CURRENT pointer first, then any other snapshot
+    // newest-first. If snapshots exist but none loads, fail hard — silently
+    // recovering from an older state would drop acknowledged mutations.
+    std::string current_target;
+    if (env->FileExists(dir + "/" + kCurrentName)) {
+      if (auto current = env->ReadFile(dir + "/" + kCurrentName);
+          current.ok()) {
+        current_target = std::string(TrimWhitespace(*current));
+      }
     }
-  }
-  auto try_snapshot = [&](uint64_t seq, const std::string& name) {
-    if (loaded) return;
-    SchemaRepository fresh;
-    Status status = LoadInto(dir + "/" + name, env, &fresh);
-    if (status.ok()) {
-      repo.schemas_ = std::move(fresh.schemas_);
-      d->snapshot_seq = seq;
-      loaded = true;
-    } else {
+    std::vector<std::pair<uint64_t, std::string>> candidates;
+    if (!current_target.empty()) {
+      if (auto seq = ParseSeqFromName(current_target, "snapshot-", "")) {
+        candidates.emplace_back(*seq, current_target);
+      }
+    }
+    for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+      if (it->second != current_target) candidates.push_back(*it);
+    }
+    bool loaded = false;
+    Status last_error = Status::OK();
+    for (const auto& [seq, name] : candidates) {
+      VersionMap fresh;
+      Status status = LoadInto(dir + "/" + name, env, &fresh);
+      if (status.ok()) {
+        repo.schemas_ = std::move(fresh);
+        d->snapshot_seq = seq;
+        loaded = true;
+        break;
+      }
       last_error = status;
     }
-  };
-  if (!current_target.empty()) {
-    if (auto seq = ParseSeqFromName(current_target, "snapshot-", "")) {
-      try_snapshot(*seq, current_target);
-    }
-  }
-  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
-    if (it->second != current_target) try_snapshot(it->first, it->second);
-  }
-  if (!loaded && !snapshots.empty()) {
-    return Status::IoError(StringFormat(
-        "no loadable snapshot among %d candidates in %s (last error: %s); "
-        "refusing to discard data",
-        static_cast<int>(snapshots.size()), dir.c_str(),
-        last_error.ToString().c_str()));
-  }
-  d->applied_seq = d->snapshot_seq;
-
-  // Replay the log tail. Segments are contiguous by construction (each is
-  // named after its first sequence number); a hole means lost segments.
-  for (size_t i = 0; i < wals.size(); ++i) {
-    const auto& [first_seq, name] = wals[i];
-    if (first_seq > d->applied_seq + 1) {
+    if (!loaded && !snapshots.empty()) {
       return Status::IoError(StringFormat(
-          "WAL gap in %s: segment %s starts at record %llu but only %llu "
-          "recovered",
-          dir.c_str(), name.c_str(),
-          static_cast<unsigned long long>(first_seq),
-          static_cast<unsigned long long>(d->applied_seq)));
+          "no loadable snapshot among %d candidates in %s (last error: %s); "
+          "refusing to discard data",
+          static_cast<int>(snapshots.size()), dir.c_str(),
+          last_error.ToString().c_str()));
     }
-    CUPID_ASSIGN_OR_RETURN(WalReadResult read,
-                           ReadWal(env, dir + "/" + name, first_seq));
-    for (const WalRecord& record : read.records) {
-      if (record.seq <= d->applied_seq) continue;  // covered by the snapshot
-      CUPID_RETURN_NOT_OK(repo.ApplyWalRecordLocked(record));
-      ++d->applied_seq;
-      ++d->recovered_records;
-      if (record.seq > d->snapshot_seq) {
-        d->carried_wal_bytes +=
-            static_cast<int64_t>(kWalFrameHeaderSize + record.payload.size());
-      }
-    }
-    if (read.tail_dropped) {
-      d->recovered_bytes_dropped += read.bytes_dropped;
-      d->recovered_tail_dropped = true;
-      // A torn tail is only acceptable where a crash can produce one: in
-      // the final segment, or where the next segment continues exactly at
-      // the accepted boundary (rotation after an earlier torn append).
-      if (i + 1 < wals.size() && wals[i + 1].first != d->applied_seq + 1) {
-        return Status::IoError("WAL corruption is not confined to the tail: " +
-                               read.drop_reason);
-      }
-    }
-  }
+    d->applied_seq = d->snapshot_seq;
 
-  // Start a fresh segment for new mutations; the torn tail (if any) stays
-  // behind in the old segment, which the next compaction garbage-collects.
-  const std::string new_wal = dir + "/" + WalFileName(d->applied_seq + 1);
-  CUPID_ASSIGN_OR_RETURN(d->wal,
-                         WalWriter::Create(env, new_wal, d->applied_seq + 1));
-  CUPID_RETURN_NOT_OK(env->SyncDir(dir));
+    // Replay the log tail. Segments are contiguous by construction (each is
+    // named after its first sequence number); a hole means lost segments.
+    for (size_t i = 0; i < wals.size(); ++i) {
+      const auto& [first_seq, name] = wals[i];
+      if (first_seq > d->applied_seq + 1) {
+        return Status::IoError(StringFormat(
+            "WAL gap in %s: segment %s starts at record %llu but only %llu "
+            "recovered",
+            dir.c_str(), name.c_str(),
+            static_cast<unsigned long long>(first_seq),
+            static_cast<unsigned long long>(d->applied_seq)));
+      }
+      CUPID_ASSIGN_OR_RETURN(WalReadResult read,
+                             ReadWal(env, dir + "/" + name, first_seq));
+      for (const WalRecord& record : read.records) {
+        if (record.seq <= d->applied_seq) continue;  // covered by the snapshot
+        CUPID_RETURN_NOT_OK(repo.ApplyWalRecordLocked(record));
+        ++d->applied_seq;
+        ++d->recovered_records;
+        if (record.seq > d->snapshot_seq) {
+          d->carried_wal_bytes += static_cast<int64_t>(kWalFrameHeaderSize +
+                                                       record.payload.size());
+        }
+      }
+      if (read.tail_dropped) {
+        d->recovered_bytes_dropped += read.bytes_dropped;
+        d->recovered_tail_dropped = true;
+        // A torn tail is only acceptable where a crash can produce one: in
+        // the final segment, or where the next segment continues exactly at
+        // the accepted boundary (rotation after an earlier torn append).
+        if (i + 1 < wals.size() && wals[i + 1].first != d->applied_seq + 1) {
+          return Status::IoError(
+              "WAL corruption is not confined to the tail: " +
+              read.drop_reason);
+        }
+      }
+    }
+
+    // Start a fresh segment for new mutations; the torn tail (if any) stays
+    // behind in the old segment, which the next compaction garbage-collects.
+    const std::string new_wal = dir + "/" + WalFileName(d->applied_seq + 1);
+    CUPID_ASSIGN_OR_RETURN(
+        d->wal, WalWriter::Create(env, new_wal, d->applied_seq + 1));
+    CUPID_RETURN_NOT_OK(env->SyncDir(dir));
+  }
   for (const std::string& leftover : leftovers) {
     (void)env->RemoveAll(dir + "/" + leftover);
   }
@@ -665,18 +677,18 @@ Result<SchemaRepository> SchemaRepository::Recover(const std::string& dir,
 }
 
 Status SchemaRepository::ForceSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (dur_ == nullptr) return Status::OK();
   return WriteSnapshotLocked();
 }
 
 bool SchemaRepository::durable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dur_ != nullptr;
 }
 
 DurabilityStats SchemaRepository::durability_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   DurabilityStats stats;
   if (dur_ == nullptr) return stats;
   stats.durable = true;

@@ -31,7 +31,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -41,8 +40,10 @@
 #include "incremental/schema_edit.h"
 #include "schema/schema.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/storage_env.h"
+#include "util/thread_annotations.h"
 
 namespace cupid {
 
@@ -98,13 +99,17 @@ class SchemaRepository {
   /// Movable (for LoadFrom/Recover); the mutex itself is not moved. The
   /// source must not be in concurrent use.
   SchemaRepository(SchemaRepository&& other) noexcept {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     schemas_ = std::move(other.schemas_);
     dur_ = std::move(other.dur_);
   }
   SchemaRepository& operator=(SchemaRepository&& other) noexcept {
     if (this != &other) {
-      std::scoped_lock lock(mu_, other.mu_);
+      // Not deadlock-prone: move-assignment requires that neither side is
+      // in concurrent use, so no other thread can hold these in the
+      // opposite order.
+      MutexLock lock(&mu_);
+      MutexLock other_lock(&other.mu_);
       schemas_ = std::move(other.schemas_);
       dur_ = std::move(other.dur_);
     }
@@ -229,32 +234,37 @@ class SchemaRepository {
     bool recovered_tail_dropped = false;
   };
 
+  /// name -> versions; versions[i] is version i+1.
+  using VersionMap = std::unordered_map<std::string, std::vector<VersionEntry>>;
+
   /// Registers under an already-held lock (shared by public mutators).
-  int RegisterLocked(const std::string& name, Schema schema);
+  int RegisterLocked(const std::string& name, Schema schema) REQUIRES(mu_);
 
   /// Rejects mutations on degraded durable repositories.
-  Status CheckWritableLocked() const;
+  Status CheckWritableLocked() const REQUIRES(mu_);
   /// Appends one record to the WAL (fsync per options); a failure flips
   /// the repository into degraded read-only mode.
-  Status LogMutationLocked(const std::string& payload);
+  Status LogMutationLocked(const std::string& payload) REQUIRES(mu_);
   /// Snapshot + rotate when the live log passed a threshold; failures are
   /// counted but do not fail the triggering mutation (its record is
   /// already durable in the log).
-  void MaybeCompactLocked();
-  Status WriteSnapshotLocked();
+  void MaybeCompactLocked() REQUIRES(mu_);
+  Status WriteSnapshotLocked() REQUIRES(mu_);
   /// Writes the SaveTo layout into `dir` (no atomicity dance; callers
   /// rename). Assumes mu_ is held.
-  Status SaveContentsLocked(const std::string& dir, StorageEnv* env) const;
-  /// Loads a SaveTo layout from `dir` into `repo` (fresh, lock-free).
+  Status SaveContentsLocked(const std::string& dir, StorageEnv* env) const
+      REQUIRES(mu_);
+  /// Loads a SaveTo layout from `dir` into `schemas` (a plain map, so the
+  /// bootstrap paths need no repository lock; callers install the result
+  /// under mu_).
   static Status LoadInto(const std::string& dir, StorageEnv* env,
-                         SchemaRepository* repo);
+                         VersionMap* schemas);
   /// Applies one WAL record during recovery.
-  Status ApplyWalRecordLocked(const WalRecord& record);
+  Status ApplyWalRecordLocked(const WalRecord& record) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  /// name -> versions; versions[i] is version i+1.
-  std::unordered_map<std::string, std::vector<VersionEntry>> schemas_;
-  std::unique_ptr<Durability> dur_;
+  mutable Mutex mu_;
+  VersionMap schemas_ GUARDED_BY(mu_);
+  std::unique_ptr<Durability> dur_ GUARDED_BY(mu_);
 };
 
 }  // namespace cupid

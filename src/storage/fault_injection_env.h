@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/storage_env.h"
+#include "util/thread_annotations.h"
 
 namespace cupid {
 
@@ -94,20 +95,20 @@ class FaultInjectionEnv : public StorageEnv {
 
   /// Counts one mutating call; returns the injected failure, if any, and
   /// whether the caller should still perform a partial (short) write.
-  Status CountOp(bool* short_write);
-  Status CheckReadable() const;  // locked
-  void CrashLocked();
+  Status CountOp(bool* short_write) EXCLUDES(mu_);
+  Status CheckReadable() const REQUIRES(mu_);
+  void CrashLocked() REQUIRES(mu_);
 
   static std::string Normalize(const std::string& path);
-  bool DirExistsLocked(const std::string& path) const;
-  bool ParentDirExistsLocked(const std::string& path) const;
+  bool DirExistsLocked(const std::string& path) const REQUIRES(mu_);
+  bool ParentDirExistsLocked(const std::string& path) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, FileState> files_;
-  std::set<std::string> dirs_;
-  FailPolicy policy_;
-  bool crashed_ = false;
-  int64_t ops_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
+  FailPolicy policy_ GUARDED_BY(mu_);
+  bool crashed_ GUARDED_BY(mu_) = false;
+  int64_t ops_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cupid
