@@ -101,6 +101,9 @@ void MapByPath(const SchemaTree& nw, const SchemaTree& old,
     new_groups[new_paths[static_cast<size_t>(n)]].push_back(n);
   }
   map->assign(static_cast<size_t>(nw.num_nodes()), kNoTreeNode);
+  // Each path's group writes a disjoint slice of `map` (a node has one
+  // path), so visiting the groups in hash order cannot change the result.
+  // NOLINTNEXTLINE(determinism:unordered-iteration)
   for (const auto& [path, news] : new_groups) {
     auto it = old_groups.find(path);
     if (it == old_groups.end() || it->second.size() != news.size()) continue;

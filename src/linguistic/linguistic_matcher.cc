@@ -14,6 +14,7 @@
 #include "perf/interned_names.h"
 #include "perf/token_interner.h"
 #include "util/id_runs.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace cupid {
@@ -249,6 +250,9 @@ int64_t PlanSide(const Schema& s, const Schema& prev,
     new_groups[new_paths[static_cast<size_t>(e)]].push_back(e);
   }
   map->assign(static_cast<size_t>(n), kNoElement);
+  // Each path's group writes a disjoint slice of `map` (an element has one
+  // path), so visiting the groups in hash order cannot change the result.
+  // NOLINTNEXTLINE(determinism:unordered-iteration)
   for (const auto& [path, news] : new_groups) {
     auto it = old_groups.find(path);
     if (it == old_groups.end() || it->second.size() != news.size()) continue;
@@ -371,10 +375,20 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
 
 Result<LinguisticResult> LinguisticMatcher::MatchCached(
     const Schema& s1, const Schema& s2, LsimCache* cache) const {
+  if (cache == nullptr) return MatchCachedImpl(s1, s2, nullptr);
+  // The whole serial fill runs under the cache mutex (see lsim_cache.h);
+  // the pool workers in the scatter below only read run-local state.
+  MutexLock lock(&cache->mu_);
+  LsimCacheView view = cache->LockedView();
+  return MatchCachedImpl(s1, s2, &view);
+}
+
+Result<LinguisticResult> LinguisticMatcher::MatchCachedImpl(
+    const Schema& s1, const Schema& s2, LsimCacheView* view) const {
   LinguisticResult out;
   // Run-local interner, used when no cross-run cache is supplied.
   TokenInterner local_interner;
-  TokenInterner* interner = cache ? &cache->interner_ : &local_interner;
+  TokenInterner* interner = view ? view->interner() : &local_interner;
 
   // Distinct raw names, each normalized and interned exactly once. Elements
   // sharing a raw name share the distinct entry (normalization is a pure
@@ -382,8 +396,8 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
   // calls and indices are cumulative — entries of names edited away stay
   // allocated, bounded by the distinct names ever seen.
   LsimCache::SideNames local_d1, local_d2;
-  LsimCache::SideNames& d1 = cache ? cache->side1_ : local_d1;
-  LsimCache::SideNames& d2 = cache ? cache->side2_ : local_d2;
+  LsimCache::SideNames& d1 = view ? view->side1() : local_d1;
+  LsimCache::SideNames& d2 = view ? view->side2() : local_d2;
   std::vector<int32_t> of_element1, of_element2;
   auto build_distinct = [&](const Schema& s, LsimCache::SideNames& d,
                             std::vector<int32_t>* of_element) {
@@ -415,7 +429,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
 
   Matrix<float> best_scale = ComputeBestScaleInterned(
       options_, thesaurus_, *out.categories1, *out.categories2, interner,
-      cache ? &cache->memo_ : nullptr, s1.num_elements(), s2.num_elements());
+      view ? view->memo() : nullptr, s1.num_elements(), s2.num_elements());
 
   std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
   std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
@@ -455,15 +469,15 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
   // (the persistent memo is not thread-safe) — after a warm first run only
   // pairs involving edited names miss.
   Matrix<double> local_ns;
-  if (cache) {
-    cache->EnsureCapacity(num_d1, num_d2);
+  if (view) {
+    view->EnsureCapacity(num_d1, num_d2);
     for (int64_t i = 0; i < num_d1; ++i) {
       const uint8_t* needed_row = &needed(i, 0);
       for (int64_t j = 0; j < num_d2; ++j) {
         if (needed_row[j]) {
-          cache->NameSimilarity(static_cast<int32_t>(i),
-                                static_cast<int32_t>(j),
-                                options_.token_weights);
+          view->NameSimilarity(static_cast<int32_t>(i),
+                               static_cast<int32_t>(j),
+                               options_.token_weights);
         }
       }
     }
@@ -483,7 +497,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
       }
     });
   }
-  const Matrix<double>& distinct_ns = cache ? cache->ns_ : local_ns;
+  const Matrix<double>& distinct_ns = view ? view->ns() : local_ns;
 
   // Scatter the distinct similarities into the element-pair lsim table,
   // applying the per-pair category scale and annotation blend.
@@ -595,7 +609,11 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
 
   auto g0 = std::chrono::steady_clock::now();
   LinguisticResult out;
-  TokenInterner* interner = &cache->interner_;
+  // As in MatchCached: the whole patch pipeline holds the cache mutex and
+  // works through a locked view (the row/column fills run serially here).
+  MutexLock cache_lock(&cache->mu_);
+  LsimCacheView view = cache->LockedView();
+  TokenInterner* interner = view.interner();
   std::vector<int32_t> of_element1, of_element2;
   auto build_distinct = [&](const Schema& s, LsimCache::SideNames& d,
                             std::vector<int32_t>* of_element) {
@@ -605,8 +623,8 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
           d.Register(s.element(id).name, normalizer_, interner));
     }
   };
-  build_distinct(s1, cache->side1_, &of_element1);
-  build_distinct(s2, cache->side2_, &of_element2);
+  build_distinct(s1, view.side1(), &of_element1);
+  build_distinct(s2, view.side2(), &of_element2);
   auto g1 = std::chrono::steady_clock::now();
   // Names and categorization are pure functions of the elements' local
   // features in id order, so a side with zero changed elements under an
@@ -644,7 +662,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
     out.names1 = prev.names1;
     out.categories1 = prev.categories1;
   } else {
-    out.names1 = collect_names(of_element1, cache->side1_);
+    out.names1 = collect_names(of_element1, view.side1());
     out.categories1 = std::make_shared<const Categorization>(
         CategorizeSchema(s1, *out.names1, normalizer_));
   }
@@ -652,7 +670,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
     out.names2 = prev.names2;
     out.categories2 = prev.categories2;
   } else {
-    out.names2 = collect_names(of_element2, cache->side2_);
+    out.names2 = collect_names(of_element2, view.side2());
     out.categories2 = std::make_shared<const Categorization>(
         CategorizeSchema(s2, *out.names2, normalizer_));
   }
@@ -685,8 +703,8 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
     docs1 = BuildDocs(s1, *thesaurus_);
     docs2 = BuildDocs(s2, *thesaurus_);
   }
-  cache->EnsureCapacity(static_cast<int64_t>(cache->side1_.names.size()),
-                        static_cast<int64_t>(cache->side2_.names.size()));
+  view.EnsureCapacity(static_cast<int64_t>(view.side1().names.size()),
+                      static_cast<int64_t>(view.side2().names.size()));
 
   const auto& cats1v = out.categories1->categories;
   const auto& cats2v = out.categories2->categories;
@@ -703,7 +721,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
   };
   std::vector<std::vector<TokenId>> kw1 = intern_keywords(cats1v);
   std::vector<std::vector<TokenId>> kw2 = intern_keywords(cats2v);
-  TokenPairMemo* memo = &cache->memo_;
+  TokenPairMemo* memo = view.memo();
 
   // Category-similarity rows/columns on demand (a changed element belongs
   // to a handful of categories; only those rows/columns are ever computed,
@@ -771,7 +789,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
       }
       ++out.comparisons;
       double ns =
-          cache->NameSimilarity(d1, of_element2[static_cast<size_t>(e2)], tw);
+          view.NameSimilarity(d1, of_element2[static_cast<size_t>(e2)], tw);
       double lsim =
           std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
       if (blend && !docs2[static_cast<size_t>(e2)].empty()) {
@@ -815,7 +833,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
       }
       ++out.comparisons;
       double ns =
-          cache->NameSimilarity(of_element1[static_cast<size_t>(e1)], d2, tw);
+          view.NameSimilarity(of_element1[static_cast<size_t>(e1)], d2, tw);
       double lsim =
           std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
       if (has_doc2 && !docs1[static_cast<size_t>(e1)].empty()) {

@@ -23,6 +23,7 @@
 namespace cupid {
 
 class LsimCache;
+class LsimCacheView;
 
 /// Tunables of the linguistic phase.
 struct LinguisticOptions {
@@ -164,8 +165,16 @@ class LinguisticMatcher {
   /// a non-null `cache`, interner/memo/name registry live in the cache and
   /// survive across calls; name-pair fills then run serially (the persistent
   /// memo is not thread-safe), which only costs on the cold first run.
+  /// Takes the cache mutex for the whole call and delegates to
+  /// MatchCachedImpl through a locked view.
   Result<LinguisticResult> MatchCached(const Schema& s1, const Schema& s2,
                                        LsimCache* cache = nullptr) const;
+
+  /// Body of MatchCached. `view` is a locked view of the cache (null when
+  /// running without one); working through plain pointers keeps the
+  /// critical section checkable without annotating the fill lambdas.
+  Result<LinguisticResult> MatchCachedImpl(const Schema& s1, const Schema& s2,
+                                           LsimCacheView* view) const;
 
   const Thesaurus* thesaurus_;
   LinguisticOptions options_;

@@ -4,32 +4,34 @@
 
 namespace cupid {
 
-void LsimCache::EnsureCapacity(int64_t rows, int64_t cols) {
-  if (rows <= ns_.rows() && cols <= ns_.cols()) return;
+void LsimCacheView::EnsureCapacity(int64_t rows, int64_t cols) {
+  Matrix<double>& ns = *ns_;
+  Matrix<uint8_t>& known = *known_;
+  if (rows <= ns.rows() && cols <= ns.cols()) return;
   // Grow geometrically so an edit stream introducing one name at a time does
   // not copy the matrices per edit.
-  int64_t new_rows = std::max<int64_t>(rows, ns_.rows() * 2);
-  int64_t new_cols = std::max<int64_t>(cols, ns_.cols() * 2);
-  Matrix<double> ns(new_rows, new_cols);
-  Matrix<uint8_t> known(new_rows, new_cols);
-  for (int64_t i = 0; i < ns_.rows(); ++i) {
-    for (int64_t j = 0; j < ns_.cols(); ++j) {
-      ns(i, j) = ns_(i, j);
-      known(i, j) = known_(i, j);
+  int64_t new_rows = std::max<int64_t>(rows, ns.rows() * 2);
+  int64_t new_cols = std::max<int64_t>(cols, ns.cols() * 2);
+  Matrix<double> grown_ns(new_rows, new_cols);
+  Matrix<uint8_t> grown_known(new_rows, new_cols);
+  for (int64_t i = 0; i < ns.rows(); ++i) {
+    for (int64_t j = 0; j < ns.cols(); ++j) {
+      grown_ns(i, j) = ns(i, j);
+      grown_known(i, j) = known(i, j);
     }
   }
-  ns_ = std::move(ns);
-  known_ = std::move(known);
+  ns = std::move(grown_ns);
+  known = std::move(grown_known);
 }
 
-double LsimCache::ComputeNameSimilarity(int32_t i, int32_t j,
-                                        const TokenTypeWeights& weights) {
-  ns_(i, j) = InternedNameSimilarity(side1_.interned[static_cast<size_t>(i)],
-                                     side2_.interned[static_cast<size_t>(j)],
-                                     weights, &memo_);
-  known_(i, j) = 1;
-  ++cached_pairs_;
-  return ns_(i, j);
+double LsimCacheView::ComputeNameSimilarity(int32_t i, int32_t j,
+                                            const TokenTypeWeights& weights) {
+  (*ns_)(i, j) = InternedNameSimilarity(
+      side1_->interned[static_cast<size_t>(i)],
+      side2_->interned[static_cast<size_t>(j)], weights, memo_);
+  (*known_)(i, j) = 1;
+  ++*cached_pairs_;
+  return (*ns_)(i, j);
 }
 
 }  // namespace cupid

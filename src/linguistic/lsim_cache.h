@@ -13,6 +13,14 @@
 // A cache is bound at construction to one thesaurus and one option set;
 // LinguisticMatcher::Match(s1, s2, cache) rejects a cache bound differently
 // (mixing would serve values computed under other inputs).
+//
+// Concurrency: the mutable state is guarded by an internal mutex. The
+// matcher takes it once per Match/MatchGather call and works through a
+// LsimCacheView for the whole serial fill — the persistent memo is not
+// thread-safe, so calls over one cache serialize by design (the service
+// layer already arranges this through per-pair session locks; the mutex
+// makes the contract compiler-checked and keeps the diagnostic accessors
+// safe to call from other threads).
 
 #ifndef CUPID_LINGUISTIC_LSIM_CACHE_H_
 #define CUPID_LINGUISTIC_LSIM_CACHE_H_
@@ -26,8 +34,12 @@
 #include "perf/interned_names.h"
 #include "perf/token_interner.h"
 #include "util/matrix.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cupid {
+
+class LsimCacheView;
 
 /// \brief Persistent state of the cached linguistic pipeline.
 class LsimCache {
@@ -45,13 +57,23 @@ class LsimCache {
   LsimCache& operator=(const LsimCache&) = delete;
 
   /// Distinct raw names seen so far on each side (diagnostics).
-  size_t num_source_names() const { return side1_.names.size(); }
-  size_t num_target_names() const { return side2_.names.size(); }
+  size_t num_source_names() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return side1_.names.size();
+  }
+  size_t num_target_names() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return side2_.names.size();
+  }
   /// Name pairs whose similarity has been computed and memoized.
-  int64_t num_cached_pairs() const { return cached_pairs_; }
+  int64_t num_cached_pairs() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cached_pairs_;
+  }
 
  private:
   friend class LinguisticMatcher;
+  friend class LsimCacheView;
 
   /// One side's registry: every distinct raw name ever seen, normalized and
   /// interned exactly once. Indices are stable across runs.
@@ -71,6 +93,40 @@ class LsimCache {
     }
   };
 
+  /// Plain-pointer view of the guarded state; the caller holds mu_ for the
+  /// lifetime of the view (see LsimCacheView).
+  inline LsimCacheView LockedView() REQUIRES(mu_);
+
+  const Thesaurus* thesaurus_;   // immutable binding, checked by the matcher
+  LinguisticOptions options_;    // immutable binding
+  mutable Mutex mu_;
+  TokenInterner interner_ GUARDED_BY(mu_);
+  TokenPairMemo memo_ GUARDED_BY(mu_);
+  SideNames side1_ GUARDED_BY(mu_), side2_ GUARDED_BY(mu_);
+  /// Name-pair similarities indexed by (side1 index, side2 index).
+  Matrix<double> ns_ GUARDED_BY(mu_);
+  Matrix<uint8_t> known_ GUARDED_BY(mu_);
+  int64_t cached_pairs_ GUARDED_BY(mu_) = 0;
+};
+
+/// \brief Pointer view of one LsimCache's guarded state, handed out by
+/// LockedView() under the cache mutex.
+///
+/// Holding a view asserts that the cache mutex is held: the matcher locks
+/// once per call and threads the view through its (lambda-heavy) fill
+/// pipeline, which keeps the whole-call critical section visible to clang's
+/// thread-safety analysis without annotating every helper — lambdas are
+/// analyzed as separate functions and would not inherit the held capability.
+class LsimCacheView {
+ public:
+  TokenInterner* interner() const { return interner_; }
+  LsimCache::SideNames& side1() const { return *side1_; }
+  LsimCache::SideNames& side2() const { return *side2_; }
+  TokenPairMemo* memo() const { return memo_; }
+  /// The name-pair similarity table (grown by EnsureCapacity; entries are
+  /// meaningful where the known bit is set).
+  const Matrix<double>& ns() const { return *ns_; }
+
   /// Grows the ns/known matrices to cover [rows x cols], preserving content.
   void EnsureCapacity(int64_t rows, int64_t cols);
 
@@ -80,23 +136,35 @@ class LsimCache {
   /// loop visits all of them.
   double NameSimilarity(int32_t i, int32_t j,
                         const TokenTypeWeights& weights) {
-    if (known_(i, j)) return ns_(i, j);
+    if ((*known_)(i, j)) return (*ns_)(i, j);
     return ComputeNameSimilarity(i, j, weights);
   }
+
+ private:
+  friend class LsimCache;
+
+  explicit LsimCacheView(LsimCache* cache)
+      : interner_(&cache->interner_),
+        memo_(&cache->memo_),
+        side1_(&cache->side1_),
+        side2_(&cache->side2_),
+        ns_(&cache->ns_),
+        known_(&cache->known_),
+        cached_pairs_(&cache->cached_pairs_) {}
 
   double ComputeNameSimilarity(int32_t i, int32_t j,
                                const TokenTypeWeights& weights);
 
-  const Thesaurus* thesaurus_;
-  LinguisticOptions options_;
-  TokenInterner interner_;
-  TokenPairMemo memo_;
-  SideNames side1_, side2_;
-  /// Name-pair similarities indexed by (side1 index, side2 index).
-  Matrix<double> ns_;
-  Matrix<uint8_t> known_;
-  int64_t cached_pairs_ = 0;
+  TokenInterner* interner_;
+  TokenPairMemo* memo_;
+  LsimCache::SideNames* side1_;
+  LsimCache::SideNames* side2_;
+  Matrix<double>* ns_;
+  Matrix<uint8_t>* known_;
+  int64_t* cached_pairs_;
 };
+
+inline LsimCacheView LsimCache::LockedView() { return LsimCacheView(this); }
 
 }  // namespace cupid
 
