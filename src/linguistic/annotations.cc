@@ -1,6 +1,8 @@
 #include "linguistic/annotations.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "linguistic/tokenizer.h"
 #include "util/strings.h"
@@ -9,24 +11,38 @@ namespace cupid {
 
 AnnotationVector BuildAnnotationVector(std::string_view text,
                                        const Thesaurus& thesaurus) {
-  AnnotationVector out;
+  std::unordered_map<std::string, double> counts;
   for (const Token& tok : TokenizeName(text)) {
     if (tok.type == TokenType::kSpecial) continue;
     if (thesaurus.IsStopWord(tok.text)) continue;
-    out.terms[Stem(tok.text)] += 1.0;
+    counts[Stem(tok.text)] += 1.0;
   }
+  AnnotationVector out;
+  out.terms.assign(counts.begin(), counts.end());
+  std::sort(out.terms.begin(), out.terms.end());
   return out;
 }
 
 double AnnotationCosine(const AnnotationVector& a, const AnnotationVector& b) {
   if (a.empty() || b.empty()) return 0.0;
   double dot = 0.0, na = 0.0, nb = 0.0;
-  for (const auto& [term, tf] : a.terms) {
-    na += tf * tf;
-    auto it = b.terms.find(term);
-    if (it != b.terms.end()) dot += tf * it->second;
+  for (const auto& e : a.terms) na += e.second * e.second;
+  for (const auto& e : b.terms) nb += e.second * e.second;
+  // Merge walk over the two sorted vectors: the dot product accumulates in
+  // lexicographic term order on every run.
+  size_t i = 0, j = 0;
+  while (i < a.terms.size() && j < b.terms.size()) {
+    int cmp = a.terms[i].first.compare(b.terms[j].first);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      dot += a.terms[i].second * b.terms[j].second;
+      ++i;
+      ++j;
+    }
   }
-  for (const auto& [term, tf] : b.terms) nb += tf * tf;
   if (dot == 0.0) return 0.0;
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }

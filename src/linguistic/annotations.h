@@ -8,9 +8,11 @@
 #ifndef CUPID_LINGUISTIC_ANNOTATIONS_H_
 #define CUPID_LINGUISTIC_ANNOTATIONS_H_
 
+#include <algorithm>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "thesaurus/thesaurus.h"
 
@@ -18,10 +20,22 @@ namespace cupid {
 
 /// A bag-of-words document vector built from an annotation string.
 struct AnnotationVector {
-  /// stemmed term -> term frequency; stop words removed.
-  std::unordered_map<std::string, double> terms;
+  /// (stemmed term, term frequency), sorted by term; stop words removed.
+  /// The sorted representation makes the cosine's float accumulation order
+  /// a function of the terms alone, never of hash iteration order.
+  std::vector<std::pair<std::string, double>> terms;
 
   bool empty() const { return terms.empty(); }
+
+  /// True when `term` occurs (binary search over the sorted terms).
+  bool contains(std::string_view term) const {
+    auto it = std::lower_bound(
+        terms.begin(), terms.end(), term,
+        [](const std::pair<std::string, double>& e, std::string_view t) {
+          return e.first < t;
+        });
+    return it != terms.end() && it->first == term;
+  }
 };
 
 /// \brief Tokenizes, stems and stop-filters `text` into a term vector.

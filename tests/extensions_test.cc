@@ -22,10 +22,10 @@ TEST(AnnotationsTest, VectorBuildingStemsAndFilters) {
   Thesaurus th = DefaultThesaurus();
   AnnotationVector v =
       BuildAnnotationVector("The quantities of the ordered items", th);
-  EXPECT_TRUE(v.terms.count("quantity"));
-  EXPECT_TRUE(v.terms.count("item"));
-  EXPECT_FALSE(v.terms.count("the"));
-  EXPECT_FALSE(v.terms.count("of"));
+  EXPECT_TRUE(v.contains("quantity"));
+  EXPECT_TRUE(v.contains("item"));
+  EXPECT_FALSE(v.contains("the"));
+  EXPECT_FALSE(v.contains("of"));
 }
 
 TEST(AnnotationsTest, CosineProperties) {
