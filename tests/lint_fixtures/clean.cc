@@ -1,0 +1,15 @@
+// LINT-PATH: src/incremental/fixture.cc
+// A fully clean core file: sorted iteration, steady_clock, no renames, no
+// randomness. The selftest asserts zero findings here.
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+double SumSorted(const std::vector<std::pair<std::string, double>>& terms) {
+  double sum = 0.0;
+  for (const auto& term : terms) sum += term.second;
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return sum;
+}

@@ -1,0 +1,12 @@
+// LINT-PATH: src/service/fixture.cc
+// pointer-key: pointer-keyed containers are flagged anywhere in src/;
+// pointer *values* and stable-id keys are fine.
+#include <map>
+#include <unordered_map>
+
+struct Node {};
+
+std::unordered_map<Node*, int> degree;  // EXPECT-FINDING: pointer-key
+std::map<const Node*, int> rank_of;     // EXPECT-FINDING: pointer-key
+std::unordered_map<int, Node*> owner;   // pointer values are fine
+std::map<Node*, int> legacy;  // NOLINT(determinism:pointer-key) migration pending

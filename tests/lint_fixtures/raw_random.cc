@@ -1,0 +1,20 @@
+// LINT-PATH: src/mapping/fixture.cc
+// raw-random: unseeded randomness in result-bearing code.
+#include <cstdlib>
+#include <random>
+
+int Jitter() {
+  return rand() % 10;  // EXPECT-FINDING: raw-random
+}
+
+unsigned Seed() {
+  std::random_device rd;  // EXPECT-FINDING: raw-random
+  return rd();
+}
+
+int FixedSeedOk() {
+  // util/random.h's seeded SplitMix64 is the sanctioned source; a fixed
+  // operand expression does not trip the rule.
+  int operand(int);
+  return operand(7);
+}

@@ -1,0 +1,9 @@
+// LINT-PATH: src/eval/fixture.cc
+// raw-random scoping: eval/synthetic code may randomize freely.
+#include <cstdlib>
+#include <random>
+
+int SampleWorkload() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}

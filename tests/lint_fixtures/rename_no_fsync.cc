@@ -1,0 +1,31 @@
+// LINT-PATH: src/storage/fixture.cc
+// rename-no-fsync: a RenameFile must be followed by a SyncDir within 10
+// lines; raw rename() belongs in storage_env.cc only.
+#include <cstdio>
+
+struct Env {
+  int RenameFile(const char* from, const char* to);
+  int SyncDir(const char* dir);
+};
+
+// Durable: the rename is followed by a parent-directory fsync.
+int DurableCommit(Env* env) {
+  env->RenameFile("b.tmp", "b");
+  return env->SyncDir(".");
+}
+
+int BestEffortSwap(Env* env) {
+  // Best-effort scratch shuffle; loss on crash is acceptable here.
+  // NOLINTNEXTLINE(determinism:rename-no-fsync)
+  env->RenameFile("c.tmp", "c");
+  return 0;
+}
+
+int Commit(Env* env) {
+  env->RenameFile("a.tmp", "a");  // EXPECT-FINDING: rename-no-fsync
+  return 0;
+}
+
+int RawMove() {
+  return std::rename("x", "y");  // EXPECT-FINDING: rename-no-fsync
+}

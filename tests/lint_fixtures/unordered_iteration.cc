@@ -1,0 +1,45 @@
+// LINT-PATH: src/linguistic/fixture.cc
+// unordered-iteration: positive, alias, multi-line-decl, suppressed and
+// clean cases. Not compiled — scanned by lint_determinism --selftest.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using GroupMap = std::unordered_map<std::string, int>;
+
+struct Holder {
+  std::unordered_map<int,
+                     std::vector<int>>
+      groups;
+};
+
+double SumParam(const std::unordered_map<int, double>& totals) {
+  double sum = 0.0;
+  for (const auto& t : totals) {  // EXPECT-FINDING: unordered-iteration
+    sum += t.second;
+  }
+  return sum;
+}
+
+double Accumulate(const Holder& h) {
+  std::unordered_map<int, double> weights;
+  GroupMap by_name;
+  double sum = 0.0;
+  for (const auto& entry : weights) {  // EXPECT-FINDING: unordered-iteration
+    sum += entry.second;
+  }
+  for (const auto& e : by_name) {  // EXPECT-FINDING: unordered-iteration
+    sum += static_cast<double>(e.second);
+  }
+  for (const auto& g : h.groups) {  // EXPECT-FINDING: unordered-iteration
+    sum += static_cast<double>(g.first);
+  }
+  // Order-independent: every entry writes a disjoint output slot.
+  // NOLINTNEXTLINE(determinism:unordered-iteration)
+  for (const auto& entry : weights) {
+    (void)entry;
+  }
+  std::vector<double> sorted_weights;
+  for (double w : sorted_weights) sum += w;  // vectors iterate in order
+  return sum;
+}

@@ -1,0 +1,14 @@
+// LINT-PATH: src/importers/fixture.cc
+// unordered-iteration scoping: the rule covers core match code only, so an
+// importer iterating a hash map for non-result bookkeeping is clean.
+#include <string>
+#include <unordered_map>
+
+int CountEntries(const std::unordered_map<std::string, int>& index) {
+  int n = 0;
+  for (const auto& entry : index) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}

@@ -1,0 +1,18 @@
+// LINT-PATH: src/structural/fixture.cc
+// wall-clock: time-dependent logic in core match code; steady_clock trace
+// timing is exempt by policy.
+#include <chrono>
+#include <ctime>
+
+double Stamp() {
+  auto wall = std::chrono::system_clock::now();  // EXPECT-FINDING: wall-clock
+  (void)wall;
+  std::time_t raw = time(nullptr);  // EXPECT-FINDING: wall-clock
+  (void)raw;
+  auto trace = std::chrono::steady_clock::now();  // exempt: trace timing
+  (void)trace;
+  // NOLINTNEXTLINE(determinism:wall-clock) cache-expiry knob, not a result
+  auto ttl = std::chrono::system_clock::now();
+  (void)ttl;
+  return 0.0;
+}

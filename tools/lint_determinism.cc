@@ -1,0 +1,429 @@
+// lint_determinism — pattern-level determinism lint for the cupid tree.
+//
+// The matcher's contract is bit-identical results across runs, thread
+// counts and machines (docs/PERFORMANCE.md); this tool flags the source
+// patterns that historically break that contract. It is deliberately
+// AST-lite: a comment/string-aware line scanner with a small amount of
+// cross-line and cross-file state, not a compiler plugin. Rules:
+//
+//   unordered-iteration  range-for over a std::unordered_map/set in core
+//                        match code (src/core, linguistic, structural,
+//                        tree, mapping, incremental, perf) — hash order
+//                        feeds float accumulation or output ordering.
+//   pointer-key          map/set keyed by a pointer type, anywhere —
+//                        pointer order changes per run (ASLR).
+//   raw-random           rand()/srand()/std::random_device outside
+//                        eval/synthetic code.
+//   wall-clock           system_clock/time()/clock()/gettimeofday/
+//                        localtime in core match code (steady_clock for
+//                        trace timings is fine — it never feeds results).
+//   rename-no-fsync      StorageEnv::RenameFile with no SyncDir within the
+//                        next 10 lines (src/storage, src/service), and raw
+//                        std::rename/fs::rename outside storage_env.cc.
+//
+// Suppression: `// NOLINT(determinism:<rule>)` on the offending line, or
+// `// NOLINTNEXTLINE(determinism:<rule>)` on the line before; bare
+// `NOLINT(determinism)` suppresses every rule. Always pair a suppression
+// with a comment saying why the site is order-independent.
+//
+// Usage:
+//   lint_determinism <path>...          scan files (directories recurse);
+//                                       exit 1 when anything is flagged
+//   lint_determinism --selftest <dir>   run the fixture suite: every file
+//                                       must produce exactly the findings
+//                                       its EXPECT-FINDING comments declare
+//
+// Fixtures (and only fixtures) carry `// LINT-PATH: src/...` on the first
+// line: the file is scoped as if it lived at that path.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Blanks comments and string/char literals (preserving line lengths) so
+/// rule patterns never fire on prose or literals. Block comments carry
+/// state across lines; raw strings are not handled (none in this tree).
+std::vector<std::string> StripCode(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// The path rules scope on: the real path, unless the first line carries a
+/// LINT-PATH override (fixture files).
+std::string VirtualPath(const std::string& path,
+                        const std::vector<std::string>& raw) {
+  static const std::regex kRe(R"(^//\s*LINT-PATH:\s*(\S+))");
+  std::smatch m;
+  if (!raw.empty() && std::regex_search(raw[0], m, kRe)) return m[1];
+  return path;
+}
+
+bool HasDir(const std::string& path, const std::string& dir) {
+  return path.find("src/" + dir + "/") != std::string::npos;
+}
+
+bool IsCorePath(const std::string& path) {
+  for (const char* d :
+       {"core", "linguistic", "structural", "tree", "mapping", "incremental",
+        "perf"}) {
+    if (HasDir(path, d)) return true;
+  }
+  return false;
+}
+
+bool IsRandomExemptPath(const std::string& path) {
+  return path.find("eval") != std::string::npos ||
+         path.find("synthetic") != std::string::npos;
+}
+
+bool IsStoragePath(const std::string& path) {
+  return HasDir(path, "storage") || HasDir(path, "service");
+}
+
+/// True when `raw_line` (or `prev_raw_line` via NOLINTNEXTLINE) suppresses
+/// `rule`.
+bool Suppressed(const std::string& rule, const std::string& raw_line,
+                const std::string* prev_raw_line) {
+  auto matches = [&](const std::string& text, const char* marker) {
+    size_t pos = text.find(marker);
+    while (pos != std::string::npos) {
+      size_t open = text.find('(', pos);
+      if (open == std::string::npos) return false;
+      size_t close = text.find(')', open);
+      if (close == std::string::npos) return false;
+      std::string body = text.substr(open + 1, close - open - 1);
+      if (body == "determinism" || body == "determinism:" + rule) return true;
+      pos = text.find(marker, close);
+    }
+    return false;
+  };
+  // NOLINTNEXTLINE on the same line suppresses the *next* line only; make
+  // sure plain-NOLINT matching does not also accept it.
+  if (raw_line.find("NOLINTNEXTLINE") == std::string::npos &&
+      matches(raw_line, "NOLINT")) {
+    return true;
+  }
+  return prev_raw_line != nullptr && matches(*prev_raw_line, "NOLINTNEXTLINE");
+}
+
+/// First pass: names declared (anywhere in the scanned set) with an
+/// unordered container type, including through `using X = unordered_...`
+/// aliases. Declarations may span lines, so scanning joins up to 8 lines
+/// from the `unordered_` token to the terminating `;`/`=`/`{`. Reference
+/// and pointer function parameters (`...>& name,`) are collected too —
+/// the plain-declaration form is tried first so a trailing `if (a > b)`
+/// in the joined window cannot shadow a real declaration.
+void CollectUnorderedNames(const std::vector<std::string>& code,
+                           std::set<std::string>* names) {
+  static const std::regex kAlias(
+      R"(using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)\s*<)");
+  static const std::regex kDecl(
+      R"(>\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*[;={])");
+  static const std::regex kParam(R"(>\s*[&*]\s*([A-Za-z_]\w*)\s*[,)])");
+  std::set<std::string> alias_types;
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code[i], m, kAlias)) {
+      alias_types.insert(m[1]);
+      continue;
+    }
+    size_t pos = code[i].find("unordered_map<");
+    if (pos == std::string::npos) pos = code[i].find("unordered_set<");
+    if (pos == std::string::npos) continue;
+    std::string joined = code[i].substr(pos);
+    for (size_t j = i + 1; j < code.size() && j < i + 8; ++j) {
+      if (joined.find(';') != std::string::npos) break;
+      joined += " " + code[j];
+    }
+    if (std::regex_search(joined, m, kDecl)) {
+      std::string list = m[1];
+      static const std::regex kName(R"([A-Za-z_]\w*)");
+      for (std::sregex_iterator it(list.begin(), list.end(), kName), end;
+           it != end; ++it) {
+        names->insert(it->str());
+      }
+    } else if (std::regex_search(joined, m, kParam)) {
+      names->insert(m[1]);
+    }
+  }
+  // Variables declared with an alias type: `VersionMap foo;` etc.
+  for (const std::string& alias : alias_types) {
+    const std::regex alias_decl("(?:^|[^\\w:])" + alias +
+                                R"(\s+([A-Za-z_]\w*)\s*[;={(])");
+    for (const std::string& line : code) {
+      std::smatch m;
+      if (std::regex_search(line, m, alias_decl)) names->insert(m[1]);
+    }
+  }
+}
+
+void ScanFile(const std::string& path, const std::vector<std::string>& raw,
+              const std::set<std::string>& unordered_names,
+              std::vector<Finding>* findings) {
+  const std::vector<std::string> code = StripCode(raw);
+  const std::string vpath = VirtualPath(path, raw);
+  const bool core = IsCorePath(vpath);
+  const bool in_src = vpath.find("src/") != std::string::npos;
+  const std::string basename = fs::path(vpath).filename().string();
+
+  auto add = [&](size_t i, const std::string& rule,
+                 const std::string& message) {
+    const std::string* prev = i > 0 ? &raw[i - 1] : nullptr;
+    if (Suppressed(rule, raw[i], prev)) return;
+    findings->push_back({static_cast<int>(i + 1), rule, message});
+  };
+
+  static const std::regex kRangeFor(R"(for\s*\([^;)]*:\s*([^)]+)\))");
+  static const std::regex kLastIdent(R"(([A-Za-z_]\w*)\s*$)");
+  static const std::regex kPointerKey(
+      R"(\b(?:std::)?(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*\s*[,>])");
+  static const std::regex kRawRandom(
+      R"(\bstd::random_device\b|\brandom_device\b|\bsrand\s*\(|\brand\s*\()");
+  static const std::regex kWallClock(
+      R"(\bsystem_clock\b|\bgettimeofday\s*\(|\blocaltime\b|\bgmtime\b|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\bclock\s*\(\s*\))");
+  static const std::regex kRenameFile(R"(\bRenameFile\s*\()");
+  static const std::regex kRawRename(R"(\b(?:std::|fs::)rename\s*\()");
+
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    std::smatch m;
+
+    if (core && std::regex_search(line, m, kRangeFor)) {
+      std::string expr = m[1];
+      std::smatch id;
+      if (std::regex_search(expr, id, kLastIdent) &&
+          unordered_names.count(id[1]) != 0) {
+        add(i, "unordered-iteration",
+            "range-for over unordered container '" + id[1].str() +
+                "' in core match code; hash order feeds float accumulation "
+                "or output ordering — iterate a sorted copy or restructure");
+      }
+    }
+
+    if (in_src && std::regex_search(line, kPointerKey)) {
+      add(i, "pointer-key",
+          "container keyed by a pointer; pointer order changes per run — "
+          "key by a stable id instead");
+    }
+
+    if (in_src && !IsRandomExemptPath(vpath) &&
+        std::regex_search(line, kRawRandom)) {
+      add(i, "raw-random",
+          "non-deterministic randomness outside eval/synthetic code; use "
+          "util/random.h (seeded SplitMix64)");
+    }
+
+    if (core && std::regex_search(line, kWallClock)) {
+      add(i, "wall-clock",
+          "wall-clock time in core match code; results must not depend on "
+          "when they run (steady_clock trace timing is exempt)");
+    }
+
+    if (IsStoragePath(vpath) && std::regex_search(line, kRenameFile)) {
+      bool synced = false;
+      for (size_t j = i; j < code.size() && j <= i + 10; ++j) {
+        if (code[j].find("SyncDir") != std::string::npos) {
+          synced = true;
+          break;
+        }
+      }
+      if (!synced) {
+        add(i, "rename-no-fsync",
+            "RenameFile with no SyncDir within 10 lines; the rename is not "
+            "durable until the parent directory is fsync'd");
+      }
+    }
+
+    if (in_src && basename != "storage_env.cc" &&
+        std::regex_search(line, kRawRename)) {
+      add(i, "rename-no-fsync",
+          "raw rename() outside storage_env.cc; go through "
+          "StorageEnv::RenameFile so fault injection and fsync policy "
+          "apply");
+    }
+  }
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  auto want = [](const fs::path& p) {
+    std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+  };
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && want(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "lint_determinism: no such path: %s\n", p.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int RunLint(const std::vector<std::string>& paths) {
+  std::vector<std::string> files = CollectFiles(paths);
+  std::set<std::string> unordered_names;
+  std::vector<std::pair<std::string, std::vector<std::string>>> contents;
+  for (const std::string& f : files) {
+    contents.emplace_back(f, ReadLines(f));
+    CollectUnorderedNames(StripCode(contents.back().second),
+                          &unordered_names);
+  }
+  int total = 0;
+  for (const auto& [file, raw] : contents) {
+    std::vector<Finding> findings;
+    ScanFile(file, raw, unordered_names, &findings);
+    for (const Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      ++total;
+    }
+  }
+  if (total != 0) {
+    std::printf("lint_determinism: %d finding(s) in %zu file(s)\n", total,
+                files.size());
+    return 1;
+  }
+  std::printf("lint_determinism: clean (%zu files)\n", files.size());
+  return 0;
+}
+
+/// Selftest: each fixture is scanned in isolation and must yield exactly
+/// the (line, rule) pairs its EXPECT-FINDING comments declare.
+int RunSelftest(const std::string& dir) {
+  std::vector<std::string> files = CollectFiles({dir});
+  if (files.empty()) {
+    std::fprintf(stderr, "selftest: no fixtures under %s\n", dir.c_str());
+    return 1;
+  }
+  static const std::regex kExpect(R"(EXPECT-FINDING:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*))");
+  static const std::regex kRule(R"([a-z-]+)");
+  int failures = 0;
+  for (const std::string& file : files) {
+    std::vector<std::string> raw = ReadLines(file);
+    std::set<std::string> names;
+    CollectUnorderedNames(StripCode(raw), &names);
+    std::vector<Finding> findings;
+    ScanFile(file, raw, names, &findings);
+
+    std::set<std::pair<int, std::string>> expected, actual;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(raw[i], m, kExpect)) {
+        std::string list = m[1];
+        for (std::sregex_iterator it(list.begin(), list.end(), kRule), end;
+             it != end; ++it) {
+          expected.insert({static_cast<int>(i + 1), it->str()});
+        }
+      }
+    }
+    for (const Finding& f : findings) actual.insert({f.line, f.rule});
+
+    if (expected == actual) {
+      std::printf("PASS %s (%zu finding(s))\n", file.c_str(), actual.size());
+      continue;
+    }
+    ++failures;
+    std::printf("FAIL %s\n", file.c_str());
+    for (const auto& [line, rule] : expected) {
+      if (actual.count({line, rule}) == 0) {
+        std::printf("  missing: line %d [%s]\n", line, rule.c_str());
+      }
+    }
+    for (const auto& [line, rule] : actual) {
+      if (expected.count({line, rule}) == 0) {
+        std::printf("  unexpected: line %d [%s]\n", line, rule.c_str());
+      }
+    }
+  }
+  std::printf("selftest: %zu fixture(s), %d failure(s)\n", files.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--selftest") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "usage: lint_determinism --selftest <dir>\n");
+      return 2;
+    }
+    return RunSelftest(args[1]);
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: lint_determinism <path>... | --selftest <dir>\n");
+    return 2;
+  }
+  return RunLint(args);
+}
