@@ -22,8 +22,8 @@
 // guards >= 2.5x with slack for noisy runners and asserts the equality
 // counters are exactly 0 before uploading the JSON):
 //
-//   bench_incremental --benchmark_out=BENCH_incremental.json \
-//                     --benchmark_out_format=json
+//   bench_incremental --benchmark_out=BENCH_incremental.json
+//       --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 

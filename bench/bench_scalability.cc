@@ -10,8 +10,8 @@
 // (the max_abs_diff counters must be 0).
 //
 // Emit machine-readable results with:
-//   bench_scalability --benchmark_out=BENCH_scalability.json \
-//                     --benchmark_out_format=json
+//   bench_scalability --benchmark_out=BENCH_scalability.json
+//       --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
