@@ -23,8 +23,16 @@
 //    "config":{"th_accept":0.5,"one_to_one":false,"num_threads":1},
 //    "use_result_cache":true,"use_session":true}
 //   {"cmd":"batch","requests":[{...match fields...},...]}   // concurrent
+//   {"cmd":"search","source":"po","top_k":5,"exhaustive":false,
+//    "prune_fraction":0.25,"prune_min_keep":16,"config":{...}}
 //   {"cmd":"save","dir":"/tmp/repo"}      {"cmd":"load","dir":"/tmp/repo"}
 //   {"cmd":"stats"}
+//
+// Protocol: every response object carries "v":1 (bump on incompatible
+// response-shape changes) and either "status":"ok" or "status":"error" with
+// a structured {"error":{"code":"<StatusCode>","message":"..."}} object so
+// clients can dispatch on the machine-readable code instead of parsing
+// prose.
 //
 // Options:
 //   --input <file>     read commands from a file instead of stdin
@@ -59,12 +67,14 @@
 
 #include "core/cupid_matcher.h"
 #include "importers/schema_io.h"
+#include "service/corpus_search.h"
 #include "service/job_scheduler.h"
 #include "service/match_service.h"
 #include "service/schema_repository.h"
 #include "thesaurus/default_thesaurus.h"
 #include "thesaurus/thesaurus_io.h"
 #include "util/json.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 using namespace cupid;
@@ -132,17 +142,55 @@ void WriteDurabilityJson(const DurabilityStats& stats, JsonWriter* w) {
   w->EndObject();
 }
 
+/// Protocol version stamped into every response line. Bump on incompatible
+/// response-shape changes; clients reject versions they do not know.
+constexpr int kProtocolVersion = 1;
+
 void EmitError(const std::string& cmd, const Status& status) {
   JsonWriter w;
   w.BeginObject();
+  w.Key("v");
+  w.Int(kProtocolVersion);
   w.Key("status");
   w.String("error");
   w.Key("cmd");
   w.String(cmd);
   w.Key("error");
-  w.String(status.ToString());
+  w.BeginObject();
+  w.Key("code");
+  w.String(StatusCodeToString(status.code()));
+  w.Key("message");
+  w.String(status.message());
+  w.EndObject();
   w.EndObject();
   std::printf("%s\n", w.str().c_str());
+}
+
+/// Applies an optional "config" sub-object onto `config`. Without one the
+/// server default applies: per-match phases run single-threaded;
+/// concurrency comes from the scheduler's workers.
+Status ApplyConfigJson(const JsonValue& v, CupidConfig* out) {
+  const JsonValue* config = v.Find("config");
+  if (config == nullptr) {
+    out->SetNumThreads(1);
+    return Status::OK();
+  }
+  if (!config->is_object()) {
+    return Status::InvalidArgument("config must be an object");
+  }
+  double th = config->GetNumber("th_accept", 0.5);
+  out->mapping.th_accept = th;
+  out->tree_match.th_accept = th;
+  out->tree_match.th_low = std::min(out->tree_match.th_low, th);
+  out->tree_match.th_high = std::max(out->tree_match.th_high, th);
+  if (config->GetBool("one_to_one", false)) {
+    out->mapping.cardinality = MappingCardinality::kOneToOneStable;
+  }
+  out->SetNumThreads(static_cast<int>(config->GetInt("num_threads", 0)));
+  if (config->GetBool("strong_link_cache", false)) {
+    out->tree_match.use_strong_link_cache = true;
+  }
+  return Status::OK();
 }
 
 /// Builds a MatchRequest from the fields of a match/batch JSON object.
@@ -157,32 +205,28 @@ Result<MatchRequest> ParseMatchRequest(const JsonValue& v) {
   request.target_version = static_cast<int>(v.GetInt("target_version", 0));
   request.use_result_cache = v.GetBool("use_result_cache", true);
   request.use_session = v.GetBool("use_session", true);
-  if (const JsonValue* config = v.Find("config")) {
-    if (!config->is_object()) {
-      return Status::InvalidArgument("config must be an object");
-    }
-    double th = config->GetNumber("th_accept", 0.5);
-    request.config.mapping.th_accept = th;
-    request.config.tree_match.th_accept = th;
-    request.config.tree_match.th_low =
-        std::min(request.config.tree_match.th_low, th);
-    request.config.tree_match.th_high =
-        std::max(request.config.tree_match.th_high, th);
-    if (config->GetBool("one_to_one", false)) {
-      request.config.mapping.cardinality =
-          MappingCardinality::kOneToOneStable;
-    }
-    request.config.SetNumThreads(
-        static_cast<int>(config->GetInt("num_threads", 0)));
-    if (config->GetBool("strong_link_cache", false)) {
-      request.config.tree_match.use_strong_link_cache = true;
-    }
-  } else {
-    // Server default: per-match phases run single-threaded; concurrency
-    // comes from the scheduler's workers.
-    request.config.SetNumThreads(1);
-  }
+  CUPID_RETURN_NOT_OK(ApplyConfigJson(v, &request.config));
   CUPID_RETURN_NOT_OK(request.config.Validate());
+  return request;
+}
+
+/// Builds a SearchRequest from the fields of a search JSON object. Knob
+/// validation is left to SearchRequest::Validate inside the service.
+Result<SearchRequest> ParseSearchRequest(const JsonValue& v) {
+  SearchRequest request;
+  request.source = v.GetString("source");
+  if (request.source.empty()) {
+    return Status::InvalidArgument("search needs source");
+  }
+  request.source_version = static_cast<int>(v.GetInt("source_version", 0));
+  request.top_k = static_cast<int>(v.GetInt("top_k", request.top_k));
+  request.exhaustive = v.GetBool("exhaustive", request.exhaustive);
+  request.prune = v.GetBool("prune", request.prune);
+  request.prune_fraction =
+      v.GetNumber("prune_fraction", request.prune_fraction);
+  request.prune_min_keep = static_cast<int>(
+      v.GetInt("prune_min_keep", request.prune_min_keep));
+  CUPID_RETURN_NOT_OK(ApplyConfigJson(v, &request.config));
   return request;
 }
 
@@ -347,6 +391,7 @@ int main(int argc, char** argv) {
   scheduler_options.num_threads = options.threads;
   scheduler_options.max_pending = options.queue;
   JobScheduler scheduler(&service, scheduler_options);
+  CorpusSearchService search_service(&thesaurus, &repo, &scheduler);
 
   std::ifstream file;
   if (!options.input_path.empty()) {
@@ -375,7 +420,9 @@ int main(int argc, char** argv) {
                                    const CupidConfig& config,
                                    bool include_mappings) {
       std::string json = response.ToJson(include_mappings);
-      // Splice server-side fields into the response object tail.
+      // Splice server-side fields into the response object: the protocol
+      // version up front, status (and selfcheck) at the tail.
+      json.insert(1, "\"v\":" + std::to_string(kProtocolVersion) + ",");
       json.pop_back();  // trailing '}'
       json += ",\"status\":\"ok\"";
       if (options.selfcheck) {
@@ -419,6 +466,8 @@ int main(int argc, char** argv) {
       }
       JsonWriter w;
       w.BeginObject();
+      w.Key("v");
+      w.Int(kProtocolVersion);
       w.Key("status");
       w.String("ok");
       w.Key("cmd");
@@ -441,6 +490,8 @@ int main(int argc, char** argv) {
       }
       JsonWriter w;
       w.BeginObject();
+      w.Key("v");
+      w.Int(kProtocolVersion);
       w.Key("status");
       w.String("ok");
       w.Key("cmd");
@@ -510,6 +561,24 @@ int main(int argc, char** argv) {
         }
         emit_match_response(*responses[i], configs[i], include[i]);
       }
+    } else if (cmd == "search") {
+      auto request = ParseSearchRequest(*parsed);
+      if (!request.ok()) {
+        EmitError(cmd, request.status());
+        ++errors;
+        continue;
+      }
+      auto response = search_service.Search(*request);
+      if (!response.ok()) {
+        EmitError(cmd, response.status());
+        ++errors;
+        continue;
+      }
+      std::string json = response->ToJson();
+      json.insert(1, "\"v\":" + std::to_string(kProtocolVersion) + ",");
+      json.pop_back();  // trailing '}'
+      json += ",\"status\":\"ok\",\"cmd\":\"search\"}";
+      std::printf("%s\n", json.c_str());
     } else if (cmd == "save" || cmd == "load") {
       std::string dir = parsed->GetString("dir");
       Status status = dir.empty()
@@ -532,6 +601,7 @@ int main(int argc, char** argv) {
           // version-number restart.
           repo = std::move(*loaded);
           service.InvalidateAll();
+          search_service.InvalidateAll();
         }
       }
       if (!status.ok()) {
@@ -541,6 +611,8 @@ int main(int argc, char** argv) {
       }
       JsonWriter w;
       w.BeginObject();
+      w.Key("v");
+      w.Int(kProtocolVersion);
       w.Key("status");
       w.String("ok");
       w.Key("cmd");
@@ -553,6 +625,8 @@ int main(int argc, char** argv) {
       MatchService::CacheStats stats = service.cache_stats();
       JsonWriter w;
       w.BeginObject();
+      w.Key("v");
+      w.Int(kProtocolVersion);
       w.Key("status");
       w.String("ok");
       w.Key("cmd");
@@ -606,6 +680,8 @@ int main(int argc, char** argv) {
     MatchService::CacheStats stats = service.cache_stats();
     JsonWriter w;
     w.BeginObject();
+    w.Key("v");
+    w.Int(kProtocolVersion);
     w.Key("status");
     w.String(flushed.ok() ? "ok" : "error");
     w.Key("cmd");

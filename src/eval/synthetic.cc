@@ -1,11 +1,15 @@
 #include "eval/synthetic.h"
 
+#include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "schema/schema_builder.h"
 #include "util/random.h"
+#include "util/strings.h"
 
 namespace cupid {
 
@@ -91,12 +95,30 @@ class Generator {
   }
 
  private:
+  /// Vocabulary-word draw: uniform historically, Zipf-like over word rank
+  /// when name_zipf_exponent > 0 (one RNG draw either way, so the exponent
+  /// never shifts downstream draws of an unskewed generator).
+  size_t PickWord(size_t n) {
+    const double s = opt_.name_zipf_exponent;
+    if (s <= 0.0) return rng_.NextBounded(n);
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -s);
+    }
+    double x = rng_.NextDouble() * total;
+    for (size_t r = 0; r < n; ++r) {
+      x -= std::pow(static_cast<double>(r + 1), -s);
+      if (x <= 0.0) return r;
+    }
+    return n - 1;
+  }
+
   std::string PickName(const char* const* words, size_t n, int salt) {
-    std::string base = words[rng_.NextBounded(n)];
+    std::string base = words[PickWord(n)];
     // Occasionally qualify with a second word or an index to reduce
     // collisions in large schemas.
     if (rng_.NextBernoulli(0.4)) {
-      base += words[rng_.NextBounded(n)];
+      base += words[PickWord(n)];
     }
     if (rng_.NextBernoulli(0.15)) {
       base += std::to_string(salt % 9 + 1);
@@ -222,6 +244,72 @@ SyntheticPair GenerateSyntheticPair(const SyntheticOptions& options) {
     pair.gold.Add(source_leaves[i], target_leaves[i]);
   }
   return pair;
+}
+
+SyntheticCorpus GenerateSyntheticCorpus(
+    const SyntheticCorpusOptions& options) {
+  SyntheticCorpus corpus;
+
+  SyntheticOptions source_opt;
+  source_opt.num_elements = options.source_elements;
+  source_opt.seed = options.seed;
+  Generator source_gen(source_opt);
+  ProtoNode source_tree = source_gen.GenerateTree();
+  corpus.source = EmitSchema(source_tree, "Probe");
+
+  const int num_targets = std::max(options.num_targets, 0);
+  corpus.targets.reserve(static_cast<size_t>(num_targets));
+  corpus.names.reserve(static_cast<size_t>(num_targets));
+  int related = static_cast<int>(
+      std::round(options.related_fraction * num_targets));
+  related = std::clamp(related, 0, num_targets);
+
+  // Corpus-level RNG for per-target sizes; per-target generators get
+  // decorrelated seeds derived from it so every schema is reproducible in
+  // isolation.
+  SplitMix64 rng(options.seed ^ 0x636f72707573ULL);  // "corpus"
+
+  for (int i = 0; i < num_targets; ++i) {
+    std::string name = StringFormat("t%03d", i);
+    ProtoNode target_tree;
+    if (i < related) {
+      // Mutated relative: strength interpolates from the planted best
+      // match (min_mutation, index 0) to a distant cousin (max_mutation).
+      const double t = related > 1
+                           ? static_cast<double>(i) / (related - 1)
+                           : 0.0;
+      const double strength =
+          options.min_mutation +
+          t * (options.max_mutation - options.min_mutation);
+      SyntheticOptions mut;
+      mut.rename_probability = std::min(strength, 1.0);
+      mut.type_change_probability = std::min(strength * 0.4, 1.0);
+      mut.flatten_probability = std::min(strength * 0.5, 1.0);
+      mut.seed = rng.Next();
+      Generator mutator(mut);
+      target_tree = mutator.MutateTree(source_tree);
+    } else {
+      SyntheticOptions gen;
+      const int span =
+          std::max(options.max_target_elements - options.min_target_elements,
+                   0);
+      gen.num_elements =
+          options.min_target_elements +
+          (span > 0
+               ? static_cast<int>(rng.NextBounded(
+                     static_cast<uint64_t>(span + 1)))
+               : 0);
+      gen.num_elements = std::max(gen.num_elements, 1);
+      gen.name_zipf_exponent = options.name_zipf_exponent;
+      gen.seed = rng.Next();
+      Generator unrelated(gen);
+      target_tree = unrelated.GenerateTree();
+    }
+    corpus.targets.push_back(EmitSchema(target_tree, name));
+    corpus.names.push_back(std::move(name));
+  }
+  corpus.closest_target = related > 0 ? 0 : -1;
+  return corpus;
 }
 
 }  // namespace cupid

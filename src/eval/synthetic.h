@@ -11,6 +11,8 @@
 #define CUPID_EVAL_SYNTHETIC_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "eval/gold_mapping.h"
 #include "schema/schema.h"
@@ -34,6 +36,12 @@ struct SyntheticOptions {
   /// Probability a target-side container is flattened into its parent
   /// (tests the leaf-bias of TreeMatch).
   double flatten_probability = 0.15;
+  /// Skew of the vocabulary-word distribution: 0 keeps the historical
+  /// uniform draw (bit-compatible with earlier seeds); > 0 draws words
+  /// Zipf-like with this exponent, the realistic regime for corpus
+  /// experiments (a few names dominate real repositories, which is exactly
+  /// what makes candidate pruning by token overlap hard).
+  double name_zipf_exponent = 0.0;
   uint64_t seed = 42;
 };
 
@@ -48,6 +56,50 @@ Schema GenerateSyntheticSchema(const SyntheticOptions& options);
 
 /// \brief Generates a (source, mutated target, gold) triple.
 SyntheticPair GenerateSyntheticPair(const SyntheticOptions& options);
+
+/// Knobs of the corpus generator (one probe schema vs. hundreds of stored
+/// targets — the one-vs-N search workload).
+struct SyntheticCorpusOptions {
+  /// Stored target schemas.
+  int num_targets = 200;
+  /// Approximate elements in the probe (source) schema.
+  int source_elements = 100;
+  /// Element-count range of unrelated targets (drawn per target).
+  int min_target_elements = 40;
+  int max_target_elements = 160;
+  /// Fraction of targets derived from the probe by mutation (the rest are
+  /// independently generated). Related targets are what search must find.
+  double related_fraction = 0.3;
+  /// Mutation strength range across the related targets: the first related
+  /// target mutates at min_mutation (the planted best match), the last at
+  /// max_mutation. Strength scales the rename/type-change/flatten
+  /// probabilities.
+  double min_mutation = 0.05;
+  double max_mutation = 0.6;
+  /// Vocabulary skew of the UNRELATED targets (see
+  /// SyntheticOptions::name_zipf_exponent); realistic corpora share names
+  /// heavily across schemas.
+  double name_zipf_exponent = 1.1;
+  uint64_t seed = 42;
+};
+
+/// One generated corpus. Deterministic given the options.
+struct SyntheticCorpus {
+  Schema source = Schema("Probe");
+  std::vector<Schema> targets;
+  /// Repository-style names, "t000".."tNNN", aligned with `targets`.
+  std::vector<std::string> names;
+  /// Index of the least-mutated relative of `source` (the planted ground
+  /// truth a searcher should rank first); -1 when num_targets == 0 or
+  /// related_fraction rounds to zero targets.
+  int closest_target = -1;
+};
+
+/// \brief Generates a probe schema plus a corpus of stored targets: a
+/// related_fraction of the targets are mutated copies of the probe at
+/// increasing mutation strength, the rest are independent schemas drawn
+/// from the same vocabulary with Zipf-skewed name frequencies.
+SyntheticCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options);
 
 }  // namespace cupid
 

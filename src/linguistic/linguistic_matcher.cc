@@ -378,13 +378,14 @@ Result<LinguisticResult> LinguisticMatcher::MatchCached(
   if (cache == nullptr) return MatchCachedImpl(s1, s2, nullptr);
   // The whole serial fill runs under the cache mutex (see lsim_cache.h);
   // the pool workers in the scatter below only read run-local state.
-  MutexLock lock(&cache->mu_);
+  SharedMutexLock lock(&cache->mu_);
   LsimCacheView view = cache->LockedView();
   return MatchCachedImpl(s1, s2, &view);
 }
 
 Result<LinguisticResult> LinguisticMatcher::MatchCachedImpl(
-    const Schema& s1, const Schema& s2, LsimCacheView* view) const {
+    const Schema& s1, const Schema& s2, LsimCacheView* view,
+    bool warm_only) const {
   LinguisticResult out;
   // Run-local interner, used when no cross-run cache is supplied.
   TokenInterner local_interner;
@@ -433,7 +434,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchCachedImpl(
 
   std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
   std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
-  if (options_.annotation_weight > 0.0) {
+  if (options_.annotation_weight > 0.0 && !warm_only) {
     docs1 = BuildDocs(s1, *thesaurus_);
     docs2 = BuildDocs(s2, *thesaurus_);
   }
@@ -456,8 +457,10 @@ Result<LinguisticResult> LinguisticMatcher::MatchCachedImpl(
   int threads = ThreadPool::EffectiveThreads(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   // Spawning workers only pays when some row block is big enough to leave
-  // ParallelFor's inline path (2 * its 16-row minimum chunk).
-  if (threads > 1 && std::max(num_d1, s1.num_elements()) >= 32) {
+  // ParallelFor's inline path (2 * its 16-row minimum chunk). A warm-only
+  // pass never reaches the parallel sections.
+  if (!warm_only && threads > 1 &&
+      std::max(num_d1, s1.num_elements()) >= 32) {
     pool = std::make_unique<ThreadPool>(threads);
   }
 
@@ -496,6 +499,11 @@ Result<LinguisticResult> LinguisticMatcher::MatchCachedImpl(
         }
       }
     });
+  }
+  if (warm_only) {
+    // WarmNames: every needed name-pair similarity is now in the cache; the
+    // element-pair scatter is left to the shared-mode readers (MatchWarmed).
+    return out;
   }
   const Matrix<double>& distinct_ns = view ? view->ns() : local_ns;
 
@@ -564,6 +572,152 @@ Result<LinguisticResult> LinguisticMatcher::Match(const Schema& s1,
   return MatchCached(s1, s2, cache);
 }
 
+Status LinguisticMatcher::WarmNames(const Schema& s1, const Schema& s2,
+                                    LsimCache* cache) const {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("WarmNames requires an LsimCache");
+  }
+  if (cache->thesaurus_ != thesaurus_) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to a different thesaurus");
+  }
+  const LinguisticOptions& co = cache->options_;
+  if (co.substring.scale != options_.substring.scale ||
+      co.substring.min_affix != options_.substring.min_affix ||
+      co.token_weights.w != options_.token_weights.w) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to different linguistic options");
+  }
+  if (options_.thns < 0.0 || options_.thns > 1.0) {
+    return Status::InvalidArgument("thns must be within [0,1]");
+  }
+  if (options_.annotation_weight < 0.0 || options_.annotation_weight > 1.0) {
+    return Status::InvalidArgument("annotation_weight must be within [0,1]");
+  }
+  if (options_.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  SharedMutexLock lock(&cache->mu_);
+  LsimCacheView view = cache->LockedView();
+  return MatchCachedImpl(s1, s2, &view, /*warm_only=*/true).status();
+}
+
+Result<LinguisticResult> LinguisticMatcher::MatchWarmed(
+    const Schema& s1, const Schema& s2, const LsimCache& cache) const {
+  if (cache.thesaurus_ != thesaurus_) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to a different thesaurus");
+  }
+  const LinguisticOptions& co = cache.options_;
+  if (co.substring.scale != options_.substring.scale ||
+      co.substring.min_affix != options_.substring.min_affix ||
+      co.token_weights.w != options_.token_weights.w) {
+    return Status::InvalidArgument(
+        "LsimCache is bound to different linguistic options");
+  }
+  if (options_.thns < 0.0 || options_.thns > 1.0) {
+    return Status::InvalidArgument("thns must be within [0,1]");
+  }
+  if (options_.annotation_weight < 0.0 || options_.annotation_weight > 1.0) {
+    return Status::InvalidArgument("annotation_weight must be within [0,1]");
+  }
+
+  SharedReaderLock lock(&cache.mu_);
+  LsimCacheReadView view = cache.LockedReadView();
+
+  // Distinct-name lookup only: a name the exclusive passes never registered
+  // means the candidate was not warmed — report it, never fill.
+  LinguisticResult out;
+  std::vector<int32_t> of_element1, of_element2;
+  auto lookup_distinct = [](const Schema& s, auto&& find,
+                            std::vector<int32_t>* of_element) {
+    of_element->reserve(static_cast<size_t>(s.num_elements()));
+    for (ElementId id : s.AllElements()) {
+      int32_t d = find(s.element(id).name);
+      if (d < 0) return false;
+      of_element->push_back(d);
+    }
+    return true;
+  };
+  if (!lookup_distinct(
+          s1, [&](const std::string& raw) { return view.FindSide1(raw); },
+          &of_element1) ||
+      !lookup_distinct(
+          s2, [&](const std::string& raw) { return view.FindSide2(raw); },
+          &of_element2)) {
+    return Status::Unavailable(
+        "MatchWarmed: schema contains names not warmed into the LsimCache");
+  }
+
+  auto collect_names = [](const std::vector<int32_t>& of_element,
+                          const std::vector<NormalizedName>& registry) {
+    auto names = std::make_shared<std::vector<NormalizedName>>();
+    names->reserve(of_element.size());
+    for (int32_t id : of_element) {
+      names->push_back(registry[static_cast<size_t>(id)]);
+    }
+    return names;
+  };
+  out.names1 = collect_names(of_element1, view.names1());
+  out.names2 = collect_names(of_element2, view.names2());
+  out.categories1 = std::make_shared<const Categorization>(
+      CategorizeSchema(s1, *out.names1, normalizer_));
+  out.categories2 = std::make_shared<const Categorization>(
+      CategorizeSchema(s2, *out.names2, normalizer_));
+  out.lsim = Matrix<float>(s1.num_elements(), s2.num_elements());
+
+  // Category scaling through a RUN-LOCAL interner and memo: the keyword
+  // similarities are pure functions of the token strings, so the values are
+  // bit-identical to the cached pass while never touching the shared
+  // interner (which a reader must not grow).
+  TokenInterner local_interner;
+  Matrix<float> best_scale = ComputeBestScaleInterned(
+      options_, thesaurus_, *out.categories1, *out.categories2,
+      &local_interner, /*external_memo=*/nullptr, s1.num_elements(),
+      s2.num_elements());
+
+  std::vector<AnnotationVector> docs1(static_cast<size_t>(s1.num_elements()));
+  std::vector<AnnotationVector> docs2(static_cast<size_t>(s2.num_elements()));
+  if (options_.annotation_weight > 0.0) {
+    docs1 = BuildDocs(s1, *thesaurus_);
+    docs2 = BuildDocs(s2, *thesaurus_);
+  }
+
+  // Serial scatter, same arithmetic as MatchCachedImpl's (the scatter writes
+  // disjoint cells, so threading never affects values; corpus-search
+  // parallelism comes from running many MatchWarmed calls concurrently).
+  int64_t comparisons = 0;
+  const int64_t cols = s2.num_elements();
+  const int32_t* idx2 = of_element2.data();
+  for (ElementId e1 = 0; e1 < s1.num_elements(); ++e1) {
+    const int32_t d1 = of_element1[static_cast<size_t>(e1)];
+    const float* scale_row = &best_scale(e1, 0);
+    float* lsim_row = &out.lsim(e1, 0);
+    const bool blend = options_.annotation_weight > 0.0 &&
+                       !docs1[static_cast<size_t>(e1)].empty();
+    for (int64_t e2 = 0; e2 < cols; ++e2) {
+      float scale = scale_row[e2];
+      if (scale <= 0.0f) continue;
+      ++comparisons;
+      double ns;
+      if (!view.NameSimilarityIfKnown(d1, idx2[e2], &ns)) {
+        return Status::Unavailable(
+            "MatchWarmed: name pair not warmed into the LsimCache");
+      }
+      double lsim = std::clamp(ns * static_cast<double>(scale), 0.0, 1.0);
+      if (blend && !docs2[static_cast<size_t>(e2)].empty()) {
+        double w = options_.annotation_weight;
+        lsim = (1.0 - w) * lsim +
+               w * AnnotationCosine(docs1[static_cast<size_t>(e1)],
+                                    docs2[static_cast<size_t>(e2)]);
+      }
+      lsim_row[e2] = static_cast<float>(lsim);
+    }
+  }
+  out.comparisons = comparisons;
+  return out;
+}
+
 Result<LinguisticResult> LinguisticMatcher::MatchGather(
     const Schema& s1, const Schema& s2, LsimCache* cache,
     const LsimGatherPlan& plan, const LinguisticResult& prev) const {
@@ -611,7 +765,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
   LinguisticResult out;
   // As in MatchCached: the whole patch pipeline holds the cache mutex and
   // works through a locked view (the row/column fills run serially here).
-  MutexLock cache_lock(&cache->mu_);
+  SharedMutexLock cache_lock(&cache->mu_);
   LsimCacheView view = cache->LockedView();
   TokenInterner* interner = view.interner();
   std::vector<int32_t> of_element1, of_element2;

@@ -78,6 +78,14 @@ class JobScheduler {
   /// max_pending jobs are in flight; Unsupported after Shutdown.
   Result<std::shared_ptr<MatchJob>> Submit(MatchRequest request);
 
+  /// \brief Generic admission path: schedules an arbitrary closure under
+  /// the same bounded-admission rules as Submit (OutOfRange when full,
+  /// Unsupported after Shutdown). Corpus search shards its per-candidate
+  /// work through this; Submit wraps a MatchRequest into a closure and
+  /// forwards here.
+  Result<std::shared_ptr<MatchJob>> SubmitTask(
+      std::function<Result<MatchResponse>()> task);
+
   /// \brief Submits every request, then waits for all of them; results come
   /// back in request order. Rejected submissions surface as their error
   /// status in the corresponding slot.
@@ -93,11 +101,6 @@ class JobScheduler {
 
  private:
   friend class JobSchedulerTestPeer;
-
-  /// Generic admission path; Submit wraps `request` into a closure. Test
-  /// hook: lets tests inject blocking work to pin workers deterministically.
-  Result<std::shared_ptr<MatchJob>> SubmitTask(
-      std::function<Result<MatchResponse>()> task);
 
   MatchService* service_;
   Options options_;

@@ -112,6 +112,16 @@ size_t MatchService::ResultKeyHash::operator()(const ResultKey& k) const {
   return static_cast<size_t>(h);
 }
 
+Status MatchService::Options::Validate() const {
+  if (result_cache_capacity < 0) {
+    return Status::InvalidArgument("result_cache_capacity must be >= 0");
+  }
+  if (session_capacity < 0) {
+    return Status::InvalidArgument("session_capacity must be >= 0");
+  }
+  return Status::OK();
+}
+
 MatchService::MatchService(const Thesaurus* thesaurus,
                            SchemaRepository* repository, Options options)
     : thesaurus_(thesaurus), repository_(repository), options_(options) {}
@@ -155,6 +165,7 @@ void MatchService::CacheInsert(const ResultKey& key,
 
 Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
   Clock::time_point t_start = Clock::now();
+  CUPID_RETURN_NOT_OK(options_.Validate());
   CUPID_RETURN_NOT_OK(request.config.Validate());
   CUPID_ASSIGN_OR_RETURN(SchemaRepository::SchemaSnapshot source,
                          repository_->Resolve(request.source,

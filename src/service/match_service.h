@@ -103,6 +103,11 @@ class MatchService {
     /// a fresh session — results stay bit-identical, only the first
     /// request pays the cold cost again. 0 = unbounded.
     int session_capacity = 64;
+
+    /// InvalidArgument on out-of-domain capacities (negative values would
+    /// silently disable eviction or underflow size comparisons). Checked on
+    /// every Match call, so a misconfigured service fails loudly.
+    Status Validate() const;
   };
 
   /// `thesaurus` and `repository` must outlive the service.

@@ -43,6 +43,11 @@
 #define REQUIRES(...) \
   CUPID_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
 
+/// Shared-mode variant of REQUIRES: the caller holds the capability in
+/// shared (reader) mode.
+#define REQUIRES_SHARED(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
 /// Function that may only be called while NOT holding the given
 /// capabilities (it acquires them itself).
 #define EXCLUDES(...) \
@@ -52,9 +57,17 @@
 #define ACQUIRE(...) \
   CUPID_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
 
+/// Function that acquires the capability in shared (reader) mode.
+#define ACQUIRE_SHARED(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
 /// Function that releases a held capability.
 #define RELEASE(...) \
   CUPID_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that releases a capability held in shared (reader) mode.
+#define RELEASE_SHARED(...) \
+  CUPID_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
 
 /// Function that acquires the capability only when it returns `ret`.
 #define TRY_ACQUIRE(ret, ...) \

@@ -1,0 +1,327 @@
+// Tests for src/service/corpus_search.h: the ranked one-vs-N search must be
+// bit-identical to an exhaustive per-pair CupidMatcher sweep — same order,
+// same scores — no matter how it is executed (serial, sharded over a
+// scheduler, shared LsimCache on or off, admission-rejected inline
+// fallback), repeated searches must be bit-identical, pruning must keep the
+// planted best match, and out-of-domain requests must be rejected loudly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cupid_matcher.h"
+#include "eval/synthetic.h"
+#include "service/corpus_search.h"
+#include "service/job_scheduler.h"
+#include "service/match_service.h"
+#include "service/schema_repository.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+SyntheticCorpusOptions SmallCorpusOptions() {
+  SyntheticCorpusOptions opt;
+  opt.num_targets = 24;
+  opt.source_elements = 50;
+  opt.min_target_elements = 30;
+  opt.max_target_elements = 70;
+  opt.seed = 7;
+  return opt;
+}
+
+/// Registers the corpus in `repo`; the probe goes in as "probe".
+void RegisterCorpus(const SyntheticCorpus& corpus, SchemaRepository* repo) {
+  ASSERT_TRUE(repo->Register("probe", corpus.source).ok());
+  for (size_t i = 0; i < corpus.targets.size(); ++i) {
+    ASSERT_TRUE(repo->Register(corpus.names[i], corpus.targets[i]).ok());
+  }
+}
+
+/// The reference ranking: full CupidMatcher::Match against every stored
+/// schema, scored and ordered with the public helpers the service uses.
+std::vector<SearchHit> NaiveSweep(const Thesaurus* thesaurus,
+                                  const CupidConfig& config,
+                                  SchemaRepository* repo,
+                                  const std::string& source_name,
+                                  int top_k) {
+  std::vector<SearchHit> hits;
+  CupidMatcher matcher(thesaurus, config);
+  auto source = repo->Resolve(source_name);
+  EXPECT_TRUE(source.ok());
+  for (const std::string& name : repo->Names()) {
+    if (name == source_name) continue;
+    auto target = repo->Resolve(name);
+    EXPECT_TRUE(target.ok());
+    auto result = matcher.Match(*source->schema, *target->schema);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    SearchHit hit;
+    hit.target = name;
+    hit.target_version = target->version;
+    hit.score = CorpusRankingScore(*result);
+    hit.leaf_elements = static_cast<int64_t>(result->leaf_mapping.size());
+    hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.target != b.target) return a.target < b.target;
+              return a.target_version < b.target_version;
+            });
+  if (hits.size() > static_cast<size_t>(top_k)) {
+    hits.resize(static_cast<size_t>(top_k));
+  }
+  return hits;
+}
+
+void ExpectHitsEqual(const std::vector<SearchHit>& got,
+                     const std::vector<SearchHit>& want,
+                     const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].target, want[i].target) << context << " [" << i << "]";
+    EXPECT_EQ(got[i].target_version, want[i].target_version)
+        << context << " [" << i << "]";
+    // Bitwise score equality: the search pipeline must reproduce the naive
+    // sweep's doubles exactly, not approximately.
+    EXPECT_EQ(got[i].score, want[i].score) << context << " [" << i << "]";
+    EXPECT_EQ(got[i].leaf_elements, want[i].leaf_elements)
+        << context << " [" << i << "]";
+  }
+}
+
+TEST(CorpusSearch, ExhaustiveEqualsNaiveSweepAcrossExecutionModes) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SyntheticCorpus corpus = GenerateSyntheticCorpus(SmallCorpusOptions());
+  SchemaRepository repo;
+  RegisterCorpus(corpus, &repo);
+
+  SearchRequest request;
+  request.source = "probe";
+  request.top_k = 10;
+  request.exhaustive = true;
+
+  std::vector<SearchHit> want = NaiveSweep(&thesaurus, request.config, &repo,
+                                           "probe", request.top_k);
+
+  for (bool shared_cache : {false, true}) {
+    for (int threads : {0, 1, 4}) {  // 0 = no scheduler (serial path)
+      MatchService match_service(&thesaurus, &repo);
+      std::unique_ptr<JobScheduler> scheduler;
+      if (threads > 0) {
+        JobScheduler::Options sched_opt;
+        sched_opt.num_threads = threads;
+        scheduler = std::make_unique<JobScheduler>(&match_service, sched_opt);
+      }
+      CorpusSearchService::Options opt;
+      opt.share_lsim_cache = shared_cache;
+      CorpusSearchService search(&thesaurus, &repo, scheduler.get(), opt);
+
+      auto response = search.Search(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      std::string context = std::string("shared_cache=") +
+                            (shared_cache ? "1" : "0") +
+                            " threads=" + std::to_string(threads);
+      EXPECT_EQ(response->candidates_total,
+                static_cast<int64_t>(corpus.targets.size()))
+          << context;
+      EXPECT_EQ(response->candidates_pruned, 0) << context;
+      EXPECT_EQ(response->full_matches, response->candidates_total)
+          << context;
+      EXPECT_EQ(response->shared_cache, shared_cache) << context;
+      ExpectHitsEqual(response->hits, want, context);
+    }
+  }
+}
+
+TEST(CorpusSearch, RepeatedSearchesAreBitIdentical) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SyntheticCorpus corpus = GenerateSyntheticCorpus(SmallCorpusOptions());
+  SchemaRepository repo;
+  RegisterCorpus(corpus, &repo);
+
+  MatchService match_service(&thesaurus, &repo);
+  JobScheduler::Options sched_opt;
+  sched_opt.num_threads = 4;
+  JobScheduler scheduler(&match_service, sched_opt);
+  CorpusSearchService search(&thesaurus, &repo, &scheduler);
+
+  SearchRequest request;
+  request.source = "probe";
+  request.top_k = 8;
+
+  auto first = search.Search(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // The second and third searches serve name-pair work from the warmed
+  // shared cache (first run filled it); results must not move by a bit.
+  for (int run = 0; run < 2; ++run) {
+    auto again = search.Search(request);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ExpectHitsEqual(again->hits, first->hits,
+                    "repeat run " + std::to_string(run));
+    EXPECT_EQ(again->candidates_pruned, first->candidates_pruned);
+    EXPECT_EQ(again->full_matches, first->full_matches);
+  }
+}
+
+TEST(CorpusSearch, PrunedSearchKeepsThePlantedBestMatch) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SyntheticCorpusOptions opt = SmallCorpusOptions();
+  opt.num_targets = 40;
+  SyntheticCorpus corpus = GenerateSyntheticCorpus(opt);
+  ASSERT_EQ(corpus.closest_target, 0);
+  SchemaRepository repo;
+  RegisterCorpus(corpus, &repo);
+  CorpusSearchService search(&thesaurus, &repo);
+
+  SearchRequest exhaustive;
+  exhaustive.source = "probe";
+  exhaustive.top_k = 5;
+  exhaustive.exhaustive = true;
+  auto full = search.Search(exhaustive);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_FALSE(full->hits.empty());
+
+  SearchRequest pruned = exhaustive;
+  pruned.exhaustive = false;
+  pruned.prune = true;
+  pruned.prune_fraction = 0.2;
+  pruned.prune_min_keep = 5;
+  auto quick = search.Search(pruned);
+  ASSERT_TRUE(quick.ok()) << quick.status().ToString();
+  ASSERT_FALSE(quick->hits.empty());
+
+  // The screen must actually prune...
+  EXPECT_GT(quick->candidates_pruned, 0);
+  EXPECT_LT(quick->full_matches, quick->candidates_total);
+  // ...while keeping the overall best hit: top-1 equality with the
+  // exhaustive ranking (the property the CI corpus smoke also gates).
+  EXPECT_EQ(quick->hits[0].target, full->hits[0].target);
+  EXPECT_EQ(quick->hits[0].score, full->hits[0].score);
+  // Every pruned hit must appear in the exhaustive ranking with an
+  // identical score (pruning changes the candidate set, never a score).
+  for (const SearchHit& hit : quick->hits) {
+    auto it = std::find_if(full->hits.begin(), full->hits.end(),
+                           [&](const SearchHit& h) {
+                             return h.target == hit.target;
+                           });
+    if (it != full->hits.end()) {
+      EXPECT_EQ(hit.score, it->score) << hit.target;
+    }
+  }
+  // The planted least-mutated relative is the expected winner.
+  EXPECT_EQ(full->hits[0].target, corpus.names[0]);
+}
+
+TEST(CorpusSearch, RequestValidationRejectsOutOfDomainKnobs) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("probe", Schema("Probe")).ok());
+  CorpusSearchService search(&thesaurus, &repo);
+
+  SearchRequest ok_request;
+  ok_request.source = "probe";
+
+  SearchRequest bad = ok_request;
+  bad.top_k = 0;
+  EXPECT_TRUE(search.Search(bad).status().IsInvalidArgument());
+  bad = ok_request;
+  bad.top_k = -3;
+  EXPECT_TRUE(search.Search(bad).status().IsInvalidArgument());
+  bad = ok_request;
+  bad.prune_fraction = 1.5;
+  EXPECT_TRUE(search.Search(bad).status().IsInvalidArgument());
+  bad = ok_request;
+  bad.prune_fraction = -0.1;
+  EXPECT_TRUE(search.Search(bad).status().IsInvalidArgument());
+  bad = ok_request;
+  bad.prune_min_keep = -1;
+  EXPECT_TRUE(search.Search(bad).status().IsInvalidArgument());
+  bad = ok_request;
+  bad.source.clear();
+  EXPECT_TRUE(search.Search(bad).status().IsInvalidArgument());
+
+  // Unknown probe name surfaces as NotFound from the repository.
+  bad = ok_request;
+  bad.source = "nope";
+  EXPECT_TRUE(search.Search(bad).status().IsNotFound());
+}
+
+TEST(CorpusSearch, ServiceOptionsValidationRejectsNegativeCapacities) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("a", Schema("A")).ok());
+  ASSERT_TRUE(repo.Register("b", Schema("B")).ok());
+
+  MatchService::Options bad_options;
+  bad_options.result_cache_capacity = -1;
+  MatchService service(&thesaurus, &repo, bad_options);
+  MatchRequest request;
+  request.source = "a";
+  request.target = "b";
+  EXPECT_TRUE(service.Match(request).status().IsInvalidArgument());
+
+  bad_options = MatchService::Options();
+  bad_options.session_capacity = -7;
+  MatchService service2(&thesaurus, &repo, bad_options);
+  EXPECT_TRUE(service2.Match(request).status().IsInvalidArgument());
+}
+
+TEST(CorpusSearch, QueueFullInlineFallbackStaysDeterministic) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SyntheticCorpusOptions opt = SmallCorpusOptions();
+  opt.num_targets = 12;
+  SyntheticCorpus corpus = GenerateSyntheticCorpus(opt);
+  SchemaRepository repo;
+  RegisterCorpus(corpus, &repo);
+
+  SearchRequest request;
+  request.source = "probe";
+  request.top_k = 6;
+  request.exhaustive = true;
+
+  // Reference: no scheduler at all.
+  CorpusSearchService serial(&thesaurus, &repo);
+  auto want = serial.Search(request);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  // A scheduler with a tiny admission bound: most submissions bounce with
+  // OutOfRange and run inline on the coordinator — results must not move.
+  MatchService match_service(&thesaurus, &repo);
+  JobScheduler::Options sched_opt;
+  sched_opt.num_threads = 2;
+  sched_opt.max_pending = 1;
+  JobScheduler scheduler(&match_service, sched_opt);
+  CorpusSearchService tiny(&thesaurus, &repo, &scheduler);
+  auto got = tiny.Search(request);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectHitsEqual(got->hits, want->hits, "tiny admission bound");
+}
+
+TEST(CorpusSearch, ResponseJsonCarriesScoresAndCounts) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SyntheticCorpusOptions opt = SmallCorpusOptions();
+  opt.num_targets = 6;
+  SyntheticCorpus corpus = GenerateSyntheticCorpus(opt);
+  SchemaRepository repo;
+  RegisterCorpus(corpus, &repo);
+  CorpusSearchService search(&thesaurus, &repo);
+
+  SearchRequest request;
+  request.source = "probe";
+  request.top_k = 3;
+  request.exhaustive = true;
+  auto response = search.Search(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  std::string json = response->ToJson();
+  EXPECT_NE(json.find("\"source\":\"probe\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"candidates_total\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hits\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"score\":"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace cupid
