@@ -8,6 +8,9 @@
 //                                first round every request is an LRU
 //                                result-cache hit (the steady state of
 //                                read-heavy traffic)
+//   * BM_ServiceWarmTraced/T     the warm workload with span tracing into
+//                                a null sink — the observability overhead
+//                                run CI gates against BM_ServiceWarmRepeated
 //   * BM_ServiceSessionOnly/T    result cache off, warm per-pair sessions
 //                                on — every request re-serves the session's
 //                                cached result (the "cache key missed but
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "core/cupid_matcher.h"
+#include "obs/trace.h"
 #include "service/job_scheduler.h"
 #include "service/match_service.h"
 #include "service/schema_repository.h"
@@ -132,6 +136,19 @@ void BM_ServiceWarmRepeated(benchmark::State& state) {
   RunTrafficBench(state, /*use_result_cache=*/true, /*use_session=*/true);
 }
 BENCHMARK(BM_ServiceWarmRepeated)->Arg(1)->Arg(4)->UseRealTime();
+
+/// BM_ServiceWarmRepeated with span tracing enabled into a NullTraceSink:
+/// pays the full record-building path (clock reads, attribute capture,
+/// JSONL-ready records) without sink I/O. CI gates the throughput delta
+/// against the untraced warm run (<2% measured locally; the CI gate allows
+/// 10% for runner noise).
+void BM_ServiceWarmTraced(benchmark::State& state) {
+  static obs::NullTraceSink null_sink;
+  obs::SetGlobalTraceSink(&null_sink);
+  RunTrafficBench(state, /*use_result_cache=*/true, /*use_session=*/true);
+  obs::SetGlobalTraceSink(nullptr);
+}
+BENCHMARK(BM_ServiceWarmTraced)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_ServiceSessionOnly(benchmark::State& state) {
   RunTrafficBench(state, /*use_result_cache=*/false, /*use_session=*/true);

@@ -27,6 +27,8 @@
 //    "prune_fraction":0.25,"prune_min_keep":16,"config":{...}}
 //   {"cmd":"save","dir":"/tmp/repo"}      {"cmd":"load","dir":"/tmp/repo"}
 //   {"cmd":"stats"}
+//   {"cmd":"metrics"}                     // full registry, JSON array
+//   {"cmd":"metrics","format":"prometheus"}  // text exposition in "text"
 //
 // Protocol: every response object carries "v":1 (bump on incompatible
 // response-shape changes) and either "status":"ok" or "status":"error" with
@@ -67,6 +69,7 @@
 
 #include "core/cupid_matcher.h"
 #include "importers/schema_io.h"
+#include "obs/metrics.h"
 #include "service/corpus_search.h"
 #include "service/job_scheduler.h"
 #include "service/match_service.h"
@@ -666,6 +669,40 @@ int main(int argc, char** argv) {
       w.EndArray();
       w.EndObject();
       std::printf("%s\n", w.str().c_str());
+    } else if (cmd == "metrics") {
+      // The whole process-wide registry, either as a JSON array of metric
+      // objects (machine-readable, the protocol-native shape) or as a
+      // Prometheus text page embedded in "text" (multi-line exposition
+      // kept inside the JSONL framing).
+      obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+      std::string format = parsed->GetString("format", "json");
+      if (format == "prometheus") {
+        JsonWriter w;
+        w.BeginObject();
+        w.Key("v");
+        w.Int(kProtocolVersion);
+        w.Key("status");
+        w.String("ok");
+        w.Key("cmd");
+        w.String(cmd);
+        w.Key("format");
+        w.String(format);
+        w.Key("text");
+        w.String(reg->RenderPrometheus());
+        w.EndObject();
+        std::printf("%s\n", w.str().c_str());
+      } else if (format == "json") {
+        // RenderJson is already a JSON array; splice it into the envelope.
+        std::string json = "{\"v\":" + std::to_string(kProtocolVersion) +
+                           ",\"status\":\"ok\",\"cmd\":\"metrics\"," +
+                           "\"format\":\"json\",\"metrics\":" +
+                           reg->RenderJson() + "}";
+        std::printf("%s\n", json.c_str());
+      } else {
+        EmitError(cmd,
+                  Status::InvalidArgument("unknown metrics format: " + format));
+        ++errors;
+      }
     } else {
       EmitError(cmd.empty() ? "?" : cmd,
                 Status::InvalidArgument("unknown cmd"));

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 #include "tree/tree_builder.h"
 
 namespace cupid {
@@ -501,7 +503,7 @@ Result<const MatchResult*> MatchSession::Rematch() {
   // either way). With the perf cache disabled, the naive reference
   // pipeline runs instead — the session then exercises the incremental
   // structural path against uncached linguistic fills.
-  const bool trace = getenv("CUPID_TRACE_INCREMENTAL") != nullptr;
+  obs::ScopedSpan span("session.rematch");
   auto t0 = std::chrono::steady_clock::now();
   LinguisticMatcher linguistic(thesaurus_, config_.linguistic);
   LinguisticResult lres;
@@ -592,17 +594,20 @@ Result<const MatchResult*> MatchSession::Rematch() {
   stats_.tree_match = result_->tree_match.stats;
   stats_.lsim_cached_pairs = lsim_cache_.num_cached_pairs();
   stats_.lsim_gathered_rows = result_->linguistic.gathered_rows;
-  if (trace) {
+  if (span.enabled()) {
     auto t7 = std::chrono::steady_clock::now();
     auto ms = [](auto a, auto b) {
       return std::chrono::duration<double, std::milli>(b - a).count();
     };
-    fprintf(stderr,
-            "[rematch] linguistic=%.2f trees=%.2f delta=%.2f sweep=%.2f "
-            "recompute=%.2f mapping=%.2f commit=%.2f gathered_rows=%lld\n",
-            ms(t0, t1), ms(t1, t2), ms(t2, t3), ms(t3, t4), ms(t4, t5),
-            ms(t5, t6), ms(t6, t7),
-            static_cast<long long>(result_->linguistic.gathered_rows));
+    span.Attr("linguistic_ms", ms(t0, t1));
+    span.Attr("trees_ms", ms(t1, t2));
+    span.Attr("delta_ms", ms(t2, t3));
+    span.Attr("sweep_ms", ms(t3, t4));
+    span.Attr("recompute_ms", ms(t4, t5));
+    span.Attr("mapping_ms", ms(t5, t6));
+    span.Attr("commit_ms", ms(t6, t7));
+    span.Attr("warm", warm ? 1 : 0);
+    span.Attr("gathered_rows", result_->linguistic.gathered_rows);
   }
   return result_.get();
 }

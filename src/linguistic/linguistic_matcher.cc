@@ -11,6 +11,7 @@
 
 #include "linguistic/annotations.h"
 #include "linguistic/lsim_cache.h"
+#include "obs/trace.h"
 #include "perf/interned_names.h"
 #include "perf/token_interner.h"
 #include "util/id_runs.h"
@@ -761,6 +762,7 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
     return Status::InvalidArgument("annotation_weight must be within [0,1]");
   }
 
+  obs::ScopedSpan span("lsim.gather");
   auto g0 = std::chrono::steady_clock::now();
   LinguisticResult out;
   // As in MatchCached: the whole patch pipeline holds the cache mutex and
@@ -1006,15 +1008,17 @@ Result<LinguisticResult> LinguisticMatcher::MatchGather(
   for (ElementId e2 = 0; e2 < n2; ++e2) {
     if (plan.target_changed[static_cast<size_t>(e2)]) fill_col(e2);
   }
-  if (getenv("CUPID_TRACE_INCREMENTAL") != nullptr) {
+  if (span.enabled()) {
     auto g5 = std::chrono::steady_clock::now();
     auto ms = [](auto a, auto b) {
       return std::chrono::duration<double, std::milli>(b - a).count();
     };
-    fprintf(stderr,
-            "[lsim] names=%.2f categorize=%.2f copy=%.2f prep=%.2f "
-            "fill=%.2f\n",
-            ms(g0, g1), ms(g1, g2), ms(g2, g3), ms(g3, g4), ms(g4, g5));
+    span.Attr("names_ms", ms(g0, g1));
+    span.Attr("categorize_ms", ms(g1, g2));
+    span.Attr("copy_ms", ms(g2, g3));
+    span.Attr("prep_ms", ms(g3, g4));
+    span.Attr("fill_ms", ms(g4, g5));
+    span.Attr("gathered_rows", out.gathered_rows);
   }
   return out;
 }

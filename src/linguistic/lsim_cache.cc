@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace cupid {
 
 void LsimCacheView::EnsureCapacity(int64_t rows, int64_t cols) {
@@ -26,11 +28,21 @@ void LsimCacheView::EnsureCapacity(int64_t rows, int64_t cols) {
 
 double LsimCacheView::ComputeNameSimilarity(int32_t i, int32_t j,
                                             const TokenTypeWeights& weights) {
+  // The inline hit path (NameSimilarity in the header) is deliberately NOT
+  // instrumented — a counter per cached read would tax the hottest loop in
+  // the system. This miss path already pays a full similarity computation,
+  // so one relaxed increment is noise; hit counts are derivable as
+  // (comparisons - pairs_computed) at phase level.
+  static obs::Counter* pairs_computed =
+      obs::MetricsRegistry::Default()->GetCounter(
+          "cupid.lsim_cache.pairs_computed",
+          "Name-pair similarities computed (cache misses) across caches");
   (*ns_)(i, j) = InternedNameSimilarity(
       side1_->interned[static_cast<size_t>(i)],
       side2_->interned[static_cast<size_t>(j)], weights, memo_);
   (*known_)(i, j) = 1;
   ++*cached_pairs_;
+  pairs_computed->Increment();
   return (*ns_)(i, j);
 }
 

@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/json.h"
+
+namespace cupid {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+/// Percentile estimate from per-bucket counts: linear interpolation
+/// between the containing bucket's bounds; the +Inf bucket reports the
+/// last finite bound (a floor). Deterministic — integer counts in, one
+/// fixed expression out.
+double Percentile(const std::vector<double>& bounds,
+                  const std::vector<int64_t>& buckets, int64_t count,
+                  double q) {
+  if (count <= 0) return 0.0;
+  // Rank of the target observation, 1-based.
+  const double rank = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const int64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        (rank - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dotted registry
+/// names map '.' and '-' to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double>* kBuckets = new std::vector<double>{
+      0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,   5.0,    10.0,
+      25.0, 50.0,  100., 250., 500., 1000., 2500.0, 5000., 10000.};
+  return *kBuckets;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* kDefault = new MetricsRegistry();
+  return kDefault;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    std::string_view name, std::string_view help, MetricType type,
+    std::vector<double> bounds) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Entry* entry = entries_[it->second].get();
+    if (entry->type != type) {
+      // Names are compile-time constants; a type clash is a bug in the
+      // instrumentation, not a runtime condition to recover from.
+      std::fprintf(stderr,
+                   "metrics: %.*s already registered as %s, requested %s\n",
+                   static_cast<int>(name.size()), name.data(),
+                   TypeName(entry->type), TypeName(type));
+      std::abort();
+    }
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter = std::unique_ptr<Counter>(new Counter());
+      break;
+    case MetricType::kGauge:
+      entry->gauge = std::unique_ptr<Gauge>(new Gauge());
+      break;
+    case MetricType::kHistogram:
+      if (bounds.empty()) bounds = DefaultLatencyBucketsMs();
+      entry->histogram =
+          std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+      break;
+  }
+  Entry* raw = entry.get();
+  index_[raw->name] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return FindOrCreate(name, help, MetricType::kCounter, {})->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  return FindOrCreate(name, help, MetricType::kGauge, {})->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds) {
+  return FindOrCreate(name, help, MetricType::kHistogram, std::move(bounds))
+      ->histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    MetricSnapshot snap;
+    snap.name = entry->name;
+    snap.help = entry->help;
+    snap.type = entry->type;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        snap.value = entry->counter->value();
+        break;
+      case MetricType::kGauge:
+        snap.value = entry->gauge->value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        snap.bounds = h.bounds();
+        snap.buckets.resize(snap.bounds.size() + 1);
+        for (size_t i = 0; i < snap.buckets.size(); ++i) {
+          snap.buckets[i] = h.buckets_[i].load(std::memory_order_relaxed);
+        }
+        snap.count = h.count();
+        snap.sum_ms = h.sum_ms();
+        snap.p50 = Percentile(snap.bounds, snap.buckets, snap.count, 0.50);
+        snap.p95 = Percentile(snap.bounds, snap.buckets, snap.count, 0.95);
+        snap.p99 = Percentile(snap.bounds, snap.buckets, snap.count, 0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::vector<MetricSnapshot> snapshot = Snapshot();
+  JsonWriter w;
+  w.BeginArray();
+  for (const MetricSnapshot& m : snapshot) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(m.name);
+    w.Key("type");
+    w.String(TypeName(m.type));
+    w.Key("help");
+    w.String(m.help);
+    if (m.type == MetricType::kHistogram) {
+      w.Key("count");
+      w.Int(m.count);
+      w.Key("sum_ms");
+      w.FixedDouble(m.sum_ms, 3);
+      w.Key("p50_ms");
+      w.FixedDouble(m.p50, 3);
+      w.Key("p95_ms");
+      w.FixedDouble(m.p95, 3);
+      w.Key("p99_ms");
+      w.FixedDouble(m.p99, 3);
+      w.Key("le");
+      w.BeginArray();
+      for (double bound : m.bounds) w.Double(bound);
+      w.EndArray();
+      w.Key("buckets");
+      w.BeginArray();
+      for (int64_t bucket : m.buckets) w.Int(bucket);
+      w.EndArray();
+    } else {
+      w.Key("value");
+      w.Int(m.value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  return std::move(w).str();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::vector<MetricSnapshot> snapshot = Snapshot();
+  std::string out;
+  char line[256];
+  for (const MetricSnapshot& m : snapshot) {
+    const std::string name = PrometheusName(m.name);
+    out += "# HELP " + name + " " + m.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += TypeName(m.type);
+    out += "\n";
+    switch (m.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                      static_cast<long long>(m.value));
+        out += line;
+        break;
+      case MetricType::kHistogram: {
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < m.buckets.size(); ++i) {
+          cumulative += m.buckets[i];
+          if (i < m.bounds.size()) {
+            std::snprintf(line, sizeof(line), "%s_bucket{le=\"%g\"} %lld\n",
+                          name.c_str(), m.bounds[i],
+                          static_cast<long long>(cumulative));
+          } else {
+            std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %lld\n",
+                          name.c_str(), static_cast<long long>(cumulative));
+          }
+          out += line;
+        }
+        std::snprintf(line, sizeof(line), "%s_sum %.3f\n", name.c_str(),
+                      m.sum_ms);
+        out += line;
+        std::snprintf(line, sizeof(line), "%s_count %lld\n", name.c_str(),
+                      static_cast<long long>(m.count));
+        out += line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cupid

@@ -1,0 +1,204 @@
+// Metrics registry: named monotonic counters, gauges and fixed-bucket
+// latency histograms with one uniform export path.
+//
+// Before this subsystem every layer grew its own one-off stats struct
+// (MatchService::CacheStats, DurabilityStats, per-job queue/run times)
+// with no way to see them all at once; the registry is the single system
+// those structs are now views over. Design constraints, in order:
+//
+//   * Metrics must never influence match results. Handles only ever
+//     accumulate numbers — no metric feeds back into any decision.
+//   * Hot-path updates are lock-free: counters, gauges and histogram
+//     buckets are relaxed atomics; the registry mutex is touched only at
+//     registration and snapshot time.
+//   * Snapshots are deterministic: metrics iterate in registration order
+//     (a vector, never hash order), and histogram sums accumulate in
+//     integer microseconds, so totals are independent of the interleaving
+//     of concurrent updaters — the same workload at any thread count
+//     snapshots to identical values (tests/obs_test.cc pins this).
+//
+// Naming: dotted lowercase ("cupid.service.result_cache.hits"). The
+// Prometheus exposition (RenderPrometheus) maps '.' and '-' to '_' and
+// appends no implicit suffixes; the JSON exposition (RenderJson) keeps the
+// dotted names. docs/OBSERVABILITY.md is the metric catalog.
+//
+// Instances: components default to the process-wide registry
+// (MetricsRegistry::Default()), so one `metrics` server command exports
+// everything. Two components registering the same name share the metric;
+// per-instance views (e.g. MatchService::cache_stats) subtract a baseline
+// captured at construction, which is exact while the instance is the only
+// concurrent updater of its metrics — the serving topology (one service,
+// one scheduler, one repository per process) and the sequential test
+// pattern both satisfy that. Tests needing hard isolation pass their own
+// registry.
+
+#ifndef CUPID_OBS_METRICS_H_
+#define CUPID_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cupid {
+namespace obs {
+
+/// \brief Monotonic counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Up/down gauge. Add/Sub compose across instances sharing the
+/// metric (e.g. queue depth sums over schedulers); Set is last-writer-wins.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Default latency bucket upper bounds, milliseconds. Spans the observed
+/// dynamic range: ~10us result-cache hits up to multi-second cold corpus
+/// sweeps.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// \brief Fixed-bucket histogram of millisecond values.
+///
+/// Observations land in the first bucket whose upper bound is >= the
+/// value; values beyond the last bound land in an implicit +Inf bucket.
+/// The sum accumulates in integer microseconds (sub-microsecond precision
+/// is dropped), which keeps snapshot totals bit-identical across updater
+/// interleavings — no float accumulation order anywhere.
+class Histogram {
+ public:
+  void Observe(double value_ms) {
+    size_t i = 0;
+    while (i < bounds_.size() && value_ms > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(static_cast<int64_t>(value_ms * 1000.0),
+                      std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_ms() const {
+    return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  }
+
+  std::vector<double> bounds_;  ///< ascending finite upper bounds
+  /// bounds_.size() + 1 buckets; the last is +Inf.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_us_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time value of one metric (see MetricsRegistry::Snapshot).
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+
+  /// Counter / gauge value.
+  int64_t value = 0;
+
+  /// Histogram state; empty for counters/gauges. `buckets` are
+  /// per-bucket (non-cumulative) counts, one per bound plus the final
+  /// +Inf bucket. Percentiles are linear interpolations within the
+  /// containing bucket; observations in the +Inf bucket report the last
+  /// finite bound (a floor, not an estimate).
+  int64_t count = 0;
+  double sum_ms = 0.0;
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// \brief Owner of named metrics with registration-order iteration.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every component defaults to. Never
+  /// destroyed (metric handles stay valid through static teardown).
+  static MetricsRegistry* Default();
+
+  /// \brief Returns the counter registered under `name`, creating it on
+  /// first use. `help` is recorded at creation and ignored afterwards.
+  /// Registering a name that exists with a different type is a programming
+  /// error and aborts (metric names are compile-time constants; a clash is
+  /// a bug, not an input condition).
+  Counter* GetCounter(std::string_view name, std::string_view help);
+  Gauge* GetGauge(std::string_view name, std::string_view help);
+  /// `bounds` must be ascending; empty uses DefaultLatencyBucketsMs().
+  /// Bounds of an existing histogram are kept (first registration wins).
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds = {});
+
+  /// \brief Point-in-time values of every metric, in registration order.
+  /// Values are individually atomic but not mutually consistent (updates
+  /// may land between reads) — standard scrape semantics.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// JSON array of metric objects (the `metrics` protocol payload).
+  std::string RenderJson() const;
+  /// Prometheus text exposition (one scrape page).
+  std::string RenderPrometheus() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view help,
+                      MetricType type, std::vector<double> bounds)
+      EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  /// Registration order — the deterministic iteration the snapshot and
+  /// both expositions follow.
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> index_ GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace cupid
+
+#endif  // CUPID_OBS_METRICS_H_

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "linguistic/normalizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "structural/tree_match.h"
 #include "tree/tree_builder.h"
 #include "util/json.h"
@@ -81,11 +83,19 @@ Result<CandidateScore> ScoreCandidate(const Thesaurus* thesaurus,
   LinguisticMatcher linguistic(thesaurus, config.linguistic);
   LinguisticResult lres;
   if (cache != nullptr) {
+    static obs::Counter* shared_hits = obs::MetricsRegistry::Default()->GetCounter(
+        "cupid.corpus.shared_cache.hits",
+        "Candidates whose linguistic phase was served warm from the shared cache");
+    static obs::Counter* shared_misses = obs::MetricsRegistry::Default()->GetCounter(
+        "cupid.corpus.shared_cache.misses",
+        "Candidates that fell back to the exclusive cached path");
     Result<LinguisticResult> warmed =
         linguistic.MatchWarmed(source, target, *cache);
     if (warmed.ok()) {
+      shared_hits->Increment();
       lres = std::move(warmed).ValueOrDie();
     } else if (warmed.status().IsUnavailable()) {
+      shared_misses->Increment();
       CUPID_ASSIGN_OR_RETURN(lres, linguistic.Match(source, target, cache));
     } else {
       return warmed.status();
@@ -242,6 +252,10 @@ void CorpusSearchService::InvalidateAll() {
 
 Result<SearchResponse> CorpusSearchService::Search(
     const SearchRequest& request) {
+  obs::TraceContext trace_ctx("search");
+  obs::ScopedTraceContext scoped_ctx(&trace_ctx);
+  obs::ScopedSpan span("corpus.search");
+
   Clock::time_point t_start = Clock::now();
   CUPID_RETURN_NOT_OK(options_.Validate());
   CUPID_RETURN_NOT_OK(request.Validate());
@@ -327,6 +341,10 @@ Result<SearchResponse> CorpusSearchService::Search(
       CUPID_RETURN_NOT_OK(linguistic.WarmNames(
           *source.schema, *candidates[idx].snapshot.schema, cache));
     }
+    obs::MetricsRegistry::Default()
+        ->GetCounter("cupid.corpus.shared_cache.warms",
+                     "Candidate schemas warmed into the shared cache")
+        ->Add(static_cast<int64_t>(kept.size()));
   }
 
   // Sharded scoring: one task per survivor, each writing its preallocated
@@ -391,6 +409,25 @@ Result<SearchResponse> CorpusSearchService::Search(
     response.hits.resize(static_cast<size_t>(request.top_k));
   }
   response.timings.total_ms = MsSince(t_start);
+
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  reg->GetCounter("cupid.corpus.searches", "Corpus search requests completed")
+      ->Increment();
+  reg->GetCounter("cupid.corpus.candidates_pruned",
+                  "Candidates dropped by the pre-screen across searches")
+      ->Add(response.candidates_pruned);
+  reg->GetCounter("cupid.corpus.candidates_matched",
+                  "Candidates fully matched across searches")
+      ->Add(response.full_matches);
+  reg->GetHistogram("cupid.corpus.search_ms",
+                    "End-to-end corpus search latency, ms")
+      ->Observe(response.timings.total_ms);
+  span.Attr("candidates_total", response.candidates_total);
+  span.Attr("candidates_pruned", response.candidates_pruned);
+  span.Attr("full_matches", response.full_matches);
+  span.Attr("shared_cache", response.shared_cache ? 1 : 0);
+  span.Attr("prescreen_ms", response.timings.prescreen_ms);
+  span.Attr("match_ms", response.timings.match_ms);
   return response;
 }
 

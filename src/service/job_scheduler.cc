@@ -1,5 +1,6 @@
 #include "service/job_scheduler.h"
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace cupid {
@@ -42,6 +43,18 @@ JobScheduler::JobScheduler(MatchService* service, Options options)
       options_(options),
       pool_(ThreadPool::EffectiveThreads(options.num_threads)) {
   if (options_.max_pending < 1) options_.max_pending = 1;
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  queue_depth_ = reg->GetGauge("cupid.scheduler.queue_depth",
+                               "Jobs admitted but not yet finished");
+  jobs_submitted_ = reg->GetCounter("cupid.scheduler.jobs_submitted",
+                                    "Jobs admitted to the scheduler");
+  jobs_rejected_ = reg->GetCounter(
+      "cupid.scheduler.jobs_rejected",
+      "Submissions refused (queue full or shut down)");
+  queue_ms_ = reg->GetHistogram("cupid.scheduler.queue_ms",
+                                "Queue wait before a worker started, ms");
+  run_ms_ = reg->GetHistogram("cupid.scheduler.run_ms",
+                              "Job execution time on its worker, ms");
 }
 
 JobScheduler::~JobScheduler() { Shutdown(); }
@@ -63,13 +76,19 @@ Result<std::shared_ptr<MatchJob>> JobScheduler::SubmitTask(
     std::function<Result<MatchResponse>()> task) {
   {
     MutexLock lock(&mu_);
-    if (shutdown_) return Status::Unsupported("scheduler is shut down");
+    if (shutdown_) {
+      jobs_rejected_->Increment();
+      return Status::Unsupported("scheduler is shut down");
+    }
     if (pending_ >= options_.max_pending) {
+      jobs_rejected_->Increment();
       return Status::OutOfRange(
           StringFormat("job queue full (%d pending)", pending_));
     }
     ++pending_;
   }
+  jobs_submitted_->Increment();
+  queue_depth_->Add(1);
   auto job = std::make_shared<MatchJob>();
   job->enqueued_ = MatchJob::Clock::now();
   bool accepted = pool_.Submit([this, job, task = std::move(task)] {
@@ -88,12 +107,18 @@ Result<std::shared_ptr<MatchJob>> JobScheduler::SubmitTask(
       MutexLock lock(&mu_);
       --pending_;
     }
+    queue_depth_->Add(-1);
+    queue_ms_->Observe(queue_ms);
+    run_ms_->Observe(run_ms);
     job->Finish(std::move(result), queue_ms, run_ms);
   });
   if (!accepted) {
     // Raced with Shutdown: undo the admission.
-    MutexLock lock(&mu_);
-    --pending_;
+    {
+      MutexLock lock(&mu_);
+      --pending_;
+    }
+    queue_depth_->Add(-1);
     return Status::Unsupported("scheduler is shut down");
   }
   return job;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/match_service.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -109,6 +110,14 @@ class JobScheduler {
   mutable Mutex mu_;
   int pending_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
+
+  /// Default-registry handles (cupid.scheduler.*): the queue-depth gauge
+  /// composes additively across schedulers sharing the registry.
+  obs::Gauge* queue_depth_;
+  obs::Counter* jobs_submitted_;
+  obs::Counter* jobs_rejected_;
+  obs::Histogram* queue_ms_;
+  obs::Histogram* run_ms_;
 };
 
 }  // namespace cupid

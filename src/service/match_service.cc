@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/cupid_matcher.h"
+#include "obs/trace.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -124,22 +125,47 @@ Status MatchService::Options::Validate() const {
 
 MatchService::MatchService(const Thesaurus* thesaurus,
                            SchemaRepository* repository, Options options)
-    : thesaurus_(thesaurus), repository_(repository), options_(options) {}
+    : thesaurus_(thesaurus), repository_(repository), options_(options) {
+  obs::MetricsRegistry* reg = options_.metrics != nullptr
+                                  ? options_.metrics
+                                  : obs::MetricsRegistry::Default();
+  result_hits_ = reg->GetCounter("cupid.service.result_cache.hits",
+                                 "Requests served from the result LRU");
+  result_misses_ = reg->GetCounter("cupid.service.result_cache.misses",
+                                   "Result-LRU lookups that missed");
+  result_evictions_ = reg->GetCounter("cupid.service.result_cache.evictions",
+                                      "Responses dropped by the result LRU");
+  sessions_created_ = reg->GetCounter("cupid.service.sessions.created",
+                                      "Cold pair sessions built");
+  sessions_reused_ = reg->GetCounter(
+      "cupid.service.sessions.reused",
+      "Requests served on a surviving warm pair session");
+  sessions_evicted_ = reg->GetCounter("cupid.service.sessions.evicted",
+                                      "Warm pair sessions dropped by the LRU");
+  incremental_rematches_ = reg->GetCounter(
+      "cupid.service.rematch.incremental",
+      "Rematches that took the incremental warm-start path");
+  request_ms_ = reg->GetHistogram("cupid.service.request_ms",
+                                  "End-to-end Match() latency, ms");
+  baseline_ = CacheStats{result_hits_->value(),
+                         result_misses_->value(),
+                         result_evictions_->value(),
+                         sessions_created_->value(),
+                         sessions_reused_->value(),
+                         sessions_evicted_->value(),
+                         incremental_rematches_->value()};
+}
 
 std::shared_ptr<const MatchResponse> MatchService::CacheLookup(
     const ResultKey& key) {
   MutexLock lock(&cache_mu_);
   auto it = result_cache_.find(key);
   if (it == result_cache_.end()) {
-    MutexLock slock(&stats_mu_);
-    ++stats_.result_misses;
+    result_misses_->Increment();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
-  {
-    MutexLock slock(&stats_mu_);
-    ++stats_.result_hits;
-  }
+  result_hits_->Increment();
   return it->second->second;
 }
 
@@ -158,12 +184,18 @@ void MatchService::CacheInsert(const ResultKey& key,
          static_cast<size_t>(options_.result_cache_capacity)) {
     result_cache_.erase(lru_.back().first);
     lru_.pop_back();
-    MutexLock slock(&stats_mu_);
-    ++stats_.result_evictions;
+    result_evictions_->Increment();
   }
 }
 
 Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
+  // Per-request trace state: inner spans (session.rematch, lsim.gather,
+  // treematch.*) pick this up from the thread-local and stamp "match" as
+  // their label.
+  obs::TraceContext trace_ctx("match");
+  obs::ScopedTraceContext scoped_ctx(&trace_ctx);
+  obs::ScopedSpan span("service.match");
+
   Clock::time_point t_start = Clock::now();
   CUPID_RETURN_NOT_OK(options_.Validate());
   CUPID_RETURN_NOT_OK(request.config.Validate());
@@ -188,6 +220,8 @@ Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
       response.stats = RematchStats{};
       response.timings = ServiceTimings{};
       response.timings.total_ms = MsSince(t_start);
+      request_ms_->Observe(response.timings.total_ms);
+      span.Attr("cache_hit", 1);
       return response;
     }
   }
@@ -231,8 +265,7 @@ Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
           // warms a fresh session (bit-identical results, cold cost once).
           sessions_.erase(session_lru_.back().first);
           session_lru_.pop_back();
-          MutexLock slock(&stats_mu_);
-          ++stats_.sessions_evicted;
+          sessions_evicted_->Increment();
         }
       }
       entry = session_lru_.front().second;
@@ -244,6 +277,11 @@ Result<MatchResponse> MatchService::Match(const MatchRequest& request) {
   }
 
   response.timings.total_ms = MsSince(t_start);
+  request_ms_->Observe(response.timings.total_ms);
+  span.Attr("cache_hit", 0);
+  span.Attr("session_reused", response.session_reused ? 1 : 0);
+  span.Attr("incremental", response.incremental ? 1 : 0);
+  span.Attr("match_ms", response.timings.match_ms);
   if (cacheable) {
     CacheInsert(key, std::make_shared<const MatchResponse>(response));
   }
@@ -301,11 +339,9 @@ Status MatchService::MatchOnSession(const MatchRequest& request,
   if (entry->session == nullptr) {
     entry->session = std::make_unique<MatchSession>(
         thesaurus_, *source, *target, request.config);
-    MutexLock slock(&stats_mu_);
-    ++stats_.sessions_created;
+    sessions_created_->Increment();
   } else {
-    MutexLock slock(&stats_mu_);
-    ++stats_.sessions_reused;
+    sessions_reused_->Increment();
   }
 
   Clock::time_point t_match = Clock::now();
@@ -326,10 +362,7 @@ Status MatchService::MatchOnSession(const MatchRequest& request,
   response->session_reused = reused;
   response->stats = entry->session->last_stats();
   response->incremental = response->stats.incremental;
-  if (response->incremental) {
-    MutexLock slock(&stats_mu_);
-    ++stats_.incremental_rematches;
-  }
+  if (response->incremental) incremental_rematches_->Increment();
   return Status::OK();
 }
 
@@ -348,8 +381,14 @@ void MatchService::InvalidateAll() {
 }
 
 MatchService::CacheStats MatchService::cache_stats() const {
-  MutexLock lock(&stats_mu_);
-  return stats_;
+  return CacheStats{
+      result_hits_->value() - baseline_.result_hits,
+      result_misses_->value() - baseline_.result_misses,
+      result_evictions_->value() - baseline_.result_evictions,
+      sessions_created_->value() - baseline_.sessions_created,
+      sessions_reused_->value() - baseline_.sessions_reused,
+      sessions_evicted_->value() - baseline_.sessions_evicted,
+      incremental_rematches_->value() - baseline_.incremental_rematches};
 }
 
 }  // namespace cupid

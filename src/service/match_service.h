@@ -31,6 +31,7 @@
 #include "core/config.h"
 #include "incremental/match_session.h"
 #include "mapping/mapping.h"
+#include "obs/metrics.h"
 #include "service/schema_repository.h"
 #include "thesaurus/thesaurus.h"
 #include "util/mutex.h"
@@ -104,6 +105,11 @@ class MatchService {
     /// request pays the cold cost again. 0 = unbounded.
     int session_capacity = 64;
 
+    /// Registry the service's counters live in; nullptr = the process-wide
+    /// obs::MetricsRegistry::Default(). Tests pass a private registry for
+    /// hard isolation.
+    obs::MetricsRegistry* metrics = nullptr;
+
     /// InvalidArgument on out-of-domain capacities (negative values would
     /// silently disable eviction or underflow size comparisons). Checked on
     /// every Match call, so a misconfigured service fails loudly.
@@ -132,7 +138,13 @@ class MatchService {
   /// with the new lineage.
   void InvalidateAll();
 
-  /// Cross-request cache effectiveness counters (monotonic).
+  /// Cross-request cache effectiveness counters (monotonic). A view over
+  /// the cupid.service.* registry counters: each field is the counter's
+  /// current value minus its value when this service was constructed, so
+  /// the historical per-instance semantics survive the registry re-base
+  /// (exact while this instance is the counters' only concurrent updater —
+  /// the one-service-per-process topology; tests wanting isolation pass
+  /// Options::metrics).
   struct CacheStats {
     int64_t result_hits = 0;
     int64_t result_misses = 0;
@@ -210,8 +222,17 @@ class MatchService {
       std::list<std::pair<std::string, std::shared_ptr<PairEntry>>>::iterator>
       sessions_ GUARDED_BY(sessions_mu_);
 
-  mutable Mutex stats_mu_;
-  CacheStats stats_ GUARDED_BY(stats_mu_);
+  /// Registry counter handles (lock-free increments on the request path)
+  /// and the construction-time baseline cache_stats() subtracts.
+  obs::Counter* result_hits_;
+  obs::Counter* result_misses_;
+  obs::Counter* result_evictions_;
+  obs::Counter* sessions_created_;
+  obs::Counter* sessions_reused_;
+  obs::Counter* sessions_evicted_;
+  obs::Counter* incremental_rematches_;
+  obs::Histogram* request_ms_;
+  CacheStats baseline_;
 };
 
 }  // namespace cupid

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "importers/native_format.h"
+#include "obs/metrics.h"
 #include "schema/schema_printer.h"
 #include "storage/edit_codec.h"
 #include "util/crc32.h"
@@ -454,7 +455,13 @@ void SchemaRepository::MaybeCompactLocked() {
   Status snap = WriteSnapshotLocked();
   // A failed compaction is not a failed mutation: the triggering record is
   // already durable in the log. Count it and retry at the next threshold.
-  if (!snap.ok()) ++dur_->snapshot_failures;
+  if (!snap.ok()) {
+    ++dur_->snapshot_failures;
+    obs::MetricsRegistry::Default()
+        ->GetCounter("cupid.repo.snapshot_failures",
+                     "Compactions that failed (retried at next threshold)")
+        ->Increment();
+  }
 }
 
 Status SchemaRepository::WriteSnapshotLocked() {
@@ -486,6 +493,10 @@ Status SchemaRepository::WriteSnapshotLocked() {
   d->snapshot_seq = d->applied_seq;
   d->carried_wal_bytes = 0;
   ++d->snapshots_written;
+  obs::MetricsRegistry::Default()
+      ->GetCounter("cupid.repo.compactions",
+                   "Snapshots written and WAL segments rotated")
+      ->Increment();
   // Best-effort GC of segments and snapshots the new snapshot supersedes;
   // leftovers only cost disk and are skipped or re-collected on recovery.
   if (auto entries = env->ListDir(d->dir); entries.ok()) {
@@ -669,6 +680,10 @@ Result<SchemaRepository> SchemaRepository::Recover(const std::string& dir,
     CUPID_ASSIGN_OR_RETURN(
         d->wal, WalWriter::Create(env, new_wal, d->applied_seq + 1));
     CUPID_RETURN_NOT_OK(env->SyncDir(dir));
+    obs::MetricsRegistry::Default()
+        ->GetCounter("cupid.repo.recovered_records",
+                     "WAL records replayed during recovery across opens")
+        ->Add(static_cast<int64_t>(d->recovered_records));
   }
   for (const std::string& leftover : leftovers) {
     (void)env->RemoveAll(dir + "/" + leftover);

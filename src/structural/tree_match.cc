@@ -7,6 +7,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "perf/strong_link_cache.h"
 #include "tree/lazy_expansion.h"
 #include "util/id_runs.h"
@@ -219,6 +220,7 @@ class TreeMatcher {
   /// no one — the final leaf wsim is produced by the recompute pass.
   TreeMatchResult RunIncremental(const Matrix<float>& element_lsim,
                                  TreeMatchDelta* delta) {
+    obs::ScopedSpan span("treematch.sweep");
     TreeMatchResult result;
     result.sims = NodeSimilarities(s_.num_nodes(), t_.num_nodes());
     auto t0 = std::chrono::steady_clock::now();
@@ -285,22 +287,22 @@ class TreeMatcher {
     auto t5 = std::chrono::steady_clock::now();
     ScatterLeafSsim(*delta, &result.sims);
     auto t6 = std::chrono::steady_clock::now();
-    if (getenv("CUPID_TRACE_INCREMENTAL") != nullptr) {
+    if (span.enabled()) {
       auto ms = [](auto a, auto b) {
         return std::chrono::duration<double, std::milli>(b - a).count();
       };
-      fprintf(stderr,
-              "[sweep] alloc+proj=%.2f init=%.2f visitbuild=%.2f prepass=%.2f "
-              "loop=%.2f scatter=%.2f visit=%lld inc=%lld dec=%lld "
-              "reused=%lld scale_ops=%lld link_tests=%lld\n",
-              ms(t0, t1), ms(t1, t2), ms(t2, t3), ms(t3, t4), ms(t4, t5),
-              ms(t5, t6),
-              static_cast<long long>(result.stats.visit_list_pairs),
-              static_cast<long long>(result.stats.increases_applied),
-              static_cast<long long>(result.stats.decreases_applied),
-              static_cast<long long>(result.stats.pairs_reused),
-              static_cast<long long>(scale_ops_),
-              static_cast<long long>(link_tests_));
+      span.Attr("alloc_proj_ms", ms(t0, t1));
+      span.Attr("init_ms", ms(t1, t2));
+      span.Attr("visitbuild_ms", ms(t2, t3));
+      span.Attr("prepass_ms", ms(t3, t4));
+      span.Attr("loop_ms", ms(t4, t5));
+      span.Attr("scatter_ms", ms(t5, t6));
+      span.Attr("visit", result.stats.visit_list_pairs);
+      span.Attr("inc", result.stats.increases_applied);
+      span.Attr("dec", result.stats.decreases_applied);
+      span.Attr("reused", result.stats.pairs_reused);
+      span.Attr("scale_ops", scale_ops_);
+      span.Attr("link_tests", link_tests_);
     }
     result.stats.link_tests = link_tests_;
     result.stats.scale_ops = scale_ops_;
@@ -324,6 +326,7 @@ class TreeMatcher {
   ///     rest adjust the previous tallies leaf-by-leaf or rescan.
   void RecomputeIncremental(TreeMatchDelta* delta_in,
                             TreeMatchResult* result) {
+    obs::ScopedSpan span("treematch.recompute");
     auto r0 = std::chrono::steady_clock::now();
     BuildVisitList(delta_in, /*stats=*/nullptr);
     const TreeMatchDelta& delta = *delta_in;
@@ -508,14 +511,15 @@ class TreeMatcher {
                        MixWsim(*sims, ns, nt, sims->ssim(ns, nt), false));
       }
     }
-    if (getenv("CUPID_TRACE_INCREMENTAL") != nullptr) {
+    if (span.enabled()) {
       auto r4 = std::chrono::steady_clock::now();
       auto ms = [](auto a, auto b) {
         return std::chrono::duration<double, std::milli>(b - a).count();
       };
-      fprintf(stderr,
-              "[recompute] gather=%.2f dirtymix=%.2f fixup=%.2f walk=%.2f\n",
-              ms(r0, r1), ms(r1, r2), ms(r2, r3), ms(r3, r4));
+      span.Attr("gather_ms", ms(r0, r1));
+      span.Attr("dirtymix_ms", ms(r1, r2));
+      span.Attr("fixup_ms", ms(r2, r3));
+      span.Attr("walk_ms", ms(r3, r4));
     }
   }
 

@@ -1,0 +1,39 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cupid {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EnvFlag(const char* name, bool default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return default_value;
+  std::string_view value(raw);
+  if (value.empty()) return false;
+  for (std::string_view off : {"0", "false", "off", "no"}) {
+    if (EqualsIgnoreCase(value, off)) return false;
+  }
+  return true;
+}
+
+std::string EnvString(const char* name, std::string_view default_value) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? std::string(default_value) : std::string(raw);
+}
+
+}  // namespace cupid

@@ -14,6 +14,7 @@
 
 #include "core/cupid_matcher.h"
 #include "eval/synthetic.h"
+#include "obs/metrics.h"
 #include "service/corpus_search.h"
 #include "service/job_scheduler.h"
 #include "service/match_service.h"
@@ -167,6 +168,15 @@ TEST(CorpusSearch, RepeatedSearchesAreBitIdentical) {
   }
 }
 
+/// Default-registry value of a corpus counter (0 before first use).
+int64_t CorpusCounter(const std::string& name) {
+  for (const obs::MetricSnapshot& m :
+       obs::MetricsRegistry::Default()->Snapshot()) {
+    if (m.name == name) return m.value;
+  }
+  return 0;
+}
+
 TEST(CorpusSearch, PrunedSearchKeepsThePlantedBestMatch) {
   Thesaurus thesaurus = DefaultThesaurus();
   SyntheticCorpusOptions opt = SmallCorpusOptions();
@@ -190,6 +200,10 @@ TEST(CorpusSearch, PrunedSearchKeepsThePlantedBestMatch) {
   pruned.prune = true;
   pruned.prune_fraction = 0.2;
   pruned.prune_min_keep = 5;
+  const int64_t searches_before = CorpusCounter("cupid.corpus.searches");
+  const int64_t pruned_before = CorpusCounter("cupid.corpus.candidates_pruned");
+  const int64_t matched_before =
+      CorpusCounter("cupid.corpus.candidates_matched");
   auto quick = search.Search(pruned);
   ASSERT_TRUE(quick.ok()) << quick.status().ToString();
   ASSERT_FALSE(quick->hits.empty());
@@ -197,6 +211,13 @@ TEST(CorpusSearch, PrunedSearchKeepsThePlantedBestMatch) {
   // The screen must actually prune...
   EXPECT_GT(quick->candidates_pruned, 0);
   EXPECT_LT(quick->full_matches, quick->candidates_total);
+  // ...and the registry counters must advance by exactly what the
+  // response reports (the metrics endpoint and the API tell one story).
+  EXPECT_EQ(CorpusCounter("cupid.corpus.searches") - searches_before, 1);
+  EXPECT_EQ(CorpusCounter("cupid.corpus.candidates_pruned") - pruned_before,
+            quick->candidates_pruned);
+  EXPECT_EQ(CorpusCounter("cupid.corpus.candidates_matched") - matched_before,
+            quick->full_matches);
   // ...while keeping the overall best hit: top-1 equality with the
   // exhaustive ranking (the property the CI corpus smoke also gates).
   EXPECT_EQ(quick->hits[0].target, full->hits[0].target);

@@ -22,6 +22,7 @@
 #include "eval/datasets.h"
 #include "importers/native_format.h"
 #include "schema/schema_printer.h"
+#include "obs/metrics.h"
 #include "service/job_scheduler.h"
 #include "service/match_service.h"
 #include "service/schema_repository.h"
@@ -473,6 +474,64 @@ TEST(MatchServiceTest, LruEvictionAtCapacity) {
   ASSERT_TRUE(again.ok());
   EXPECT_FALSE(again->result_cache_hit);
   EXPECT_GT(service.cache_stats().result_evictions, 0);
+}
+
+/// cache_stats() is a view over the metrics registry: the registry's
+/// cupid.service.* counters and the per-instance stats must tell the same
+/// story, and a second service on the same registry must start from zero
+/// (baseline-delta semantics) while the shared counters keep accumulating.
+TEST(MatchServiceTest, CacheStatsMirrorTheMetricsRegistry) {
+  Thesaurus thesaurus = DefaultThesaurus();
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.Register("po", Fig2Po()).ok());
+  ASSERT_TRUE(repo.Register("order", Fig2PurchaseOrder()).ok());
+  obs::MetricsRegistry registry;
+  MatchService::Options options;
+  options.metrics = &registry;
+  MatchService service(&thesaurus, &repo, options);
+
+  MatchRequest request;
+  request.source = "po";
+  request.target = "order";
+  request.config = SingleThreaded();
+  ASSERT_TRUE(service.Match(request).ok());  // miss, creates a session
+  ASSERT_TRUE(service.Match(request).ok());  // result-cache hit
+
+  auto counter_value = [&](const std::string& name) -> int64_t {
+    for (const obs::MetricSnapshot& m : registry.Snapshot()) {
+      if (m.name == name) return m.value;
+    }
+    ADD_FAILURE() << "metric not registered: " << name;
+    return -1;
+  };
+  MatchService::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.result_hits, 1);
+  EXPECT_EQ(stats.result_misses, 1);
+  EXPECT_EQ(stats.sessions_created, 1);
+  EXPECT_EQ(counter_value("cupid.service.result_cache.hits"),
+            stats.result_hits);
+  EXPECT_EQ(counter_value("cupid.service.result_cache.misses"),
+            stats.result_misses);
+  EXPECT_EQ(counter_value("cupid.service.sessions.created"),
+            stats.sessions_created);
+
+  // The request histogram saw every Match call.
+  for (const obs::MetricSnapshot& m : registry.Snapshot()) {
+    if (m.name == "cupid.service.request_ms") {
+      EXPECT_EQ(m.count, 2);
+    }
+  }
+
+  // A second service on the same registry baselines at construction: it
+  // starts from zero while the shared counters keep accumulating. (Per the
+  // CacheStats contract, instance views are exact only while the instance
+  // is the counters' sole updater — the one-service-per-process topology.)
+  MatchService second(&thesaurus, &repo, options);
+  EXPECT_EQ(second.cache_stats().result_misses, 0);
+  ASSERT_TRUE(second.Match(request).ok());
+  EXPECT_EQ(second.cache_stats().result_misses, 1);
+  EXPECT_EQ(second.cache_stats().result_hits, 0);
+  EXPECT_EQ(counter_value("cupid.service.result_cache.misses"), 2);
 }
 
 TEST(MatchServiceTest, SessionLruEvictionRewarmsBitIdentically) {
