@@ -1,0 +1,371 @@
+// E11 — the socket server under request traffic and subscription fan-out.
+//
+// Measures the network layer end to end over loopback: real sockets, the
+// poll loop, line framing, the protocol executor, and the subscription
+// broker's push path.
+//
+//   * BM_ServerRequestThroughput/C  C concurrent client connections each
+//                                   pipelining batches of warm match
+//                                   requests — requests/sec through the
+//                                   full socket path (items_per_second)
+//   * BM_ServerPushFanout/N         N concurrent subscribers of the same
+//                                   pair; each iteration applies one
+//                                   schema edit and waits until every
+//                                   subscriber received its push frame.
+//                                   Counters: push_p50_ms / push_p95_ms /
+//                                   push_p99_ms (edit-to-client-delivery
+//                                   latency) and incremental_rate (must
+//                                   be 1: every re-match rides the warm
+//                                   session).
+//
+// CI runs this with --benchmark_out=BENCH_server.json and gates on
+// incremental_rate == 1 plus a minimum request throughput.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "incremental/schema_edit.h"
+#include "net/protocol.h"
+#include "net/socket_server.h"
+#include "net/subscription.h"
+#include "obs/metrics.h"
+#include "service/job_scheduler.h"
+#include "service/match_service.h"
+#include "service/schema_repository.h"
+#include "thesaurus/default_thesaurus.h"
+
+namespace cupid {
+namespace {
+
+constexpr char kSchemaA[] =
+    "schema A\n"
+    "node R\n"
+    "  leaf Qty decimal\n"
+    "  leaf City string\n"
+    "  leaf Street string\n";
+
+constexpr char kSchemaB[] =
+    "schema B\n"
+    "node R\n"
+    "  leaf Quantity decimal\n"
+    "  leaf City string\n"
+    "  leaf Street string\n";
+
+/// The full server stack on an ephemeral loopback port, Run() on a
+/// background thread — the same wiring as examples/cupid_server.cpp
+/// --listen, minus the process scaffolding.
+class ServerHarness {
+ public:
+  explicit ServerHarness(int max_connections) {
+    thesaurus_ = DefaultThesaurus();
+    ok_ = repo_.RegisterText("a", SchemaFormat::kNative, kSchemaA).ok() &&
+          repo_.RegisterText("b", SchemaFormat::kNative, kSchemaB).ok();
+    MatchService::Options service_options;
+    service_options.metrics = &metrics_;
+    service_ = std::make_unique<MatchService>(&thesaurus_, &repo_,
+                                              service_options);
+    JobScheduler::Options scheduler_options;
+    scheduler_options.num_threads = 2;
+    scheduler_ = std::make_unique<JobScheduler>(service_.get(),
+                                                scheduler_options);
+    SocketServer::Options server_options;
+    server_options.max_connections = max_connections;
+    server_options.metrics = &metrics_;
+    server_ = std::make_unique<SocketServer>(server_options,
+                                             scheduler_.get());
+    SubscriptionBroker::Options broker_options;
+    broker_options.metrics = &metrics_;
+    broker_ = std::make_unique<SubscriptionBroker>(
+        service_.get(), scheduler_.get(),
+        [this](uint64_t client_id, const std::string& frame) {
+          return server_->PushFrame(client_id, frame);
+        },
+        broker_options);
+    broker_->set_idle_exempt_fn([this](uint64_t client_id, bool exempt) {
+      server_->SetIdleExempt(client_id, exempt);
+    });
+    broker_->AttachTo(&repo_);
+    ProtocolExecutor::Options exec_options;
+    exec_options.socket_mode = true;
+    executor_ = std::make_unique<ProtocolExecutor>(
+        &thesaurus_, &repo_, service_.get(), scheduler_.get(),
+        /*search=*/nullptr, broker_.get(), exec_options);
+    server_->set_handler(
+        [this](uint64_t client_id, const std::string& line,
+               const std::function<void(const std::string&)>& sink) {
+          executor_->Execute(client_id, line, sink);
+        });
+    server_->set_disconnect_hook(
+        [this](uint64_t client_id) { broker_->DropClient(client_id); });
+    ok_ = ok_ && server_->Start().ok();
+    if (ok_) run_thread_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~ServerHarness() {
+    if (run_thread_.joinable()) {
+      server_->RequestShutdown();
+      run_thread_.join();
+    }
+    broker_->Stop();
+  }
+
+  bool ok() const { return ok_; }
+  int port() const { return server_->port(); }
+  SchemaRepository* repo() { return &repo_; }
+
+ private:
+  Thesaurus thesaurus_;
+  SchemaRepository repo_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<MatchService> service_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  std::unique_ptr<SocketServer> server_;
+  std::unique_ptr<SubscriptionBroker> broker_;
+  std::unique_ptr<ProtocolExecutor> executor_;
+  std::thread run_thread_;
+  bool ok_ = false;
+};
+
+/// Blocking loopback client; per-fd receive buffer for line reassembly.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = fd_ >= 0 &&
+                 connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                         sizeof(addr)) == 0;
+    if (connected_) {
+      int one = 1;
+      setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      struct timeval tv = {};
+      tv.tv_sec = 30;
+      setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), connected_(other.connected_),
+        buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+  }
+
+  bool connected() const { return connected_; }
+  int fd() const { return fd_; }
+
+  bool Send(const std::string& payload) {
+    return write(fd_, payload.data(), payload.size()) ==
+           static_cast<ssize_t>(payload.size());
+  }
+
+  /// Blocking: one line, or empty on timeout/EOF.
+  std::string ReadLine() {
+    for (;;) {
+      std::string line;
+      if (PopLine(&line)) return line;
+      char chunk[8192];
+      ssize_t n = read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Non-blocking half: drain whatever is readable into the buffer.
+  /// Returns false on EOF/error.
+  bool Fill() {
+    char chunk[8192];
+    ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  bool PopLine(std::string* line) {
+    size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) return false;
+    line->assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+constexpr int kPipelineDepth = 16;
+
+/// C clients, each pipelining kPipelineDepth warm match requests per
+/// round: requests/sec through socket framing, dispatch, and the result
+/// cache (the steady state of read-heavy traffic).
+void BM_ServerRequestThroughput(benchmark::State& state) {
+  ServerHarness harness(/*max_connections=*/256);
+  if (!harness.ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  const int num_clients = static_cast<int>(state.range(0));
+  std::vector<Client> clients;
+  clients.reserve(static_cast<size_t>(num_clients));
+  for (int i = 0; i < num_clients; ++i) {
+    clients.emplace_back(harness.port());
+    if (!clients.back().connected()) {
+      state.SkipWithError("client failed to connect");
+      return;
+    }
+  }
+  const std::string request =
+      "{\"cmd\":\"match\",\"source\":\"a\",\"target\":\"b\"}\n";
+  std::string batch;
+  for (int i = 0; i < kPipelineDepth; ++i) batch += request;
+  // Warm the pair once so measured requests are cache hits.
+  if (!clients[0].Send(request) || clients[0].ReadLine().empty()) {
+    state.SkipWithError("warmup request failed");
+    return;
+  }
+
+  int64_t requests = 0;
+  for (auto _ : state) {
+    for (Client& c : clients) {
+      if (!c.Send(batch)) state.SkipWithError("send failed");
+    }
+    for (Client& c : clients) {
+      for (int i = 0; i < kPipelineDepth; ++i) {
+        if (c.ReadLine().empty()) state.SkipWithError("read failed");
+      }
+    }
+    requests += static_cast<int64_t>(num_clients) * kPipelineDepth;
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ServerRequestThroughput)->Arg(1)->Arg(32)->UseRealTime();
+
+/// N subscribers of (a, b); each iteration applies one rename edit and
+/// waits until every subscriber received its push frame, timing each
+/// client's edit-to-delivery latency. p50/p95/p99 land in counters.
+void BM_ServerPushFanout(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  ServerHarness harness(/*max_connections=*/subscribers + 16);
+  if (!harness.ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  std::vector<Client> clients;
+  clients.reserve(static_cast<size_t>(subscribers));
+  const std::string subscribe =
+      "{\"cmd\":\"subscribe\",\"source\":\"a\",\"target\":\"b\"}\n";
+  for (int i = 0; i < subscribers; ++i) {
+    clients.emplace_back(harness.port());
+    if (!clients.back().connected() || !clients.back().Send(subscribe) ||
+        clients.back().ReadLine().empty()) {
+      state.SkipWithError("subscribe handshake failed");
+      return;
+    }
+  }
+
+  std::vector<struct pollfd> pfds(static_cast<size_t>(subscribers));
+  for (int i = 0; i < subscribers; ++i) {
+    pfds[static_cast<size_t>(i)].fd = clients[static_cast<size_t>(i)].fd();
+    pfds[static_cast<size_t>(i)].events = POLLIN;
+  }
+
+  std::vector<double> latencies_ms;
+  int64_t pushes = 0, incremental = 0;
+  bool flip = false;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    SchemaEdit edit = SchemaEdit::RenameElement(
+        EditSide::kSource, flip ? "A.R.Quantity" : "A.R.Qty",
+        flip ? "Qty" : "Quantity");
+    flip = !flip;
+    if (!harness.repo()->ApplyEdit("a", edit).ok()) {
+      state.SkipWithError("edit failed");
+      break;
+    }
+    // Every subscriber gets exactly one push for this edit; record the
+    // moment each client's line completes.
+    int remaining = subscribers;
+    std::vector<bool> done(static_cast<size_t>(subscribers), false);
+    while (remaining > 0) {
+      int n = poll(pfds.data(), pfds.size(), 10000);
+      if (n <= 0) {
+        state.SkipWithError("push wait timed out");
+        return;
+      }
+      auto now = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < pfds.size(); ++i) {
+        if (done[i] || (pfds[i].revents & (POLLIN | POLLHUP)) == 0) {
+          continue;
+        }
+        if (!clients[i].Fill()) {
+          state.SkipWithError("subscriber dropped");
+          return;
+        }
+        std::string line;
+        if (clients[i].PopLine(&line)) {
+          done[i] = true;
+          --remaining;
+          latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(now - t0).count());
+          ++pushes;
+          if (line.find("\"incremental\":true") != std::string::npos) {
+            ++incremental;
+          }
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(pushes);
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto pct = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(
+                                             latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  state.counters["push_p50_ms"] = pct(0.50);
+  state.counters["push_p95_ms"] = pct(0.95);
+  state.counters["push_p99_ms"] = pct(0.99);
+  state.counters["incremental_rate"] =
+      pushes == 0 ? 0.0
+                  : static_cast<double>(incremental) /
+                        static_cast<double>(pushes);
+}
+BENCHMARK(BM_ServerPushFanout)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Iterations(16)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace cupid
+
+int main(int argc, char** argv) {
+  signal(SIGPIPE, SIG_IGN);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,15 +1,18 @@
-// cupid_server — JSONL request-batch driver over the match service layer.
+// cupid_server — JSONL driver over the match service layer, as a classic
+// stdin/stdout batch filter or a real TCP socket server.
 //
-//   cupid_server [options] [< requests.jsonl]
+//   cupid_server [options] [< requests.jsonl]         # stdin mode
+//   cupid_server --listen <port> [options]            # socket mode
 //
-// Reads one JSON command per line from stdin (or --input <file>), executes
-// it against a long-lived SchemaRepository + MatchService + JobScheduler,
-// and writes one JSON response per line to stdout. This is the "many
+// Both modes speak the same line-framed protocol-v1 JSON and run the same
+// command dispatch (src/net/protocol.h): one JSON command per line in, one
+// JSON response per line out, executed against a long-lived
+// SchemaRepository + MatchService + JobScheduler. This is the "many
 // clients, one warm server" deployment shape: schemas are registered once,
-// match results and per-pair sessions stay warm across requests, and batch
-// commands fan out over the scheduler's worker pool.
+// match results and per-pair sessions stay warm across requests, and work
+// fans out over the scheduler's worker pool.
 //
-// Commands:
+// Commands (docs/SERVICE.md has the full protocol):
 //   {"cmd":"register","name":"po","file":"data/po.cupid"}
 //   {"cmd":"register","name":"inline","format":"native","text":"schema S\n"}
 //   {"cmd":"edit","name":"po","op":"rename","path":"PO.POLines.Item.Qty",
@@ -29,14 +32,23 @@
 //   {"cmd":"stats"}
 //   {"cmd":"metrics"}                     // full registry, JSON array
 //   {"cmd":"metrics","format":"prometheus"}  // text exposition in "text"
+//   {"cmd":"subscribe","source":"po","target":"order","config":{...}}
+//   {"cmd":"unsubscribe","source":"po","target":"order"}
 //
-// Protocol: every response object carries "v":1 (bump on incompatible
-// response-shape changes) and either "status":"ok" or "status":"error" with
-// a structured {"error":{"code":"<StatusCode>","message":"..."}} object so
-// clients can dispatch on the machine-readable code instead of parsing
-// prose.
+// Subscriptions (socket mode only): after the ok-response, every schema
+// edit touching the pair produces an asynchronous
+// {"v":1,"event":"push",...} frame carrying the delta against the previous
+// push plus the full match response, re-matched through the warm
+// incremental session. docs/SERVICE.md describes lifecycle, ordering, and
+// the slow-subscriber policy.
 //
 // Options:
+//   --listen <port>    socket mode on 127.0.0.1:<port> (0 = ephemeral; the
+//                      bound port is announced on the first stdout line)
+//   --host <addr>      listen address (default 127.0.0.1)
+//   --max-conns <n>    connection cap in socket mode (default 1024)
+//   --idle-timeout-ms <n>  close idle connections (0 = never; subscribers
+//                      are exempt while subscribed)
 //   --input <file>     read commands from a file instead of stdin
 //   --wal-dir <dir>    durable mode: recover the repository from <dir> on
 //                      boot and write-ahead-log every mutation (see
@@ -50,25 +62,32 @@
 //   --quiet-mappings   default "mappings" to false (sizes only)
 //
 // Responses are line-buffered so the server can sit behind a FIFO or pipe
-// (the CI recovery smoke drives it interactively). SIGINT/SIGTERM interrupt
-// the read loop, flush the durable state (snapshot compaction) and exit 0
-// after a final {"cmd":"shutdown",...} stats line; SIGKILL is the crash the
-// WAL recovers from.
+// (the CI recovery smoke drives it interactively). SIGINT/SIGTERM begin a
+// prompt graceful shutdown in both modes — the stdin loop polls a wakeup
+// pipe alongside its input fd, so a signal interrupts even an idle blocked
+// read immediately (no "wakes up on the next input line" latency); the
+// socket server drains in-flight commands, delivers final pushes, and
+// flushes write queues. Either way the durable state is snapshotted and a
+// final {"cmd":"shutdown",...} stats line is emitted; SIGKILL is the crash
+// the WAL recovers from. SIGPIPE is ignored: a vanished client is that
+// connection's problem, never the process's.
 //
 // Exit code 0 when every command succeeded, 1 otherwise (each failing
 // command also reports {"status":"error",...} on its own line).
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "core/cupid_matcher.h"
-#include "importers/schema_io.h"
+#include "net/poll_reader.h"
+#include "net/protocol.h"
+#include "net/socket_server.h"
+#include "net/subscription.h"
+#include "net/wakeup.h"
 #include "obs/metrics.h"
 #include "service/corpus_search.h"
 #include "service/job_scheduler.h"
@@ -88,6 +107,10 @@ struct ServerOptions {
   std::string input_path;
   std::string thesaurus_path;
   std::string wal_dir;
+  std::string host = "127.0.0.1";
+  int listen_port = -1;  ///< -1 = stdin mode
+  int max_conns = 1024;
+  int idle_timeout_ms = 0;
   int threads = 0;
   int queue = 1024;
   int cache = 128;
@@ -96,28 +119,43 @@ struct ServerOptions {
 };
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--input <file>] [--wal-dir <dir>] [--threads <n>]\n"
-               "          [--queue <n>] [--thesaurus <file>] [--cache <n>]\n"
-               "          [--selfcheck] [--quiet-mappings]  < requests.jsonl\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--listen <port>] [--host <addr>] [--max-conns <n>]\n"
+      "          [--idle-timeout-ms <n>] [--input <file>] [--wal-dir <dir>]\n"
+      "          [--threads <n>] [--queue <n>] [--thesaurus <file>]\n"
+      "          [--cache <n>] [--selfcheck] [--quiet-mappings]\n"
+      "          < requests.jsonl\n",
+      argv0);
   return 1;
 }
 
-/// Last shutdown signal received; the handler only sets this. Installed
-/// without SA_RESTART so a blocked stdin read fails with EINTR and the main
-/// loop falls through to the clean-shutdown path.
+/// Last shutdown signal received; the handler sets this and pokes the
+/// wakeup pipe so whichever loop is blocked in poll(2) — the stdin reader
+/// or the socket server — returns immediately.
 volatile std::sig_atomic_t g_shutdown_signal = 0;
+WakeupFd* g_wakeup = nullptr;
+SocketServer* g_socket_server = nullptr;
 
-void HandleShutdownSignal(int sig) { g_shutdown_signal = sig; }
+void HandleShutdownSignal(int sig) {
+  g_shutdown_signal = sig;
+  if (g_socket_server != nullptr) {
+    g_socket_server->RequestShutdown();  // atomic store + pipe write
+  } else if (g_wakeup != nullptr) {
+    g_wakeup->Notify();  // one async-signal-safe write(2)
+  }
+}
 
 void InstallSignalHandlers() {
   struct sigaction action = {};
   action.sa_handler = HandleShutdownSignal;
   sigemptyset(&action.sa_mask);
-  action.sa_flags = 0;  // no SA_RESTART: interrupt the read loop
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking calls too
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+  // A client disconnecting mid-write must surface as EPIPE on that write,
+  // not kill the process.
+  signal(SIGPIPE, SIG_IGN);
 }
 
 void WriteDurabilityJson(const DurabilityStats& stats, JsonWriter* w) {
@@ -145,168 +183,169 @@ void WriteDurabilityJson(const DurabilityStats& stats, JsonWriter* w) {
   w->EndObject();
 }
 
-/// Protocol version stamped into every response line. Bump on incompatible
-/// response-shape changes; clients reject versions they do not know.
-constexpr int kProtocolVersion = 1;
-
-void EmitError(const std::string& cmd, const Status& status) {
+/// Clean-shutdown epilogue shared by both modes: compact the WAL into a
+/// snapshot and emit the final stats line. Returns the process exit code.
+int EmitShutdownStats(SchemaRepository* repo, MatchService* service,
+                      int errors) {
+  Status flushed = repo->ForceSnapshot();
+  MatchService::CacheStats stats = service->cache_stats();
   JsonWriter w;
   w.BeginObject();
   w.Key("v");
   w.Int(kProtocolVersion);
   w.Key("status");
-  w.String("error");
+  w.String(flushed.ok() ? "ok" : "error");
   w.Key("cmd");
-  w.String(cmd);
-  w.Key("error");
-  w.BeginObject();
-  w.Key("code");
-  w.String(StatusCodeToString(status.code()));
-  w.Key("message");
-  w.String(status.message());
-  w.EndObject();
+  w.String("shutdown");
+  w.Key("signal");
+  w.String(g_shutdown_signal == SIGINT ? "SIGINT" : "SIGTERM");
+  if (!flushed.ok()) {
+    w.Key("error");
+    w.String(flushed.ToString());
+  }
+  w.Key("sessions_created");
+  w.Int(stats.sessions_created);
+  w.Key("incremental_rematches");
+  w.Int(stats.incremental_rematches);
+  if (repo->durable()) {
+    w.Key("durability");
+    WriteDurabilityJson(repo->durability_stats(), &w);
+  }
   w.EndObject();
   std::printf("%s\n", w.str().c_str());
+  std::fflush(stdout);
+  return flushed.ok() && errors == 0 ? 0 : 1;
 }
 
-/// Applies an optional "config" sub-object onto `config`. Without one the
-/// server default applies: per-match phases run single-threaded;
-/// concurrency comes from the scheduler's workers.
-Status ApplyConfigJson(const JsonValue& v, CupidConfig* out) {
-  const JsonValue* config = v.Find("config");
-  if (config == nullptr) {
-    out->SetNumThreads(1);
-    return Status::OK();
-  }
-  if (!config->is_object()) {
-    return Status::InvalidArgument("config must be an object");
-  }
-  double th = config->GetNumber("th_accept", 0.5);
-  out->mapping.th_accept = th;
-  out->tree_match.th_accept = th;
-  out->tree_match.th_low = std::min(out->tree_match.th_low, th);
-  out->tree_match.th_high = std::max(out->tree_match.th_high, th);
-  if (config->GetBool("one_to_one", false)) {
-    out->mapping.cardinality = MappingCardinality::kOneToOneStable;
-  }
-  out->SetNumThreads(static_cast<int>(config->GetInt("num_threads", 0)));
-  if (config->GetBool("strong_link_cache", false)) {
-    out->tree_match.use_strong_link_cache = true;
-  }
-  return Status::OK();
-}
-
-/// Builds a MatchRequest from the fields of a match/batch JSON object.
-Result<MatchRequest> ParseMatchRequest(const JsonValue& v) {
-  MatchRequest request;
-  request.source = v.GetString("source");
-  request.target = v.GetString("target");
-  if (request.source.empty() || request.target.empty()) {
-    return Status::InvalidArgument("match needs source and target");
-  }
-  request.source_version = static_cast<int>(v.GetInt("source_version", 0));
-  request.target_version = static_cast<int>(v.GetInt("target_version", 0));
-  request.use_result_cache = v.GetBool("use_result_cache", true);
-  request.use_session = v.GetBool("use_session", true);
-  CUPID_RETURN_NOT_OK(ApplyConfigJson(v, &request.config));
-  CUPID_RETURN_NOT_OK(request.config.Validate());
-  return request;
-}
-
-/// Builds a SearchRequest from the fields of a search JSON object. Knob
-/// validation is left to SearchRequest::Validate inside the service.
-Result<SearchRequest> ParseSearchRequest(const JsonValue& v) {
-  SearchRequest request;
-  request.source = v.GetString("source");
-  if (request.source.empty()) {
-    return Status::InvalidArgument("search needs source");
-  }
-  request.source_version = static_cast<int>(v.GetInt("source_version", 0));
-  request.top_k = static_cast<int>(v.GetInt("top_k", request.top_k));
-  request.exhaustive = v.GetBool("exhaustive", request.exhaustive);
-  request.prune = v.GetBool("prune", request.prune);
-  request.prune_fraction =
-      v.GetNumber("prune_fraction", request.prune_fraction);
-  request.prune_min_keep = static_cast<int>(
-      v.GetInt("prune_min_keep", request.prune_min_keep));
-  CUPID_RETURN_NOT_OK(ApplyConfigJson(v, &request.config));
-  return request;
-}
-
-/// Re-runs `response`'s request directly through CupidMatcher and compares
-/// mappings value-for-value ("ok" / "mismatch: <detail>").
-std::string Selfcheck(const MatchResponse& response,
-                      const SchemaRepository& repo,
-                      const Thesaurus& thesaurus, const CupidConfig& config) {
-  auto source = repo.Get(response.source, response.source_version);
-  auto target = repo.Get(response.target, response.target_version);
-  if (!source.ok() || !target.ok()) return "mismatch: schema gone";
-  CupidMatcher matcher(&thesaurus, config);
-  auto ref = matcher.Match(**source, **target);
-  if (!ref.ok()) return "mismatch: direct match failed";
-  auto compare = [](const Mapping& got, const Mapping& want,
-                    const char* which) -> std::string {
-    if (got.size() != want.size()) {
-      return StringFormat("mismatch: %s size %zu != %zu", which, got.size(),
-                          want.size());
+/// Stdin/file mode: one command per line, executed synchronously in read
+/// order. The input fd and a wakeup pipe are polled together, so shutdown
+/// signals interrupt an idle blocked read instantly.
+int RunStdinMode(const ServerOptions& options, ProtocolExecutor* executor,
+                 SchemaRepository* repo, MatchService* service) {
+  int input_fd = STDIN_FILENO;
+  bool close_input = false;
+  if (!options.input_path.empty()) {
+    input_fd = open(options.input_path.c_str(), O_RDONLY);
+    if (input_fd < 0) {
+      std::fprintf(stderr, "cannot open %s\n", options.input_path.c_str());
+      return 1;
     }
-    for (size_t i = 0; i < got.size(); ++i) {
-      if (got.elements[i].source_path != want.elements[i].source_path ||
-          got.elements[i].target_path != want.elements[i].target_path ||
-          got.elements[i].wsim != want.elements[i].wsim ||
-          got.elements[i].ssim != want.elements[i].ssim ||
-          got.elements[i].lsim != want.elements[i].lsim) {
-        return StringFormat("mismatch: %s element %zu", which, i);
-      }
-    }
-    return "";
+    close_input = true;
+  }
+
+  WakeupFd wakeup;
+  if (!wakeup.ok()) {
+    std::fprintf(stderr, "wakeup pipe: %s\n",
+                 wakeup.status().ToString().c_str());
+    if (close_input) close(input_fd);
+    return 1;
+  }
+  g_wakeup = &wakeup;
+  InstallSignalHandlers();
+
+  auto sink = [](const std::string& response) {
+    std::printf("%s\n", response.c_str());
   };
-  std::string leaf = compare(response.leaf_mapping, ref->leaf_mapping, "leaf");
-  if (!leaf.empty()) return leaf;
-  std::string nonleaf =
-      compare(response.nonleaf_mapping, ref->nonleaf_mapping, "nonleaf");
-  if (!nonleaf.empty()) return nonleaf;
-  return "ok";
+
+  int errors = 0;
+  PollLineReader reader(input_fd, &wakeup);
+  bool running = true;
+  while (running && g_shutdown_signal == 0) {
+    std::string line;
+    switch (reader.Next(&line)) {
+      case PollLineReader::Event::kLine:
+        if (TrimWhitespace(line).empty()) break;
+        if (!executor->Execute(0, line, sink)) ++errors;
+        break;
+      case PollLineReader::Event::kWakeup:
+        break;  // the loop condition re-checks g_shutdown_signal
+      case PollLineReader::Event::kEof:
+      case PollLineReader::Event::kError:
+        running = false;
+        break;
+    }
+  }
+  g_wakeup = nullptr;
+  if (close_input) close(input_fd);
+
+  if (g_shutdown_signal != 0) {
+    return EmitShutdownStats(repo, service, errors);
+  }
+  return errors == 0 ? 0 : 1;
 }
 
-Result<SchemaEdit> ParseEdit(const JsonValue& v) {
-  std::string name = v.GetString("name");
-  std::string op = v.GetString("op");
-  std::string path = v.GetString("path");
-  if (op == "rename") {
-    std::string to = v.GetString("to");
-    if (path.empty() || to.empty()) {
-      return Status::InvalidArgument("rename needs path and to");
-    }
-    return SchemaEdit::RenameElement(EditSide::kSource, path, to);
+/// Socket mode: the poll loop owns all connection I/O, commands execute on
+/// scheduler workers, and the subscription broker pushes mapping deltas on
+/// schema edits.
+int RunSocketMode(const ServerOptions& options, const Thesaurus* thesaurus,
+                  SchemaRepository* repo, MatchService* service,
+                  JobScheduler* scheduler,
+                  CorpusSearchService* search_service) {
+  SocketServer::Options server_options;
+  server_options.host = options.host;
+  server_options.port = options.listen_port;
+  server_options.max_connections = options.max_conns;
+  server_options.idle_timeout_ms = options.idle_timeout_ms;
+  SocketServer server(server_options, scheduler);
+
+  SubscriptionBroker broker(
+      service, scheduler,
+      [&server](uint64_t client_id, const std::string& frame) {
+        return server.PushFrame(client_id, frame);
+      });
+  broker.set_idle_exempt_fn([&server](uint64_t client_id, bool exempt) {
+    server.SetIdleExempt(client_id, exempt);
+  });
+  broker.AttachTo(repo);
+
+  ProtocolExecutor::Options exec_options;
+  exec_options.selfcheck = options.selfcheck;
+  exec_options.default_mappings = options.default_mappings;
+  exec_options.socket_mode = true;
+  ProtocolExecutor executor(thesaurus, repo, service, scheduler,
+                            search_service, &broker, exec_options);
+
+  server.set_handler([&executor](uint64_t client_id, const std::string& line,
+                                 const std::function<void(const std::string&)>&
+                                     sink) {
+    executor.Execute(client_id, line, sink);
+  });
+  server.set_disconnect_hook(
+      [&broker](uint64_t client_id) { broker.DropClient(client_id); });
+  server.set_drain_hook([&broker] { broker.Stop(); });
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", started.ToString().c_str());
+    return 1;
   }
-  if (op == "retype") {
-    CUPID_ASSIGN_OR_RETURN(DataType type,
-                           DataTypeFromName(v.GetString("type")));
-    if (path.empty()) return Status::InvalidArgument("retype needs path");
-    return SchemaEdit::ChangeDataType(EditSide::kSource, path, type);
-  }
-  if (op == "add") {
-    std::string parent = v.GetString("parent");
-    std::string leaf_name = v.GetString("leaf");
-    if (parent.empty() || leaf_name.empty()) {
-      return Status::InvalidArgument("add needs parent and leaf");
-    }
-    Element leaf;
-    leaf.name = leaf_name;
-    leaf.kind = ElementKind::kAtomic;
-    leaf.data_type = DataType::kString;
-    if (const JsonValue* type = v.Find("type")) {
-      CUPID_ASSIGN_OR_RETURN(leaf.data_type, DataTypeFromName(type->string));
-    }
-    leaf.optional = v.GetBool("optional", false);
-    return SchemaEdit::AddElement(EditSide::kSource, parent, std::move(leaf));
-  }
-  if (op == "remove") {
-    if (path.empty()) return Status::InvalidArgument("remove needs path");
-    return SchemaEdit::RemoveElement(EditSide::kSource, path);
-  }
-  return Status::InvalidArgument("unknown edit op: " + op);
+  g_socket_server = &server;
+  InstallSignalHandlers();
+
+  // Announce the bound port (essential with --listen 0) on both streams:
+  // machine-readable on stdout, human-readable on stderr.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("v");
+  w.Int(kProtocolVersion);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("listen");
+  w.Key("host");
+  w.String(options.host);
+  w.Key("port");
+  w.Int(server.port());
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+  std::fprintf(stderr, "cupid_server listening on %s:%d\n",
+               options.host.c_str(), server.port());
+
+  server.Run();  // returns after the graceful drain
+  g_socket_server = nullptr;
+  broker.Stop();  // idempotent; already drained via the drain hook
+
+  return EmitShutdownStats(repo, service, /*errors=*/0);
 }
 
 }  // namespace
@@ -326,6 +365,7 @@ int main(int argc, char** argv) {
       *out = static_cast<int>(*parsed);
       return true;
     };
+    int listen = -1, max_conns = -1, idle = -1;
     int threads = -1, queue = -1, cache = -1;
     if (!std::strcmp(argv[i], "--input") && i + 1 < argc) {
       options.input_path = argv[++i];
@@ -333,6 +373,14 @@ int main(int argc, char** argv) {
       options.wal_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--thesaurus") && i + 1 < argc) {
       options.thesaurus_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (int_flag("--listen", &listen)) {
+      options.listen_port = listen;
+    } else if (int_flag("--max-conns", &max_conns)) {
+      options.max_conns = max_conns;
+    } else if (int_flag("--idle-timeout-ms", &idle)) {
+      options.idle_timeout_ms = idle;
     } else if (int_flag("--threads", &threads)) {
       options.threads = threads;
     } else if (int_flag("--queue", &queue)) {
@@ -365,7 +413,6 @@ int main(int argc, char** argv) {
   // Line-buffer responses so a FIFO/pipe consumer sees each one as soon as
   // it is written (stdio fully buffers non-terminal stdout by default).
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
-  InstallSignalHandlers();
 
   SchemaRepository repo;
   if (!options.wal_dir.empty()) {
@@ -396,351 +443,16 @@ int main(int argc, char** argv) {
   JobScheduler scheduler(&service, scheduler_options);
   CorpusSearchService search_service(&thesaurus, &repo, &scheduler);
 
-  std::ifstream file;
-  if (!options.input_path.empty()) {
-    file.open(options.input_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", options.input_path.c_str());
-      return 1;
-    }
-  }
-  std::istream& in = options.input_path.empty() ? std::cin : file;
-
-  int errors = 0;
-  std::string line;
-  while (g_shutdown_signal == 0 && std::getline(in, line)) {
-    if (g_shutdown_signal != 0) break;
-    if (TrimWhitespace(line).empty()) continue;
-    auto parsed = ParseJson(line);
-    if (!parsed.ok()) {
-      EmitError("?", parsed.status());
-      ++errors;
-      continue;
-    }
-    std::string cmd = parsed->GetString("cmd");
-
-    auto emit_match_response = [&](const MatchResponse& response,
-                                   const CupidConfig& config,
-                                   bool include_mappings) {
-      std::string json = response.ToJson(include_mappings);
-      // Splice server-side fields into the response object: the protocol
-      // version up front, status (and selfcheck) at the tail.
-      json.insert(1, "\"v\":" + std::to_string(kProtocolVersion) + ",");
-      json.pop_back();  // trailing '}'
-      json += ",\"status\":\"ok\"";
-      if (options.selfcheck) {
-        std::string verdict = Selfcheck(response, repo, thesaurus, config);
-        json += ",\"selfcheck\":\"" + JsonEscape(verdict) + "\"";
-        if (verdict != "ok") ++errors;
-      }
-      json += "}";
-      std::printf("%s\n", json.c_str());
-    };
-
-    if (cmd == "register") {
-      std::string name = parsed->GetString("name");
-      if (name.empty()) {
-        EmitError(cmd, Status::InvalidArgument("register needs name"));
-        ++errors;
-        continue;
-      }
-      Result<int> version = Status::Internal("unreachable");
-      if (const JsonValue* text = parsed->Find("text")) {
-        auto format = SchemaFormatFromName(parsed->GetString("format", "native"));
-        if (!format.ok()) {
-          EmitError(cmd, format.status());
-          ++errors;
-          continue;
-        }
-        version = repo.RegisterText(name, *format, text->string);
-      } else {
-        std::string path = parsed->GetString("file");
-        if (path.empty()) {
-          EmitError(cmd, Status::InvalidArgument("register needs file or text"));
-          ++errors;
-          continue;
-        }
-        version = repo.RegisterFile(name, path);
-      }
-      if (!version.ok()) {
-        EmitError(cmd, version.status());
-        ++errors;
-        continue;
-      }
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("v");
-      w.Int(kProtocolVersion);
-      w.Key("status");
-      w.String("ok");
-      w.Key("cmd");
-      w.String(cmd);
-      w.Key("name");
-      w.String(name);
-      w.Key("version");
-      w.Int(*version);
-      w.EndObject();
-      std::printf("%s\n", w.str().c_str());
-    } else if (cmd == "edit") {
-      std::string name = parsed->GetString("name");
-      auto edit = ParseEdit(*parsed);
-      Result<int> version =
-          edit.ok() ? repo.ApplyEdit(name, *edit) : Result<int>(edit.status());
-      if (!version.ok()) {
-        EmitError(cmd, version.status());
-        ++errors;
-        continue;
-      }
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("v");
-      w.Int(kProtocolVersion);
-      w.Key("status");
-      w.String("ok");
-      w.Key("cmd");
-      w.String(cmd);
-      w.Key("name");
-      w.String(name);
-      w.Key("version");
-      w.Int(*version);
-      w.EndObject();
-      std::printf("%s\n", w.str().c_str());
-    } else if (cmd == "match") {
-      auto request = ParseMatchRequest(*parsed);
-      if (!request.ok()) {
-        EmitError(cmd, request.status());
-        ++errors;
-        continue;
-      }
-      bool include_mappings =
-          parsed->GetBool("mappings", options.default_mappings);
-      CupidConfig config = request->config;
-      auto job = scheduler.Submit(*std::move(request));
-      if (!job.ok()) {
-        EmitError(cmd, job.status());
-        ++errors;
-        continue;
-      }
-      const Result<MatchResponse>& response = (*job)->Wait();
-      if (!response.ok()) {
-        EmitError(cmd, response.status());
-        ++errors;
-        continue;
-      }
-      emit_match_response(*response, config, include_mappings);
-    } else if (cmd == "batch") {
-      const JsonValue* requests = parsed->Find("requests");
-      if (requests == nullptr || !requests->is_array()) {
-        EmitError(cmd, Status::InvalidArgument("batch needs requests[]"));
-        ++errors;
-        continue;
-      }
-      std::vector<MatchRequest> batch;
-      std::vector<CupidConfig> configs;
-      std::vector<bool> include;
-      bool bad = false;
-      for (const JsonValue& item : requests->array) {
-        auto request = ParseMatchRequest(item);
-        if (!request.ok()) {
-          EmitError(cmd, request.status());
-          ++errors;
-          bad = true;
-          break;
-        }
-        configs.push_back(request->config);
-        include.push_back(item.GetBool("mappings", options.default_mappings));
-        batch.push_back(*std::move(request));
-      }
-      if (bad) continue;
-      // Concurrent fan-out over the scheduler's workers; responses are
-      // emitted in request order.
-      std::vector<Result<MatchResponse>> responses =
-          scheduler.MatchBatch(std::move(batch));
-      for (size_t i = 0; i < responses.size(); ++i) {
-        if (!responses[i].ok()) {
-          EmitError(cmd, responses[i].status());
-          ++errors;
-          continue;
-        }
-        emit_match_response(*responses[i], configs[i], include[i]);
-      }
-    } else if (cmd == "search") {
-      auto request = ParseSearchRequest(*parsed);
-      if (!request.ok()) {
-        EmitError(cmd, request.status());
-        ++errors;
-        continue;
-      }
-      auto response = search_service.Search(*request);
-      if (!response.ok()) {
-        EmitError(cmd, response.status());
-        ++errors;
-        continue;
-      }
-      std::string json = response->ToJson();
-      json.insert(1, "\"v\":" + std::to_string(kProtocolVersion) + ",");
-      json.pop_back();  // trailing '}'
-      json += ",\"status\":\"ok\",\"cmd\":\"search\"}";
-      std::printf("%s\n", json.c_str());
-    } else if (cmd == "save" || cmd == "load") {
-      std::string dir = parsed->GetString("dir");
-      Status status = dir.empty()
-                          ? Status::InvalidArgument(cmd + " needs dir")
-                          : Status::OK();
-      if (status.ok() && cmd == "save") status = repo.SaveTo(dir);
-      if (status.ok() && cmd == "load" && repo.durable()) {
-        // Swapping in a non-durable repository would silently stop
-        // logging mutations; durable servers only ever load their WAL dir.
-        status = Status::Unsupported(
-            "load is not supported on a durable server; restart with "
-            "--wal-dir pointing at the directory to recover");
-      }
-      if (status.ok() && cmd == "load") {
-        auto loaded = SchemaRepository::LoadFrom(dir);
-        if (!loaded.ok()) {
-          status = loaded.status();
-        } else {
-          // Replace wholesale; stale sessions/results must not survive the
-          // version-number restart.
-          repo = std::move(*loaded);
-          service.InvalidateAll();
-          search_service.InvalidateAll();
-        }
-      }
-      if (!status.ok()) {
-        EmitError(cmd, status);
-        ++errors;
-        continue;
-      }
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("v");
-      w.Int(kProtocolVersion);
-      w.Key("status");
-      w.String("ok");
-      w.Key("cmd");
-      w.String(cmd);
-      w.Key("dir");
-      w.String(dir);
-      w.EndObject();
-      std::printf("%s\n", w.str().c_str());
-    } else if (cmd == "stats") {
-      MatchService::CacheStats stats = service.cache_stats();
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("v");
-      w.Int(kProtocolVersion);
-      w.Key("status");
-      w.String("ok");
-      w.Key("cmd");
-      w.String(cmd);
-      w.Key("result_hits");
-      w.Int(stats.result_hits);
-      w.Key("result_misses");
-      w.Int(stats.result_misses);
-      w.Key("result_evictions");
-      w.Int(stats.result_evictions);
-      w.Key("sessions_created");
-      w.Int(stats.sessions_created);
-      w.Key("sessions_reused");
-      w.Int(stats.sessions_reused);
-      w.Key("sessions_evicted");
-      w.Int(stats.sessions_evicted);
-      w.Key("incremental_rematches");
-      w.Int(stats.incremental_rematches);
-      w.Key("scheduler_threads");
-      w.Int(scheduler.num_threads());
-      w.Key("scheduler_pending");
-      w.Int(static_cast<int64_t>(scheduler.pending()));
-      if (repo.durable()) {
-        w.Key("durability");
-        WriteDurabilityJson(repo.durability_stats(), &w);
-      }
-      w.Key("schemas");
-      w.BeginArray();
-      for (const std::string& name : repo.Names()) {
-        w.BeginObject();
-        w.Key("name");
-        w.String(name);
-        w.Key("latest_version");
-        w.Int(repo.LatestVersion(name));
-        w.EndObject();
-      }
-      w.EndArray();
-      w.EndObject();
-      std::printf("%s\n", w.str().c_str());
-    } else if (cmd == "metrics") {
-      // The whole process-wide registry, either as a JSON array of metric
-      // objects (machine-readable, the protocol-native shape) or as a
-      // Prometheus text page embedded in "text" (multi-line exposition
-      // kept inside the JSONL framing).
-      obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
-      std::string format = parsed->GetString("format", "json");
-      if (format == "prometheus") {
-        JsonWriter w;
-        w.BeginObject();
-        w.Key("v");
-        w.Int(kProtocolVersion);
-        w.Key("status");
-        w.String("ok");
-        w.Key("cmd");
-        w.String(cmd);
-        w.Key("format");
-        w.String(format);
-        w.Key("text");
-        w.String(reg->RenderPrometheus());
-        w.EndObject();
-        std::printf("%s\n", w.str().c_str());
-      } else if (format == "json") {
-        // RenderJson is already a JSON array; splice it into the envelope.
-        std::string json = "{\"v\":" + std::to_string(kProtocolVersion) +
-                           ",\"status\":\"ok\",\"cmd\":\"metrics\"," +
-                           "\"format\":\"json\",\"metrics\":" +
-                           reg->RenderJson() + "}";
-        std::printf("%s\n", json.c_str());
-      } else {
-        EmitError(cmd,
-                  Status::InvalidArgument("unknown metrics format: " + format));
-        ++errors;
-      }
-    } else {
-      EmitError(cmd.empty() ? "?" : cmd,
-                Status::InvalidArgument("unknown cmd"));
-      ++errors;
-    }
+  if (options.listen_port >= 0) {
+    return RunSocketMode(options, &thesaurus, &repo, &service, &scheduler,
+                         &search_service);
   }
 
-  if (g_shutdown_signal != 0) {
-    // Clean shutdown: everything acknowledged is already fsync'd in the
-    // WAL; compacting it into a snapshot just makes the next boot fast.
-    Status flushed = repo.ForceSnapshot();
-    MatchService::CacheStats stats = service.cache_stats();
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("v");
-    w.Int(kProtocolVersion);
-    w.Key("status");
-    w.String(flushed.ok() ? "ok" : "error");
-    w.Key("cmd");
-    w.String("shutdown");
-    w.Key("signal");
-    w.String(g_shutdown_signal == SIGINT ? "SIGINT" : "SIGTERM");
-    if (!flushed.ok()) {
-      w.Key("error");
-      w.String(flushed.ToString());
-    }
-    w.Key("sessions_created");
-    w.Int(stats.sessions_created);
-    w.Key("incremental_rematches");
-    w.Int(stats.incremental_rematches);
-    if (repo.durable()) {
-      w.Key("durability");
-      WriteDurabilityJson(repo.durability_stats(), &w);
-    }
-    w.EndObject();
-    std::printf("%s\n", w.str().c_str());
-    std::fflush(stdout);
-    return flushed.ok() && errors == 0 ? 0 : 1;
-  }
-  return errors == 0 ? 0 : 1;
+  ProtocolExecutor::Options exec_options;
+  exec_options.selfcheck = options.selfcheck;
+  exec_options.default_mappings = options.default_mappings;
+  exec_options.socket_mode = false;
+  ProtocolExecutor executor(&thesaurus, &repo, &service, &scheduler,
+                            &search_service, /*broker=*/nullptr, exec_options);
+  return RunStdinMode(options, &executor, &repo, &service);
 }

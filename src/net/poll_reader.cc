@@ -1,0 +1,75 @@
+#include "net/poll_reader.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace cupid {
+
+PollLineReader::PollLineReader(int fd, WakeupFd* wakeup)
+    : fd_(fd), wakeup_(wakeup) {}
+
+PollLineReader::Event PollLineReader::Next(std::string* line) {
+  for (;;) {
+    // Serve buffered lines first: a single read can fetch several.
+    size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return Event::kLine;
+    }
+    scanned_ = buffer_.size();
+    if (eof_) {
+      if (!buffer_.empty()) {  // unterminated final line
+        *line = std::move(buffer_);
+        buffer_.clear();
+        scanned_ = 0;
+        return Event::kLine;
+      }
+      return Event::kEof;
+    }
+
+    struct pollfd fds[2];
+    fds[0].fd = fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    nfds_t nfds = 1;
+    if (wakeup_ != nullptr && wakeup_->ok()) {
+      fds[1].fd = wakeup_->fd();
+      fds[1].events = POLLIN;
+      fds[1].revents = 0;
+      nfds = 2;
+    }
+    int ready = poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        // A handler ran on this thread; its Notify() byte (if any) makes
+        // the wakeup fd readable on the retry, so looping is enough even
+        // without one.
+        continue;
+      }
+      status_ = Status::IoError(std::string("poll: ") + strerror(errno));
+      return Event::kError;
+    }
+    if (nfds == 2 && (fds[1].revents & POLLIN) != 0) {
+      wakeup_->Drain();
+      return Event::kWakeup;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    char chunk[4096];
+    ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+    } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      status_ = Status::IoError(std::string("read: ") + strerror(errno));
+      return Event::kError;
+    }
+  }
+}
+
+}  // namespace cupid

@@ -1,0 +1,60 @@
+// PollLineReader — interruptible line-at-a-time reads from a file
+// descriptor.
+//
+// Replaces the std::getline loop of the cupid_server stdin driver, which
+// had a real bug: a SIGINT/SIGTERM arriving while the process sat in a
+// blocking read(2) was only observed after the *next* input line (or EOF)
+// arrived, because the shutdown flag was checked between getline calls.
+// PollLineReader instead polls {input fd, wakeup fd} before every read, so
+// a signal handler that calls WakeupFd::Notify() interrupts an idle read
+// immediately and Next() returns kWakeup.
+//
+// Framing matches the JSONL protocol: one '\n'-terminated line per
+// request; a trailing unterminated line at EOF is delivered as a final
+// kLine (same behavior as std::getline).
+
+#ifndef CUPID_NET_POLL_READER_H_
+#define CUPID_NET_POLL_READER_H_
+
+#include <string>
+
+#include "net/wakeup.h"
+
+namespace cupid {
+
+class PollLineReader {
+ public:
+  enum class Event {
+    kLine,    ///< *line holds the next input line (newline stripped)
+    kWakeup,  ///< the wakeup fd fired (check your shutdown flag)
+    kEof,     ///< end of input; no more lines
+    kError,   ///< unrecoverable read error (errno-based message in status)
+  };
+
+  /// Reads from `fd` (not owned, not closed). `wakeup` may be null for an
+  /// uninterruptible reader; it must outlive the reader.
+  PollLineReader(int fd, WakeupFd* wakeup);
+
+  PollLineReader(const PollLineReader&) = delete;
+  PollLineReader& operator=(const PollLineReader&) = delete;
+
+  /// \brief Blocks until a full line, a wakeup, EOF, or an error.
+  /// kWakeup drains the wakeup fd before returning; calling Next() again
+  /// resumes reading exactly where the interrupted read stopped (buffered
+  /// partial lines are kept).
+  Event Next(std::string* line);
+
+  Status status() const { return status_; }
+
+ private:
+  int fd_;
+  WakeupFd* wakeup_;
+  std::string buffer_;   ///< bytes read but not yet returned
+  size_t scanned_ = 0;   ///< prefix of buffer_ known to contain no '\n'
+  bool eof_ = false;
+  Status status_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_NET_POLL_READER_H_

@@ -1,0 +1,602 @@
+#include "net/socket_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace cupid {
+
+namespace {
+
+bool MakeNonBlockingCloexec(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int fdflags = fcntl(fd, F_GETFD, 0);
+  return fdflags >= 0 && fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+}
+
+/// A write error that means "the client went away", not "the server is
+/// broken": close that one connection, keep serving the rest.
+bool IsDisconnectErrno(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ETIMEDOUT ||
+         err == ENOTCONN || err == EBADF;
+}
+
+}  // namespace
+
+Status SocketServer::Options::Validate() const {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("listen port must be within [0,65535]");
+  }
+  if (max_connections <= 0) {
+    return Status::InvalidArgument("max_connections must be > 0");
+  }
+  if (max_frame_bytes == 0) {
+    return Status::InvalidArgument("max_frame_bytes must be > 0");
+  }
+  if (write_queue_limit_bytes == 0) {
+    return Status::InvalidArgument("write_queue_limit_bytes must be > 0");
+  }
+  if (idle_timeout_ms < 0) {
+    return Status::InvalidArgument("idle_timeout_ms must be >= 0");
+  }
+  if (drain_timeout_ms < 0) {
+    return Status::InvalidArgument("drain_timeout_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+SocketServer::SocketServer(Options options, JobScheduler* scheduler)
+    : options_(std::move(options)), scheduler_(scheduler) {
+  obs::MetricsRegistry* reg = options_.metrics != nullptr
+                                  ? options_.metrics
+                                  : obs::MetricsRegistry::Default();
+  connections_gauge_ =
+      reg->GetGauge("cupid.net.connections", "Open client connections");
+  write_queue_bytes_gauge_ = reg->GetGauge(
+      "cupid.net.write_queue_bytes",
+      "Bytes queued but not yet written across all connections");
+  accepted_ =
+      reg->GetCounter("cupid.net.connections_accepted", "Connections accepted");
+  frames_received_ =
+      reg->GetCounter("cupid.net.frames_received", "Request frames received");
+  frames_rejected_ = reg->GetCounter(
+      "cupid.net.frames_rejected",
+      "Frames rejected at the boundary (oversized, before parsing)");
+  responses_sent_ = reg->GetCounter(
+      "cupid.net.frames_sent", "Response and push frames queued for send");
+  disconnects_ =
+      reg->GetCounter("cupid.net.disconnects", "Connections closed, any cause");
+  disconnects_write_error_ = reg->GetCounter(
+      "cupid.net.disconnects_write_error",
+      "Connections closed because a write failed (EPIPE/ECONNRESET)");
+  slow_subscriber_drops_ = reg->GetCounter(
+      "cupid.net.slow_subscriber_drops",
+      "Connections dropped because their write queue overflowed");
+  idle_timeouts_ = reg->GetCounter("cupid.net.idle_timeouts",
+                                   "Connections closed by the idle timeout");
+  inline_executions_ = reg->GetCounter(
+      "cupid.net.inline_executions",
+      "Frames executed on the I/O thread because the scheduler was full");
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) close(listen_fd_);
+  std::vector<std::shared_ptr<Connection>> leftover;
+  {
+    // A drain task still queued in the scheduler captures `this`; it must
+    // finish before any member is torn down. Tasks always terminate (the
+    // handler returns and the per-connection queue is finite), and the
+    // scheduler outlives the server, so this wait is bounded by the work
+    // already admitted.
+    MutexLock lock(&mu_);
+    while (outstanding_tasks_ > 0) tasks_cv_.Wait(&mu_);
+    for (auto& [id, conn] : connections_) leftover.push_back(conn);
+    connections_.clear();
+  }
+  for (auto& conn : leftover) close(conn->fd);
+}
+
+Status SocketServer::Start() {
+  CUPID_RETURN_NOT_OK(options_.Validate());
+  if (!wakeup_.ok()) return wakeup_.status();
+  if (handler_ == nullptr) {
+    return Status::InvalidArgument("SocketServer needs a handler");
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::IoError("bind " + options_.host + ":" +
+                        std::to_string(options_.port) + ": " + strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 128) != 0) {
+    Status status = Status::IoError(std::string("listen: ") + strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (!MakeNonBlockingCloexec(fd)) {
+    Status status = Status::IoError(std::string("fcntl: ") + strerror(errno));
+    close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    Status status =
+        Status::IoError(std::string("getsockname: ") + strerror(errno));
+    close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return Status::OK();
+}
+
+void SocketServer::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  wakeup_.Notify();
+}
+
+int64_t SocketServer::connections() const {
+  MutexLock lock(&mu_);
+  return static_cast<int64_t>(connections_.size());
+}
+
+void SocketServer::SetIdleExempt(uint64_t client_id, bool exempt) {
+  MutexLock lock(&mu_);
+  auto it = connections_.find(client_id);
+  if (it != connections_.end()) it->second->idle_exempt = exempt;
+}
+
+bool SocketServer::EnqueueLocked(const std::shared_ptr<Connection>& conn,
+                                 const std::string& line) {
+  size_t bytes = line.size() + 1;
+  if (conn->write_queued_bytes + bytes > options_.write_queue_limit_bytes) {
+    conn->drop = true;
+    return false;
+  }
+  conn->write_queue.push_back(line + "\n");
+  conn->write_queued_bytes += bytes;
+  write_queue_bytes_gauge_->Add(static_cast<int64_t>(bytes));
+  responses_sent_->Increment();
+  UpdatePauseStateLocked(conn);
+  return true;
+}
+
+bool SocketServer::PushFrame(uint64_t client_id, const std::string& line) {
+  bool queued = false;
+  bool overflowed = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = connections_.find(client_id);
+    if (it != connections_.end() && !it->second->drop) {
+      queued = EnqueueLocked(it->second, line);
+      overflowed = !queued;
+    }
+  }
+  if (overflowed) slow_subscriber_drops_->Increment();
+  wakeup_.Notify();
+  return queued;
+}
+
+void SocketServer::UpdatePauseStateLocked(
+    const std::shared_ptr<Connection>& conn) {
+  // High water: stop reading while the peer is not consuming responses or
+  // the execution backlog for this connection is deep. Low water: resume.
+  // The flag is consumed by the I/O thread when it builds the poll set.
+  size_t high = options_.write_queue_limit_bytes / 2;
+  size_t low = options_.write_queue_limit_bytes / 4;
+  if (!conn->reads_paused &&
+      (conn->write_queued_bytes > high || conn->pending_requests.size() > 64)) {
+    conn->reads_paused = true;
+  } else if (conn->reads_paused && conn->write_queued_bytes < low &&
+             conn->pending_requests.size() <= 16) {
+    conn->reads_paused = false;
+  }
+}
+
+bool SocketServer::ScheduleLocked(const std::shared_ptr<Connection>& conn) {
+  if (conn->executing || conn->pending_requests.empty() || conn->drop) {
+    return false;
+  }
+  conn->executing = true;
+  if (scheduler_ != nullptr) {
+    uint64_t id = conn->id;
+    auto job = scheduler_->SubmitTask([this, id]() -> Result<MatchResponse> {
+      DrainRequests(id);
+      {
+        MutexLock lock(&mu_);
+        if (--outstanding_tasks_ == 0) tasks_cv_.SignalAll();
+      }
+      return MatchResponse{};  // sentinel; the socket path ignores it
+    });
+    if (job.ok()) {
+      // Counted under the same mu_ hold that submitted it, so the task's
+      // decrement (which blocks on mu_) cannot run first.
+      ++outstanding_tasks_;
+      return false;
+    }
+    // Admission queue full: overload backpressure — execute on the I/O
+    // thread (the caller, after releasing the lock).
+    inline_executions_->Increment();
+  }
+  return true;
+}
+
+void SocketServer::DrainRequests(uint64_t id) {
+  auto sink = [this, id](const std::string& response) {
+    bool overflowed = false;
+    {
+      MutexLock lock(&mu_);
+      auto it = connections_.find(id);
+      if (it == connections_.end() || it->second->drop) return;
+      overflowed = !EnqueueLocked(it->second, response);
+    }
+    if (overflowed) slow_subscriber_drops_->Increment();
+    wakeup_.Notify();
+  };
+  for (;;) {
+    std::string line;
+    {
+      MutexLock lock(&mu_);
+      auto it = connections_.find(id);
+      if (it == connections_.end()) return;
+      auto& conn = it->second;
+      if (conn->pending_requests.empty() || conn->drop) {
+        conn->executing = false;
+        break;
+      }
+      line = std::move(conn->pending_requests.front());
+      conn->pending_requests.pop_front();
+      UpdatePauseStateLocked(conn);
+    }
+    handler_(id, line, sink);
+  }
+  // Reads may have been paused on backlog; let the I/O thread re-evaluate.
+  wakeup_.Notify();
+}
+
+void SocketServer::AcceptNew() {
+  for (;;) {
+    struct sockaddr_in peer;
+    socklen_t len = sizeof(peer);
+    int fd =
+        accept(listen_fd_, reinterpret_cast<struct sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient failure; poll again
+    }
+    if (!MakeNonBlockingCloexec(fd)) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    bool over_capacity;
+    {
+      MutexLock lock(&mu_);
+      over_capacity = static_cast<int>(connections_.size()) >=
+                      options_.max_connections;
+    }
+    if (over_capacity) {
+      // Best-effort structured refusal, then close; the fd is fresh so a
+      // single short write will almost always go through.
+      static const char kFull[] =
+          "{\"v\":1,\"status\":\"error\",\"error\":{\"code\":\"Unavailable\","
+          "\"message\":\"server at max_connections\"}}\n";
+      ssize_t ignored = write(fd, kFull, sizeof(kFull) - 1);
+      (void)ignored;
+      close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->last_activity = Clock::now();
+    {
+      MutexLock lock(&mu_);
+      conn->id = next_id_++;
+      connections_.emplace(conn->id, conn);
+    }
+    connections_gauge_->Add(1);
+    accepted_->Increment();
+  }
+}
+
+void SocketServer::ReadFrames(const std::shared_ptr<Connection>& conn) {
+  char chunk[8192];
+  bool closed = false;
+  int oversized = 0;
+  std::vector<std::string> lines;
+  for (;;) {
+    ssize_t n = read(conn->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn->last_activity = Clock::now();
+      size_t start = 0;
+      if (conn->discarding) {
+        // Skip the tail of an oversized frame; framing resynchronizes at
+        // the next newline.
+        const char* nl = static_cast<const char*>(
+            memchr(chunk, '\n', static_cast<size_t>(n)));
+        if (nl == nullptr) continue;
+        start = static_cast<size_t>(nl - chunk) + 1;
+        conn->discarding = false;
+      }
+      conn->read_buf.append(chunk + start, static_cast<size_t>(n) - start);
+      size_t pos = 0;
+      size_t nl;
+      while ((nl = conn->read_buf.find('\n', pos)) != std::string::npos) {
+        if (nl - pos > options_.max_frame_bytes) {
+          // A complete line can still exceed the bound when it arrived
+          // within one read burst; reject it like the streamed case.
+          frames_rejected_->Increment();
+          ++oversized;
+        } else {
+          lines.emplace_back(conn->read_buf, pos, nl - pos);
+        }
+        pos = nl + 1;
+      }
+      conn->read_buf.erase(0, pos);
+      if (conn->read_buf.size() > options_.max_frame_bytes) {
+        frames_rejected_->Increment();
+        conn->read_buf.clear();
+        conn->discarding = true;
+        ++oversized;
+      }
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+    } else if (n == 0) {
+      closed = true;
+      break;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      closed = true;
+      break;
+    }
+  }
+
+  bool run_inline = false;
+  {
+    MutexLock lock(&mu_);
+    for (std::string& line : lines) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      frames_received_->Increment();
+      conn->pending_requests.push_back(std::move(line));
+    }
+    for (int i = 0; i < oversized; ++i) {
+      // Boundary rejection: answered here, never parsed. The connection
+      // stays usable — only the oversized line was discarded.
+      EnqueueLocked(
+          conn,
+          "{\"v\":1,\"status\":\"error\",\"error\":{\"code\":\"OutOfRange\","
+          "\"message\":\"frame exceeds max_frame_bytes (" +
+              std::to_string(options_.max_frame_bytes) +
+              "); line discarded\"}}");
+    }
+    UpdatePauseStateLocked(conn);
+    run_inline = ScheduleLocked(conn);
+  }
+  if (run_inline) DrainRequests(conn->id);
+  if (closed) CloseConnection(conn, "peer closed");
+}
+
+bool SocketServer::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    std::string* front = nullptr;
+    {
+      MutexLock lock(&mu_);
+      if (conn->write_queue.empty()) return true;
+      front = &conn->write_queue.front();
+    }
+    // Only the I/O thread pops the queue, so `front` stays valid while we
+    // write without the lock held.
+    ssize_t n = write(conn->fd, front->data() + conn->write_offset,
+                      front->size() - conn->write_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      if (IsDisconnectErrno(errno)) {
+        disconnects_write_error_->Increment();
+      }
+      return false;
+    }
+    conn->write_offset += static_cast<size_t>(n);
+    if (conn->write_offset == front->size()) {
+      MutexLock lock(&mu_);
+      size_t bytes = conn->write_queue.front().size();
+      conn->write_queue.pop_front();
+      conn->write_queued_bytes -= bytes;
+      write_queue_bytes_gauge_->Add(-static_cast<int64_t>(bytes));
+      conn->write_offset = 0;
+      UpdatePauseStateLocked(conn);
+    } else {
+      return true;  // partial write: socket buffer full, wait for POLLOUT
+    }
+  }
+}
+
+void SocketServer::CloseConnection(const std::shared_ptr<Connection>& conn,
+                                   const char* reason) {
+  (void)reason;
+  {
+    MutexLock lock(&mu_);
+    if (connections_.erase(conn->id) == 0) return;  // already closed
+    write_queue_bytes_gauge_->Add(
+        -static_cast<int64_t>(conn->write_queued_bytes));
+    conn->write_queued_bytes = 0;
+    conn->write_queue.clear();
+    conn->pending_requests.clear();
+    conn->drop = true;
+  }
+  close(conn->fd);
+  connections_gauge_->Add(-1);
+  disconnects_->Increment();
+  if (disconnect_hook_) disconnect_hook_(conn->id);
+}
+
+void SocketServer::Run() {
+  std::vector<struct pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  std::vector<std::shared_ptr<Connection>> to_close;
+
+  auto build_poll_set = [&](bool draining) {
+    fds.clear();
+    polled.clear();
+    struct pollfd w = {};
+    w.fd = wakeup_.fd();
+    w.events = POLLIN;
+    fds.push_back(w);
+    if (!draining && listen_fd_ >= 0) {
+      struct pollfd l = {};
+      l.fd = listen_fd_;
+      l.events = POLLIN;
+      fds.push_back(l);
+    }
+    MutexLock lock(&mu_);
+    for (auto& [id, conn] : connections_) {
+      struct pollfd p = {};
+      p.fd = conn->fd;
+      if (!draining && !conn->reads_paused && !conn->drop) p.events |= POLLIN;
+      if (!conn->write_queue.empty()) p.events |= POLLOUT;
+      if (p.events == 0 && !draining) {
+        // Still watch for hangup so dead subscribers are reaped.
+        p.events = POLLIN;
+      }
+      if (p.events == 0) continue;
+      fds.push_back(p);
+      polled.push_back(conn);
+    }
+  };
+
+  auto service_poll = [&](bool draining, int timeout_ms) {
+    build_poll_set(draining);
+    int ready = poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready < 0) return;
+    size_t base = 1;
+    if (fds[0].revents & POLLIN) wakeup_.Drain();
+    if (!draining && listen_fd_ >= 0) {
+      if (fds[1].revents & POLLIN) AcceptNew();
+      base = 2;
+    }
+    to_close.clear();
+    for (size_t i = base; i < fds.size(); ++i) {
+      auto& conn = polled[i - base];
+      short re = fds[i].revents;
+      if (re & POLLOUT) {
+        if (!FlushWrites(conn)) {
+          to_close.push_back(conn);
+          continue;
+        }
+      }
+      if (!draining && (re & (POLLIN | POLLHUP | POLLERR))) {
+        ReadFrames(conn);  // closes internally on EOF
+      } else if (draining && (re & (POLLHUP | POLLERR))) {
+        to_close.push_back(conn);
+      }
+    }
+    for (auto& conn : to_close) CloseConnection(conn, "io error");
+
+    // Reap connections flagged for dropping (queue overflow) and idle ones.
+    std::vector<std::shared_ptr<Connection>> reap;
+    Clock::time_point now = Clock::now();
+    {
+      MutexLock lock(&mu_);
+      for (auto& [id, conn] : connections_) {
+        if (conn->drop) {
+          reap.push_back(conn);
+        } else if (!draining && options_.idle_timeout_ms > 0 &&
+                   !conn->idle_exempt &&
+                   now - conn->last_activity >
+                       std::chrono::milliseconds(options_.idle_timeout_ms)) {
+          conn->drop = true;
+          reap.push_back(conn);
+          idle_timeouts_->Increment();
+        }
+      }
+    }
+    for (auto& conn : reap) CloseConnection(conn, "reaped");
+  };
+
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    int timeout = options_.idle_timeout_ms > 0
+                      ? std::min(options_.idle_timeout_ms, 1000)
+                      : 1000;
+    service_poll(/*draining=*/false, timeout);
+  }
+
+  // ---- graceful drain ----
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+
+  // Phase 1: let in-flight commands finish (they may still produce
+  // responses and subscription events); keep flushing while waiting.
+  for (;;) {
+    bool busy = false;
+    {
+      MutexLock lock(&mu_);
+      busy = outstanding_tasks_ > 0;
+      for (auto& [id, conn] : connections_) {
+        if (busy) break;
+        if (conn->executing || !conn->pending_requests.empty()) {
+          busy = true;
+        }
+      }
+    }
+    if (!busy || Clock::now() >= deadline) break;
+    service_poll(/*draining=*/true, 20);
+  }
+
+  // Phase 2: drain the subscription broker — queued schema edits turn into
+  // their final pushes before connections go away.
+  if (drain_hook_) drain_hook_();
+
+  // Phase 3: flush every write queue (responses and final pushes).
+  for (;;) {
+    bool bytes_pending = false;
+    {
+      MutexLock lock(&mu_);
+      for (auto& [id, conn] : connections_) {
+        if (conn->write_queued_bytes > 0) {
+          bytes_pending = true;
+          break;
+        }
+      }
+    }
+    if (!bytes_pending || Clock::now() >= deadline) break;
+    service_poll(/*draining=*/true, 20);
+  }
+
+  std::vector<std::shared_ptr<Connection>> all;
+  {
+    MutexLock lock(&mu_);
+    for (auto& [id, conn] : connections_) all.push_back(conn);
+  }
+  for (auto& conn : all) CloseConnection(conn, "shutdown");
+}
+
+}  // namespace cupid

@@ -1,0 +1,236 @@
+// SocketServer — a poll(2)-based TCP server speaking the line-framed
+// protocol-v1 JSON of cupid_server (docs/SERVICE.md, "The socket server").
+//
+// One thread owns all I/O: it accepts connections, reads newline-framed
+// request lines, flushes bounded per-connection write queues, enforces
+// idle timeouts, and drains gracefully on shutdown. Request *execution*
+// never runs on the I/O thread under normal load: complete frames queue
+// per connection and a connection with pending frames is scheduled onto
+// the shared JobScheduler (one task drains one connection's queue, so
+// responses keep request order per connection while distinct connections
+// execute concurrently). If the scheduler's admission queue is full the
+// frame executes inline on the I/O thread — the overload form of
+// backpressure: while the I/O thread computes, it reads nobody, and TCP
+// receive windows fill.
+//
+// Backpressure and overflow policy, per connection:
+//   * when the write queue passes the high-water mark (half the limit),
+//     the I/O thread stops reading from that connection (POLLIN removed)
+//     until the queue drains below a quarter of the limit — a client that
+//     does not read its responses stops being able to send requests;
+//   * a frame that would push the queue past the hard limit drops the
+//     connection. For pushes this is the slow-subscriber policy: the
+//     publisher never blocks, the laggard is disconnected and counted
+//     (cupid.net.slow_subscriber_drops).
+//
+// Writes treat EPIPE/ECONNRESET as a normal client disconnect: the
+// connection is closed and counted, the process never dies (callers must
+// ignore SIGPIPE; cupid_server does so at startup).
+//
+// Thread-safety: Run() owns the poll loop. PushFrame/RequestShutdown/
+// SetIdleExempt are safe from any thread. The handler runs on scheduler
+// workers (or the I/O thread under overload) and emits responses through
+// the sink it is given.
+
+#ifndef CUPID_NET_SOCKET_SERVER_H_
+#define CUPID_NET_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wakeup.h"
+#include "obs/metrics.h"
+#include "service/job_scheduler.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace cupid {
+
+class SocketServer {
+ public:
+  struct Options {
+    /// Listen address. Loopback by default: the protocol has no auth.
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port (read it back via port()).
+    int port = 0;
+    /// Accepted connections beyond this are closed immediately after a
+    /// one-line structured error.
+    int max_connections = 1024;
+    /// Longest accepted request frame. Longer lines get a structured
+    /// OutOfRange error; the remainder of the oversized line is discarded
+    /// so the connection stays usable from the next newline on.
+    size_t max_frame_bytes = 1 << 20;
+    /// Hard bound on queued-but-unsent response/push bytes per connection;
+    /// overflow drops the connection (see the policy above).
+    size_t write_queue_limit_bytes = 4 << 20;
+    /// Close connections that sent no bytes for this long. 0 disables.
+    /// Connections marked idle-exempt (active subscribers) are spared.
+    int idle_timeout_ms = 0;
+    /// Upper bound on the graceful-drain phase of shutdown (finishing
+    /// in-flight commands and flushing write queues).
+    int drain_timeout_ms = 5000;
+    /// nullptr = obs::MetricsRegistry::Default().
+    obs::MetricsRegistry* metrics = nullptr;
+
+    Status Validate() const;
+  };
+
+  /// Executes one request line on behalf of `client_id`, emitting zero or
+  /// more response lines (without trailing newline) through `sink`.
+  using Handler = std::function<void(
+      uint64_t client_id, const std::string& line,
+      const std::function<void(const std::string&)>& sink)>;
+
+  /// Invoked (from the I/O thread, no server lock held) after a
+  /// connection closed for any reason; the subscription broker uses it to
+  /// drop the client's subscriptions.
+  using DisconnectHook = std::function<void(uint64_t client_id)>;
+
+  /// Invoked once by Run() when shutdown begins, after request intake
+  /// stopped but while queued pushes can still be delivered; cupid_server
+  /// drains the subscription broker here.
+  using DrainHook = std::function<void()>;
+
+  /// `scheduler` may be null (every frame then executes on the I/O
+  /// thread); if set it must outlive the server.
+  SocketServer(Options options, JobScheduler* scheduler);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Set before Start(); not thread-safe afterwards.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  void set_disconnect_hook(DisconnectHook hook) {
+    disconnect_hook_ = std::move(hook);
+  }
+  void set_drain_hook(DrainHook hook) { drain_hook_ = std::move(hook); }
+
+  /// \brief Binds and listens. On success port() is the bound port.
+  Status Start();
+
+  /// Bound port after Start() (the concrete one when Options::port was 0).
+  int port() const { return port_; }
+
+  /// \brief Runs the poll loop until RequestShutdown(); returns after the
+  /// graceful drain (stop accepting, finish in-flight commands, run the
+  /// drain hook, flush write queues up to drain_timeout_ms, close).
+  void Run();
+
+  /// \brief Asks Run() to begin the graceful drain. Safe from any thread;
+  /// signal handlers should instead Notify() the wakeup() fd after setting
+  /// their flag, and the Run() caller translates that into this call —
+  /// cupid_server wires it so either works.
+  void RequestShutdown();
+
+  /// The wakeup fd Run() polls; signal handlers Notify() it.
+  WakeupFd* wakeup() { return &wakeup_; }
+
+  /// \brief Queues one line (newline appended on the wire) to `client_id`.
+  /// Returns false when the client is unknown/closing or the frame
+  /// overflowed its write queue (the connection is then dropped and the
+  /// slow-subscriber counter bumped). Safe from any thread.
+  bool PushFrame(uint64_t client_id, const std::string& line);
+
+  /// \brief Exempts `client_id` from the idle timeout (subscribers wait
+  /// silently by design). Safe from any thread.
+  void SetIdleExempt(uint64_t client_id, bool exempt);
+
+  /// Live connection count (the cupid.net.connections gauge's source).
+  int64_t connections() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+
+    // --- I/O-thread-only state (never touched by workers) ---
+    std::string read_buf;
+    bool discarding = false;  ///< in an oversized frame, skip to next '\n'
+    size_t write_offset = 0;  ///< bytes of the queue front already written
+    Clock::time_point last_activity{};
+
+    // --- shared state, guarded by SocketServer::mu_ ---
+    std::deque<std::string> write_queue;
+    size_t write_queued_bytes = 0;
+    std::deque<std::string> pending_requests;
+    bool executing = false;  ///< a drain task for this connection is live
+    bool drop = false;       ///< close as soon as the I/O thread sees it
+    bool idle_exempt = false;
+    bool reads_paused = false;  ///< backpressure: POLLIN withheld
+  };
+
+  /// Accept loop body; returns false when the listener died.
+  void AcceptNew() EXCLUDES(mu_);
+  /// Reads frames from `conn`, queues complete lines, schedules execution.
+  void ReadFrames(const std::shared_ptr<Connection>& conn) EXCLUDES(mu_);
+  /// Flushes `conn`'s write queue as far as the socket allows.
+  /// Returns false on a fatal write error (connection must close).
+  bool FlushWrites(const std::shared_ptr<Connection>& conn) EXCLUDES(mu_);
+  /// Executes queued request lines of connection `id` until its pending
+  /// queue is empty (runs on a scheduler worker or, under overload, the
+  /// I/O thread).
+  void DrainRequests(uint64_t id) EXCLUDES(mu_);
+  /// Schedules DrainRequests for `conn` if not already running. Must be
+  /// called with mu_ held; may execute inline (releasing and reacquiring
+  /// nothing — inline execution happens after the caller releases mu_, via
+  /// the returned flag).
+  bool ScheduleLocked(const std::shared_ptr<Connection>& conn) REQUIRES(mu_);
+  /// Closes and forgets `conn` (I/O thread only); runs the disconnect
+  /// hook outside the lock.
+  void CloseConnection(const std::shared_ptr<Connection>& conn,
+                       const char* reason) EXCLUDES(mu_);
+  /// Queues `line` + '\n' on `conn`; false = overflow (caller drops).
+  bool EnqueueLocked(const std::shared_ptr<Connection>& conn,
+                     const std::string& line) REQUIRES(mu_);
+  void UpdatePauseStateLocked(const std::shared_ptr<Connection>& conn)
+      REQUIRES(mu_);
+
+  Options options_;
+  JobScheduler* scheduler_;
+  Handler handler_;
+  DisconnectHook disconnect_hook_;
+  DrainHook drain_hook_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  WakeupFd wakeup_;
+  std::atomic<bool> shutdown_requested_{false};
+
+  mutable Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> connections_
+      GUARDED_BY(mu_);
+  /// Drain tasks handed to the scheduler that have not finished yet. The
+  /// destructor blocks until zero — a queued task captures `this` and may
+  /// run after its connection is gone, so the scheduler must outlive the
+  /// server and the server must not die under a pending task.
+  int outstanding_tasks_ GUARDED_BY(mu_) = 0;
+  CondVar tasks_cv_;
+
+  obs::Gauge* connections_gauge_;
+  obs::Gauge* write_queue_bytes_gauge_;
+  obs::Counter* accepted_;
+  obs::Counter* frames_received_;
+  obs::Counter* frames_rejected_;
+  obs::Counter* responses_sent_;
+  obs::Counter* disconnects_;
+  obs::Counter* disconnects_write_error_;
+  obs::Counter* slow_subscriber_drops_;
+  obs::Counter* idle_timeouts_;
+  obs::Counter* inline_executions_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_NET_SOCKET_SERVER_H_

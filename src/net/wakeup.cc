@@ -1,0 +1,62 @@
+#include "net/wakeup.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace cupid {
+
+namespace {
+
+/// O_NONBLOCK + FD_CLOEXEC on `fd`; the server must never block on its own
+/// wakeup pipe and must not leak it into exec'd children.
+bool MakeNonBlockingCloexec(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int fdflags = fcntl(fd, F_GETFD, 0);
+  return fdflags >= 0 && fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+}
+
+}  // namespace
+
+WakeupFd::WakeupFd() {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    status_ = Status::IoError(std::string("pipe: ") + strerror(errno));
+    return;
+  }
+  if (!MakeNonBlockingCloexec(fds[0]) || !MakeNonBlockingCloexec(fds[1])) {
+    status_ = Status::IoError(std::string("fcntl: ") + strerror(errno));
+    close(fds[0]);
+    close(fds[1]);
+    return;
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+}
+
+WakeupFd::~WakeupFd() {
+  if (read_fd_ >= 0) close(read_fd_);
+  if (write_fd_ >= 0) close(write_fd_);
+}
+
+void WakeupFd::Notify() {
+  if (write_fd_ < 0) return;
+  // A full pipe (EAGAIN) means a wakeup is already pending; EINTR on a
+  // non-blocking one-byte write cannot leave partial state. Either way
+  // there is nothing useful to do with the error — and nothing
+  // async-signal-safe either.
+  const char byte = 1;
+  ssize_t ignored = write(write_fd_, &byte, 1);
+  (void)ignored;
+}
+
+void WakeupFd::Drain() {
+  if (read_fd_ < 0) return;
+  char buf[64];
+  while (read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace cupid

@@ -1,0 +1,55 @@
+// WakeupFd — a self-pipe that makes poll(2) loops interruptible.
+//
+// The classic fix for the signal/poll race: a signal handler (or any other
+// thread) calls Notify(), which writes one byte into a non-blocking pipe;
+// a poll loop that includes fd() in its read set wakes up immediately and
+// checks whatever flag the notifier set. Both cupid_server input drivers
+// share one instance: the stdin driver polls {input, wakeup} instead of
+// blocking in std::getline (where a SIGTERM used to sit unnoticed until
+// the next input line arrived), and the socket server polls
+// {listener, wakeup, connections...}.
+//
+// Notify() is async-signal-safe (one write(2) on a pre-opened fd, no
+// allocation, no locks) and idempotent while a wakeup is pending: the pipe
+// is non-blocking, so a full pipe simply drops the redundant byte — the
+// reader is already going to wake.
+
+#ifndef CUPID_NET_WAKEUP_H_
+#define CUPID_NET_WAKEUP_H_
+
+#include "util/status.h"
+
+namespace cupid {
+
+class WakeupFd {
+ public:
+  /// Opens the pipe; failures surface through ok()/status() (a process
+  /// out of fds cannot build a server loop).
+  WakeupFd();
+  ~WakeupFd();
+
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+
+  bool ok() const { return read_fd_ >= 0; }
+  Status status() const { return status_; }
+
+  /// The fd to include (POLLIN) in a poll set.
+  int fd() const { return read_fd_; }
+
+  /// \brief Wakes the poller. Async-signal-safe; never blocks.
+  void Notify();
+
+  /// \brief Consumes pending wakeup bytes so the next poll blocks again.
+  /// Call from the poll loop after observing readability.
+  void Drain();
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  Status status_;
+};
+
+}  // namespace cupid
+
+#endif  // CUPID_NET_WAKEUP_H_

@@ -1,9 +1,25 @@
 #include "service/job_scheduler.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace cupid {
+
+Status JobScheduler::Options::Validate() const {
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        StringFormat("num_threads must be >= 0, got %d", num_threads));
+  }
+  if (max_pending <= 0) {
+    return Status::InvalidArgument(StringFormat(
+        "max_pending must be positive, got %d (a non-positive bound would "
+        "reject every submission)",
+        max_pending));
+  }
+  return Status::OK();
+}
 
 const Result<MatchResponse>& MatchJob::Wait() const {
   MutexLock lock(&mu_);
@@ -41,8 +57,7 @@ void MatchJob::Finish(Result<MatchResponse> result, double queue_ms,
 JobScheduler::JobScheduler(MatchService* service, Options options)
     : service_(service),
       options_(options),
-      pool_(ThreadPool::EffectiveThreads(options.num_threads)) {
-  if (options_.max_pending < 1) options_.max_pending = 1;
+      pool_(ThreadPool::EffectiveThreads(std::max(options.num_threads, 0))) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   queue_depth_ = reg->GetGauge("cupid.scheduler.queue_depth",
                                "Jobs admitted but not yet finished");
@@ -74,6 +89,11 @@ int JobScheduler::pending() const {
 
 Result<std::shared_ptr<MatchJob>> JobScheduler::SubmitTask(
     std::function<Result<MatchResponse>()> task) {
+  Status valid = options_.Validate();
+  if (!valid.ok()) {
+    jobs_rejected_->Increment();
+    return valid;
+  }
   {
     MutexLock lock(&mu_);
     if (shutdown_) {

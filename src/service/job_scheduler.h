@@ -62,6 +62,12 @@ class JobScheduler {
     /// Maximum jobs admitted but not yet finished; further Submits are
     /// rejected with OutOfRange (callers retry or shed load).
     int max_pending = 1024;
+
+    /// InvalidArgument on out-of-domain knobs: negative num_threads, or a
+    /// non-positive max_pending (which would reject every submission).
+    /// Checked on every Submit/SubmitTask so a misconfigured scheduler
+    /// fails loudly instead of silently shedding all load.
+    Status Validate() const;
   };
 
   /// `service` must outlive the scheduler.

@@ -120,9 +120,12 @@ Result<int> SchemaRepository::Register(const std::string& name,
     CUPID_RETURN_NOT_OK(LogMutationLocked(w.str()));
     int version = RegisterLocked(name, std::move(schema));
     MaybeCompactLocked();
+    NotifyMutationLocked(name, version);
     return version;
   }
-  return RegisterLocked(name, std::move(schema));
+  int version = RegisterLocked(name, std::move(schema));
+  NotifyMutationLocked(name, version);
+  return version;
 }
 
 int SchemaRepository::RegisterLocked(const std::string& name, Schema schema) {
@@ -179,7 +182,19 @@ Result<int> SchemaRepository::ApplyEdit(const std::string& name,
   it->second.push_back(std::move(entry));
   int version = static_cast<int>(it->second.size());
   MaybeCompactLocked();
+  NotifyMutationLocked(name, version);
   return version;
+}
+
+void SchemaRepository::SetMutationListener(
+    std::function<void(const std::string&, int)> listener) {
+  MutexLock lock(&mu_);
+  mutation_listener_ = std::move(listener);
+}
+
+void SchemaRepository::NotifyMutationLocked(const std::string& name,
+                                            int version) {
+  if (mutation_listener_) mutation_listener_(name, version);
 }
 
 Result<SchemaRepository::SchemaSnapshot> SchemaRepository::Resolve(

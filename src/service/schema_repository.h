@@ -30,6 +30,7 @@
 #define CUPID_SERVICE_SCHEMA_REPOSITORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -207,6 +208,19 @@ class SchemaRepository {
 
   DurabilityStats durability_stats() const;
 
+  /// \brief Called after every successful mutation (Register*/ApplyEdit)
+  /// with the schema name and its new version, in mutation order — the
+  /// subscription push path hangs off this (docs/SERVICE.md).
+  ///
+  /// The listener is invoked while the repository lock is held, which is
+  /// what makes "in mutation order" true under concurrent mutators; in
+  /// exchange it must be fast and must not call back into the repository
+  /// (the SubscriptionBroker's listener only appends to its own queue and
+  /// wakes its notifier thread). Not invoked for bootstrap loads
+  /// (LoadFrom/Recover replay). One listener at a time; empty clears.
+  void SetMutationListener(
+      std::function<void(const std::string& name, int version)> listener);
+
  private:
   struct VersionEntry {
     std::shared_ptr<const Schema> schema;
@@ -262,9 +276,18 @@ class SchemaRepository {
   /// Applies one WAL record during recovery.
   Status ApplyWalRecordLocked(const WalRecord& record) REQUIRES(mu_);
 
+  /// Invokes the mutation listener (if any) under mu_.
+  void NotifyMutationLocked(const std::string& name, int version)
+      REQUIRES(mu_);
+
   mutable Mutex mu_;
   VersionMap schemas_ GUARDED_BY(mu_);
   std::unique_ptr<Durability> dur_ GUARDED_BY(mu_);
+  /// Serving-process property, not data: move construction/assignment of
+  /// the repository (LoadFrom/Recover swaps) leaves the destination's
+  /// listener in place and never transfers the source's.
+  std::function<void(const std::string&, int)> mutation_listener_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace cupid

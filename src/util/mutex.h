@@ -10,6 +10,7 @@
 #ifndef CUPID_UTIL_MUTEX_H_
 #define CUPID_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -117,6 +118,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller still owns the mutex
+  }
+
+  /// \brief Wait bounded by `timeout_ms`; returns false on timeout. Like
+  /// Wait, the caller's mutex is held again on return either way.
+  bool WaitFor(Mutex* mu, int timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    bool signaled = cv_.wait_for(lock, std::chrono::milliseconds(
+                                           timeout_ms)) ==
+                    std::cv_status::no_timeout;
+    lock.release();  // the caller still owns the mutex
+    return signaled;
   }
 
   void Signal() { cv_.notify_one(); }

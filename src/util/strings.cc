@@ -213,4 +213,44 @@ Result<int64_t> ParseInt(std::string_view s) {
   return static_cast<int64_t>(v);
 }
 
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    unsigned char b0 = static_cast<unsigned char>(s[i]);
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    }
+    int len;
+    uint32_t cp;
+    if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07;
+    } else {
+      return false;  // stray continuation byte or 0xF8..0xFF lead
+    }
+    if (i + len > n) return false;
+    for (int k = 1; k < len; ++k) {
+      unsigned char bk = static_cast<unsigned char>(s[i + k]);
+      if ((bk & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (bk & 0x3F);
+    }
+    // Shortest-form and code-point range checks.
+    if (len == 2 && cp < 0x80) return false;
+    if (len == 3 && cp < 0x800) return false;
+    if (len == 4 && cp < 0x10000) return false;
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // UTF-16 surrogates
+    if (cp > 0x10FFFF) return false;
+    i += len;
+  }
+  return true;
+}
+
 }  // namespace cupid

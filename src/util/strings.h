@@ -81,6 +81,12 @@ Result<double> ParseDouble(std::string_view s);
 /// rules as ParseDouble ("12.5" and "9999999999999999999999" are errors).
 Result<int64_t> ParseInt(std::string_view s);
 
+/// \brief True if `s` is well-formed UTF-8: correct continuation bytes,
+/// shortest-form encodings only (overlongs rejected), no surrogate code
+/// points, nothing above U+10FFFF. The network boundary rejects frames that
+/// fail this before handing bytes to the JSON parser.
+bool IsValidUtf8(std::string_view s);
+
 }  // namespace cupid
 
 #endif  // CUPID_UTIL_STRINGS_H_
